@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the cache and DRAM models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdv_memsys::{AccessKind, Cache, CacheConfig, DramChannel};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        cache.fill(0x1000, false);
+        b.iter(|| cache.access(std::hint::black_box(0x1000), AccessKind::Read));
+    });
+    g.bench_function("miss_fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64 * 64); // new line, same-ish sets
+            cache.access(a, AccessKind::Read);
+            cache.fill(a, false)
+        });
+    });
+    for stride in [64u64, 4096] {
+        g.bench_with_input(BenchmarkId::new("stream", stride), &stride, |b, &stride| {
+            let mut cache = Cache::new(CacheConfig::l2_bank());
+            let mut a = 0u64;
+            b.iter(|| {
+                a = a.wrapping_add(stride);
+                if !cache.access(a, AccessKind::Read) {
+                    cache.fill(a, false);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("submit_unthrottled", |b| {
+        let mut d = DramChannel::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            d.submit(t * 64, t)
+        });
+    });
+    g.bench_function("submit_throttled", |b| {
+        let mut d = DramChannel::default();
+        d.set_bandwidth_limit(4);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            d.submit(t * 64, t)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark of representative figure-sweep cells, using a custom
+//! reporting style: Criterion measures harness wall-clock; the simulated
+//! cycle counts themselves are printed once per cell so regressions in the
+//! *model's output* are visible next to regressions in its speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
+
+fn bench_sweep_cells(c: &mut Criterion) {
+    let w = Workloads::small();
+    let mut g = c.benchmark_group("fig_cells");
+    g.sample_size(10);
+    let cells = [
+        ("fig3_scalar_lat1024", Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Scalar,
+            extra_latency: 1024,
+            bandwidth: 64,
+        }),
+        ("fig3_vl256_lat1024", Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl: 256 },
+            extra_latency: 1024,
+            bandwidth: 64,
+        }),
+        ("fig5_vl256_bw1", Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl: 256 },
+            extra_latency: 0,
+            bandwidth: 1,
+        }),
+        ("fig5_scalar_bw1", Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Scalar,
+            extra_latency: 0,
+            bandwidth: 1,
+        }),
+    ];
+    for (name, cell) in cells {
+        let cycles = run(&w, cell).cycles;
+        println!("{name}: simulated cycles = {cycles}");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cell, |b, &cell| {
+            b.iter(|| run(&w, cell))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_cells);
+criterion_main!(benches);

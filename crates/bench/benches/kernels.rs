@@ -1,0 +1,28 @@
+//! Criterion benchmarks of full kernel simulations (small workloads).
+//!
+//! Wall-clock per end-to-end simulated run — these keep the figure sweeps'
+//! cost visible and bound the price of model changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
+
+fn bench_kernels(c: &mut Criterion) {
+    let w = Workloads::small();
+    let mut g = c.benchmark_group("kernels_small");
+    g.sample_size(10);
+    for kernel in KernelKind::all() {
+        for imp in [ImplKind::Scalar, ImplKind::Vector { maxvl: 256 }] {
+            g.bench_with_input(
+                BenchmarkId::new(kernel.name(), imp.label()),
+                &(kernel, imp),
+                |b, &(kernel, imp)| {
+                    b.iter(|| run(&w, Cell { kernel, imp, extra_latency: 0, bandwidth: 64 }))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

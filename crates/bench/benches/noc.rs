@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks of the mesh NoC model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdv_noc::{Mesh, MeshConfig};
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_local", |b| {
+        let mut m = Mesh::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            m.send(0, 0, 64, t)
+        });
+    });
+    g.bench_function("send_diagonal", |b| {
+        let mut m = Mesh::default();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            m.send(0, 3, 64, t)
+        });
+    });
+    for dim in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("send_corner_to_corner", dim), &dim, |b, &dim| {
+            let mut m = Mesh::new(MeshConfig { width: dim, height: dim, ..MeshConfig::default() });
+            let mut t = 0u64;
+            let far = dim * dim - 1;
+            b.iter(|| {
+                t += 1;
+                m.send(0, far, 64, t)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mesh);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks of the functional RVV engine.
+//!
+//! These measure *simulator throughput* (host wall-clock per simulated
+//! instruction), not simulated cycles — they guard the engine against
+//! performance regressions that would make the figure sweeps slow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdv_rvv::{exec, ArithKind, FArithKind, FmaKind, MemAddr, VInst, VOp};
+use sdv_rvv::{Lmul, Sew, VState};
+
+struct Flat(Vec<u8>);
+impl sdv_rvv::VMemory for Flat {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.0[a..a + buf.len()]);
+    }
+    fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.0[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+fn bench_arith(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rvv_arith");
+    for vl in [8usize, 64, 256] {
+        g.throughput(Throughput::Elements(vl as u64));
+        g.bench_with_input(BenchmarkId::new("vfmacc", vl), &vl, |b, &vl| {
+            let mut st = VState::paper_vpu();
+            st.set_vl(vl, Sew::E64, Lmul::M1);
+            let mut mem = Flat(vec![0; 64]);
+            let inst = VInst::new(VOp::FmaVV { kind: FmaKind::Macc, vd: 1, x: 2, y: 3 });
+            b.iter(|| exec(&inst, &mut st, &mut mem));
+        });
+        g.bench_with_input(BenchmarkId::new("vadd", vl), &vl, |b, &vl| {
+            let mut st = VState::paper_vpu();
+            st.set_vl(vl, Sew::E64, Lmul::M1);
+            let mut mem = Flat(vec![0; 64]);
+            let inst = VInst::new(VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 2, y: 3 });
+            b.iter(|| exec(&inst, &mut st, &mut mem));
+        });
+        g.bench_with_input(BenchmarkId::new("vfdiv", vl), &vl, |b, &vl| {
+            let mut st = VState::paper_vpu();
+            st.set_vl(vl, Sew::E64, Lmul::M1);
+            let mut mem = Flat(vec![0; 64]);
+            let inst = VInst::new(VOp::FArithVV { kind: FArithKind::Fdiv, vd: 1, x: 2, y: 3 });
+            b.iter(|| exec(&inst, &mut st, &mut mem));
+        });
+    }
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rvv_memory");
+    for vl in [8usize, 256] {
+        g.throughput(Throughput::Elements(vl as u64));
+        g.bench_with_input(BenchmarkId::new("vle", vl), &vl, |b, &vl| {
+            let mut st = VState::paper_vpu();
+            st.set_vl(vl, Sew::E64, Lmul::M1);
+            let mut mem = Flat(vec![0; 1 << 16]);
+            let inst = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } });
+            b.iter(|| exec(&inst, &mut st, &mut mem));
+        });
+        g.bench_with_input(BenchmarkId::new("gather", vl), &vl, |b, &vl| {
+            let mut st = VState::paper_vpu();
+            st.set_vl(vl, Sew::E64, Lmul::M1);
+            for i in 0..vl {
+                st.regs.set(2, Sew::E64, i, ((i * 2497) % 8000) as u64 * 8);
+            }
+            let mut mem = Flat(vec![0; 1 << 16]);
+            let inst = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Indexed { base: 0, index: 2 } });
+            b.iter(|| exec(&inst, &mut st, &mut mem));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_arith, bench_memory);
+criterion_main!(benches);

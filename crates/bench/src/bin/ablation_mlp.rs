@@ -1,0 +1,82 @@
+//! ABL2 — MLP ablation: the *mechanism* behind Figure 3.
+//!
+//! DESIGN.md attributes the latency results to memory-level parallelism:
+//! the scalar core's MLP is bounded by its MSHRs and run-ahead window, the
+//! VPU's by its decoupling queue and outstanding-request window. This
+//! ablation sweeps those four structures on SpMV and reports the +1024
+//! slowdown each configuration yields — demonstrating that the headline
+//! result is produced by MLP, not by incidental parameters.
+//!
+//! Usage: `ablation_mlp [--small]`
+
+use sdv_bench::table::{render, slowdown_cell};
+use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_uarch::TimingConfig;
+
+fn slowdown(w: &Workloads, imp: ImplKind, cfg: TimingConfig) -> f64 {
+    let mk = |extra_latency| Cell { kernel: KernelKind::Spmv, imp, extra_latency, bandwidth: 64 };
+    let base = run_with_config(w, mk(0), cfg).cycles as f64;
+    run_with_config(w, mk(1024), cfg).cycles as f64 / base
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+
+    // Scalar: MSHRs x run-ahead window.
+    let mut rows = Vec::new();
+    let windows = [8usize, 32, 128];
+    for mshrs in [1usize, 4, 16] {
+        let cells: Vec<String> = windows
+            .iter()
+            .map(|&win| {
+                let mut cfg = TimingConfig::default();
+                cfg.scalar.max_outstanding_loads = mshrs;
+                cfg.scalar.runahead_window = win;
+                slowdown_cell(slowdown(&w, ImplKind::Scalar, cfg))
+            })
+            .collect();
+        rows.push((format!("{mshrs} MSHRs"), cells));
+    }
+    println!(
+        "{}",
+        render(
+            "ABL2a — scalar SpMV +1024-latency slowdown vs MSHRs x run-ahead window",
+            "scalar",
+            &windows.iter().map(|w| format!("win={w}")).collect::<Vec<_>>(),
+            &rows
+        )
+    );
+
+    // VPU: decoupling queue depth x outstanding-request window, at VL=256.
+    let mut rows = Vec::new();
+    let outs = [16usize, 64, 256];
+    for depth in [1usize, 4, 16] {
+        let cells: Vec<String> = outs
+            .iter()
+            .map(|&out| {
+                let mut cfg = TimingConfig::default();
+                cfg.vpu.queue_depth = depth;
+                cfg.vpu.vmem_outstanding = out;
+                slowdown_cell(slowdown(&w, ImplKind::Vector { maxvl: 256 }, cfg))
+            })
+            .collect();
+        rows.push((format!("queue={depth}"), cells));
+    }
+    println!(
+        "{}",
+        render(
+            "ABL2b — vl=256 SpMV +1024-latency slowdown vs VPU queue depth x request window",
+            "vpu",
+            &outs.iter().map(|o| format!("out={o}")).collect::<Vec<_>>(),
+            &rows
+        )
+    );
+    println!(
+        "Reading the tables: MLP is min(window-limited, MSHR/queue-limited), so growing a\n\
+         non-binding structure changes little (flat rows/columns away from the diagonal),\n\
+         and shrinking the queue can even *lower* the ratio by inflating the zero-latency\n\
+         baseline. The bottom-right corners — both structures deep — give the paper's\n\
+         latency tolerance; the top-left corners behave like the scalar core."
+    );
+}

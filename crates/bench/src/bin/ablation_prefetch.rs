@@ -1,0 +1,71 @@
+//! EXT3 — scalar next-line prefetcher ablation (extension).
+//!
+//! A natural "what if" behind Figure 3: how much of the scalar core's
+//! latency pain would a stream prefetcher remove, as a function of its
+//! depth? Streaming kernels (triad, FFT) recover with deep prefetch;
+//! gather-dominated kernels (SpMV, PR) barely move at any depth —
+//! sharpening the paper's point that the *vector* way of expressing
+//! gathers is what tolerates latency, not just "more prefetch".
+//!
+//! Usage: `ablation_prefetch [--small]`
+
+use sdv_bench::table::render;
+use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_core::SdvMachine;
+use sdv_kernels::dense;
+use sdv_uarch::TimingConfig;
+
+fn cfg(depth: usize) -> TimingConfig {
+    let mut c = TimingConfig::default();
+    c.mem.l1_prefetch_depth = depth;
+    c
+}
+
+fn kernel_cycles(w: &Workloads, kernel: KernelKind, depth: usize, lat: u64) -> u64 {
+    let cell = Cell { kernel, imp: ImplKind::Scalar, extra_latency: lat, bandwidth: 64 };
+    run_with_config(w, cell, cfg(depth)).cycles
+}
+
+fn triad_cycles(n: usize, depth: usize, lat: u64) -> u64 {
+    let mut m = SdvMachine::with_config(64 << 20, cfg(depth));
+    m.set_extra_latency(lat);
+    let dev = dense::setup_triad(&mut m, n, 3.0, 1);
+    dense::triad_scalar(&mut m, &dev);
+    m.finish()
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let triad_n = if small { 1 << 14 } else { 1 << 16 };
+
+    let depths = [0usize, 1, 4, 16];
+    let headers: Vec<String> =
+        depths.iter().map(|&d| if d == 0 { "no pf".into() } else { format!("depth {d}") }).collect();
+    for lat in [0u64, 1024] {
+        let mut rows = Vec::new();
+        rows.push((
+            "TRIAD (stream)".to_string(),
+            depths.iter().map(|&d| format!("{}", triad_cycles(triad_n, d, lat))).collect(),
+        ));
+        for kernel in [KernelKind::Fft, KernelKind::Spmv, KernelKind::Pr] {
+            rows.push((
+                format!("{} (scalar)", kernel.name()),
+                depths.iter().map(|&d| format!("{}", kernel_cycles(&w, kernel, d, lat))).collect(),
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &format!("EXT3 — scalar cycles at +{lat} DRAM latency vs prefetch depth"),
+                "kernel",
+                &headers,
+                &rows
+            )
+        );
+    }
+    println!("Expected: streaming rows (TRIAD, FFT) improve with depth; gather rows (SpMV,\n\
+              PR) move far less — and even depth-16 covers only a few hundred cycles of\n\
+              lookahead, nowhere near +1024. The VPU hides the same latency for gathers\n\
+              with hundreds of outstanding requests; that is the paper's point.");
+}

@@ -1,0 +1,56 @@
+//! EXT7 — DRAM row-buffer sensitivity (extension).
+//!
+//! The baseline model (and the calibrated figures) use a flat DRAM service
+//! latency. This study turns on the open-row model (8 KiB rows, 8 banks,
+//! +20-cycle activate penalty) and re-runs the kernels: streaming-dominant
+//! kernels barely change (high row-hit rate), gather-dominant kernels pay —
+//! confirming the paper's latency knob, which shifts *all* accesses equally,
+//! is a clean instrument on top of either DRAM model.
+//!
+//! Usage: `ablation_rows [--small]`
+
+use sdv_bench::table::render;
+use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_uarch::TimingConfig;
+
+fn cfg(rows: bool) -> TimingConfig {
+    let mut c = TimingConfig::default();
+    if rows {
+        c.mem.dram.row_bits = 13; // 8 KiB rows
+        c.mem.dram.dram_banks = 8;
+        c.mem.dram.row_miss_penalty = 20;
+    }
+    c
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let headers: Vec<String> =
+        ["flat DRAM", "open-row DRAM", "row hit rate"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for kernel in KernelKind::all() {
+        for imp in [ImplKind::Scalar, ImplKind::Vector { maxvl: 256 }] {
+            let cell = Cell { kernel, imp, extra_latency: 0, bandwidth: 64 };
+            let flat = run_with_config(&w, cell, cfg(false));
+            let open = run_with_config(&w, cell, cfg(true));
+            let hits = open.stats.get("dram.row_hits") as f64;
+            let reqs = open.stats.get("dram.requests").max(1) as f64;
+            rows.push((
+                format!("{} {}", kernel.name(), imp.label()),
+                vec![
+                    format!("{}", flat.cycles),
+                    format!("{}", open.cycles),
+                    format!("{:.0}%", 100.0 * hits / reqs),
+                ],
+            ));
+        }
+    }
+    println!(
+        "{}",
+        render("EXT7 — cycles under flat vs open-row DRAM models", "kernel", &headers, &rows)
+    );
+    println!("Streaming traffic keeps high row-hit rates (small delta); scattered gathers\n\
+              activate constantly. Either way the knobs' semantics are unchanged — the\n\
+              calibrated figures use the flat model.");
+}

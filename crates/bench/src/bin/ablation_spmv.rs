@@ -1,0 +1,42 @@
+//! ABL1 — SpMV format ablation: SELL-C-σ vs row-at-a-time CSR
+//! vectorization, across the latency sweep.
+//!
+//! The paper uses the SELL-style long-vector SpMV; this ablation shows why:
+//! CSR row-gather runs at VL = row length (≈13 for CAGE10) regardless of
+//! the machine's MAXVL, and pays a scalar synchronization per row, so it
+//! gains almost nothing from longer vectors and tolerates latency far
+//! worse.
+//!
+//! Usage: `ablation_spmv [--small]`
+
+use sdv_bench::table::render;
+use sdv_bench::{run_spmv_variant, SpmvVariant, Workloads};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let latencies: &[u64] = &[0, 64, 256, 1024];
+    let maxvls: &[usize] = &[8, 64, 256];
+
+    let headers: Vec<String> = latencies.iter().map(|l| format!("+{l}")).collect();
+    let mut rows = Vec::new();
+    for &variant in &[SpmvVariant::Sell, SpmvVariant::CsrGather] {
+        for &maxvl in maxvls {
+            let cells: Vec<String> = latencies
+                .iter()
+                .map(|&lat| format!("{}", run_spmv_variant(&w, variant, maxvl, lat, 64)))
+                .collect();
+            rows.push((format!("{variant:?} vl={maxvl}"), cells));
+        }
+    }
+    println!(
+        "{}",
+        render(
+            "ABL1 — SpMV format ablation: cycles vs added latency",
+            "format",
+            &headers,
+            &rows
+        )
+    );
+    println!("Expected: SELL improves steeply with VL; CsrGather barely moves (row length caps its effective VL).");
+}

@@ -1,0 +1,57 @@
+//! Calibration smoke: run a reduced grid and print cycles plus key stats,
+//! for checking simulation speed and the qualitative shape before full
+//! figure sweeps. `--paper` uses the full-size workloads.
+
+use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
+use std::time::Instant;
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let kernels: Vec<KernelKind> = {
+        let args: Vec<String> = std::env::args().collect();
+        let named: Vec<KernelKind> = KernelKind::all()
+            .into_iter()
+            .filter(|k| args.iter().any(|a| a.eq_ignore_ascii_case(k.name())))
+            .collect();
+        if named.is_empty() {
+            KernelKind::all().to_vec()
+        } else {
+            named
+        }
+    };
+    let w = if paper { Workloads::paper() } else { Workloads::small() };
+    println!(
+        "workloads: {} (matrix n={} nnz={}, graph n={} edges={}, fft n={})",
+        if paper { "paper" } else { "small" },
+        w.mat.nrows,
+        w.mat.nnz(),
+        w.graph.n,
+        w.graph.num_edges(),
+        w.signal.0.len()
+    );
+    for kernel in kernels {
+        for imp in [
+            ImplKind::Scalar,
+            ImplKind::Vector { maxvl: 8 },
+            ImplKind::Vector { maxvl: 64 },
+            ImplKind::Vector { maxvl: 256 },
+        ] {
+            for (lat, bw) in [(0u64, 64u64), (1024, 64), (0, 1)] {
+                let t0 = Instant::now();
+                let r = run(&w, Cell { kernel, imp, extra_latency: lat, bandwidth: bw });
+                let wall = t0.elapsed();
+                println!(
+                    "{:<5} {:<8} lat={:<5} bw={:<3} cycles={:<12} dram_lines={:<9} wall={:?}",
+                    kernel.name(),
+                    imp.label(),
+                    lat,
+                    bw,
+                    r.cycles,
+                    r.stats.get("dram.requests"),
+                    wall
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,102 @@
+//! FIG3 — Figure 3 of the paper: execution time of the four kernels as a
+//! function of added memory latency, for the scalar implementation and the
+//! vector implementation at MAXVL ∈ {8,16,32,64,128,256}.
+//!
+//! Usage: `fig3_latency [--small] [--threads N] [--csv PATH]`
+
+use sdv_bench::{sweep, Cell, ImplKind, KernelKind, Workloads};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let csv = arg_value(&args, "--csv");
+
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let latencies: &[u64] = &[0, 16, 32, 64, 128, 256, 512, 1024];
+    let impls = ImplKind::paper_set();
+
+    let mut csv_out = String::from("kernel,impl,extra_latency,cycles\n");
+    for kernel in KernelKind::all() {
+        let cells: Vec<Cell> = impls
+            .iter()
+            .flat_map(|&imp| {
+                latencies.iter().map(move |&extra_latency| Cell {
+                    kernel,
+                    imp,
+                    extra_latency,
+                    bandwidth: 64,
+                })
+            })
+            .collect();
+        let results = sweep(&w, &cells, threads);
+        let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
+        let rows: Vec<(String, Vec<String>)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(li, &lat)| {
+                let cells: Vec<String> = impls
+                    .iter()
+                    .enumerate()
+                    .map(|(ii, _)| {
+                        let r = &results[ii * latencies.len() + li];
+                        writeln!(
+                            csv_out,
+                            "{},{},{},{}",
+                            kernel.name(),
+                            r.cell.imp.label(),
+                            lat,
+                            r.cycles
+                        )
+                        .unwrap();
+                        format!("{}", r.cycles)
+                    })
+                    .collect();
+                (lat.to_string(), cells)
+            })
+            .collect();
+        println!(
+            "{}",
+            harness_table(
+                &format!("Figure 3 — {} execution time [cycles] vs added latency", kernel.name()),
+                &headers,
+                &rows
+            )
+        );
+        let series: Vec<sdv_bench::plot::Series> = impls
+            .iter()
+            .enumerate()
+            .map(|(ii, imp)| sdv_bench::plot::Series {
+                label: imp.label(),
+                ys: latencies
+                    .iter()
+                    .enumerate()
+                    .map(|(li, _)| results[ii * latencies.len() + li].cycles as f64)
+                    .collect(),
+            })
+            .collect();
+        println!(
+            "{}",
+            sdv_bench::plot::line_chart(
+                &format!("{} (log cycles; paper Fig. 3 shape: darker/longer VL = flatter)", kernel.name()),
+                &latencies.iter().map(|l| format!("+{l}")).collect::<Vec<_>>(),
+                &series,
+                16,
+                true
+            )
+        );
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, csv_out).expect("write csv");
+        println!("wrote {path}");
+    }
+}
+
+fn harness_table(title: &str, headers: &[String], rows: &[(String, Vec<String>)]) -> String {
+    sdv_bench::table::render(title, "+latency", headers, rows)
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

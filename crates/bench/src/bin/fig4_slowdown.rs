@@ -1,0 +1,110 @@
+//! FIG4 — Figure 4 of the paper: per-implementation slowdown tables.
+//!
+//! For each kernel, a table with implementations as columns (scalar,
+//! vl=8..256) and added-latency values as rows; each cell is that
+//! implementation's execution time normalized to its own run with 0 extra
+//! latency. The paper color-codes green→red; we flag cells `*`/`**`/`!!` by
+//! slowdown magnitude.
+//!
+//! Also prints the paper's §4.1 anchor comparison (SpMV at +32 and +1024).
+//!
+//! Usage: `fig4_slowdown [--small] [--threads N] [--csv PATH]`
+
+use sdv_bench::table::{render, slowdown_cell};
+use sdv_bench::{sweep, Cell, ImplKind, KernelKind, Workloads};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let csv = arg_value(&args, "--csv");
+
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let latencies: &[u64] = &[0, 16, 32, 64, 128, 256, 512, 1024];
+    let impls = ImplKind::paper_set();
+
+    let mut csv_out = String::from("kernel,impl,extra_latency,slowdown\n");
+    let mut anchors: Vec<String> = Vec::new();
+    for kernel in KernelKind::all() {
+        let cells: Vec<Cell> = impls
+            .iter()
+            .flat_map(|&imp| {
+                latencies.iter().map(move |&extra_latency| Cell {
+                    kernel,
+                    imp,
+                    extra_latency,
+                    bandwidth: 64,
+                })
+            })
+            .collect();
+        let results = sweep(&w, &cells, threads);
+        // results[ii * L + li]; baseline is li == 0.
+        let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
+        let mut slowdown = vec![vec![0.0f64; impls.len()]; latencies.len()];
+        for (ii, _) in impls.iter().enumerate() {
+            let base = results[ii * latencies.len()].cycles as f64;
+            for (li, _) in latencies.iter().enumerate() {
+                slowdown[li][ii] = results[ii * latencies.len() + li].cycles as f64 / base;
+            }
+        }
+        let rows: Vec<(String, Vec<String>)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(li, &lat)| {
+                let cells: Vec<String> = impls
+                    .iter()
+                    .enumerate()
+                    .map(|(ii, imp)| {
+                        writeln!(
+                            csv_out,
+                            "{},{},{},{:.4}",
+                            kernel.name(),
+                            imp.label(),
+                            lat,
+                            slowdown[li][ii]
+                        )
+                        .unwrap();
+                        slowdown_cell(slowdown[li][ii])
+                    })
+                    .collect();
+                (format!("+{lat}"), cells)
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &format!(
+                    "Figure 4 — {} slowdown vs own 0-latency run (scalar .. vl=256)",
+                    kernel.name()
+                ),
+                "+latency",
+                &headers,
+                &rows
+            )
+        );
+        if kernel == KernelKind::Spmv {
+            let li32 = latencies.iter().position(|&l| l == 32).unwrap();
+            let li1024 = latencies.iter().position(|&l| l == 1024).unwrap();
+            anchors.push(format!(
+                "SpMV anchor (paper §4.1: +32 ⇒ scalar 1.22x vs vl256 1.05x; +1024 ⇒ 8.78x vs 3.39x)\n\
+                 measured: +32 ⇒ scalar {:.2}x vs vl256 {:.2}x; +1024 ⇒ scalar {:.2}x vs vl256 {:.2}x",
+                slowdown[li32][0],
+                slowdown[li32][6],
+                slowdown[li1024][0],
+                slowdown[li1024][6]
+            ));
+        }
+    }
+    for a in anchors {
+        println!("{a}\n");
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, csv_out).expect("write csv");
+        println!("wrote {path}");
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,109 @@
+//! FIG5 — Figure 5 of the paper: execution time of the four kernels as a
+//! function of the bandwidth cap (1–64 B/cycle), normalized per
+//! implementation to its own run at 1 B/cycle. Lower is better; a curve that
+//! keeps dropping at high caps is an implementation that can exploit more
+//! bandwidth from a single core.
+//!
+//! Usage: `fig5_bandwidth [--small] [--threads N] [--csv PATH]`
+
+use sdv_bench::table::render;
+use sdv_bench::{sweep, Cell, ImplKind, KernelKind, Workloads};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let csv = arg_value(&args, "--csv");
+
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let bandwidths: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
+    let impls = ImplKind::paper_set();
+
+    let mut csv_out = String::from("kernel,impl,bandwidth_bytes_per_cycle,normalized_time\n");
+    for kernel in KernelKind::all() {
+        let cells: Vec<Cell> = impls
+            .iter()
+            .flat_map(|&imp| {
+                bandwidths.iter().map(move |&bandwidth| Cell {
+                    kernel,
+                    imp,
+                    extra_latency: 0,
+                    bandwidth,
+                })
+            })
+            .collect();
+        let results = sweep(&w, &cells, threads);
+        let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
+        let rows: Vec<(String, Vec<String>)> = bandwidths
+            .iter()
+            .enumerate()
+            .map(|(bi, &bw)| {
+                let cells: Vec<String> = impls
+                    .iter()
+                    .enumerate()
+                    .map(|(ii, imp)| {
+                        let base = results[ii * bandwidths.len()].cycles as f64; // bw=1
+                        let norm = results[ii * bandwidths.len() + bi].cycles as f64 / base;
+                        writeln!(
+                            csv_out,
+                            "{},{},{},{:.4}",
+                            kernel.name(),
+                            imp.label(),
+                            bw,
+                            norm
+                        )
+                        .unwrap();
+                        format!("{norm:.3}")
+                    })
+                    .collect();
+                (format!("{bw} B/cy"), cells)
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &format!(
+                    "Figure 5 — {} execution time vs bandwidth cap (normalized to 1 B/cycle)",
+                    kernel.name()
+                ),
+                "bandwidth",
+                &headers,
+                &rows
+            )
+        );
+        let series: Vec<sdv_bench::plot::Series> = impls
+            .iter()
+            .enumerate()
+            .map(|(ii, imp)| sdv_bench::plot::Series {
+                label: imp.label(),
+                ys: bandwidths
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, _)| {
+                        let base = results[ii * bandwidths.len()].cycles as f64;
+                        results[ii * bandwidths.len() + bi].cycles as f64 / base
+                    })
+                    .collect(),
+            })
+            .collect();
+        println!(
+            "{}",
+            sdv_bench::plot::line_chart(
+                &format!("{} (normalized time; paper Fig. 5 shape: longer VL = later plateau)", kernel.name()),
+                &bandwidths.iter().map(|b| format!("{b}B/cy")).collect::<Vec<_>>(),
+                &series,
+                16,
+                false
+            )
+        );
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, csv_out).expect("write csv");
+        println!("wrote {path}");
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

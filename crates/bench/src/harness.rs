@@ -1,0 +1,316 @@
+//! The experiment runner.
+
+use sdv_core::{SdvMachine, Vm};
+use sdv_engine::Stats;
+use sdv_kernels::fft::{self, Complexes};
+use sdv_kernels::{bfs, pagerank, spmv, CsrMatrix, Graph, SellCS};
+use sdv_uarch::TimingConfig;
+
+/// Which kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Sparse matrix-vector multiplication (CAGE10-scale input).
+    Spmv,
+    /// Breadth-first search (2^15-node graph).
+    Bfs,
+    /// PageRank (2^15-node graph).
+    Pr,
+    /// 2048-point FFT.
+    Fft,
+}
+
+impl KernelKind {
+    /// All four, in the paper's order.
+    pub fn all() -> [KernelKind; 4] {
+        [KernelKind::Spmv, KernelKind::Bfs, KernelKind::Pr, KernelKind::Fft]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Spmv => "SPMV",
+            KernelKind::Bfs => "BFS",
+            KernelKind::Pr => "PR",
+            KernelKind::Fft => "FFT",
+        }
+    }
+}
+
+/// Which implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImplKind {
+    /// The scalar baseline.
+    Scalar,
+    /// The vector implementation with the MAXVL CSR capped at `maxvl`.
+    Vector {
+        /// Maximum vector length in double-precision elements (8..=256).
+        maxvl: usize,
+    },
+}
+
+impl ImplKind {
+    /// The paper's implementation set: scalar + VL ∈ {8,16,32,64,128,256}.
+    pub fn paper_set() -> Vec<ImplKind> {
+        let mut v = vec![ImplKind::Scalar];
+        for vl in [8, 16, 32, 64, 128, 256] {
+            v.push(ImplKind::Vector { maxvl: vl });
+        }
+        v
+    }
+
+    /// Column label.
+    pub fn label(self) -> String {
+        match self {
+            ImplKind::Scalar => "scalar".to_string(),
+            ImplKind::Vector { maxvl } => format!("vl={maxvl}"),
+        }
+    }
+}
+
+/// The paper's workloads, built once.
+pub struct Workloads {
+    /// The SpMV matrix (CAGE10-like).
+    pub mat: CsrMatrix,
+    /// Its SELL-C-σ form (C = 256, full σ).
+    pub sell: SellCS,
+    /// The graph for BFS/PR.
+    pub graph: Graph,
+    /// The FFT input signal.
+    pub signal: Complexes,
+    /// BFS source vertex.
+    pub bfs_src: usize,
+    /// PageRank iterations (the paper runs a fixed-iteration PR; we default
+    /// to 5 to keep full sweeps tractable — relative behaviour is
+    /// iteration-count independent).
+    pub pr_iters: usize,
+    /// Simulated heap per machine.
+    pub heap: usize,
+}
+
+impl Workloads {
+    /// Full paper-scale inputs: CAGE10-scale matrix (n = 11397), 2^15-node
+    /// graph at average degree 16, 2048-point FFT.
+    pub fn paper() -> Self {
+        let mat = CsrMatrix::cage10_scale(0xCA6E);
+        // σ = C: sort rows only within slice windows, preserving the
+        // matrix's banded locality for the x-gathers (as Gómez et al. do).
+        let sell = SellCS::from_csr(&mat, 256, 256);
+        Self {
+            graph: Graph::paper_graph(0x6AF),
+            signal: fft::test_signal(2048),
+            mat,
+            sell,
+            bfs_src: 0,
+            pr_iters: 5,
+            heap: 256 << 20,
+        }
+    }
+
+    /// Reduced inputs for CI / smoke tests.
+    pub fn small() -> Self {
+        let mat = CsrMatrix::cage_like(1200, 0xCA6E);
+        let sell = SellCS::from_csr(&mat, 256, 256);
+        Self {
+            graph: Graph::uniform(1 << 11, 16, 0x6AF),
+            signal: fft::test_signal(512),
+            mat,
+            sell,
+            bfs_src: 0,
+            pr_iters: 3,
+            heap: 96 << 20,
+        }
+    }
+}
+
+/// One grid cell: what to run and under which knob settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Kernel.
+    pub kernel: KernelKind,
+    /// Implementation.
+    pub imp: ImplKind,
+    /// Extra DRAM latency in cycles (§2.2 knob).
+    pub extra_latency: u64,
+    /// DRAM bandwidth cap in bytes/cycle (§2.3 knob), 64 = unthrottled.
+    pub bandwidth: u64,
+}
+
+/// The outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The cell that produced this result.
+    pub cell: Cell,
+    /// Measured cycles (the paper's hardware counter).
+    pub cycles: u64,
+    /// Component statistics for deeper analysis.
+    pub stats: Stats,
+}
+
+/// Run one cell on a fresh machine with the given timing configuration.
+pub fn run_with_config(w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
+    let mut m = SdvMachine::with_config(w.heap, cfg);
+    m.set_extra_latency(cell.extra_latency);
+    m.set_bandwidth_limit(cell.bandwidth);
+    if let ImplKind::Vector { maxvl } = cell.imp {
+        m.set_maxvl_cap(maxvl);
+    }
+    match (cell.kernel, cell.imp) {
+        (KernelKind::Spmv, ImplKind::Scalar) => {
+            let dev = spmv::setup_spmv(&mut m, &w.mat, &w.sell);
+            spmv::spmv_scalar(&mut m, &dev);
+        }
+        (KernelKind::Spmv, ImplKind::Vector { .. }) => {
+            let dev = spmv::setup_spmv(&mut m, &w.mat, &w.sell);
+            spmv::spmv_vector_sell(&mut m, &dev);
+        }
+        (KernelKind::Bfs, ImplKind::Scalar) => {
+            let dev = bfs::setup_bfs(&mut m, &w.graph, 256, w.bfs_src);
+            bfs::bfs_scalar(&mut m, &dev);
+        }
+        (KernelKind::Bfs, ImplKind::Vector { .. }) => {
+            let dev = bfs::setup_bfs(&mut m, &w.graph, 256, w.bfs_src);
+            bfs::bfs_vector(&mut m, &dev);
+        }
+        (KernelKind::Pr, ImplKind::Scalar) => {
+            let dev = pagerank::setup_pagerank(&mut m, &w.graph, 256, 0.85, w.pr_iters);
+            pagerank::pagerank_scalar(&mut m, &dev);
+        }
+        (KernelKind::Pr, ImplKind::Vector { .. }) => {
+            let dev = pagerank::setup_pagerank(&mut m, &w.graph, 256, 0.85, w.pr_iters);
+            pagerank::pagerank_vector(&mut m, &dev);
+        }
+        (KernelKind::Fft, ImplKind::Scalar) => {
+            let dev = fft::setup_fft(&mut m, &w.signal.0, &w.signal.1);
+            fft::fft_scalar(&mut m, &dev);
+        }
+        (KernelKind::Fft, ImplKind::Vector { .. }) => {
+            let dev = fft::setup_fft(&mut m, &w.signal.0, &w.signal.1);
+            fft::fft_vector(&mut m, &dev);
+        }
+    }
+    let cycles = m.finish();
+    RunResult { cell, cycles, stats: m.stats() }
+}
+
+/// Run one cell with the default machine configuration.
+pub fn run(w: &Workloads, cell: Cell) -> RunResult {
+    run_with_config(w, cell, TimingConfig::default())
+}
+
+/// SpMV vectorization strategy (for the ABL1 format ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpmvVariant {
+    /// SELL-C-σ slices (the paper's long-vector format).
+    Sell,
+    /// Row-at-a-time CSR gather + reduce (naive vectorization).
+    CsrGather,
+}
+
+/// Run one SpMV variant under the given knobs; returns cycles.
+pub fn run_spmv_variant(
+    w: &Workloads,
+    variant: SpmvVariant,
+    maxvl: usize,
+    extra_latency: u64,
+    bandwidth: u64,
+) -> u64 {
+    let mut m = SdvMachine::new(w.heap);
+    m.set_extra_latency(extra_latency);
+    m.set_bandwidth_limit(bandwidth);
+    m.set_maxvl_cap(maxvl);
+    let dev = spmv::setup_spmv(&mut m, &w.mat, &w.sell);
+    match variant {
+        SpmvVariant::Sell => spmv::spmv_vector_sell(&mut m, &dev),
+        SpmvVariant::CsrGather => spmv::spmv_vector_csr(&mut m, &dev),
+    }
+    m.finish()
+}
+
+/// Run a grid of cells across OS threads. Results come back in input order.
+/// Each simulation is single-threaded and deterministic, so the grid is
+/// embarrassingly parallel.
+pub fn sweep(w: &Workloads, cells: &[Cell], threads: usize) -> Vec<RunResult> {
+    assert!(threads > 0);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        (0..cells.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(cells.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let r = run(w, cells[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner().unwrap();
+    }
+    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(kernel: KernelKind, imp: ImplKind) -> Cell {
+        Cell { kernel, imp, extra_latency: 0, bandwidth: 64 }
+    }
+
+    #[test]
+    fn paper_impl_set_has_seven_columns() {
+        let set = ImplKind::paper_set();
+        assert_eq!(set.len(), 7);
+        assert_eq!(set[0], ImplKind::Scalar);
+        assert_eq!(set[6], ImplKind::Vector { maxvl: 256 });
+    }
+
+    #[test]
+    fn smoke_run_every_kernel_small() {
+        let w = Workloads::small();
+        for k in KernelKind::all() {
+            for imp in [ImplKind::Scalar, ImplKind::Vector { maxvl: 256 }] {
+                let r = run(&w, cell(k, imp));
+                assert!(r.cycles > 0, "{k:?}/{imp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_beats_scalar_at_full_bandwidth_small() {
+        let w = Workloads::small();
+        for k in [KernelKind::Spmv, KernelKind::Fft] {
+            let s = run(&w, cell(k, ImplKind::Scalar)).cycles;
+            let v = run(&w, cell(k, ImplKind::Vector { maxvl: 256 })).cycles;
+            assert!(v < s, "{k:?}: vector {v} should beat scalar {s}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let w = Workloads::small();
+        let cells = vec![
+            cell(KernelKind::Spmv, ImplKind::Scalar),
+            cell(KernelKind::Spmv, ImplKind::Vector { maxvl: 64 }),
+        ];
+        let swept = sweep(&w, &cells, 2);
+        for (c, r) in cells.iter().zip(&swept) {
+            let solo = run(&w, *c);
+            assert_eq!(solo.cycles, r.cycles, "determinism across threads");
+        }
+    }
+
+    #[test]
+    fn latency_knob_increases_cycles_small() {
+        let w = Workloads::small();
+        let base = run(&w, cell(KernelKind::Spmv, ImplKind::Vector { maxvl: 256 })).cycles;
+        let mut c = cell(KernelKind::Spmv, ImplKind::Vector { maxvl: 256 });
+        c.extra_latency = 512;
+        let slowed = run(&w, c).cycles;
+        assert!(slowed > base);
+    }
+}

@@ -1,0 +1,23 @@
+//! # sdv-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! figures (see `DESIGN.md` §3 for the experiment index).
+//!
+//! * [`Workloads`] — the paper's inputs (CAGE10-scale matrix, 2^15-node
+//!   graph, 2048-point FFT), built once and shared across runs,
+//! * [`run`] — execute one (kernel, implementation, knob-setting) cell on a
+//!   fresh [`sdv_core::SdvMachine`] and report cycles,
+//! * [`sweep`] — run a grid of cells across OS threads (each simulation is
+//!   single-threaded and deterministic; the grid is embarrassingly
+//!   parallel),
+//! * binaries `fig3_latency`, `fig4_slowdown`, `fig5_bandwidth` print the
+//!   paper's figures; `ablation_*` cover the design-choice studies.
+
+pub mod harness;
+pub mod plot;
+pub mod table;
+
+pub use harness::{
+    run, run_spmv_variant, run_with_config, sweep, Cell, ImplKind, KernelKind, RunResult,
+    SpmvVariant, Workloads,
+};

@@ -1,0 +1,42 @@
+//! # sdv-core
+//!
+//! The FPGA-SDV platform (the paper's primary artifact, in software):
+//!
+//! * [`memory::SimMemory`] — flat simulated physical memory + bump allocator,
+//! * [`vm::Vm`] — the intrinsics-style API kernels are written against,
+//! * [`functional::FunctionalMachine`] — architectural results only (fast),
+//! * [`timed::SdvMachine`] — architectural results + cycle-accurate timing
+//!   through the scalar core, decoupled VPU, 2×2 mesh, four L2HN banks, and
+//!   the DRAM channel with the paper's two experiment knobs:
+//!   [`timed::SdvMachine::set_extra_latency`] (§2.2 Latency Controller) and
+//!   [`timed::SdvMachine::set_bandwidth_limit`] (§2.3 Bandwidth Limiter),
+//!   plus the MAXVL CSR cap ([`vm::Vm::set_maxvl_cap`], §2.1).
+//!
+//! ```
+//! use sdv_core::{SdvMachine, Vm};
+//! use sdv_rvv::{Sew, Lmul};
+//!
+//! let mut m = SdvMachine::new(1 << 20);
+//! let a = m.alloc(256 * 8, 64);
+//! for i in 0..256 { m.mem_mut().poke_f64(a + 8 * i, i as f64); }
+//! m.setvl(256, Sew::E64, Lmul::M1);
+//! m.vle(1, a);            // one vector load of 256 doubles
+//! m.vfmul_vf(2, 1, 2.0);  // scale
+//! m.vse(2, a);            // store back
+//! let cycles = m.finish();
+//! assert!(cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod memory;
+pub mod timed;
+pub mod trace;
+pub mod vm;
+
+pub use functional::FunctionalMachine;
+pub use memory::SimMemory;
+pub use timed::SdvMachine;
+pub use trace::{TraceEvent, TracingMachine};
+pub use vm::Vm;

@@ -1,0 +1,205 @@
+//! The platform's simulated physical memory and a bump allocator.
+//!
+//! Kernels allocate their arrays here and address them with simulated
+//! physical addresses; both the scalar path and the vector unit read/write
+//! these bytes, and the timing model sees the very same addresses — so cache
+//! behaviour is exactly as data-dependent as on the real machine.
+
+use sdv_rvv::VMemory;
+
+/// Base address of the heap (a nonzero base catches null-ish bugs).
+pub const HEAP_BASE: u64 = 0x1_0000;
+
+/// Flat simulated memory with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    bytes: Vec<u8>,
+    brk: u64,
+}
+
+impl SimMemory {
+    /// Memory with `size` bytes of capacity (beyond [`HEAP_BASE`]).
+    pub fn new(size: usize) -> Self {
+        Self { bytes: vec![0; size + HEAP_BASE as usize], brk: HEAP_BASE }
+    }
+
+    /// Allocate `bytes` with the given alignment (power of two). Returns the
+    /// simulated address. Allocations are never freed (workloads are built
+    /// once per experiment).
+    ///
+    /// # Panics
+    /// Panics if the heap is exhausted or `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let a = align as u64;
+        let base = (self.brk + a - 1) & !(a - 1);
+        let end = base + bytes as u64;
+        assert!(
+            end <= self.bytes.len() as u64,
+            "simulated heap exhausted: want {bytes} bytes at {base:#x}, cap {:#x}",
+            self.bytes.len()
+        );
+        self.brk = end;
+        base
+    }
+
+    /// Allocate and zero-fill an array of `n` f64, 64-byte (line) aligned.
+    pub fn alloc_f64(&mut self, n: usize) -> u64 {
+        self.alloc(n * 8, 64)
+    }
+
+    /// Allocate an array of `n` u64, line aligned.
+    pub fn alloc_u64(&mut self, n: usize) -> u64 {
+        self.alloc(n * 8, 64)
+    }
+
+    /// Allocate an array of `n` u32, line aligned.
+    pub fn alloc_u32(&mut self, n: usize) -> u64 {
+        self.alloc(n * 4, 64)
+    }
+
+    /// Current break (for telemetry / footprint reporting).
+    pub fn footprint(&self) -> u64 {
+        self.brk - HEAP_BASE
+    }
+
+    // ---- untimed setup/readback accessors (workload construction) ----
+
+    /// Write an f64 without charging the timing model.
+    pub fn poke_f64(&mut self, addr: u64, v: f64) {
+        self.write_uint(addr, 8, v.to_bits());
+    }
+
+    /// Read an f64 without charging the timing model.
+    pub fn peek_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_uint(addr, 8))
+    }
+
+    /// Write a u64 untimed.
+    pub fn poke_u64(&mut self, addr: u64, v: u64) {
+        self.write_uint(addr, 8, v);
+    }
+
+    /// Read a u64 untimed.
+    pub fn peek_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Write a u32 untimed.
+    pub fn poke_u32(&mut self, addr: u64, v: u32) {
+        self.write_uint(addr, 4, v as u64);
+    }
+
+    /// Read a u32 untimed.
+    pub fn peek_u32(&self, addr: u64) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Copy a whole f64 slice into memory at `addr`, untimed.
+    pub fn poke_f64_slice(&mut self, addr: u64, xs: &[f64]) {
+        for (i, &x) in xs.iter().enumerate() {
+            self.poke_f64(addr + 8 * i as u64, x);
+        }
+    }
+
+    /// Read `n` f64 starting at `addr`, untimed.
+    pub fn peek_f64_vec(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.peek_f64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Copy a u32 slice into memory, untimed.
+    pub fn poke_u32_slice(&mut self, addr: u64, xs: &[u32]) {
+        for (i, &x) in xs.iter().enumerate() {
+            self.poke_u32(addr + 4 * i as u64, x);
+        }
+    }
+
+    /// Copy a u64 slice into memory, untimed.
+    pub fn poke_u64_slice(&mut self, addr: u64, xs: &[u64]) {
+        for (i, &x) in xs.iter().enumerate() {
+            self.poke_u64(addr + 8 * i as u64, x);
+        }
+    }
+
+    /// Read `n` u64 starting at `addr`, untimed.
+    pub fn peek_u64_vec(&self, addr: u64, n: usize) -> Vec<u64> {
+        (0..n).map(|i| self.peek_u64(addr + 8 * i as u64)).collect()
+    }
+}
+
+impl VMemory for SimMemory {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = SimMemory::new(1 << 20);
+        let a = m.alloc(100, 64);
+        let b = m.alloc(100, 64);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+        assert!(a >= HEAP_BASE);
+    }
+
+    #[test]
+    fn footprint_tracks_brk() {
+        let mut m = SimMemory::new(1 << 20);
+        assert_eq!(m.footprint(), 0);
+        m.alloc_f64(100);
+        assert!(m.footprint() >= 800);
+    }
+
+    #[test]
+    fn poke_peek_roundtrip() {
+        let mut m = SimMemory::new(1 << 16);
+        let a = m.alloc_f64(4);
+        m.poke_f64(a, 3.5);
+        m.poke_f64(a + 8, -1.25);
+        assert_eq!(m.peek_f64(a), 3.5);
+        assert_eq!(m.peek_f64(a + 8), -1.25);
+        let b = m.alloc_u32(2);
+        m.poke_u32(b, 0xDEAD_BEEF);
+        assert_eq!(m.peek_u32(b), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = SimMemory::new(1 << 16);
+        let a = m.alloc_f64(3);
+        m.poke_f64_slice(a, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.peek_f64_vec(a, 3), vec![1.0, 2.0, 3.0]);
+        let b = m.alloc_u64(2);
+        m.poke_u64_slice(b, &[7, 9]);
+        assert_eq!(m.peek_u64_vec(b, 2), vec![7, 9]);
+    }
+
+    #[test]
+    fn vmemory_impl_is_little_endian() {
+        let mut m = SimMemory::new(1 << 16);
+        let a = m.alloc(8, 8);
+        m.write_uint(a, 8, 0x1122_3344_5566_7788);
+        let mut buf = [0u8; 2];
+        m.read_bytes(a, &mut buf);
+        assert_eq!(buf, [0x88, 0x77]);
+    }
+
+    #[test]
+    #[should_panic(expected = "heap exhausted")]
+    fn exhaustion_panics() {
+        let mut m = SimMemory::new(1024);
+        m.alloc(4096, 8);
+    }
+}

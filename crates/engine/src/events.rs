@@ -1,0 +1,153 @@
+//! A deterministic future-event list.
+//!
+//! Components that model long-latency operations (DRAM accesses, NoC link
+//! traversals, …) schedule completions here instead of being ticked every
+//! cycle. Ties are broken by insertion order so that the simulation is
+//! bit-for-bit reproducible regardless of payload type.
+
+use crate::clock::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event heap. Ordered by `(time, seq)` ascending.
+struct Entry<T> {
+    time: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A min-heap of timed events with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at absolute cycle `time`.
+    pub fn schedule(&mut self, time: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        if self.heap.peek().is_some_and(|e| e.time <= now) {
+            let e = self.heap.pop().unwrap();
+            Some((e.time, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 'x');
+        q.schedule(10, 'y');
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.pop_due(5), Some((5, 'x')));
+        assert_eq!(q.pop_due(5), None);
+        assert_eq!(q.pop_due(100), Some((10, 'y')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(42, ());
+        assert_eq!(q.next_time(), Some(42));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        q.schedule(15, 3);
+        q.schedule(5, 4); // in the past relative to popped events; still fine
+        assert_eq!(q.pop(), Some((5, 4)));
+        assert_eq!(q.pop(), Some((15, 3)));
+        assert_eq!(q.pop(), Some((20, 2)));
+    }
+}

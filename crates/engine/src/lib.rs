@@ -1,0 +1,32 @@
+//! # sdv-engine
+//!
+//! Deterministic simulation substrate shared by every model crate in the
+//! `longvec-sdv` workspace.
+//!
+//! The FPGA-SDV platform model is a *single-threaded, cycle-stepped*
+//! simulator: determinism is a hard requirement (the paper reports cycle
+//! counts, and our tests assert exact reproducibility), so this crate
+//! deliberately contains no concurrency. It provides:
+//!
+//! * [`Cycle`] — the global time unit (one emulated clock cycle),
+//! * [`EventQueue`] — a stable (FIFO-on-tie) future-event list,
+//! * [`BoundedQueue`] — a fixed-capacity FIFO used to model hardware queues
+//!   with backpressure (NoC ports, MSHR files, instruction queues),
+//! * [`Stats`] / [`Counter`] / [`Histogram`] — a lightweight statistics
+//!   registry every component reports into,
+//! * [`Rng`] — a small, seedable xoshiro256** generator so workload
+//!   generation does not depend on external crates in the runtime path.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use clock::Cycle;
+pub use events::EventQueue;
+pub use queue::BoundedQueue;
+pub use rng::Rng;
+pub use stats::{Counter, Histogram, Stats};

@@ -1,0 +1,157 @@
+//! Fixed-capacity FIFO queues used to model hardware buffering.
+//!
+//! Hardware queues (NoC router input buffers, MSHR files, the VPU instruction
+//! queue) have finite depth, and that depth is exactly what produces
+//! backpressure in the timing model. [`BoundedQueue`] refuses pushes when
+//! full, which upstream components observe as a stall.
+
+use std::collections::VecDeque;
+
+/// A FIFO with a hard capacity.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`; a zero-depth queue cannot transport anything.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self { items: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Attempt to enqueue. Returns `Err(item)` (backpressure) when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() == self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable peek of the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity (a push would stall).
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate over queued items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Remove and return the first item matching `pred`, preserving the
+    /// relative order of the rest. Used by MSHR-style structures that
+    /// complete out of order.
+    pub fn remove_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
+        let idx = self.items.iter().position(&mut pred)?;
+        self.items.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let mut q = BoundedQueue::new(2);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push('c'), Err('c'));
+        q.pop();
+        assert!(!q.is_full());
+        q.push('c').unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn free_and_capacity_accounting() {
+        let mut q = BoundedQueue::new(4);
+        assert_eq!(q.free(), 4);
+        q.push(0u8).unwrap();
+        assert_eq!(q.free(), 3);
+        assert_eq!(q.capacity(), 4);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn front_peeks_without_removal() {
+        let mut q = BoundedQueue::new(2);
+        q.push(10).unwrap();
+        assert_eq!(q.front(), Some(&10));
+        assert_eq!(q.len(), 1);
+        *q.front_mut().unwrap() = 11;
+        assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    fn remove_first_preserves_order() {
+        let mut q = BoundedQueue::new(5);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.remove_first(|&x| x == 2), Some(2));
+        assert_eq!(q.remove_first(|&x| x == 9), None);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Statistics collection.
+//!
+//! Every hardware model reports into a [`Stats`] registry: flat named
+//! counters plus optional histograms. The registry is intentionally simple —
+//! string keys, u64 values — so benches and tests can assert on any metric
+//! without plumbing typed accessors through the machine.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-bucket histogram over u64 samples.
+///
+/// Buckets are caller-defined upper bounds (inclusive); samples above the
+/// last bound land in an overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds, which must be
+    /// strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            samples: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Maximum sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i` (the bucket after the last bound is the overflow).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of buckets including overflow.
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Increment counter `key`.
+    pub fn inc(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Set counter `key` to an absolute value (for gauges like final cycle count).
+    pub fn set(&mut self, key: &str, v: u64) {
+        self.counters.insert(key.to_string(), v);
+    }
+
+    /// Read counter `key` (0 if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Record a histogram sample, creating the histogram with default
+    /// power-of-two bounds on first use.
+    pub fn record(&mut self, key: &str, v: u64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_insert_with(|| {
+                Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384])
+            })
+            .record(v);
+    }
+
+    /// Access a histogram by name.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterate counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one (counters add, histograms are
+    /// kept from `self` if duplicated — merging histograms is not needed).
+    pub fn absorb(&mut self, other: &Stats) {
+        for (k, v) in other.counters.iter() {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in other.histograms.iter() {
+            self.histograms.entry(k.clone()).or_insert_with(|| h.clone());
+        }
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.counters.iter() {
+            writeln!(f, "{k:<48} {v}")?;
+        }
+        for (k, h) in self.histograms.iter() {
+            writeln!(f, "{k:<48} n={} mean={:.2} max={}", h.samples(), h.mean(), h.max())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let mut s = Stats::new();
+        s.inc("l1.miss");
+        s.add("l1.miss", 9);
+        assert_eq!(s.get("l1.miss"), 10);
+        assert_eq!(s.get("never"), 0);
+    }
+
+    #[test]
+    fn stats_set_overwrites() {
+        let mut s = Stats::new();
+        s.add("cycles", 5);
+        s.set("cycles", 100);
+        assert_eq!(s.get("cycles"), 100);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        h.record(5); // bucket 0 (<=10)
+        h.record(10); // bucket 0
+        h.record(11); // bucket 1
+        h.record(30); // bucket 2
+        h.record(31); // overflow
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.samples(), 5);
+        assert_eq!(h.max(), 31);
+        assert!((h.mean() - 17.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must increase")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn absorb_adds_counters() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.absorb(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn display_includes_all_keys() {
+        let mut s = Stats::new();
+        s.add("alpha", 1);
+        s.record("lat", 12);
+        let out = s.to_string();
+        assert!(out.contains("alpha"));
+        assert!(out.contains("lat"));
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut s = Stats::new();
+        s.add("b", 2);
+        s.add("a", 1);
+        let keys: Vec<_> = s.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

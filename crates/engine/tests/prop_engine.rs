@@ -1,0 +1,103 @@
+//! Property-based tests of the simulation substrate.
+
+use proptest::prelude::*;
+use sdv_engine::{BoundedQueue, EventQueue, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn event_queue_pops_sorted_stable(
+        events in prop::collection::vec((0u64..1000, any::<u32>()), 0..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(t, p)) in events.iter().enumerate() {
+            q.schedule(t, (i, p));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut n = 0;
+        while let Some((t, (seq, _))) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t > lt || (t == lt && seq > lseq), "stable time order");
+            }
+            last = Some((t, seq));
+            n += 1;
+        }
+        prop_assert_eq!(n, events.len());
+    }
+
+    #[test]
+    fn event_queue_pop_due_is_a_filtered_pop(
+        events in prop::collection::vec(0u64..100, 0..100),
+        now in 0u64..100,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &events {
+            q.schedule(t, t);
+        }
+        let mut due = Vec::new();
+        while let Some((t, _)) = q.pop_due(now) {
+            prop_assert!(t <= now);
+            due.push(t);
+        }
+        let expected = events.iter().filter(|&&t| t <= now).count();
+        prop_assert_eq!(due.len(), expected);
+        prop_assert!(due.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bounded_queue_is_fifo_under_mixed_ops(
+        cap in 1usize..16,
+        ops in prop::collection::vec(prop::option::of(any::<u16>()), 0..200),
+    ) {
+        // Some(v) = push, None = pop. Model against a plain VecDeque.
+        let mut q = BoundedQueue::new(cap);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let r = q.push(v);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(r, Err(v));
+                    }
+                }
+                None => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_full(), model.len() == cap);
+            prop_assert_eq!(q.front().copied(), model.front().copied());
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_bounded(
+        seed in any::<u64>(),
+        bound in 1u64..1_000_000,
+    ) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..100 {
+            let x = a.below(bound);
+            prop_assert_eq!(x, b.below(bound));
+            prop_assert!(x < bound);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_is_permutation(
+        seed in any::<u64>(),
+        n in 0usize..200,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,240 @@
+//! Conjugate-gradient solver (application-level composition).
+//!
+//! The paper motivates SpMV because it "behaves more similarly to real
+//! scientific applications than artificial benchmarks". This module closes
+//! that loop: a complete CG solve for `A x = b` on the platform, composing
+//! the SELL-C-σ SpMV with long-vector dot products and AXPYs — the shape of
+//! a real sparse iterative solver, runnable under every experiment knob.
+//!
+//! Vector dot products read their result back into the scalar core each
+//! strip (via `vfredsum` + `vfmv.f.s`), so CG also exercises the
+//! scalar↔vector synchronization cost the paper discusses for BFS.
+
+use crate::sparse::{CsrMatrix, SellCS};
+use crate::spmv::{self, SpmvDevice};
+use sdv_core::Vm;
+use sdv_rvv::{Lmul, Reg, Sew};
+
+const VA: Reg = 8;
+const VB: Reg = 9;
+const VP: Reg = 10;
+const VS: Reg = 11;
+
+/// Simulated-memory layout of one CG solve.
+#[derive(Debug, Clone)]
+pub struct CgDevice {
+    /// The operator in both formats (shares `SpmvDevice` layout).
+    pub op: SpmvDevice,
+    /// Right-hand side b (f64\[n\]).
+    pub b: u64,
+    /// Solution estimate x (f64\[n\], starts at 0).
+    pub xv: u64,
+    /// Residual r (f64\[n\]).
+    pub r: u64,
+    /// Search direction p (f64\[n\]).
+    pub p: u64,
+    /// Operator application A·p (f64\[n\]).
+    pub ap: u64,
+}
+
+/// Result of a CG run.
+#[derive(Debug, Clone, Copy)]
+pub struct CgOutcome {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual norm ‖b − A x‖₂.
+    pub residual: f64,
+}
+
+/// Allocate and populate a CG instance with right-hand side
+/// `b[i] = sin(1+i)`-flavoured deterministic values.
+pub fn setup_cg<V: Vm>(vm: &mut V, mat: &CsrMatrix, sell: &SellCS) -> CgDevice {
+    let n = mat.nrows;
+    let op = spmv::setup_spmv(vm, mat, sell);
+    let dev = CgDevice {
+        op,
+        b: vm.alloc(8 * n, 64),
+        xv: vm.alloc(8 * n, 64),
+        r: vm.alloc(8 * n, 64),
+        p: vm.alloc(8 * n, 64),
+        ap: vm.alloc(8 * n, 64),
+    };
+    for i in 0..n {
+        let v = (1.0 + i as f64).sin();
+        vm.mem_mut().poke_f64(dev.b + 8 * i as u64, v);
+    }
+    dev
+}
+
+/// Long-vector dot product of two device vectors (timed).
+fn dot<V: Vm>(vm: &mut V, a: u64, b: u64, n: usize) -> f64 {
+    let mut acc = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let vl = vm.setvl(n - i, Sew::E64, Lmul::M1);
+        let off = 8 * i as u64;
+        vm.vle(VA, a + off);
+        vm.vle(VB, b + off);
+        vm.vfmul_vv(VP, VA, VB);
+        vm.vfmv_sf(VS, acc);
+        vm.vfredsum(VS, VP, VS);
+        acc = vm.vfmv_fs(VS); // scalar<->vector sync per strip
+        vm.int_ops(2);
+        i += vl;
+        vm.branch(i < n);
+    }
+    acc
+}
+
+/// `y += alpha * x` over device vectors (timed).
+fn axpy<V: Vm>(vm: &mut V, alpha: f64, x: u64, y: u64, n: usize) {
+    let mut i = 0usize;
+    while i < n {
+        let vl = vm.setvl(n - i, Sew::E64, Lmul::M1);
+        let off = 8 * i as u64;
+        vm.vle(VA, x + off);
+        vm.vle(VB, y + off);
+        vm.vfmacc_vf(VB, alpha, VA);
+        vm.vse(VB, y + off);
+        vm.int_ops(2);
+        i += vl;
+        vm.branch(i < n);
+    }
+}
+
+/// `p = r + beta * p` (timed).
+fn update_p<V: Vm>(vm: &mut V, beta: f64, r: u64, p: u64, n: usize) {
+    let mut i = 0usize;
+    while i < n {
+        let vl = vm.setvl(n - i, Sew::E64, Lmul::M1);
+        let off = 8 * i as u64;
+        vm.vle(VA, p + off);
+        vm.vle(VB, r + off);
+        vm.vfmacc_vf(VB, beta, VA); // r + beta*p
+        vm.vse(VB, p + off);
+        vm.int_ops(2);
+        i += vl;
+        vm.branch(i < n);
+    }
+}
+
+/// Device-to-device copy (timed).
+fn copy<V: Vm>(vm: &mut V, src: u64, dst: u64, n: usize) {
+    let mut i = 0usize;
+    while i < n {
+        let vl = vm.setvl(n - i, Sew::E64, Lmul::M1);
+        let off = 8 * i as u64;
+        vm.vle(VA, src + off);
+        vm.vse(VA, dst + off);
+        vm.int_ops(2);
+        i += vl;
+        vm.branch(i < n);
+    }
+}
+
+/// Run CG until `‖r‖₂ < tol` or `max_iters`. The operator must be SPD (use
+/// [`CsrMatrix::spd_banded`]). Returns iterations and the final residual.
+pub fn cg_vector<V: Vm>(vm: &mut V, dev: &CgDevice, tol: f64, max_iters: usize) -> CgOutcome {
+    let n = dev.op.n;
+    // x = 0; r = b; p = r.
+    let mut i = 0usize;
+    while i < n {
+        let vl = vm.setvl(n - i, Sew::E64, Lmul::M1);
+        vm.vfmv_vf(VA, 0.0);
+        vm.vse(VA, dev.xv + 8 * i as u64);
+        vm.int_ops(1);
+        i += vl;
+        vm.branch(i < n);
+    }
+    copy(vm, dev.b, dev.r, n);
+    copy(vm, dev.r, dev.p, n);
+    let mut rs_old = dot(vm, dev.r, dev.r, n);
+    let mut iterations = 0;
+    while iterations < max_iters && rs_old.sqrt() >= tol {
+        spmv::spmv_vector_sell_at(vm, &dev.op, dev.p, dev.ap);
+        let p_ap = dot(vm, dev.p, dev.ap, n);
+        let alpha = rs_old / p_ap;
+        vm.fp_ops(2);
+        axpy(vm, alpha, dev.p, dev.xv, n);
+        axpy(vm, -alpha, dev.ap, dev.r, n);
+        let rs_new = dot(vm, dev.r, dev.r, n);
+        update_p(vm, rs_new / rs_old, dev.r, dev.p, n);
+        vm.fp_ops(2);
+        rs_old = rs_new;
+        iterations += 1;
+        vm.branch(true);
+    }
+    vm.fence();
+    CgOutcome { iterations, residual: rs_old.sqrt() }
+}
+
+/// Host-side residual check: ‖b − A x‖₂ computed outside the machine.
+pub fn residual_host<V: Vm>(vm: &V, dev: &CgDevice, mat: &CsrMatrix) -> f64 {
+    let x = vm.mem().peek_f64_vec(dev.xv, dev.op.n);
+    let b = vm.mem().peek_f64_vec(dev.b, dev.op.n);
+    let ax = mat.multiply(&x);
+    ax.iter().zip(&b).map(|(a, bb)| (bb - a) * (bb - a)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_core::FunctionalMachine;
+
+    #[test]
+    fn cg_converges_on_spd_system() {
+        let mat = CsrMatrix::spd_banded(400, 3, 7);
+        let sell = SellCS::from_csr(&mat, 256, 256);
+        let mut vm = FunctionalMachine::new(64 << 20);
+        let dev = setup_cg(&mut vm, &mat, &sell);
+        let out = cg_vector(&mut vm, &dev, 1e-10, 400);
+        assert!(out.residual < 1e-10, "reported residual {}", out.residual);
+        let true_res = residual_host(&vm, &dev, &mat);
+        assert!(true_res < 1e-8, "actual residual {true_res}");
+        assert!(out.iterations < 400, "diagonally dominant systems converge fast");
+    }
+
+    #[test]
+    fn cg_converges_under_short_maxvl() {
+        let mat = CsrMatrix::spd_banded(300, 2, 3);
+        let sell = SellCS::from_csr(&mat, 256, 256);
+        let mut vm = FunctionalMachine::new(64 << 20);
+        vm.set_maxvl_cap(8);
+        let dev = setup_cg(&mut vm, &mat, &sell);
+        let out = cg_vector(&mut vm, &dev, 1e-9, 300);
+        assert!(residual_host(&vm, &dev, &mat) < 1e-7, "residual at vl=8");
+        assert!(out.iterations < 300);
+    }
+
+    #[test]
+    fn max_iters_bounds_work() {
+        let mat = CsrMatrix::spd_banded(200, 2, 9);
+        let sell = SellCS::from_csr(&mat, 256, 256);
+        let mut vm = FunctionalMachine::new(64 << 20);
+        let dev = setup_cg(&mut vm, &mat, &sell);
+        let out = cg_vector(&mut vm, &dev, 0.0, 3); // unreachable tolerance
+        assert_eq!(out.iterations, 3);
+    }
+
+    #[test]
+    fn spd_banded_is_symmetric_and_dominant() {
+        let m = CsrMatrix::spd_banded(100, 4, 1);
+        for i in 0..100 {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for k in m.row_ptr[i] as usize..m.row_ptr[i + 1] as usize {
+                let j = m.col_idx[k] as usize;
+                if j == i {
+                    diag = m.vals[k];
+                } else {
+                    off += m.vals[k].abs();
+                    // Symmetry: find (j, i).
+                    let found = (m.row_ptr[j] as usize..m.row_ptr[j + 1] as usize)
+                        .any(|kk| m.col_idx[kk] as usize == i && m.vals[kk] == m.vals[k]);
+                    assert!(found, "A[{j},{i}] missing or asymmetric");
+                }
+            }
+            assert!(diag > off, "row {i} not dominant: {diag} <= {off}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Dense contrast kernels: STREAM triad and DGEMM.
+//!
+//! The paper's thesis is that long vectors help *beyond* dense linear
+//! algebra. These two classic dense kernels provide the baseline side of
+//! that contrast: triad is the canonical bandwidth kernel, DGEMM the
+//! canonical compute kernel. The `dense_contrast` bench bin runs them
+//! through the same latency/bandwidth sweeps as the paper's four codes.
+
+use sdv_core::Vm;
+use sdv_engine::Rng;
+use sdv_rvv::{Lmul, Reg, Sew};
+
+const VA: Reg = 1;
+const VB: Reg = 2;
+const VC: Reg = 3;
+
+/// STREAM triad instance: `c[i] = a[i] + s * b[i]`.
+#[derive(Debug, Clone)]
+pub struct TriadDevice {
+    /// Element count.
+    pub n: usize,
+    /// Scale factor.
+    pub s: f64,
+    /// Input a (f64\[n\]).
+    pub a: u64,
+    /// Input b (f64\[n\]).
+    pub b: u64,
+    /// Output c (f64\[n\]).
+    pub c: u64,
+}
+
+/// Allocate and fill a triad instance (untimed).
+pub fn setup_triad<V: Vm>(vm: &mut V, n: usize, s: f64, seed: u64) -> TriadDevice {
+    let dev = TriadDevice {
+        n,
+        s,
+        a: vm.alloc(8 * n, 64),
+        b: vm.alloc(8 * n, 64),
+        c: vm.alloc(8 * n, 64),
+    };
+    let mut rng = Rng::new(seed);
+    for i in 0..n as u64 {
+        vm.mem_mut().poke_f64(dev.a + 8 * i, rng.range_f64(-1.0, 1.0));
+        vm.mem_mut().poke_f64(dev.b + 8 * i, rng.range_f64(-1.0, 1.0));
+    }
+    dev
+}
+
+/// Host-side expected triad output.
+pub fn triad_expected<V: Vm>(vm: &V, dev: &TriadDevice) -> Vec<f64> {
+    (0..dev.n as u64)
+        .map(|i| vm.mem().peek_f64(dev.a + 8 * i) + dev.s * vm.mem().peek_f64(dev.b + 8 * i))
+        .collect()
+}
+
+/// Scalar triad (timed).
+pub fn triad_scalar<V: Vm>(vm: &mut V, dev: &TriadDevice) {
+    for i in 0..dev.n as u64 {
+        let a = vm.load_f64(dev.a + 8 * i);
+        let b = vm.load_f64(dev.b + 8 * i);
+        vm.store_f64(dev.c + 8 * i, dev.s.mul_add(b, a));
+        vm.fp_ops(1);
+        vm.int_ops(2);
+        vm.branch(i + 1 != dev.n as u64);
+    }
+}
+
+/// Long-vector triad (timed).
+pub fn triad_vector<V: Vm>(vm: &mut V, dev: &TriadDevice) {
+    let mut i = 0usize;
+    while i < dev.n {
+        let vl = vm.setvl(dev.n - i, Sew::E64, Lmul::M1);
+        let off = 8 * i as u64;
+        vm.vle(VA, dev.a + off);
+        vm.vle(VB, dev.b + off);
+        vm.vmv_vv(VC, VA);
+        vm.vfmacc_vf(VC, dev.s, VB); // c = a + s*b
+        vm.vse(VC, dev.c + off);
+        vm.int_ops(2);
+        i += vl;
+        vm.branch(i < dev.n);
+    }
+    vm.fence();
+}
+
+/// DGEMM instance: `C = A * B` over n×n row-major matrices.
+#[derive(Debug, Clone)]
+pub struct GemmDevice {
+    /// Matrix dimension.
+    pub n: usize,
+    /// A (f64\[n*n\], row-major).
+    pub a: u64,
+    /// B (f64\[n*n\], row-major).
+    pub b: u64,
+    /// C (f64\[n*n\], row-major, zero-initialized).
+    pub c: u64,
+}
+
+/// Allocate and fill a DGEMM instance (untimed).
+pub fn setup_gemm<V: Vm>(vm: &mut V, n: usize, seed: u64) -> GemmDevice {
+    let dev = GemmDevice {
+        n,
+        a: vm.alloc(8 * n * n, 64),
+        b: vm.alloc(8 * n * n, 64),
+        c: vm.alloc(8 * n * n, 64),
+    };
+    let mut rng = Rng::new(seed);
+    for i in 0..(n * n) as u64 {
+        vm.mem_mut().poke_f64(dev.a + 8 * i, rng.range_f64(-1.0, 1.0));
+        vm.mem_mut().poke_f64(dev.b + 8 * i, rng.range_f64(-1.0, 1.0));
+    }
+    dev
+}
+
+/// Host-side expected DGEMM output.
+pub fn gemm_expected<V: Vm>(vm: &V, dev: &GemmDevice) -> Vec<f64> {
+    let n = dev.n;
+    let a = vm.mem().peek_f64_vec(dev.a, n * n);
+    let b = vm.mem().peek_f64_vec(dev.b, n * n);
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Scalar DGEMM, ikj loop order (timed).
+pub fn gemm_scalar<V: Vm>(vm: &mut V, dev: &GemmDevice) {
+    let n = dev.n as u64;
+    for i in 0..n {
+        for k in 0..n {
+            let aik = vm.load_f64(dev.a + 8 * (i * n + k));
+            vm.int_ops(2);
+            for j in 0..n {
+                let b = vm.load_f64(dev.b + 8 * (k * n + j));
+                let c = vm.load_f64(dev.c + 8 * (i * n + j));
+                vm.store_f64(dev.c + 8 * (i * n + j), aik.mul_add(b, c));
+                vm.fp_ops(1);
+                vm.int_ops(2);
+                vm.branch(j + 1 != n);
+            }
+            vm.branch(k + 1 != n);
+        }
+        vm.branch(i + 1 != n);
+    }
+}
+
+/// Long-vector DGEMM: rows of C as running AXPY accumulations (timed).
+pub fn gemm_vector<V: Vm>(vm: &mut V, dev: &GemmDevice) {
+    let n = dev.n as u64;
+    for i in 0..n {
+        let mut j = 0u64;
+        while j < n {
+            let vl = vm.setvl((n - j) as usize, Sew::E64, Lmul::M1) as u64;
+            vm.vfmv_vf(VC, 0.0);
+            for k in 0..n {
+                let aik = vm.load_f64(dev.a + 8 * (i * n + k));
+                vm.vle(VB, dev.b + 8 * (k * n + j));
+                vm.vfmacc_vf(VC, aik, VB);
+                vm.int_ops(2);
+                vm.branch(k + 1 != n);
+            }
+            vm.vse(VC, dev.c + 8 * (i * n + j));
+            vm.int_ops(2);
+            j += vl;
+            vm.branch(j < n);
+        }
+        vm.branch(i + 1 != n);
+    }
+    vm.fence();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_core::FunctionalMachine;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn triad_scalar_and_vector_match() {
+        for n in [1usize, 7, 256, 1000] {
+            let mut vm = FunctionalMachine::new(16 << 20);
+            let dev = setup_triad(&mut vm, n, 3.25, 5);
+            let want = triad_expected(&vm, &dev);
+            triad_scalar(&mut vm, &dev);
+            assert!(close(&vm.mem().peek_f64_vec(dev.c, n), &want, 1e-12), "scalar n={n}");
+
+            let mut vm = FunctionalMachine::new(16 << 20);
+            let dev = setup_triad(&mut vm, n, 3.25, 5);
+            triad_vector(&mut vm, &dev);
+            assert!(close(&vm.mem().peek_f64_vec(dev.c, n), &want, 1e-12), "vector n={n}");
+        }
+    }
+
+    #[test]
+    fn triad_respects_maxvl() {
+        let n = 500;
+        let mut vm = FunctionalMachine::new(16 << 20);
+        vm.set_maxvl_cap(8);
+        let dev = setup_triad(&mut vm, n, -1.5, 9);
+        let want = triad_expected(&vm, &dev);
+        triad_vector(&mut vm, &dev);
+        assert!(close(&vm.mem().peek_f64_vec(dev.c, n), &want, 1e-12));
+    }
+
+    #[test]
+    fn gemm_scalar_and_vector_match() {
+        for n in [1usize, 4, 17, 48] {
+            let mut vm = FunctionalMachine::new(64 << 20);
+            let dev = setup_gemm(&mut vm, n, 3);
+            let want = gemm_expected(&vm, &dev);
+            gemm_scalar(&mut vm, &dev);
+            assert!(
+                close(&vm.mem().peek_f64_vec(dev.c, n * n), &want, 1e-9 * n as f64),
+                "scalar n={n}"
+            );
+
+            let mut vm = FunctionalMachine::new(64 << 20);
+            let dev = setup_gemm(&mut vm, n, 3);
+            gemm_vector(&mut vm, &dev);
+            assert!(
+                close(&vm.mem().peek_f64_vec(dev.c, n * n), &want, 1e-9 * n as f64),
+                "vector n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_vector_with_short_maxvl() {
+        let n = 33;
+        let mut vm = FunctionalMachine::new(64 << 20);
+        vm.set_maxvl_cap(8);
+        let dev = setup_gemm(&mut vm, n, 7);
+        let want = gemm_expected(&vm, &dev);
+        gemm_vector(&mut vm, &dev);
+        assert!(close(&vm.mem().peek_f64_vec(dev.c, n * n), &want, 1e-9 * n as f64));
+    }
+}

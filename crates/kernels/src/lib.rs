@@ -1,0 +1,26 @@
+//! # sdv-kernels
+//!
+//! The four non-dense kernels the paper evaluates — SpMV, BFS, PageRank,
+//! FFT — each in a scalar and a long-vector implementation written against
+//! the platform's [`sdv_core::Vm`] intrinsics API (mirroring how the
+//! original codes are vectorized with RVV intrinsics), plus the workload
+//! generators standing in for the paper's inputs (CAGE10, a 2^15-node
+//! graph, a 2048-point FFT).
+//!
+//! Every implementation is VL-agnostic: strip-mining via `vsetvl` adapts to
+//! whatever the machine's MAXVL CSR grants, so the paper's §2.1 experiment
+//! (sweeping maximum vector length) needs no kernel changes.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cg;
+pub mod dense;
+pub mod fft;
+pub mod graph;
+pub mod pagerank;
+pub mod sparse;
+pub mod spmv;
+
+pub use graph::{Graph, SlicedGraph};
+pub use sparse::{CsrMatrix, SellCS};

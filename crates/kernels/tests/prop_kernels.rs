@@ -1,0 +1,147 @@
+//! Property-based tests of the kernels: random workloads, every
+//! implementation against a host-side reference, on the functional machine.
+
+use proptest::prelude::*;
+use sdv_core::{FunctionalMachine, Vm};
+use sdv_kernels::{bfs, fft, pagerank, spmv, CsrMatrix, Graph, SellCS};
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol * (1.0 + x.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn spmv_all_formats_match_reference(
+        n in 16usize..220,
+        per_row in 1usize..9,
+        seed in any::<u64>(),
+        c in prop_oneof![Just(8usize), Just(32), Just(256)],
+        cap in prop_oneof![Just(8usize), Just(64), Just(256)],
+    ) {
+        let mat = CsrMatrix::random_uniform(n, per_row, seed);
+        let sell = SellCS::from_csr(&mat, c, c);
+        let want = spmv::expected_y(&mat);
+
+        let mut vm = FunctionalMachine::new(32 << 20);
+        vm.set_maxvl_cap(cap);
+        let dev = spmv::setup_spmv(&mut vm, &mat, &sell);
+        spmv::spmv_vector_sell(&mut vm, &dev);
+        prop_assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "sell c={} cap={}", c, cap);
+
+        let mut vm = FunctionalMachine::new(32 << 20);
+        vm.set_maxvl_cap(cap);
+        let dev = spmv::setup_spmv(&mut vm, &mat, &sell);
+        spmv::spmv_vector_csr(&mut vm, &dev);
+        prop_assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "csr-gather cap={}", cap);
+
+        let mut vm = FunctionalMachine::new(32 << 20);
+        let dev = spmv::setup_spmv(&mut vm, &mat, &sell);
+        spmv::spmv_scalar(&mut vm, &dev);
+        prop_assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "scalar");
+    }
+
+    #[test]
+    fn bfs_vector_matches_reference_on_random_graphs(
+        n in 8usize..300,
+        deg in 1usize..8,
+        seed in any::<u64>(),
+        src_pick in any::<u64>(),
+        cap in prop_oneof![Just(8usize), Just(256)],
+    ) {
+        let g = Graph::uniform(n, deg, seed);
+        let src = (src_pick % n as u64) as usize;
+        let want: Vec<u64> = g
+            .bfs_reference(src)
+            .iter()
+            .map(|&l| if l == u32::MAX { bfs::INF } else { l as u64 })
+            .collect();
+        let mut vm = FunctionalMachine::new(64 << 20);
+        vm.set_maxvl_cap(cap);
+        let dev = bfs::setup_bfs(&mut vm, &g, 256, src);
+        bfs::bfs_vector(&mut vm, &dev);
+        prop_assert_eq!(bfs::read_levels(&vm, &dev), want);
+    }
+
+    #[test]
+    fn pagerank_vector_matches_reference(
+        scale in 5u32..9,
+        deg in 2usize..8,
+        seed in any::<u64>(),
+        iters in 1usize..6,
+    ) {
+        let g = Graph::rmat(scale, deg, seed);
+        let want = g.pagerank_reference(0.85, iters);
+        let mut vm = FunctionalMachine::new(64 << 20);
+        let dev = pagerank::setup_pagerank(&mut vm, &g, 256, 0.85, iters);
+        pagerank::pagerank_vector(&mut vm, &dev);
+        let got = pagerank::read_pr(&vm, &dev);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn fft_vector_matches_dft_random_signals(
+        log_n in 2u32..9,
+        seed in any::<u64>(),
+        cap in prop_oneof![Just(8usize), Just(256)],
+    ) {
+        let n = 1usize << log_n;
+        let mut rng = sdv_engine::Rng::new(seed);
+        let re: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let im: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let want = fft::dft_naive(&re, &im);
+        let mut vm = FunctionalMachine::new(16 << 20);
+        vm.set_maxvl_cap(cap);
+        let dev = fft::setup_fft(&mut vm, &re, &im);
+        fft::fft_vector(&mut vm, &dev);
+        let (fr, fi) = fft::read_result(&vm, &dev);
+        let tol = 1e-9 * n as f64;
+        prop_assert!(close(&fr, &want.0, tol));
+        prop_assert!(close(&fi, &want.1, tol));
+    }
+
+    #[test]
+    fn sell_conversion_preserves_every_entry(
+        n in 4usize..150,
+        per_row in 1usize..7,
+        seed in any::<u64>(),
+        c in 1usize..80,
+        sigma in 1usize..200,
+    ) {
+        let mat = CsrMatrix::random_uniform(n, per_row, seed);
+        let sell = SellCS::from_csr(&mat, c, sigma);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let want = mat.multiply(&x);
+        let got = sell.multiply(&x);
+        prop_assert!(close(&got, &want, 1e-9), "c={} sigma={}", c, sigma);
+        // Padding never shrinks below nnz and the permutation is complete.
+        prop_assert!(sell.stored() >= mat.nnz());
+        let mut p = sell.perm.clone();
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn graph_generators_produce_valid_csr(
+        n in 2usize..300,
+        deg in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let g = Graph::uniform(n, deg, seed);
+        prop_assert_eq!(g.row_ptr.len(), n + 1);
+        prop_assert_eq!(*g.row_ptr.last().unwrap() as usize, g.adj.len());
+        for v in 0..n {
+            let nb = g.neighbors(v);
+            // Sorted, deduplicated, no self-loops, symmetric.
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            for &u in nb {
+                prop_assert!((u as usize) < n);
+                prop_assert!(u as usize != v);
+                prop_assert!(g.neighbors(u as usize).contains(&(v as u32)), "symmetry");
+            }
+        }
+    }
+}

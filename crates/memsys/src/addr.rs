@@ -1,0 +1,114 @@
+//! Address arithmetic: cache lines and L2 bank interleaving.
+
+/// Maps physical addresses to cache lines and L2HN banks.
+///
+/// The paper's system interleaves the shared L2 across four L2HN slices on
+/// the 2×2 mesh; we interleave at line granularity, which spreads any
+/// streaming or gather traffic evenly over the banks.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMap {
+    line_bytes: u64,
+    num_banks: u64,
+}
+
+impl AddressMap {
+    /// Create a map for `line_bytes`-sized lines over `num_banks` banks.
+    ///
+    /// # Panics
+    /// Panics unless `line_bytes` is a power of two and `num_banks > 0`.
+    pub fn new(line_bytes: u64, num_banks: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(num_banks > 0, "need at least one bank");
+        Self { line_bytes, num_banks }
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of L2 banks.
+    #[inline]
+    pub fn num_banks(&self) -> u64 {
+        self.num_banks
+    }
+
+    /// The line-aligned base address containing `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// The line index (line number) containing `addr`.
+    #[inline]
+    pub fn line_index(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// The bank serving `addr` (line-interleaved).
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        (self.line_index(addr) % self.num_banks) as usize
+    }
+
+    /// Number of distinct lines an access of `size` bytes at `addr` touches.
+    #[inline]
+    pub fn lines_spanned(&self, addr: u64, size: u64) -> u64 {
+        if size == 0 {
+            return 0;
+        }
+        self.line_index(addr + size - 1) - self.line_index(addr) + 1
+    }
+}
+
+impl Default for AddressMap {
+    /// 64-byte lines over 4 banks — the paper's 2×2 L2HN configuration.
+    fn default() -> Self {
+        Self::new(64, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        let m = AddressMap::default();
+        assert_eq!(m.line_of(0), 0);
+        assert_eq!(m.line_of(63), 0);
+        assert_eq!(m.line_of(64), 64);
+        assert_eq!(m.line_of(130), 128);
+    }
+
+    #[test]
+    fn bank_interleaving_cycles_over_banks() {
+        let m = AddressMap::default();
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(64), 1);
+        assert_eq!(m.bank_of(128), 2);
+        assert_eq!(m.bank_of(192), 3);
+        assert_eq!(m.bank_of(256), 0);
+        // All addresses within one line map to the same bank.
+        assert_eq!(m.bank_of(65), 1);
+        assert_eq!(m.bank_of(127), 1);
+    }
+
+    #[test]
+    fn lines_spanned_counts_straddles() {
+        let m = AddressMap::default();
+        assert_eq!(m.lines_spanned(0, 64), 1);
+        assert_eq!(m.lines_spanned(0, 65), 2);
+        assert_eq!(m.lines_spanned(60, 8), 2);
+        assert_eq!(m.lines_spanned(60, 4), 1);
+        assert_eq!(m.lines_spanned(0, 0), 0);
+        assert_eq!(m.lines_spanned(0, 256), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_lines() {
+        AddressMap::new(48, 4);
+    }
+}

@@ -1,0 +1,324 @@
+//! A set-associative cache model with LRU replacement.
+//!
+//! Tag-only (data lives in the platform's flat simulated memory — the
+//! functional result never depends on the cache), but hit/miss behaviour is
+//! exact, which is what makes the timing data-dependent: the SpMV gather
+//! misses or hits depending on the actual CAGE-like sparsity pattern.
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.ways as u64) as usize
+    }
+
+    /// A production-scale L1D reference geometry: 32 KiB, 8-way, 64 B lines.
+    /// (The platform's FPGA-prototype default is smaller — see
+    /// `sdv-uarch`'s `MemHierConfig`.)
+    pub fn l1d() -> Self {
+        Self { size_bytes: 32 * 1024, ways: 8, line_bytes: 64 }
+    }
+
+    /// A production-scale L2 bank reference geometry: 256 KiB, 16-way,
+    /// 64 B lines (4 banks = 1 MiB shared L2).
+    pub fn l2_bank() -> Self {
+        Self { size_bytes: 256 * 1024, ways: 16, line_bytes: 64 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// An evicted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Line-aligned address of the evicted line.
+    pub addr: u64,
+    /// Whether it must be written back.
+    pub dirty: bool,
+}
+
+/// The cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build a cache from its geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero sets/ways, non-pow2 line).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways > 0, "need at least one way");
+        let num_sets = cfg.num_sets();
+        assert!(num_sets > 0, "geometry yields zero sets");
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        let empty = Line { tag: 0, valid: false, dirty: false, last_use: 0 };
+        Self { cfg, sets: vec![vec![empty; cfg.ways]; num_sets], tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let set = (line as usize) & (self.sets.len() - 1);
+        (set, line)
+    }
+
+    /// Whether the line containing `addr` is present.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (s, tag) = self.set_and_tag(addr);
+        self.sets[s].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Access the line containing `addr`. On hit the LRU state is updated and
+    /// a write marks the line dirty. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let (s, tag) = self.set_and_tag(addr);
+        if let Some(l) = self.sets[s].iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = tick;
+            if kind == AccessKind::Write {
+                l.dirty = true;
+            }
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Allocate (fill) the line containing `addr`, marking it dirty when
+    /// `dirty` (write-allocate). Returns the victim if a valid line was
+    /// evicted. Filling an already-present line just updates its state.
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (s, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[s];
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = tick;
+            l.dirty |= dirty;
+            return None;
+        }
+        // Prefer an invalid way; otherwise evict the LRU.
+        let way = if let Some(w) = set.iter().position(|l| !l.valid) {
+            w
+        } else {
+            set.iter().enumerate().min_by_key(|(_, l)| l.last_use).map(|(w, _)| w).unwrap()
+        };
+        let victim = if set[way].valid {
+            Some(Victim { addr: set[way].tag * self.cfg.line_bytes, dirty: set[way].dirty })
+        } else {
+            None
+        };
+        set[way] = Line { tag, valid: true, dirty, last_use: tick };
+        victim
+    }
+
+    /// Invalidate the line containing `addr` if present. Returns
+    /// `Some(was_dirty)` when a line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let (s, tag) = self.set_and_tag(addr);
+        let l = self.sets[s].iter_mut().find(|l| l.valid && l.tag == tag)?;
+        l.valid = false;
+        Some(std::mem::replace(&mut l.dirty, false))
+    }
+
+    /// Clear the dirty bit of the line containing `addr` (after a recall
+    /// writeback). Returns whether the line was present and dirty.
+    pub fn clean(&mut self, addr: u64) -> bool {
+        let (s, tag) = self.set_and_tag(addr);
+        if let Some(l) = self.sets[s].iter_mut().find(|l| l.valid && l.tag == tag) {
+            std::mem::replace(&mut l.dirty, false)
+        } else {
+            false
+        }
+    }
+
+    /// Whether the line containing `addr` is present *and* dirty.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        let (s, tag) = self.set_and_tag(addr);
+        self.sets[s].iter().any(|l| l.valid && l.tag == tag && l.dirty)
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop every line (does not reset hit/miss counters).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 bytes.
+        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::l1d().num_sets(), 64);
+        assert_eq!(CacheConfig::l2_bank().num_sets(), 256);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40, AccessKind::Read));
+        assert_eq!(c.fill(0x40, false), None);
+        assert!(c.access(0x40, AccessKind::Read));
+        assert!(c.access(0x7F, AccessKind::Read), "same line hits");
+        assert!(!c.access(0x80, AccessKind::Read), "next line misses");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds lines with even line index: 0x000, 0x080, 0x100 (2 sets => line%2).
+        c.fill(0x000, false);
+        c.fill(0x100, false);
+        // Touch 0x000 so 0x100 is LRU.
+        c.access(0x000, AccessKind::Read);
+        let v = c.fill(0x200, false).expect("must evict");
+        assert_eq!(v.addr, 0x100);
+        assert!(!v.dirty);
+        assert!(c.contains(0x000));
+        assert!(c.contains(0x200));
+        assert!(!c.contains(0x100));
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = tiny();
+        c.fill(0x000, true);
+        c.fill(0x100, false);
+        c.access(0x100, AccessKind::Read);
+        let v = c.fill(0x200, false).unwrap();
+        assert_eq!(v.addr, 0x000);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn write_access_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0x40, false);
+        assert!(!c.is_dirty(0x40));
+        c.access(0x40, AccessKind::Write);
+        assert!(c.is_dirty(0x40));
+        assert!(c.clean(0x40));
+        assert!(!c.is_dirty(0x40));
+        assert!(!c.clean(0x40), "second clean is a no-op");
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.fill(0x40, true);
+        assert_eq!(c.invalidate(0x40), Some(true));
+        assert!(!c.contains(0x40));
+        assert_eq!(c.invalidate(0x40), None);
+    }
+
+    #[test]
+    fn refill_existing_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        c.fill(0x100, false);
+        assert_eq!(c.fill(0x000, true), None, "already present");
+        assert!(c.is_dirty(0x000), "fill can upgrade to dirty");
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn flush_drops_everything() {
+        let mut c = tiny();
+        c.fill(0x000, true);
+        c.fill(0x040, false);
+        c.flush();
+        assert!(!c.contains(0x000));
+        assert!(!c.contains(0x040));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        // Lines 0x000 (set 0) and 0x040 (set 1).
+        c.fill(0x000, false);
+        c.fill(0x040, false);
+        c.fill(0x0C0, false); // set 1
+        c.fill(0x140, false); // set 1 -> evicts within set 1 only
+        assert!(c.contains(0x000), "set 0 untouched by set-1 pressure");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 4 lines total
+        let lines: Vec<u64> = (0..16).map(|i| i * 64).collect();
+        for &a in &lines {
+            c.access(a, AccessKind::Read);
+            c.fill(a, false);
+        }
+        // Second sweep still misses everywhere (LRU + working set 4x cache).
+        let misses_before = c.misses();
+        for &a in &lines {
+            c.access(a, AccessKind::Read);
+            c.fill(a, false);
+        }
+        assert_eq!(c.misses() - misses_before, 16);
+    }
+}

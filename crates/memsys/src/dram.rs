@@ -1,0 +1,268 @@
+//! The DDR4 channel behind the Latency Controller and Bandwidth Limiter.
+//!
+//! The channel is modelled at line-request granularity: each request is
+//! admitted by the [`BandwidthLimiter`], delayed by the channel's service
+//! latency, and further delayed by the [`LatencyController`]'s programmed
+//! extra cycles. Requests pipeline freely once admitted — matching the
+//! paper's description where the limiter throttles *admission rate* and the
+//! latency controller stalls *in a pipelined fashion*.
+//!
+//! An optional row-buffer model (off by default, preserving the calibrated
+//! figures) makes the service latency address-dependent: accesses that hit
+//! a DRAM bank's open row are served faster than those that must
+//! precharge/activate — streaming traffic then pays less per line than
+//! scattered gathers, as on real DDR.
+
+use crate::bwlimit::BandwidthLimiter;
+use crate::latency::LatencyController;
+use sdv_engine::Cycle;
+
+/// DRAM channel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DramConfig {
+    /// Service latency per line request, in cycles (used for every request
+    /// when the row-buffer model is disabled, and as the row-*hit* latency
+    /// when it is enabled).
+    pub service_latency: Cycle,
+    /// Line size in bytes (admission granularity).
+    pub line_bytes: u64,
+    /// Row-buffer model: log2 of the row size in bytes (0 = disabled).
+    /// A typical DDR4 row is 1-8 KiB; 13 (8 KiB) is a reasonable setting.
+    pub row_bits: u32,
+    /// Number of DRAM banks (open rows tracked per bank) when enabled.
+    pub dram_banks: usize,
+    /// Extra cycles for a row miss (precharge + activate) when enabled.
+    pub row_miss_penalty: Cycle,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            service_latency: 30,
+            line_bytes: 64,
+            row_bits: 0,
+            dram_banks: 8,
+            row_miss_penalty: 20,
+        }
+    }
+}
+
+/// The DRAM channel: limiter + latency controller + (optional) row buffers.
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    cfg: DramConfig,
+    limiter: BandwidthLimiter,
+    latency_ctrl: LatencyController,
+    open_rows: Vec<Option<u64>>,
+    requests: u64,
+    row_hits: u64,
+    busy_until: Cycle,
+}
+
+impl DramChannel {
+    /// A channel with the given config, unthrottled and with no extra latency.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.dram_banks > 0, "need at least one DRAM bank");
+        Self {
+            cfg,
+            limiter: BandwidthLimiter::new(1, 1),
+            latency_ctrl: LatencyController::new(0),
+            open_rows: vec![None; cfg.dram_banks],
+            requests: 0,
+            row_hits: 0,
+            busy_until: 0,
+        }
+    }
+
+    /// The paper's experiment knob: add `extra` cycles to every access.
+    pub fn set_extra_latency(&mut self, extra: Cycle) {
+        self.latency_ctrl.set_extra(extra);
+    }
+
+    /// Current extra latency.
+    pub fn extra_latency(&self) -> Cycle {
+        self.latency_ctrl.extra()
+    }
+
+    /// The paper's experiment knob: throttle to `bytes_per_cycle` (1–64 with
+    /// 64-byte lines).
+    pub fn set_bandwidth_limit(&mut self, bytes_per_cycle: u64) {
+        self.limiter = BandwidthLimiter::from_bytes_per_cycle(bytes_per_cycle, self.cfg.line_bytes);
+    }
+
+    /// Program the limiter as raw `(num, den)` — the register-level interface.
+    pub fn set_bandwidth_fraction(&mut self, num: u32, den: u32) {
+        self.limiter.set_fraction(num, den);
+    }
+
+    /// Address-dependent service latency under the row-buffer model.
+    fn service_latency_for(&mut self, addr: u64) -> Cycle {
+        if self.cfg.row_bits == 0 {
+            return self.cfg.service_latency;
+        }
+        let row = addr >> self.cfg.row_bits;
+        let bank = (row % self.cfg.dram_banks as u64) as usize;
+        if self.open_rows[bank] == Some(row) {
+            self.row_hits += 1;
+            self.cfg.service_latency
+        } else {
+            self.open_rows[bank] = Some(row);
+            self.cfg.service_latency + self.cfg.row_miss_penalty
+        }
+    }
+
+    /// Submit one line request for `addr` that arrives at the channel at
+    /// `now`. Returns the cycle its data is available.
+    pub fn submit(&mut self, addr: u64, now: Cycle) -> Cycle {
+        self.requests += 1;
+        let admitted = self.limiter.admit(now);
+        let completed = admitted + self.service_latency_for(addr);
+        let released = self.latency_ctrl.release_time(completed);
+        self.busy_until = self.busy_until.max(released);
+        released
+    }
+
+    /// Total line requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Row-buffer hits (0 unless the row model is enabled).
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.requests * self.cfg.line_bytes
+    }
+
+    /// Completion time of the latest-finishing request submitted so far.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+}
+
+impl Default for DramChannel {
+    fn default() -> Self {
+        Self::new(DramConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unthrottled_request_takes_service_latency() {
+        let mut d = DramChannel::default();
+        assert_eq!(d.submit(0, 100), 130);
+    }
+
+    #[test]
+    fn extra_latency_adds_on_top() {
+        let mut d = DramChannel::default();
+        d.set_extra_latency(1024);
+        assert_eq!(d.submit(0, 0), 30 + 1024);
+        // Pipelined: back-to-back requests keep 1-cycle spacing.
+        let a = d.submit(64, 10);
+        let b = d.submit(128, 11);
+        assert_eq!(b - a, 1);
+    }
+
+    #[test]
+    fn bandwidth_limit_serializes_admission() {
+        let mut d = DramChannel::default();
+        d.set_bandwidth_limit(16); // 1 line per 4 cycles
+        let t0 = d.submit(0, 0);
+        let t1 = d.submit(64, 0);
+        let t2 = d.submit(128, 0);
+        assert_eq!(t0, 30);
+        assert_eq!(t1, 34);
+        assert_eq!(t2, 38);
+    }
+
+    #[test]
+    fn latency_knob_does_not_eat_bandwidth() {
+        // With +1000 cycles latency and full bandwidth, 10 requests at t=0
+        // should complete 1 per cycle starting at 30+1000.
+        let mut d = DramChannel::default();
+        d.set_extra_latency(1000);
+        let times: Vec<Cycle> = (0..10).map(|i| d.submit(i * 64, i)).collect();
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], 1);
+        }
+    }
+
+    #[test]
+    fn accounting() {
+        let mut d = DramChannel::default();
+        d.submit(0, 0);
+        d.submit(64, 0);
+        assert_eq!(d.requests(), 2);
+        assert_eq!(d.bytes(), 128);
+        assert!(d.busy_until() >= 30);
+        assert_eq!(d.row_hits(), 0, "row model disabled by default");
+    }
+
+    #[test]
+    fn fraction_interface_matches_paper_example() {
+        // num=1, den=3 => 1/3 of peak.
+        let mut d = DramChannel::default();
+        d.set_bandwidth_fraction(1, 3);
+        let a = d.submit(0, 0);
+        let b = d.submit(64, 0);
+        assert_eq!(b - a, 3);
+    }
+
+    fn row_cfg() -> DramConfig {
+        DramConfig { row_bits: 13, ..DramConfig::default() } // 8 KiB rows
+    }
+
+    #[test]
+    fn row_buffer_streaming_hits_after_first_access() {
+        let mut d = DramChannel::new(row_cfg());
+        // First line in a row misses (activate), the rest of the row hits.
+        let first = d.submit(0, 0);
+        assert_eq!(first, 50, "30 + 20 activate");
+        let second = d.submit(64, 100);
+        assert_eq!(second - 100, 30, "open-row hit");
+        let lines_per_row = (1u64 << 13) / 64;
+        for i in 2..lines_per_row {
+            d.submit(i * 64, 200);
+        }
+        assert_eq!(d.row_hits(), lines_per_row - 1);
+    }
+
+    #[test]
+    fn row_buffer_scattered_always_misses() {
+        let mut d = DramChannel::new(row_cfg());
+        // Stride of banks*row_size lands in the same bank, different rows.
+        let stride = 8 * (1u64 << 13);
+        for i in 0..10 {
+            let t = d.submit(i * stride, i * 1000);
+            assert_eq!(t - i * 1000, 50, "every access precharges");
+        }
+        assert_eq!(d.row_hits(), 0);
+    }
+
+    #[test]
+    fn row_buffer_banks_are_independent() {
+        let mut d = DramChannel::new(row_cfg());
+        // Rows 0..8 map to distinct banks: each opens its own buffer.
+        for r in 0..8u64 {
+            d.submit(r << 13, 0);
+        }
+        for r in 0..8u64 {
+            // Spaced arrivals so the admission limiter never serializes.
+            let now = 1000 + 10 * r;
+            let t = d.submit((r << 13) + 64, now);
+            assert_eq!(t - now, 30, "row {r} still open in its bank");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The Home Node coherence directory (the "HN" of the paper's L2HN).
+//!
+//! The FPGA-SDV couples each shared-L2 slice with a MESI home node
+//! (Chalmers). In the emulated single-core system there are two requestors:
+//! the core's L1D (a caching requestor) and the VPU (which, like Vitruvius,
+//! bypasses the L1 and issues non-caching reads/writes straight to L2). The
+//! directory's job is to keep those coherent: a VPU read must observe data
+//! dirty in the L1, and a VPU write must invalidate a stale L1 copy.
+//!
+//! The implementation is a full N-requestor MESI directory so it is reusable
+//! (and testable) beyond the 2-requestor instantiation.
+
+use std::collections::HashMap;
+
+/// A coherence requestor id (e.g. 0 = core L1D, 1 = VPU).
+pub type Requestor = u8;
+
+const MAX_REQUESTORS: usize = 8;
+
+/// Directory state for one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// No private copies exist.
+    Uncached,
+    /// Copies exist in the sharer set (bitmask), all clean.
+    Shared(u8),
+    /// One requestor holds the line exclusively (possibly dirty).
+    Exclusive(Requestor),
+}
+
+/// What the home node must do before granting an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirAction {
+    /// Requestor that must write back and downgrade/invalidate (owner recall).
+    pub recall_from: Option<Requestor>,
+    /// Requestors whose copies must be invalidated.
+    pub invalidate: Vec<Requestor>,
+    /// Whether the grant is exclusive (E/M) rather than shared.
+    pub exclusive: bool,
+}
+
+/// The per-bank MESI directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    lines: HashMap<u64, DirState>,
+    recalls: u64,
+    invalidations: u64,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn state(&self, line: u64) -> DirState {
+        self.lines.get(&line).copied().unwrap_or(DirState::Uncached)
+    }
+
+    /// A *caching* read (the L1 will keep a copy). Returns the action and
+    /// transitions the directory.
+    pub fn caching_read(&mut self, line: u64, who: Requestor) -> DirAction {
+        assert!((who as usize) < MAX_REQUESTORS);
+        match self.state(line) {
+            DirState::Uncached => {
+                self.lines.insert(line, DirState::Exclusive(who));
+                DirAction { recall_from: None, invalidate: vec![], exclusive: true }
+            }
+            DirState::Shared(mask) => {
+                self.lines.insert(line, DirState::Shared(mask | (1 << who)));
+                DirAction { recall_from: None, invalidate: vec![], exclusive: false }
+            }
+            DirState::Exclusive(owner) if owner == who => {
+                DirAction { recall_from: None, invalidate: vec![], exclusive: true }
+            }
+            DirState::Exclusive(owner) => {
+                // Owner downgrades to shared; data may need writeback.
+                self.lines.insert(line, DirState::Shared((1 << owner) | (1 << who)));
+                self.recalls += 1;
+                DirAction { recall_from: Some(owner), invalidate: vec![], exclusive: false }
+            }
+        }
+    }
+
+    /// A *caching* write (read-for-ownership). The requestor ends up the
+    /// exclusive owner.
+    pub fn caching_write(&mut self, line: u64, who: Requestor) -> DirAction {
+        assert!((who as usize) < MAX_REQUESTORS);
+        let action = match self.state(line) {
+            DirState::Uncached => DirAction { recall_from: None, invalidate: vec![], exclusive: true },
+            DirState::Shared(mask) => {
+                let inv = sharers(mask & !(1 << who));
+                self.invalidations += inv.len() as u64;
+                DirAction { recall_from: None, invalidate: inv, exclusive: true }
+            }
+            DirState::Exclusive(owner) if owner == who => {
+                DirAction { recall_from: None, invalidate: vec![], exclusive: true }
+            }
+            DirState::Exclusive(owner) => {
+                self.recalls += 1;
+                self.invalidations += 1;
+                DirAction { recall_from: Some(owner), invalidate: vec![owner], exclusive: true }
+            }
+        };
+        self.lines.insert(line, DirState::Exclusive(who));
+        action
+    }
+
+    /// A *non-caching* read (the VPU path): data is returned but no copy is
+    /// registered. A dirty private copy must be recalled (written back) but
+    /// may be retained by its owner in shared state.
+    pub fn noncaching_read(&mut self, line: u64, who: Requestor) -> DirAction {
+        match self.state(line) {
+            DirState::Exclusive(owner) if owner != who => {
+                self.lines.insert(line, DirState::Shared(1 << owner));
+                self.recalls += 1;
+                DirAction { recall_from: Some(owner), invalidate: vec![], exclusive: false }
+            }
+            _ => DirAction { recall_from: None, invalidate: vec![], exclusive: false },
+        }
+    }
+
+    /// A *non-caching* write (the VPU path): all private copies become stale
+    /// and must be invalidated; a dirty owner must write back first so the
+    /// merge happens in L2.
+    pub fn noncaching_write(&mut self, line: u64, who: Requestor) -> DirAction {
+        let action = match self.state(line) {
+            DirState::Uncached => DirAction { recall_from: None, invalidate: vec![], exclusive: false },
+            DirState::Shared(mask) => {
+                let inv = sharers(mask & !(1 << who));
+                self.invalidations += inv.len() as u64;
+                DirAction { recall_from: None, invalidate: inv, exclusive: false }
+            }
+            DirState::Exclusive(owner) if owner == who => {
+                DirAction { recall_from: None, invalidate: vec![], exclusive: false }
+            }
+            DirState::Exclusive(owner) => {
+                self.recalls += 1;
+                self.invalidations += 1;
+                DirAction { recall_from: Some(owner), invalidate: vec![owner], exclusive: false }
+            }
+        };
+        self.lines.insert(line, DirState::Uncached);
+        action
+    }
+
+    /// A caching requestor silently evicted its (possibly dirty) copy.
+    pub fn evicted(&mut self, line: u64, who: Requestor) {
+        match self.state(line) {
+            DirState::Exclusive(owner) if owner == who => {
+                self.lines.insert(line, DirState::Uncached);
+            }
+            DirState::Shared(mask) => {
+                let m = mask & !(1 << who);
+                self.lines.insert(line, if m == 0 { DirState::Uncached } else { DirState::Shared(m) });
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether any requestor other than `who` holds the line.
+    pub fn held_by_others(&self, line: u64, who: Requestor) -> bool {
+        match self.state(line) {
+            DirState::Uncached => false,
+            DirState::Shared(mask) => mask & !(1 << who) != 0,
+            DirState::Exclusive(owner) => owner != who,
+        }
+    }
+
+    /// Total owner recalls performed (coherence telemetry).
+    pub fn recalls(&self) -> u64 {
+        self.recalls
+    }
+
+    /// Total invalidations sent (coherence telemetry).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+fn sharers(mask: u8) -> Vec<Requestor> {
+    (0..MAX_REQUESTORS as u8).filter(|r| mask & (1 << r) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L1: Requestor = 0;
+    const VPU: Requestor = 1;
+
+    #[test]
+    fn first_read_grants_exclusive() {
+        let mut d = Directory::new();
+        let a = d.caching_read(0x40, L1);
+        assert!(a.exclusive);
+        assert!(a.recall_from.is_none());
+        assert!(a.invalidate.is_empty());
+    }
+
+    #[test]
+    fn vpu_read_recalls_dirty_l1_line() {
+        let mut d = Directory::new();
+        d.caching_write(0x40, L1); // L1 owns the line in M
+        let a = d.noncaching_read(0x40, VPU);
+        assert_eq!(a.recall_from, Some(L1), "home node must recall M data");
+        assert!(a.invalidate.is_empty(), "read recall downgrades, no invalidation");
+        assert_eq!(d.recalls(), 1);
+        // Subsequent VPU reads need nothing.
+        let a2 = d.noncaching_read(0x40, VPU);
+        assert_eq!(a2.recall_from, None);
+    }
+
+    #[test]
+    fn vpu_write_invalidates_l1_copy() {
+        let mut d = Directory::new();
+        d.caching_read(0x80, L1);
+        let a = d.noncaching_write(0x80, VPU);
+        assert_eq!(a.recall_from, Some(L1), "exclusive clean copy still recalled in MESI-E");
+        assert_eq!(a.invalidate, vec![L1]);
+        // L1 re-reads later: fresh grant, no recall.
+        let a2 = d.caching_read(0x80, L1);
+        assert!(a2.recall_from.is_none());
+    }
+
+    #[test]
+    fn vpu_write_to_shared_line_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.caching_read(0xC0, L1);
+        d.noncaching_read(0xC0, VPU); // downgrade path not triggered: E(L1) untouched by same test? (L1 is owner)
+        // After the noncaching read, L1 retains a shared copy.
+        let a = d.noncaching_write(0xC0, VPU);
+        assert_eq!(a.invalidate, vec![L1]);
+    }
+
+    #[test]
+    fn caching_write_after_shared_invalidates_other_sharers() {
+        let mut d = Directory::new();
+        d.caching_read(0x100, L1);
+        d.caching_read(0x100, 2); // second caching requestor -> Shared{L1,2}
+        let a = d.caching_write(0x100, L1);
+        assert!(a.exclusive);
+        assert_eq!(a.invalidate, vec![2]);
+        assert_eq!(d.invalidations(), 1);
+    }
+
+    #[test]
+    fn second_caching_read_downgrades_owner() {
+        let mut d = Directory::new();
+        d.caching_write(0x140, L1);
+        let a = d.caching_read(0x140, 2);
+        assert_eq!(a.recall_from, Some(L1));
+        assert!(!a.exclusive);
+        // Both now share: a third read needs nothing.
+        let a2 = d.caching_read(0x140, 3);
+        assert!(a2.recall_from.is_none());
+        assert!(!a2.exclusive);
+    }
+
+    #[test]
+    fn owner_rewrite_is_silent() {
+        let mut d = Directory::new();
+        d.caching_write(0x180, L1);
+        let a = d.caching_write(0x180, L1);
+        assert!(a.exclusive);
+        assert!(a.recall_from.is_none());
+        assert!(a.invalidate.is_empty());
+        assert_eq!(d.recalls(), 0);
+    }
+
+    #[test]
+    fn eviction_clears_ownership() {
+        let mut d = Directory::new();
+        d.caching_write(0x1C0, L1);
+        d.evicted(0x1C0, L1);
+        assert!(!d.held_by_others(0x1C0, VPU));
+        let a = d.noncaching_read(0x1C0, VPU);
+        assert!(a.recall_from.is_none(), "evicted line needs no recall");
+    }
+
+    #[test]
+    fn eviction_from_shared_removes_one_sharer() {
+        let mut d = Directory::new();
+        d.caching_read(0x200, L1);
+        d.caching_read(0x200, 2);
+        d.evicted(0x200, L1);
+        assert!(d.held_by_others(0x200, L1), "requestor 2 still holds it");
+        d.evicted(0x200, 2);
+        assert!(!d.held_by_others(0x200, L1));
+    }
+
+    #[test]
+    fn vpu_traffic_alone_never_creates_state() {
+        let mut d = Directory::new();
+        d.noncaching_read(0x240, VPU);
+        d.noncaching_write(0x240, VPU);
+        assert!(!d.held_by_others(0x240, L1));
+        assert_eq!(d.recalls(), 0);
+        assert_eq!(d.invalidations(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Miss-Status Holding Registers.
+//!
+//! An MSHR file tracks outstanding line fetches. Its capacity bounds a
+//! requestor's memory-level parallelism (MLP) — the central quantity in the
+//! paper's latency experiment: the scalar core's small MSHR file means added
+//! DRAM latency lands almost entirely on the critical path, while the VPU's
+//! deep file overlaps hundreds of element requests.
+
+use std::collections::HashMap;
+
+/// Result of trying to allocate an MSHR for a line miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// First miss to this line: a fetch must be issued downstream.
+    Primary,
+    /// The line is already being fetched; this waiter piggybacks (merged).
+    Secondary,
+    /// No MSHR available: the requestor must stall and retry.
+    Full,
+}
+
+/// The MSHR file, tracking waiters per in-flight line.
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: HashMap<u64, Vec<W>>,
+    peak: usize,
+}
+
+impl<W> MshrFile<W> {
+    /// A file with `capacity` entries (distinct in-flight lines).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Self { capacity, entries: HashMap::new(), peak: 0 }
+    }
+
+    /// Try to register `waiter` for `line`. See [`AllocOutcome`].
+    pub fn alloc(&mut self, line: u64, waiter: W) -> AllocOutcome {
+        if let Some(ws) = self.entries.get_mut(&line) {
+            ws.push(waiter);
+            return AllocOutcome::Secondary;
+        }
+        if self.entries.len() == self.capacity {
+            return AllocOutcome::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        self.peak = self.peak.max(self.entries.len());
+        AllocOutcome::Primary
+    }
+
+    /// The line's fetch completed: release the entry and return its waiters.
+    ///
+    /// # Panics
+    /// Panics if `line` has no entry — completing an unknown fetch is a
+    /// simulator bug.
+    pub fn complete(&mut self, line: u64) -> Vec<W> {
+        self.entries.remove(&line).expect("completing a line with no MSHR entry")
+    }
+
+    /// Whether `line` is currently being fetched.
+    pub fn pending(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of in-flight lines.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no fetch is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Highest simultaneous occupancy observed (MLP telemetry).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary_merge() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.alloc(0x40, 1u32), AllocOutcome::Primary);
+        assert_eq!(m.alloc(0x40, 2), AllocOutcome::Secondary);
+        assert_eq!(m.alloc(0x40, 3), AllocOutcome::Secondary);
+        assert_eq!(m.in_flight(), 1, "merged misses share one entry");
+        assert_eq!(m.complete(0x40), vec![1, 2, 3]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_produces_full() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.alloc(0x00, ()), AllocOutcome::Primary);
+        assert_eq!(m.alloc(0x40, ()), AllocOutcome::Primary);
+        assert!(m.is_full());
+        assert_eq!(m.alloc(0x80, ()), AllocOutcome::Full);
+        // Secondary to an existing line still succeeds at capacity.
+        assert_eq!(m.alloc(0x40, ()), AllocOutcome::Secondary);
+        m.complete(0x00);
+        assert_eq!(m.alloc(0x80, ()), AllocOutcome::Primary);
+    }
+
+    #[test]
+    fn pending_tracks_lines() {
+        let mut m = MshrFile::new(4);
+        m.alloc(0xC0, 'a');
+        assert!(m.pending(0xC0));
+        assert!(!m.pending(0x00));
+        m.complete(0xC0);
+        assert!(!m.pending(0xC0));
+    }
+
+    #[test]
+    fn peak_records_max_occupancy() {
+        let mut m = MshrFile::new(8);
+        m.alloc(0, ());
+        m.alloc(64, ());
+        m.alloc(128, ());
+        m.complete(0);
+        m.complete(64);
+        assert_eq!(m.peak(), 3);
+        assert_eq!(m.in_flight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no MSHR entry")]
+    fn completing_unknown_line_panics() {
+        MshrFile::<()>::new(1).complete(0x1234);
+    }
+}

@@ -1,0 +1,141 @@
+//! Mesh topology: node coordinates and XY dimension-order routes.
+
+/// A node index in row-major order (`id = y * width + x`).
+pub type NodeId = usize;
+
+/// A mesh coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column.
+    pub x: usize,
+    /// Row.
+    pub y: usize,
+}
+
+impl Coord {
+    /// Node id in a mesh of the given width.
+    pub fn id(&self, width: usize) -> NodeId {
+        self.y * width + self.x
+    }
+
+    /// Coordinate of a node id in a mesh of the given width.
+    pub fn of(id: NodeId, width: usize) -> Self {
+        Self { x: id % width, y: id / width }
+    }
+
+    /// Manhattan distance.
+    pub fn hops_to(&self, other: &Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// A directed physical link between adjacent routers, identified by its
+/// endpoints' node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// Upstream router.
+    pub from: NodeId,
+    /// Downstream router.
+    pub to: NodeId,
+}
+
+/// The XY dimension-order route from `src` to `dst` as a list of directed
+/// links: first travel along X, then along Y. Deadlock-free on a mesh.
+pub fn xy_route(src: NodeId, dst: NodeId, width: usize, height: usize) -> Vec<LinkId> {
+    let s = Coord::of(src, width);
+    let d = Coord::of(dst, width);
+    assert!(s.x < width && s.y < height, "src {src} outside {width}x{height} mesh");
+    assert!(d.x < width && d.y < height, "dst {dst} outside {width}x{height} mesh");
+    let mut links = Vec::with_capacity(s.hops_to(&d));
+    let mut cur = s;
+    while cur.x != d.x {
+        let next = Coord { x: if d.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y };
+        links.push(LinkId { from: cur.id(width), to: next.id(width) });
+        cur = next;
+    }
+    while cur.y != d.y {
+        let next = Coord { x: cur.x, y: if d.y > cur.y { cur.y + 1 } else { cur.y - 1 } };
+        links.push(LinkId { from: cur.id(width), to: next.id(width) });
+        cur = next;
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_roundtrip() {
+        for id in 0..12 {
+            assert_eq!(Coord::of(id, 4).id(4), id);
+        }
+        assert_eq!(Coord::of(5, 4), Coord { x: 1, y: 1 });
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { x: 0, y: 0 };
+        let b = Coord { x: 3, y: 2 };
+        assert_eq!(a.hops_to(&b), 5);
+        assert_eq!(b.hops_to(&a), 5);
+        assert_eq!(a.hops_to(&a), 0);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        assert!(xy_route(3, 3, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        // 2x2 mesh: 0=(0,0) 1=(1,0) 2=(0,1) 3=(1,1).
+        let r = xy_route(0, 3, 2, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], LinkId { from: 0, to: 1 }, "X dimension first");
+        assert_eq!(r[1], LinkId { from: 1, to: 3 });
+    }
+
+    #[test]
+    fn route_handles_negative_directions() {
+        let r = xy_route(3, 0, 2, 2);
+        assert_eq!(r[0], LinkId { from: 3, to: 2 });
+        assert_eq!(r[1], LinkId { from: 2, to: 0 });
+    }
+
+    #[test]
+    fn route_length_is_manhattan_distance() {
+        let (w, h) = (4, 3);
+        for s in 0..w * h {
+            for d in 0..w * h {
+                let hops = Coord::of(s, w).hops_to(&Coord::of(d, w));
+                assert_eq!(xy_route(s, d, w, h).len(), hops, "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_links_are_adjacent() {
+        for s in 0..6 {
+            for d in 0..6 {
+                let mut prev = s;
+                for l in xy_route(s, d, 3, 2) {
+                    assert_eq!(l.from, prev, "chain continuity");
+                    let a = Coord::of(l.from, 3);
+                    let b = Coord::of(l.to, 3);
+                    assert_eq!(a.hops_to(&b), 1, "links connect neighbours");
+                    prev = l.to;
+                }
+                if s != d {
+                    assert_eq!(prev, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_mesh_panics() {
+        xy_route(0, 9, 2, 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the mesh NoC model.
+
+use proptest::prelude::*;
+use sdv_noc::{Mesh, MeshConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delivery_never_beats_zero_load(
+        w in 1usize..5,
+        h in 1usize..5,
+        sends in prop::collection::vec((0usize..25, 0usize..25, 1u64..512, 0u64..1000), 1..60),
+    ) {
+        let cfg = MeshConfig { width: w, height: h, ..MeshConfig::default() };
+        let mut mesh = Mesh::new(cfg);
+        for (src, dst, bytes, now) in sends {
+            let (src, dst) = (src % (w * h), dst % (w * h));
+            let t = mesh.send(src, dst, bytes, now);
+            let zl = mesh.zero_load_latency(src, dst, bytes);
+            prop_assert!(t >= now + zl, "{}->{}: {} < {} + {}", src, dst, t, now, zl);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay(
+        sends in prop::collection::vec((0usize..4, 0usize..4, 1u64..256, 0u64..500), 1..40),
+    ) {
+        let run = || {
+            let mut mesh = Mesh::default();
+            sends.iter().map(|&(s, d, b, t)| mesh.send(s, d, b, t)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uncontended_latency_is_zero_load_exactly(
+        src in 0usize..4,
+        dst in 0usize..4,
+        bytes in 1u64..1024,
+        now in 0u64..10_000,
+    ) {
+        let mut mesh = Mesh::default();
+        let t = mesh.send(src, dst, bytes, now);
+        prop_assert_eq!(t, now + mesh.zero_load_latency(src, dst, bytes));
+    }
+
+    #[test]
+    fn flits_accounting_consistent(
+        sends in prop::collection::vec((0usize..4, 0usize..4, 1u64..512), 1..30),
+    ) {
+        let mut mesh = Mesh::default();
+        let mut expect_flits = 0u64;
+        for &(s, d, b) in &sends {
+            expect_flits += mesh.flits_for(b);
+            mesh.send(s, d, b, 0);
+        }
+        prop_assert_eq!(mesh.stats().get("noc.packets"), sends.len() as u64);
+        prop_assert_eq!(mesh.stats().get("noc.flits"), expect_flits);
+    }
+
+    #[test]
+    fn heavier_traffic_never_reduces_total_time(
+        base in prop::collection::vec((0usize..4, 0usize..4), 2..20),
+    ) {
+        // Sending a superset of packets (same instants) cannot make the last
+        // delivery earlier: link reservations only push times later.
+        let run = |n: usize| {
+            let mut mesh = Mesh::default();
+            base.iter().take(n).map(|&(s, d)| mesh.send(s, d, 64, 0)).max().unwrap()
+        };
+        let half = run(base.len() / 2 + 1);
+        let full = run(base.len());
+        prop_assert!(full >= half);
+    }
+}

@@ -1,0 +1,1471 @@
+//! Functional execution of vector instructions.
+#![allow(clippy::needless_range_loop)] // loops index several slices + the mask; indices are clearest
+//!
+//! [`exec`] applies one [`VInst`] to a [`VState`] and a [`VMemory`],
+//! producing an [`ExecInfo`] that reports what happened — the per-element
+//! memory accesses, the number of active elements, and any scalar result.
+//! The timing model (`sdv-uarch`) consumes `ExecInfo` to cost the
+//! instruction; nothing in this module knows about cycles.
+
+use crate::instr::{
+    ArithKind, CmpKind, CvtKind, FArithKind, FmaKind, MaskKind, MemAddr, RedKind, SlideKind,
+    VInst, VOp,
+};
+use crate::mem::VMemory;
+use crate::state::VState;
+use crate::vtype::Sew;
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One element-granular memory access produced by a vector memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes (the SEW width).
+    pub size: u8,
+    /// Read or write.
+    pub kind: MemAccessKind,
+}
+
+/// What executing one instruction did — the functional-to-timing bridge.
+#[derive(Debug, Clone, Default)]
+pub struct ExecInfo {
+    /// Element-granular memory accesses, in element order.
+    pub mem: Vec<MemAccess>,
+    /// Scalar result (for `vpopc`, `vfirst`, `vmv.x.s`). `vfirst` returns
+    /// `-1i64 as u64` when no bit is set.
+    pub scalar: Option<u64>,
+    /// Number of elements that were active (unmasked or mask bit set).
+    pub active: usize,
+    /// The VL the instruction executed at.
+    pub vl: usize,
+    /// Whether the addressing mode was unit-stride (timing: line bursts).
+    pub unit_stride: bool,
+}
+
+#[inline]
+fn fp_bin(sew: Sew, kind: FArithKind, a: u64, b: u64) -> u64 {
+    match sew {
+        Sew::E64 => {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            let r = match kind {
+                FArithKind::Fadd => x + y,
+                FArithKind::Fsub => x - y,
+                FArithKind::Frsub => y - x,
+                FArithKind::Fmul => x * y,
+                FArithKind::Fdiv => x / y,
+                FArithKind::Fmin => x.min(y),
+                FArithKind::Fmax => x.max(y),
+                FArithKind::Fsgnj => x.abs().copysign(y),
+                FArithKind::Fsgnjn => x.abs().copysign(-y),
+            };
+            r.to_bits()
+        }
+        Sew::E32 => {
+            let (x, y) = (f32::from_bits(a as u32), f32::from_bits(b as u32));
+            let r = match kind {
+                FArithKind::Fadd => x + y,
+                FArithKind::Fsub => x - y,
+                FArithKind::Frsub => y - x,
+                FArithKind::Fmul => x * y,
+                FArithKind::Fdiv => x / y,
+                FArithKind::Fmin => x.min(y),
+                FArithKind::Fmax => x.max(y),
+                FArithKind::Fsgnj => x.abs().copysign(y),
+                FArithKind::Fsgnjn => x.abs().copysign(-y),
+            };
+            r.to_bits() as u64
+        }
+        _ => panic!("FP ops require SEW of 32 or 64 bits, got {sew:?}"),
+    }
+}
+
+#[inline]
+fn fp_fma(sew: Sew, kind: FmaKind, acc: u64, a: u64, b: u64) -> u64 {
+    match sew {
+        Sew::E64 => {
+            let (d, x, y) = (f64::from_bits(acc), f64::from_bits(a), f64::from_bits(b));
+            let r = match kind {
+                FmaKind::Macc => x.mul_add(y, d),
+                FmaKind::Nmsac => (-x).mul_add(y, d),
+                FmaKind::Madd => x.mul_add(d, y),
+            };
+            r.to_bits()
+        }
+        Sew::E32 => {
+            let (d, x, y) =
+                (f32::from_bits(acc as u32), f32::from_bits(a as u32), f32::from_bits(b as u32));
+            let r = match kind {
+                FmaKind::Macc => x.mul_add(y, d),
+                FmaKind::Nmsac => (-x).mul_add(y, d),
+                FmaKind::Madd => x.mul_add(d, y),
+            };
+            r.to_bits() as u64
+        }
+        _ => panic!("FMA requires SEW of 32 or 64 bits, got {sew:?}"),
+    }
+}
+
+#[inline]
+fn int_bin(sew: Sew, kind: ArithKind, a: u64, b: u64) -> u64 {
+    let mask = sew.value_mask();
+    let shamt = (b as u32) & (sew.bits() as u32 - 1);
+    let r = match kind {
+        ArithKind::Add => a.wrapping_add(b),
+        ArithKind::Sub => a.wrapping_sub(b),
+        ArithKind::Rsub => b.wrapping_sub(a),
+        ArithKind::And => a & b,
+        ArithKind::Or => a | b,
+        ArithKind::Xor => a ^ b,
+        ArithKind::Sll => a << shamt,
+        ArithKind::Srl => (a & mask) >> shamt,
+        ArithKind::Sra => (sew.sign_extend(a) >> shamt) as u64,
+        ArithKind::Mul => a.wrapping_mul(b),
+        ArithKind::Min => {
+            if sew.sign_extend(a) <= sew.sign_extend(b) {
+                a
+            } else {
+                b
+            }
+        }
+        ArithKind::Max => {
+            if sew.sign_extend(a) >= sew.sign_extend(b) {
+                a
+            } else {
+                b
+            }
+        }
+        ArithKind::Minu => (a & mask).min(b & mask),
+        ArithKind::Maxu => (a & mask).max(b & mask),
+    };
+    r & mask
+}
+
+#[inline]
+fn compare(sew: Sew, kind: CmpKind, a: u64, b: u64) -> bool {
+    let (ua, ub) = (a & sew.value_mask(), b & sew.value_mask());
+    let (sa, sb) = (sew.sign_extend(a), sew.sign_extend(b));
+    match kind {
+        CmpKind::Eq => ua == ub,
+        CmpKind::Ne => ua != ub,
+        CmpKind::Lt => sa < sb,
+        CmpKind::Ltu => ua < ub,
+        CmpKind::Le => sa <= sb,
+        CmpKind::Leu => ua <= ub,
+        CmpKind::Gt => sa > sb,
+        CmpKind::Gtu => ua > ub,
+        CmpKind::Feq | CmpKind::Fne | CmpKind::Flt | CmpKind::Fle | CmpKind::Fgt => {
+            let (x, y) = match sew {
+                Sew::E64 => (f64::from_bits(a), f64::from_bits(b)),
+                Sew::E32 => (f32::from_bits(a as u32) as f64, f32::from_bits(b as u32) as f64),
+                _ => panic!("FP compare requires SEW of 32 or 64 bits"),
+            };
+            match kind {
+                CmpKind::Feq => x == y,
+                CmpKind::Fne => x != y,
+                CmpKind::Flt => x < y,
+                CmpKind::Fle => x <= y,
+                CmpKind::Fgt => x > y,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Element addresses touched by a memory instruction, in element order.
+/// Masked-off elements are *not* accessed (RVV masked loads/stores skip them).
+/// `elem_bytes` is the in-memory element footprint (SEW/2 for widening
+/// loads); index registers are always read at the full SEW.
+fn element_addrs(
+    state: &VState,
+    addr: &MemAddr,
+    masked: bool,
+    elem_bytes: usize,
+) -> (Vec<Option<u64>>, bool) {
+    let sew = state.vtype.sew;
+    let vl = state.vl;
+    let mut out = Vec::with_capacity(vl);
+    let unit = matches!(addr, MemAddr::Unit { .. });
+    for i in 0..vl {
+        if !state.active(masked, i) {
+            out.push(None);
+            continue;
+        }
+        let a = match addr {
+            MemAddr::Unit { base } => base + (i * elem_bytes) as u64,
+            MemAddr::Strided { base, stride } => (*base as i64 + stride * i as i64) as u64,
+            MemAddr::Indexed { base, index } => base + state.regs.get(*index, sew, i),
+        };
+        out.push(Some(a));
+    }
+    (out, unit)
+}
+
+/// Execute one instruction. Returns what happened.
+///
+/// # Panics
+/// Panics on malformed programs (FP ops at SEW<32, register-group overflow);
+/// these are programming errors in the kernel, not runtime conditions.
+pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecInfo {
+    let sew = state.vtype.sew;
+    let vl = state.vl;
+    let masked = inst.masked;
+    let mut info = ExecInfo { vl, ..ExecInfo::default() };
+
+    // Snapshot-read helper: many ops must be alias-safe (vd may equal a
+    // source), so sources are materialized before any write.
+    let read_vec = |st: &VState, r: u8| -> Vec<u64> {
+        (0..vl).map(|i| st.regs.get(r, sew, i)).collect()
+    };
+    let read_mask_vec = |st: &VState, r: u8| -> Vec<bool> {
+        (0..vl).map(|i| st.regs.get_mask(r, i)).collect()
+    };
+
+    match &inst.op {
+        VOp::Load { vd, addr } => {
+            let (addrs, unit) = element_addrs(state, addr, masked, sew.bytes());
+            info.unit_stride = unit;
+            for (i, a) in addrs.iter().enumerate() {
+                if let Some(a) = *a {
+                    let v = mem.read_uint(a, sew.bytes());
+                    state.regs.set(*vd, sew, i, v);
+                    info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Read });
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::SegLoad { vd, base, nf } => {
+            let nf = *nf as usize;
+            assert!((2..=8).contains(&nf), "segment nf must be 2..=8");
+            info.unit_stride = true;
+            for i in 0..vl {
+                if !state.active(masked, i) {
+                    continue;
+                }
+                for f in 0..nf {
+                    let a = base + ((i * nf + f) * sew.bytes()) as u64;
+                    let v = mem.read_uint(a, sew.bytes());
+                    state.regs.set(vd + f as u8, sew, i, v);
+                    info.mem.push(MemAccess {
+                        addr: a,
+                        size: sew.bytes() as u8,
+                        kind: MemAccessKind::Read,
+                    });
+                }
+                info.active += 1;
+            }
+        }
+        VOp::SegStore { vs, base, nf } => {
+            let nf = *nf as usize;
+            assert!((2..=8).contains(&nf), "segment nf must be 2..=8");
+            info.unit_stride = true;
+            for i in 0..vl {
+                if !state.active(masked, i) {
+                    continue;
+                }
+                for f in 0..nf {
+                    let a = base + ((i * nf + f) * sew.bytes()) as u64;
+                    let v = state.regs.get(vs + f as u8, sew, i);
+                    mem.write_uint(a, sew.bytes(), v);
+                    info.mem.push(MemAccess {
+                        addr: a,
+                        size: sew.bytes() as u8,
+                        kind: MemAccessKind::Write,
+                    });
+                }
+                info.active += 1;
+            }
+        }
+        VOp::LoadWiden { vd, addr } => {
+            let half = sew.half().expect("widening load requires SEW >= 16");
+            let (addrs, unit) = element_addrs(state, addr, masked, half.bytes());
+            info.unit_stride = unit;
+            for (i, a) in addrs.iter().enumerate() {
+                if let Some(a) = *a {
+                    let v = mem.read_uint(a, half.bytes());
+                    state.regs.set(*vd, sew, i, v);
+                    info.mem.push(MemAccess { addr: a, size: half.bytes() as u8, kind: MemAccessKind::Read });
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::Store { vs, addr } => {
+            let (addrs, unit) = element_addrs(state, addr, masked, sew.bytes());
+            info.unit_stride = unit;
+            for (i, a) in addrs.iter().enumerate() {
+                if let Some(a) = *a {
+                    let v = state.regs.get(*vs, sew, i);
+                    mem.write_uint(a, sew.bytes(), v);
+                    info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Write });
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::ArithVV { kind, vd, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], ys[i]));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::ArithVX { kind, vd, x, scalar } => {
+            let xs = read_vec(state, *x);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], *scalar));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::FArithVV { kind, vd, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], ys[i]));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::FArithVF { kind, vd, x, scalar } => {
+            let xs = read_vec(state, *x);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], *scalar));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::FUnary { kind, vd, x } => {
+            let xs = read_vec(state, *x);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let r = match sew {
+                        Sew::E64 => {
+                            let v = f64::from_bits(xs[i]);
+                            (match kind {
+                                crate::instr::FUnaryKind::Fsqrt => v.sqrt(),
+                                crate::instr::FUnaryKind::Fneg => -v,
+                                crate::instr::FUnaryKind::Fabs => v.abs(),
+                            })
+                            .to_bits()
+                        }
+                        Sew::E32 => {
+                            let v = f32::from_bits(xs[i] as u32);
+                            (match kind {
+                                crate::instr::FUnaryKind::Fsqrt => v.sqrt(),
+                                crate::instr::FUnaryKind::Fneg => -v,
+                                crate::instr::FUnaryKind::Fabs => v.abs(),
+                            })
+                            .to_bits() as u64
+                        }
+                        _ => panic!("FP unary requires SEW of 32 or 64 bits"),
+                    };
+                    state.regs.set(*vd, sew, i, r);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::IMaccVV { vd, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let acc = state.regs.get(*vd, sew, i);
+                    let r = acc.wrapping_add(xs[i].wrapping_mul(ys[i])) & sew.value_mask();
+                    state.regs.set(*vd, sew, i, r);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::SatAddU { vd, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            let max = sew.value_mask();
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let sum = (xs[i] & max) as u128 + (ys[i] & max) as u128;
+                    let r = if sum > max as u128 { max } else { sum as u64 };
+                    state.regs.set(*vd, sew, i, r);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::WidenBin { kind, vd, x, y } => {
+            let half = sew.half().expect("widening requires SEW >= 16");
+            let xs: Vec<u64> = (0..vl).map(|i| state.regs.get(*x, half, i)).collect();
+            let ys: Vec<u64> = (0..vl).map(|i| state.regs.get(*y, half, i)).collect();
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let r = match kind {
+                        crate::instr::WidenKind::Addu => xs[i] + ys[i],
+                        crate::instr::WidenKind::Subu => xs[i].wrapping_sub(ys[i]) & sew.value_mask(),
+                        crate::instr::WidenKind::Mulu => xs[i].wrapping_mul(ys[i]) & sew.value_mask(),
+                    };
+                    state.regs.set(*vd, sew, i, r);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::NarrowSrl { vd, x, shamt } => {
+            let half = sew.half().expect("narrowing requires SEW >= 16");
+            let xs = read_vec(state, *x);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let r = (xs[i] >> (shamt & (sew.bits() as u32 - 1))) & half.value_mask();
+                    state.regs.set(*vd, half, i, r);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::MaskSet { kind, md, m } => {
+            let ms = read_mask_vec(state, *m);
+            let first = ms.iter().position(|&b| b);
+            for i in 0..vl {
+                let r = match (kind, first) {
+                    (crate::instr::MaskSetKind::Sbf, Some(f)) => i < f,
+                    (crate::instr::MaskSetKind::Sif, Some(f)) => i <= f,
+                    (crate::instr::MaskSetKind::Sof, Some(f)) => i == f,
+                    (crate::instr::MaskSetKind::Sbf, None)
+                    | (crate::instr::MaskSetKind::Sif, None) => true,
+                    (crate::instr::MaskSetKind::Sof, None) => false,
+                };
+                state.regs.set_mask(*md, i, r);
+            }
+            info.active = vl;
+        }
+        VOp::FmaVV { kind, vd, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let acc = state.regs.get(*vd, sew, i);
+                    state.regs.set(*vd, sew, i, fp_fma(sew, *kind, acc, xs[i], ys[i]));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::FmaVF { kind, vd, scalar, y } => {
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let acc = state.regs.get(*vd, sew, i);
+                    state.regs.set(*vd, sew, i, fp_fma(sew, *kind, acc, *scalar, ys[i]));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::CmpVV { kind, md, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            // Must snapshot activity before writing: md may be v0 itself.
+            let act: Vec<bool> = (0..vl).map(|i| state.active(masked, i)).collect();
+            for i in 0..vl {
+                if act[i] {
+                    state.regs.set_mask(*md, i, compare(sew, *kind, xs[i], ys[i]));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::CmpVX { kind, md, x, scalar } => {
+            let xs = read_vec(state, *x);
+            let act: Vec<bool> = (0..vl).map(|i| state.active(masked, i)).collect();
+            for i in 0..vl {
+                if act[i] {
+                    state.regs.set_mask(*md, i, compare(sew, *kind, xs[i], *scalar));
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::MaskOp { kind, md, m1, m2 } => {
+            let a = read_mask_vec(state, *m1);
+            let b = read_mask_vec(state, *m2);
+            for i in 0..vl {
+                let r = match kind {
+                    MaskKind::And => a[i] & b[i],
+                    MaskKind::Or => a[i] | b[i],
+                    MaskKind::Xor => a[i] ^ b[i],
+                    MaskKind::AndNot => a[i] & !b[i],
+                    MaskKind::Nand => !(a[i] & b[i]),
+                    MaskKind::Nor => !(a[i] | b[i]),
+                };
+                state.regs.set_mask(*md, i, r);
+            }
+            info.active = vl;
+        }
+        VOp::Popc { m } => {
+            let mut n = 0u64;
+            for i in 0..vl {
+                if state.active(masked, i) && state.regs.get_mask(*m, i) {
+                    n += 1;
+                }
+            }
+            info.scalar = Some(n);
+            info.active = vl;
+        }
+        VOp::First { m } => {
+            let mut r = -1i64;
+            for i in 0..vl {
+                if state.active(masked, i) && state.regs.get_mask(*m, i) {
+                    r = i as i64;
+                    break;
+                }
+            }
+            info.scalar = Some(r as u64);
+            info.active = vl;
+        }
+        VOp::Iota { vd, m } => {
+            let ms = read_mask_vec(state, *m);
+            let act: Vec<bool> = (0..vl).map(|i| state.active(masked, i)).collect();
+            let mut cnt = 0u64;
+            for i in 0..vl {
+                if act[i] {
+                    state.regs.set(*vd, sew, i, cnt);
+                    if ms[i] {
+                        cnt += 1;
+                    }
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::Id { vd } => {
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, i as u64);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::Red { kind, vd, x, acc } => {
+            let xs = read_vec(state, *x);
+            let seed = state.regs.get(*acc, sew, 0);
+            let is_fp = matches!(kind, RedKind::Fsum | RedKind::Fmax | RedKind::Fmin);
+            let mut r = seed;
+            for (i, &v) in xs.iter().enumerate().take(vl) {
+                if !state.active(masked, i) {
+                    continue;
+                }
+                info.active += 1;
+                r = if is_fp {
+                    match sew {
+                        Sew::E64 => {
+                            let (a, b) = (f64::from_bits(r), f64::from_bits(v));
+                            match kind {
+                                RedKind::Fsum => (a + b).to_bits(),
+                                RedKind::Fmax => a.max(b).to_bits(),
+                                RedKind::Fmin => a.min(b).to_bits(),
+                                _ => unreachable!(),
+                            }
+                        }
+                        Sew::E32 => {
+                            let (a, b) = (f32::from_bits(r as u32), f32::from_bits(v as u32));
+                            (match kind {
+                                RedKind::Fsum => a + b,
+                                RedKind::Fmax => a.max(b),
+                                RedKind::Fmin => a.min(b),
+                                _ => unreachable!(),
+                            })
+                            .to_bits() as u64
+                        }
+                        _ => panic!("FP reduction requires SEW of 32 or 64 bits"),
+                    }
+                } else {
+                    match kind {
+                        RedKind::Sum => (r.wrapping_add(v)) & sew.value_mask(),
+                        RedKind::Max => {
+                            if sew.sign_extend(v) > sew.sign_extend(r) {
+                                v
+                            } else {
+                                r
+                            }
+                        }
+                        RedKind::Min => {
+                            if sew.sign_extend(v) < sew.sign_extend(r) {
+                                v
+                            } else {
+                                r
+                            }
+                        }
+                        RedKind::Maxu => (r & sew.value_mask()).max(v & sew.value_mask()),
+                        _ => unreachable!(),
+                    }
+                };
+            }
+            state.regs.set(*vd, sew, 0, r);
+        }
+        VOp::Slide { kind, vd, x, amount } => {
+            let xs = read_vec(state, *x);
+            let vlmax = state.vlmax().min(state.regs.elems_per_reg(sew) * state.vtype.lmul.factor());
+            match kind {
+                SlideKind::Up => {
+                    let off = *amount as usize;
+                    for i in off..vl {
+                        if state.active(masked, i) {
+                            state.regs.set(*vd, sew, i, xs[i - off]);
+                            info.active += 1;
+                        }
+                    }
+                }
+                SlideKind::Down => {
+                    let off = *amount as usize;
+                    for i in 0..vl {
+                        if state.active(masked, i) {
+                            let src = i + off;
+                            let v = if src < vl {
+                                xs[src]
+                            } else if src < vlmax {
+                                state.regs.get(*x, sew, src)
+                            } else {
+                                0
+                            };
+                            state.regs.set(*vd, sew, i, v);
+                            info.active += 1;
+                        }
+                    }
+                }
+                SlideKind::OneUp => {
+                    for i in (1..vl).rev() {
+                        if state.active(masked, i) {
+                            state.regs.set(*vd, sew, i, xs[i - 1]);
+                            info.active += 1;
+                        }
+                    }
+                    if vl > 0 && state.active(masked, 0) {
+                        state.regs.set(*vd, sew, 0, *amount);
+                        info.active += 1;
+                    }
+                }
+                SlideKind::OneDown => {
+                    for i in 0..vl.saturating_sub(1) {
+                        if state.active(masked, i) {
+                            state.regs.set(*vd, sew, i, xs[i + 1]);
+                            info.active += 1;
+                        }
+                    }
+                    if vl > 0 && state.active(masked, vl - 1) {
+                        state.regs.set(*vd, sew, vl - 1, *amount);
+                        info.active += 1;
+                    }
+                }
+            }
+        }
+        VOp::Gather { vd, x, y } => {
+            let table: Vec<u64> =
+                (0..state.regs.elems_per_reg(sew) * state.vtype.lmul.factor())
+                    .map(|i| state.regs.get(*x, sew, i))
+                    .collect();
+            let idxs = read_vec(state, *y);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    let j = idxs[i] as usize;
+                    let v = if j < table.len() { table[j] } else { 0 };
+                    state.regs.set(*vd, sew, i, v);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::Compress { vd, x, m } => {
+            let xs = read_vec(state, *x);
+            let ms = read_mask_vec(state, *m);
+            let mut j = 0usize;
+            for i in 0..vl {
+                if ms[i] {
+                    state.regs.set(*vd, sew, j, xs[i]);
+                    j += 1;
+                }
+            }
+            info.active = j;
+        }
+        VOp::Merge { vd, x, y } => {
+            let xs = read_vec(state, *x);
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                let take_x = state.regs.get_mask(0, i);
+                state.regs.set(*vd, sew, i, if take_x { xs[i] } else { ys[i] });
+            }
+            info.active = vl;
+        }
+        VOp::MergeVX { vd, scalar, y } => {
+            let ys = read_vec(state, *y);
+            for i in 0..vl {
+                let take_s = state.regs.get_mask(0, i);
+                state.regs.set(*vd, sew, i, if take_s { *scalar } else { ys[i] });
+            }
+            info.active = vl;
+        }
+        VOp::Mv { vd, x } => {
+            let xs = read_vec(state, *x);
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, xs[i]);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::MvVX { vd, scalar } => {
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, *scalar);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::MvSX { vd, scalar } => {
+            state.regs.set(*vd, sew, 0, *scalar);
+            info.active = 1;
+        }
+        VOp::MvXS { x } => {
+            info.scalar = Some(state.regs.get(*x, sew, 0));
+            info.active = 1;
+        }
+        VOp::Widen { vd, x } => {
+            let half = sew.half().expect("cannot widen from SEW=8's half");
+            let xs: Vec<u64> = (0..vl).map(|i| state.regs.get(*x, half, i)).collect();
+            for i in 0..vl {
+                if state.active(masked, i) {
+                    state.regs.set(*vd, sew, i, xs[i]);
+                    info.active += 1;
+                }
+            }
+        }
+        VOp::Cvt { kind, vd, x } => {
+            let xs = read_vec(state, *x);
+            for i in 0..vl {
+                if !state.active(masked, i) {
+                    continue;
+                }
+                let v = xs[i];
+                let r = match (sew, kind) {
+                    (Sew::E64, CvtKind::UToF) => (v as f64).to_bits(),
+                    (Sew::E64, CvtKind::IToF) => ((v as i64) as f64).to_bits(),
+                    (Sew::E64, CvtKind::FToU) => {
+                        let f = f64::from_bits(v).round_ties_even();
+                        if f <= 0.0 {
+                            0
+                        } else if f >= u64::MAX as f64 {
+                            u64::MAX
+                        } else {
+                            f as u64
+                        }
+                    }
+                    (Sew::E64, CvtKind::FToI) => {
+                        let f = f64::from_bits(v).round_ties_even();
+                        (f as i64) as u64
+                    }
+                    (Sew::E32, CvtKind::UToF) => ((v as u32) as f32).to_bits() as u64,
+                    (Sew::E32, CvtKind::IToF) => ((v as u32 as i32) as f32).to_bits() as u64,
+                    (Sew::E32, CvtKind::FToU) => {
+                        let f = f32::from_bits(v as u32).round_ties_even();
+                        if f <= 0.0 {
+                            0
+                        } else if f >= u32::MAX as f32 {
+                            u32::MAX as u64
+                        } else {
+                            f as u32 as u64
+                        }
+                    }
+                    (Sew::E32, CvtKind::FToI) => {
+                        let f = f32::from_bits(v as u32).round_ties_even();
+                        (f as i32) as u32 as u64
+                    }
+                    _ => panic!("conversion requires SEW of 32 or 64 bits"),
+                };
+                state.regs.set(*vd, sew, i, r);
+                info.active += 1;
+            }
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::FlatMemory;
+    use crate::vtype::Lmul;
+
+    fn st(vl: usize) -> VState {
+        let mut s = VState::new(2048); // 32 f64 per register
+        s.set_vl(vl, Sew::E64, Lmul::M1);
+        s
+    }
+
+    fn run(s: &mut VState, op: VOp) -> ExecInfo {
+        let mut m = FlatMemory::new(1);
+        exec(&VInst::new(op), s, &mut m)
+    }
+
+    fn run_masked(s: &mut VState, op: VOp) -> ExecInfo {
+        let mut m = FlatMemory::new(1);
+        exec(&VInst::masked(op), s, &mut m)
+    }
+
+    #[test]
+    fn unit_load_store_roundtrip() {
+        let mut s = st(8);
+        let mut mem = FlatMemory::new(1024);
+        for i in 0..8 {
+            mem.write_uint(i * 8, 8, 100 + i);
+        }
+        let info = exec(&VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } }), &mut s, &mut mem);
+        assert_eq!(info.mem.len(), 8);
+        assert!(info.unit_stride);
+        assert_eq!(s.regs.get(1, Sew::E64, 0), 100);
+        assert_eq!(s.regs.get(1, Sew::E64, 7), 107);
+        let info = exec(&VInst::new(VOp::Store { vs: 1, addr: MemAddr::Unit { base: 512 } }), &mut s, &mut mem);
+        assert_eq!(info.mem.len(), 8);
+        assert_eq!(mem.read_uint(512 + 7 * 8, 8), 107);
+    }
+
+    #[test]
+    fn strided_load_reads_with_stride() {
+        let mut s = st(4);
+        let mut mem = FlatMemory::new(1024);
+        for i in 0..4u64 {
+            mem.write_uint(i * 24, 8, i + 1);
+        }
+        exec(
+            &VInst::new(VOp::Load { vd: 2, addr: MemAddr::Strided { base: 0, stride: 24 } }),
+            &mut s,
+            &mut mem,
+        );
+        for i in 0..4 {
+            assert_eq!(s.regs.get(2, Sew::E64, i), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn indexed_gather_uses_byte_offsets() {
+        let mut s = st(4);
+        let mut mem = FlatMemory::new(1024);
+        mem.write_uint(40, 8, 7);
+        mem.write_uint(8, 8, 9);
+        // offsets: 40, 8, 40, 8
+        for (i, off) in [40u64, 8, 40, 8].iter().enumerate() {
+            s.regs.set(3, Sew::E64, i, *off);
+        }
+        let info = exec(
+            &VInst::new(VOp::Load { vd: 4, addr: MemAddr::Indexed { base: 0, index: 3 } }),
+            &mut s,
+            &mut mem,
+        );
+        assert!(!info.unit_stride);
+        assert_eq!(s.regs.get(4, Sew::E64, 0), 7);
+        assert_eq!(s.regs.get(4, Sew::E64, 1), 9);
+        assert_eq!(s.regs.get(4, Sew::E64, 2), 7);
+        assert_eq!(s.regs.get(4, Sew::E64, 3), 9);
+    }
+
+    #[test]
+    fn widening_load_unit_stride() {
+        let mut s = st(4);
+        let mut mem = FlatMemory::new(1024);
+        // Four consecutive u32 values.
+        for i in 0..4u64 {
+            mem.write_uint(i * 4, 4, 0x8000_0000 + i);
+        }
+        let info = exec(
+            &VInst::new(VOp::LoadWiden { vd: 2, addr: MemAddr::Unit { base: 0 } }),
+            &mut s,
+            &mut mem,
+        );
+        assert!(info.unit_stride);
+        assert_eq!(info.mem.len(), 4);
+        assert_eq!(info.mem[1].addr, 4, "element footprint is SEW/2 bytes");
+        assert_eq!(info.mem[0].size, 4);
+        for i in 0..4 {
+            assert_eq!(s.regs.get(2, Sew::E64, i), 0x8000_0000 + i as u64, "zero-extended");
+        }
+    }
+
+    #[test]
+    fn widening_load_indexed() {
+        let mut s = st(2);
+        let mut mem = FlatMemory::new(1024);
+        mem.write_uint(100, 4, 7);
+        mem.write_uint(200, 4, 9);
+        s.regs.set(1, Sew::E64, 0, 100);
+        s.regs.set(1, Sew::E64, 1, 200);
+        exec(
+            &VInst::new(VOp::LoadWiden { vd: 2, addr: MemAddr::Indexed { base: 0, index: 1 } }),
+            &mut s,
+            &mut mem,
+        );
+        assert_eq!(s.regs.get(2, Sew::E64, 0), 7);
+        assert_eq!(s.regs.get(2, Sew::E64, 1), 9);
+    }
+
+    #[test]
+    fn masked_load_skips_inactive_elements() {
+        let mut s = st(4);
+        let mut mem = FlatMemory::new(1024);
+        for i in 0..4u64 {
+            mem.write_uint(i * 8, 8, 50 + i);
+        }
+        s.regs.set_mask(0, 0, true);
+        s.regs.set_mask(0, 2, true);
+        s.regs.set(5, Sew::E64, 1, 999); // will stay undisturbed
+        let info = exec(
+            &VInst::masked(VOp::Load { vd: 5, addr: MemAddr::Unit { base: 0 } }),
+            &mut s,
+            &mut mem,
+        );
+        assert_eq!(info.mem.len(), 2);
+        assert_eq!(info.active, 2);
+        assert_eq!(s.regs.get(5, Sew::E64, 0), 50);
+        assert_eq!(s.regs.get(5, Sew::E64, 1), 999);
+        assert_eq!(s.regs.get(5, Sew::E64, 2), 52);
+    }
+
+    #[test]
+    fn int_add_and_tail_undisturbed() {
+        let mut s = st(4);
+        s.regs.set(10, Sew::E64, 4, 777); // beyond vl: must stay
+        for i in 0..4 {
+            s.regs.set(8, Sew::E64, i, i as u64);
+            s.regs.set(9, Sew::E64, i, 10);
+        }
+        run(&mut s, VOp::ArithVV { kind: ArithKind::Add, vd: 10, x: 8, y: 9 });
+        for i in 0..4 {
+            assert_eq!(s.regs.get(10, Sew::E64, i), i as u64 + 10);
+        }
+        assert_eq!(s.regs.get(10, Sew::E64, 4), 777, "tail must be undisturbed");
+    }
+
+    #[test]
+    fn arith_vx_and_rsub() {
+        let mut s = st(3);
+        for i in 0..3 {
+            s.regs.set(1, Sew::E64, i, 5);
+        }
+        run(&mut s, VOp::ArithVX { kind: ArithKind::Rsub, vd: 2, x: 1, scalar: 20 });
+        assert_eq!(s.regs.get(2, Sew::E64, 0), 15); // 20 - 5
+        run(&mut s, VOp::ArithVX { kind: ArithKind::Sll, vd: 2, x: 1, scalar: 3 });
+        assert_eq!(s.regs.get(2, Sew::E64, 0), 40); // 5 << 3
+    }
+
+    #[test]
+    fn signed_ops_at_narrow_sew() {
+        let mut s = VState::new(2048);
+        s.set_vl(2, Sew::E8, Lmul::M1);
+        s.regs.set(1, Sew::E8, 0, 0x80); // -128
+        s.regs.set(1, Sew::E8, 1, 0x7F); // 127
+        s.regs.set(2, Sew::E8, 0, 1);
+        s.regs.set(2, Sew::E8, 1, 1);
+        run(&mut s, VOp::ArithVV { kind: ArithKind::Max, vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E8, 0), 1, "signed max(-128, 1) = 1");
+        assert_eq!(s.regs.get(3, Sew::E8, 1), 0x7F);
+        run(&mut s, VOp::ArithVV { kind: ArithKind::Maxu, vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E8, 0), 0x80, "unsigned max(128, 1) = 128");
+    }
+
+    #[test]
+    fn fp_ops_and_fma() {
+        let mut s = st(2);
+        s.regs.set_f64(1, 0, 2.0);
+        s.regs.set_f64(1, 1, -4.0);
+        s.regs.set_f64(2, 0, 3.0);
+        s.regs.set_f64(2, 1, 0.5);
+        run(&mut s, VOp::FArithVV { kind: FArithKind::Fmul, vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get_f64(3, 0), 6.0);
+        assert_eq!(s.regs.get_f64(3, 1), -2.0);
+        // vd += x*y
+        run(&mut s, VOp::FmaVV { kind: FmaKind::Macc, vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get_f64(3, 0), 12.0);
+        assert_eq!(s.regs.get_f64(3, 1), -4.0);
+        run(&mut s, VOp::FArithVF { kind: FArithKind::Fadd, vd: 3, x: 3, scalar: 1.0f64.to_bits() });
+        assert_eq!(s.regs.get_f64(3, 0), 13.0);
+    }
+
+    #[test]
+    fn compare_sets_mask_bits() {
+        let mut s = st(4);
+        for (i, v) in [1u64, 5, 3, 9].iter().enumerate() {
+            s.regs.set(1, Sew::E64, i, *v);
+        }
+        run(&mut s, VOp::CmpVX { kind: CmpKind::Gtu, md: 7, x: 1, scalar: 3 });
+        assert!(!s.regs.get_mask(7, 0));
+        assert!(s.regs.get_mask(7, 1));
+        assert!(!s.regs.get_mask(7, 2));
+        assert!(s.regs.get_mask(7, 3));
+    }
+
+    #[test]
+    fn fp_compare() {
+        let mut s = st(2);
+        s.regs.set_f64(1, 0, 1.5);
+        s.regs.set_f64(1, 1, f64::NAN);
+        s.regs.set_f64(2, 0, 2.0);
+        s.regs.set_f64(2, 1, 2.0);
+        run(&mut s, VOp::CmpVV { kind: CmpKind::Flt, md: 4, x: 1, y: 2 });
+        assert!(s.regs.get_mask(4, 0));
+        assert!(!s.regs.get_mask(4, 1), "NaN compares false");
+    }
+
+    #[test]
+    fn mask_logicals() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set_mask(1, i, i % 2 == 0); // 1010
+            s.regs.set_mask(2, i, i < 2); //       1100
+        }
+        run(&mut s, VOp::MaskOp { kind: MaskKind::And, md: 3, m1: 1, m2: 2 });
+        assert_eq!((0..4).map(|i| s.regs.get_mask(3, i)).collect::<Vec<_>>(), vec![true, false, false, false]);
+        run(&mut s, VOp::MaskOp { kind: MaskKind::Nand, md: 3, m1: 1, m2: 1 });
+        assert_eq!((0..4).map(|i| s.regs.get_mask(3, i)).collect::<Vec<_>>(), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn popc_first_iota() {
+        let mut s = st(8);
+        for i in [1usize, 3, 4, 7] {
+            s.regs.set_mask(2, i, true);
+        }
+        let info = run(&mut s, VOp::Popc { m: 2 });
+        assert_eq!(info.scalar, Some(4));
+        let info = run(&mut s, VOp::First { m: 2 });
+        assert_eq!(info.scalar, Some(1));
+        run(&mut s, VOp::Iota { vd: 5, m: 2 });
+        let iota: Vec<u64> = (0..8).map(|i| s.regs.get(5, Sew::E64, i)).collect();
+        assert_eq!(iota, vec![0, 0, 1, 1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn first_none_returns_minus_one() {
+        let mut s = st(8);
+        let info = run(&mut s, VOp::First { m: 6 });
+        assert_eq!(info.scalar, Some((-1i64) as u64));
+    }
+
+    #[test]
+    fn vid_writes_indices() {
+        let mut s = st(5);
+        run(&mut s, VOp::Id { vd: 1 });
+        for i in 0..5 {
+            assert_eq!(s.regs.get(1, Sew::E64, i), i as u64);
+        }
+    }
+
+    #[test]
+    fn fp_reduction_sum_with_seed() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set_f64(1, i, (i + 1) as f64); // 1+2+3+4 = 10
+        }
+        s.regs.set_f64(2, 0, 100.0); // seed
+        run(&mut s, VOp::Red { kind: RedKind::Fsum, vd: 3, x: 1, acc: 2 });
+        assert_eq!(s.regs.get_f64(3, 0), 110.0);
+    }
+
+    #[test]
+    fn masked_reduction_skips_inactive() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set_f64(1, i, (i + 1) as f64);
+        }
+        s.regs.set_mask(0, 0, true);
+        s.regs.set_mask(0, 2, true);
+        s.regs.set_f64(2, 0, 0.0);
+        let mut m = FlatMemory::new(1);
+        exec(&VInst::masked(VOp::Red { kind: RedKind::Fsum, vd: 3, x: 1, acc: 2 }), &mut s, &mut m);
+        assert_eq!(s.regs.get_f64(3, 0), 4.0); // 1 + 3
+    }
+
+    #[test]
+    fn int_reductions() {
+        let mut s = st(4);
+        for (i, v) in [5u64, 2, 9, 1].iter().enumerate() {
+            s.regs.set(1, Sew::E64, i, *v);
+        }
+        s.regs.set(2, Sew::E64, 0, 0);
+        run(&mut s, VOp::Red { kind: RedKind::Sum, vd: 3, x: 1, acc: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 17);
+        s.regs.set(2, Sew::E64, 0, 4);
+        run(&mut s, VOp::Red { kind: RedKind::Maxu, vd: 3, x: 1, acc: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 9);
+    }
+
+    #[test]
+    fn slides() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set(1, Sew::E64, i, 10 + i as u64);
+        }
+        run(&mut s, VOp::Slide { kind: SlideKind::Up, vd: 2, x: 1, amount: 2 });
+        assert_eq!(s.regs.get(2, Sew::E64, 2), 10);
+        assert_eq!(s.regs.get(2, Sew::E64, 3), 11);
+        run(&mut s, VOp::Slide { kind: SlideKind::Down, vd: 3, x: 1, amount: 1 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 11);
+        assert_eq!(s.regs.get(3, Sew::E64, 2), 13);
+        run(&mut s, VOp::Slide { kind: SlideKind::OneUp, vd: 4, x: 1, amount: 99 });
+        assert_eq!(s.regs.get(4, Sew::E64, 0), 99);
+        assert_eq!(s.regs.get(4, Sew::E64, 1), 10);
+        run(&mut s, VOp::Slide { kind: SlideKind::OneDown, vd: 5, x: 1, amount: 77 });
+        assert_eq!(s.regs.get(5, Sew::E64, 0), 11);
+        assert_eq!(s.regs.get(5, Sew::E64, 3), 77);
+    }
+
+    #[test]
+    fn slide1up_is_alias_safe() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set(1, Sew::E64, i, i as u64);
+        }
+        run(&mut s, VOp::Slide { kind: SlideKind::OneUp, vd: 1, x: 1, amount: 50 });
+        assert_eq!(
+            (0..4).map(|i| s.regs.get(1, Sew::E64, i)).collect::<Vec<_>>(),
+            vec![50, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn gather_and_out_of_range_zero() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set(1, Sew::E64, i, 100 + i as u64);
+        }
+        for (i, idx) in [3u64, 0, 1_000_000, 1].iter().enumerate() {
+            s.regs.set(2, Sew::E64, i, *idx);
+        }
+        run(&mut s, VOp::Gather { vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 103);
+        assert_eq!(s.regs.get(3, Sew::E64, 1), 100);
+        assert_eq!(s.regs.get(3, Sew::E64, 2), 0);
+        assert_eq!(s.regs.get(3, Sew::E64, 3), 101);
+    }
+
+    #[test]
+    fn compress_packs_selected() {
+        let mut s = st(6);
+        for i in 0..6 {
+            s.regs.set(1, Sew::E64, i, i as u64);
+        }
+        for i in [1usize, 3, 4] {
+            s.regs.set_mask(2, i, true);
+        }
+        let info = run(&mut s, VOp::Compress { vd: 3, x: 1, m: 2 });
+        assert_eq!(info.active, 3);
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 1);
+        assert_eq!(s.regs.get(3, Sew::E64, 1), 3);
+        assert_eq!(s.regs.get(3, Sew::E64, 2), 4);
+    }
+
+    #[test]
+    fn merge_selects_by_v0() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set(1, Sew::E64, i, 1);
+            s.regs.set(2, Sew::E64, i, 2);
+            s.regs.set_mask(0, i, i % 2 == 0);
+        }
+        run(&mut s, VOp::Merge { vd: 3, x: 1, y: 2 });
+        assert_eq!(
+            (0..4).map(|i| s.regs.get(3, Sew::E64, i)).collect::<Vec<_>>(),
+            vec![1, 2, 1, 2]
+        );
+        run(&mut s, VOp::MergeVX { vd: 4, scalar: 9, y: 2 });
+        assert_eq!(
+            (0..4).map(|i| s.regs.get(4, Sew::E64, i)).collect::<Vec<_>>(),
+            vec![9, 2, 9, 2]
+        );
+    }
+
+    #[test]
+    fn moves_and_broadcast() {
+        let mut s = st(3);
+        run(&mut s, VOp::MvVX { vd: 1, scalar: 42 });
+        for i in 0..3 {
+            assert_eq!(s.regs.get(1, Sew::E64, i), 42);
+        }
+        run(&mut s, VOp::MvSX { vd: 2, scalar: 7 });
+        assert_eq!(s.regs.get(2, Sew::E64, 0), 7);
+        assert_eq!(s.regs.get(2, Sew::E64, 1), 0);
+        let info = run(&mut s, VOp::MvXS { x: 2 });
+        assert_eq!(info.scalar, Some(7));
+        run(&mut s, VOp::Mv { vd: 3, x: 1 });
+        assert_eq!(s.regs.get(3, Sew::E64, 2), 42);
+    }
+
+    #[test]
+    fn widen_u32_to_u64() {
+        let mut s = st(4);
+        // Lay out four u32 values in v1's low half.
+        for i in 0..4 {
+            s.regs.set(1, Sew::E32, i, 1000 + i as u64);
+        }
+        run(&mut s, VOp::Widen { vd: 2, x: 1 });
+        for i in 0..4 {
+            assert_eq!(s.regs.get(2, Sew::E64, i), 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let mut s = st(3);
+        for (i, v) in [0u64, 7, 100].iter().enumerate() {
+            s.regs.set(1, Sew::E64, i, *v);
+        }
+        run(&mut s, VOp::Cvt { kind: CvtKind::UToF, vd: 2, x: 1 });
+        assert_eq!(s.regs.get_f64(2, 1), 7.0);
+        run(&mut s, VOp::Cvt { kind: CvtKind::FToU, vd: 3, x: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 2), 100);
+        // Negative saturates to 0 for FToU.
+        s.regs.set_f64(2, 0, -5.0);
+        run(&mut s, VOp::Cvt { kind: CvtKind::FToU, vd: 3, x: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 0);
+        // FToI handles negatives.
+        run(&mut s, VOp::Cvt { kind: CvtKind::FToI, vd: 4, x: 2 });
+        assert_eq!(s.regs.get(4, Sew::E64, 0) as i64, -5);
+    }
+
+    #[test]
+    fn masked_arith_leaves_inactive_undisturbed() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set(1, Sew::E64, i, 10);
+            s.regs.set(2, Sew::E64, i, 1);
+            s.regs.set(3, Sew::E64, i, 555);
+            s.regs.set_mask(0, i, i >= 2);
+        }
+        let info = run_masked(&mut s, VOp::ArithVV { kind: ArithKind::Add, vd: 3, x: 1, y: 2 });
+        assert_eq!(info.active, 2);
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 555);
+        assert_eq!(s.regs.get(3, Sew::E64, 1), 555);
+        assert_eq!(s.regs.get(3, Sew::E64, 2), 11);
+        assert_eq!(s.regs.get(3, Sew::E64, 3), 11);
+    }
+
+    #[test]
+    fn vl_zero_is_a_nop() {
+        let mut s = st(0);
+        s.regs.set(2, Sew::E64, 0, 123);
+        let info = run(&mut s, VOp::ArithVV { kind: ArithKind::Add, vd: 2, x: 1, y: 1 });
+        assert_eq!(info.active, 0);
+        assert_eq!(s.regs.get(2, Sew::E64, 0), 123);
+    }
+
+    #[test]
+    fn fp_unary_ops() {
+        let mut s = st(3);
+        s.regs.set_f64(1, 0, 9.0);
+        s.regs.set_f64(1, 1, -2.5);
+        s.regs.set_f64(1, 2, 0.0);
+        run(&mut s, VOp::FUnary { kind: crate::instr::FUnaryKind::Fsqrt, vd: 2, x: 1 });
+        assert_eq!(s.regs.get_f64(2, 0), 3.0);
+        run(&mut s, VOp::FUnary { kind: crate::instr::FUnaryKind::Fneg, vd: 2, x: 1 });
+        assert_eq!(s.regs.get_f64(2, 1), 2.5);
+        run(&mut s, VOp::FUnary { kind: crate::instr::FUnaryKind::Fabs, vd: 2, x: 1 });
+        assert_eq!(s.regs.get_f64(2, 1), 2.5);
+        assert_eq!(s.regs.get_f64(2, 0), 9.0);
+    }
+
+    #[test]
+    fn integer_macc() {
+        let mut s = st(2);
+        for i in 0..2 {
+            s.regs.set(1, Sew::E64, i, 3);
+            s.regs.set(2, Sew::E64, i, 4);
+            s.regs.set(3, Sew::E64, i, 100);
+        }
+        run(&mut s, VOp::IMaccVV { vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 112);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let mut s = VState::new(2048);
+        s.set_vl(2, Sew::E8, Lmul::M1);
+        s.regs.set(1, Sew::E8, 0, 200);
+        s.regs.set(2, Sew::E8, 0, 100); // 300 -> saturates to 255
+        s.regs.set(1, Sew::E8, 1, 10);
+        s.regs.set(2, Sew::E8, 1, 20);
+        run(&mut s, VOp::SatAddU { vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E8, 0), 255);
+        assert_eq!(s.regs.get(3, Sew::E8, 1), 30);
+    }
+
+    #[test]
+    fn widening_binary_ops() {
+        let mut s = st(2);
+        // Sources at E32 within the same registers.
+        s.regs.set(1, Sew::E32, 0, 0xFFFF_FFFF);
+        s.regs.set(2, Sew::E32, 0, 2);
+        s.regs.set(1, Sew::E32, 1, 7);
+        s.regs.set(2, Sew::E32, 1, 6);
+        run(&mut s, VOp::WidenBin { kind: crate::instr::WidenKind::Addu, vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 0x1_0000_0001, "no wraparound at SEW");
+        run(&mut s, VOp::WidenBin { kind: crate::instr::WidenKind::Mulu, vd: 3, x: 1, y: 2 });
+        assert_eq!(s.regs.get(3, Sew::E64, 0), 0xFFFF_FFFF * 2);
+        assert_eq!(s.regs.get(3, Sew::E64, 1), 42);
+    }
+
+    #[test]
+    fn narrowing_shift() {
+        let mut s = st(2);
+        s.regs.set(1, Sew::E64, 0, 0xAABB_CCDD_1122_3344);
+        s.regs.set(1, Sew::E64, 1, 0x0000_0000_FFFF_0000);
+        run(&mut s, VOp::NarrowSrl { vd: 2, x: 1, shamt: 32 });
+        assert_eq!(s.regs.get(2, Sew::E32, 0), 0xAABB_CCDD);
+        assert_eq!(s.regs.get(2, Sew::E32, 1), 0);
+        run(&mut s, VOp::NarrowSrl { vd: 3, x: 1, shamt: 16 });
+        assert_eq!(s.regs.get(3, Sew::E32, 1), 0x0000_FFFF);
+    }
+
+    #[test]
+    fn mask_set_first_family() {
+        use crate::instr::MaskSetKind;
+        let mut s = st(6);
+        for i in [3usize, 5] {
+            s.regs.set_mask(2, i, true);
+        }
+        run(&mut s, VOp::MaskSet { kind: MaskSetKind::Sbf, md: 3, m: 2 });
+        assert_eq!((0..6).map(|i| s.regs.get_mask(3, i)).collect::<Vec<_>>(),
+                   vec![true, true, true, false, false, false]);
+        run(&mut s, VOp::MaskSet { kind: MaskSetKind::Sif, md: 3, m: 2 });
+        assert_eq!((0..6).map(|i| s.regs.get_mask(3, i)).collect::<Vec<_>>(),
+                   vec![true, true, true, true, false, false]);
+        run(&mut s, VOp::MaskSet { kind: MaskSetKind::Sof, md: 3, m: 2 });
+        assert_eq!((0..6).map(|i| s.regs.get_mask(3, i)).collect::<Vec<_>>(),
+                   vec![false, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn mask_set_with_empty_source() {
+        use crate::instr::MaskSetKind;
+        let mut s = st(4);
+        run(&mut s, VOp::MaskSet { kind: MaskSetKind::Sbf, md: 3, m: 2 });
+        assert!((0..4).all(|i| s.regs.get_mask(3, i)), "no set bit: sbf is all ones");
+        run(&mut s, VOp::MaskSet { kind: MaskSetKind::Sof, md: 3, m: 2 });
+        assert!((0..4).all(|i| !s.regs.get_mask(3, i)), "no set bit: sof is all zeros");
+    }
+
+    #[test]
+    fn alias_safe_binary_op() {
+        let mut s = st(4);
+        for i in 0..4 {
+            s.regs.set(1, Sew::E64, i, i as u64 + 1);
+        }
+        // vd == x == y: vd[i] = x[i] + y[i] must read pre-write values.
+        run(&mut s, VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 1, y: 1 });
+        for i in 0..4 {
+            assert_eq!(s.regs.get(1, Sew::E64, i), 2 * (i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn segment_load_deinterleaves_pairs() {
+        let mut s = st(4);
+        let mut mem = FlatMemory::new(256);
+        // Interleaved (re, im) pairs.
+        for i in 0..4u64 {
+            mem.write_uint(i * 16, 8, 100 + i); // field 0
+            mem.write_uint(i * 16 + 8, 8, 200 + i); // field 1
+        }
+        let info = exec(&VInst::new(VOp::SegLoad { vd: 2, base: 0, nf: 2 }), &mut s, &mut mem);
+        assert!(info.unit_stride);
+        assert_eq!(info.mem.len(), 8, "two fields per element");
+        for i in 0..4 {
+            assert_eq!(s.regs.get(2, Sew::E64, i), 100 + i as u64, "field 0 -> v2");
+            assert_eq!(s.regs.get(3, Sew::E64, i), 200 + i as u64, "field 1 -> v3");
+        }
+    }
+
+    #[test]
+    fn segment_store_reinterleaves() {
+        let mut s = st(3);
+        let mut mem = FlatMemory::new(256);
+        for i in 0..3 {
+            s.regs.set(4, Sew::E64, i, 10 + i as u64);
+            s.regs.set(5, Sew::E64, i, 20 + i as u64);
+        }
+        exec(&VInst::new(VOp::SegStore { vs: 4, base: 32, nf: 2 }), &mut s, &mut mem);
+        for i in 0..3u64 {
+            assert_eq!(mem.read_uint(32 + i * 16, 8), 10 + i);
+            assert_eq!(mem.read_uint(32 + i * 16 + 8, 8), 20 + i);
+        }
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let mut s = st(8);
+        let mut mem = FlatMemory::new(512);
+        for i in 0..8 {
+            s.regs.set(6, Sew::E64, i, i as u64 * 3);
+            s.regs.set(7, Sew::E64, i, i as u64 * 7);
+        }
+        exec(&VInst::new(VOp::SegStore { vs: 6, base: 0, nf: 2 }), &mut s, &mut mem);
+        exec(&VInst::new(VOp::SegLoad { vd: 10, base: 0, nf: 2 }), &mut s, &mut mem);
+        for i in 0..8 {
+            assert_eq!(s.regs.get(10, Sew::E64, i), i as u64 * 3);
+            assert_eq!(s.regs.get(11, Sew::E64, i), i as u64 * 7);
+        }
+    }
+
+    #[test]
+    fn lmul_groups_span_registers() {
+        // VLEN=2048 bits -> 32 f64 per register; LMUL=4 -> VL up to 128.
+        let mut s = VState::new(2048);
+        let vl = s.set_vl(100, Sew::E64, Lmul::M4);
+        assert_eq!(vl, 100);
+        let mut mem = FlatMemory::new(8 * 128);
+        for i in 0..100u64 {
+            mem.write_uint(i * 8, 8, 1000 + i);
+        }
+        // Load into group v8..v11, add a scalar, store from group v12..v15.
+        exec(&VInst::new(VOp::Load { vd: 8, addr: MemAddr::Unit { base: 0 } }), &mut s, &mut mem);
+        assert_eq!(s.regs.get(8, Sew::E64, 0), 1000);
+        assert_eq!(s.regs.get(8, Sew::E64, 99), 1099, "element 99 lives in v11");
+        assert_eq!(s.regs.get(11, Sew::E64, 3), 1099, "group indexing matches raw register");
+        exec(
+            &VInst::new(VOp::ArithVX { kind: ArithKind::Add, vd: 12, x: 8, scalar: 5 }),
+            &mut s,
+            &mut mem,
+        );
+        exec(&VInst::new(VOp::Store { vs: 12, addr: MemAddr::Unit { base: 0 } }), &mut s, &mut mem);
+        for i in 0..100u64 {
+            assert_eq!(mem.read_uint(i * 8, 8), 1005 + i);
+        }
+    }
+
+    #[test]
+    fn lmul_reduction_covers_whole_group() {
+        let mut s = VState::new(2048);
+        let vl = s.set_vl(64, Sew::E64, Lmul::M2);
+        assert_eq!(vl, 64);
+        let mut mem = FlatMemory::new(1);
+        for i in 0..64 {
+            s.regs.set(2, Sew::E64, i, 1); // group v2..v3
+        }
+        s.regs.set(6, Sew::E64, 0, 0);
+        exec(&VInst::new(VOp::Red { kind: RedKind::Sum, vd: 8, x: 2, acc: 6 }), &mut s, &mut mem);
+        assert_eq!(s.regs.get(8, Sew::E64, 0), 64);
+    }
+
+    #[test]
+    fn lmul_mask_bits_cover_group_length() {
+        let mut s = VState::new(2048);
+        s.set_vl(128, Sew::E64, Lmul::M4);
+        let mut mem = FlatMemory::new(1);
+        for i in 0..128 {
+            s.regs.set(4, Sew::E64, i, i as u64);
+        }
+        exec(
+            &VInst::new(VOp::CmpVX { kind: CmpKind::Gtu, md: 1, x: 4, scalar: 99 }),
+            &mut s,
+            &mut mem,
+        );
+        let info = exec(&VInst::new(VOp::Popc { m: 1 }), &mut s, &mut mem);
+        assert_eq!(info.scalar, Some(28), "elements 100..127 exceed 99");
+    }
+}

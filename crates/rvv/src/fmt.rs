@@ -1,0 +1,304 @@
+//! Assembly-style formatting of vector instructions.
+//!
+//! `VInst` renders as RVV-flavoured assembly (`vfmacc.vv v1, v2, v3` …),
+//! used by the platform's instruction tracer and handy in test failures.
+
+use crate::instr::{
+    ArithKind, CmpKind, CvtKind, FArithKind, FmaKind, FUnaryKind, MaskKind, MaskSetKind, MemAddr,
+    RedKind, SlideKind, VInst, VOp, WidenKind,
+};
+use std::fmt;
+
+fn mem_operand(addr: &MemAddr) -> String {
+    match addr {
+        MemAddr::Unit { base } => format!("({base:#x})"),
+        MemAddr::Strided { base, stride } => format!("({base:#x}), stride={stride}"),
+        MemAddr::Indexed { base, index } => format!("({base:#x}), v{index}"),
+    }
+}
+
+impl fmt::Display for VInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = if self.masked { ", v0.t" } else { "" };
+        match &self.op {
+            VOp::Load { vd, addr } => {
+                let mn = match addr {
+                    MemAddr::Unit { .. } => "vle.v",
+                    MemAddr::Strided { .. } => "vlse.v",
+                    MemAddr::Indexed { .. } => "vlxe.v",
+                };
+                write!(f, "{mn} v{vd}, {}{m}", mem_operand(addr))
+            }
+            VOp::SegLoad { vd, base, nf } => {
+                write!(f, "vlseg{nf}e.v v{vd}, ({base:#x}){m}")
+            }
+            VOp::SegStore { vs, base, nf } => {
+                write!(f, "vsseg{nf}e.v v{vs}, ({base:#x}){m}")
+            }
+            VOp::LoadWiden { vd, addr } => {
+                let mn = match addr {
+                    MemAddr::Unit { .. } => "vlwu.v",
+                    MemAddr::Strided { .. } => "vlswu.v",
+                    MemAddr::Indexed { .. } => "vlxwu.v",
+                };
+                write!(f, "{mn} v{vd}, {}{m}", mem_operand(addr))
+            }
+            VOp::Store { vs, addr } => {
+                let mn = match addr {
+                    MemAddr::Unit { .. } => "vse.v",
+                    MemAddr::Strided { .. } => "vsse.v",
+                    MemAddr::Indexed { .. } => "vsxe.v",
+                };
+                write!(f, "{mn} v{vs}, {}{m}", mem_operand(addr))
+            }
+            VOp::ArithVV { kind, vd, x, y } => {
+                write!(f, "{}.vv v{vd}, v{x}, v{y}{m}", arith_mnemonic(*kind))
+            }
+            VOp::ArithVX { kind, vd, x, scalar } => {
+                write!(f, "{}.vx v{vd}, v{x}, {scalar}{m}", arith_mnemonic(*kind))
+            }
+            VOp::FArithVV { kind, vd, x, y } => {
+                write!(f, "{}.vv v{vd}, v{x}, v{y}{m}", farith_mnemonic(*kind))
+            }
+            VOp::FArithVF { kind, vd, x, scalar } => {
+                write!(
+                    f,
+                    "{}.vf v{vd}, v{x}, {}{m}",
+                    farith_mnemonic(*kind),
+                    f64::from_bits(*scalar)
+                )
+            }
+            VOp::FUnary { kind, vd, x } => {
+                let mn = match kind {
+                    FUnaryKind::Fsqrt => "vfsqrt.v",
+                    FUnaryKind::Fneg => "vfneg.v",
+                    FUnaryKind::Fabs => "vfabs.v",
+                };
+                write!(f, "{mn} v{vd}, v{x}{m}")
+            }
+            VOp::IMaccVV { vd, x, y } => write!(f, "vmacc.vv v{vd}, v{x}, v{y}{m}"),
+            VOp::SatAddU { vd, x, y } => write!(f, "vsaddu.vv v{vd}, v{x}, v{y}{m}"),
+            VOp::WidenBin { kind, vd, x, y } => {
+                let mn = match kind {
+                    WidenKind::Addu => "vwaddu.vv",
+                    WidenKind::Subu => "vwsubu.vv",
+                    WidenKind::Mulu => "vwmulu.vv",
+                };
+                write!(f, "{mn} v{vd}, v{x}, v{y}{m}")
+            }
+            VOp::NarrowSrl { vd, x, shamt } => write!(f, "vnsrl.vi v{vd}, v{x}, {shamt}{m}"),
+            VOp::MaskSet { kind, md, m: src } => {
+                let mn = match kind {
+                    MaskSetKind::Sbf => "vmsbf.m",
+                    MaskSetKind::Sif => "vmsif.m",
+                    MaskSetKind::Sof => "vmsof.m",
+                };
+                write!(f, "{mn} v{md}, v{src}{m}")
+            }
+            VOp::FmaVV { kind, vd, x, y } => {
+                let mn = match kind {
+                    FmaKind::Macc => "vfmacc.vv",
+                    FmaKind::Nmsac => "vfnmsac.vv",
+                    FmaKind::Madd => "vfmadd.vv",
+                };
+                write!(f, "{mn} v{vd}, v{x}, v{y}{m}")
+            }
+            VOp::FmaVF { kind, vd, scalar, y } => {
+                let mn = match kind {
+                    FmaKind::Macc => "vfmacc.vf",
+                    FmaKind::Nmsac => "vfnmsac.vf",
+                    FmaKind::Madd => "vfmadd.vf",
+                };
+                write!(f, "{mn} v{vd}, {}, v{y}{m}", f64::from_bits(*scalar))
+            }
+            VOp::CmpVV { kind, md, x, y } => {
+                write!(f, "{}.vv v{md}, v{x}, v{y}{m}", cmp_mnemonic(*kind))
+            }
+            VOp::CmpVX { kind, md, x, scalar } => {
+                write!(f, "{}.vx v{md}, v{x}, {scalar}{m}", cmp_mnemonic(*kind))
+            }
+            VOp::MaskOp { kind, md, m1, m2 } => {
+                let mn = match kind {
+                    MaskKind::And => "vmand.mm",
+                    MaskKind::Or => "vmor.mm",
+                    MaskKind::Xor => "vmxor.mm",
+                    MaskKind::AndNot => "vmandnot.mm",
+                    MaskKind::Nand => "vmnand.mm",
+                    MaskKind::Nor => "vmnor.mm",
+                };
+                write!(f, "{mn} v{md}, v{m1}, v{m2}")
+            }
+            VOp::Popc { m: src } => write!(f, "vpopc.m x_, v{src}{m}"),
+            VOp::First { m: src } => write!(f, "vfirst.m x_, v{src}{m}"),
+            VOp::Iota { vd, m: src } => write!(f, "viota.m v{vd}, v{src}{m}"),
+            VOp::Id { vd } => write!(f, "vid.v v{vd}{m}"),
+            VOp::Red { kind, vd, x, acc } => {
+                let mn = match kind {
+                    RedKind::Sum => "vredsum.vs",
+                    RedKind::Max => "vredmax.vs",
+                    RedKind::Min => "vredmin.vs",
+                    RedKind::Maxu => "vredmaxu.vs",
+                    RedKind::Fsum => "vfredsum.vs",
+                    RedKind::Fmax => "vfredmax.vs",
+                    RedKind::Fmin => "vfredmin.vs",
+                };
+                write!(f, "{mn} v{vd}, v{x}, v{acc}{m}")
+            }
+            VOp::Slide { kind, vd, x, amount } => match kind {
+                SlideKind::Up => write!(f, "vslideup.vi v{vd}, v{x}, {amount}{m}"),
+                SlideKind::Down => write!(f, "vslidedown.vi v{vd}, v{x}, {amount}{m}"),
+                SlideKind::OneUp => write!(f, "vslide1up.vx v{vd}, v{x}, {amount:#x}{m}"),
+                SlideKind::OneDown => write!(f, "vslide1down.vx v{vd}, v{x}, {amount:#x}{m}"),
+            },
+            VOp::Gather { vd, x, y } => write!(f, "vrgather.vv v{vd}, v{x}, v{y}{m}"),
+            VOp::Compress { vd, x, m: src } => write!(f, "vcompress.vm v{vd}, v{x}, v{src}"),
+            VOp::Merge { vd, x, y } => write!(f, "vmerge.vvm v{vd}, v{x}, v{y}, v0"),
+            VOp::MergeVX { vd, scalar, y } => write!(f, "vmerge.vxm v{vd}, {scalar}, v{y}, v0"),
+            VOp::Mv { vd, x } => write!(f, "vmv.v.v v{vd}, v{x}{m}"),
+            VOp::MvVX { vd, scalar } => write!(f, "vmv.v.x v{vd}, {scalar:#x}{m}"),
+            VOp::MvSX { vd, scalar } => write!(f, "vmv.s.x v{vd}, {scalar:#x}"),
+            VOp::MvXS { x } => write!(f, "vmv.x.s x_, v{x}"),
+            VOp::Widen { vd, x } => write!(f, "vzext.vf2 v{vd}, v{x}{m}"),
+            VOp::Cvt { kind, vd, x } => {
+                let mn = match kind {
+                    CvtKind::UToF => "vfcvt.f.xu.v",
+                    CvtKind::IToF => "vfcvt.f.x.v",
+                    CvtKind::FToU => "vfcvt.xu.f.v",
+                    CvtKind::FToI => "vfcvt.x.f.v",
+                };
+                write!(f, "{mn} v{vd}, v{x}{m}")
+            }
+        }
+    }
+}
+
+fn arith_mnemonic(k: ArithKind) -> &'static str {
+    match k {
+        ArithKind::Add => "vadd",
+        ArithKind::Sub => "vsub",
+        ArithKind::Rsub => "vrsub",
+        ArithKind::And => "vand",
+        ArithKind::Or => "vor",
+        ArithKind::Xor => "vxor",
+        ArithKind::Sll => "vsll",
+        ArithKind::Srl => "vsrl",
+        ArithKind::Sra => "vsra",
+        ArithKind::Mul => "vmul",
+        ArithKind::Min => "vmin",
+        ArithKind::Max => "vmax",
+        ArithKind::Minu => "vminu",
+        ArithKind::Maxu => "vmaxu",
+    }
+}
+
+fn farith_mnemonic(k: FArithKind) -> &'static str {
+    match k {
+        FArithKind::Fadd => "vfadd",
+        FArithKind::Fsub => "vfsub",
+        FArithKind::Frsub => "vfrsub",
+        FArithKind::Fmul => "vfmul",
+        FArithKind::Fdiv => "vfdiv",
+        FArithKind::Fmin => "vfmin",
+        FArithKind::Fmax => "vfmax",
+        FArithKind::Fsgnj => "vfsgnj",
+        FArithKind::Fsgnjn => "vfsgnjn",
+    }
+}
+
+fn cmp_mnemonic(k: CmpKind) -> &'static str {
+    match k {
+        CmpKind::Eq => "vmseq",
+        CmpKind::Ne => "vmsne",
+        CmpKind::Lt => "vmslt",
+        CmpKind::Ltu => "vmsltu",
+        CmpKind::Le => "vmsle",
+        CmpKind::Leu => "vmsleu",
+        CmpKind::Gt => "vmsgt",
+        CmpKind::Gtu => "vmsgtu",
+        CmpKind::Feq => "vmfeq",
+        CmpKind::Fne => "vmfne",
+        CmpKind::Flt => "vmflt",
+        CmpKind::Fle => "vmfle",
+        CmpKind::Fgt => "vmfgt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_stores() {
+        let i = VInst::new(VOp::Load { vd: 3, addr: MemAddr::Unit { base: 0x1000 } });
+        assert_eq!(i.to_string(), "vle.v v3, (0x1000)");
+        let i = VInst::masked(VOp::Load { vd: 3, addr: MemAddr::Indexed { base: 0x20, index: 7 } });
+        assert_eq!(i.to_string(), "vlxe.v v3, (0x20), v7, v0.t");
+        let i = VInst::new(VOp::Store { vs: 2, addr: MemAddr::Strided { base: 0x40, stride: -16 } });
+        assert_eq!(i.to_string(), "vsse.v v2, (0x40), stride=-16");
+        let i = VInst::new(VOp::LoadWiden { vd: 1, addr: MemAddr::Unit { base: 0 } });
+        assert_eq!(i.to_string(), "vlwu.v v1, (0x0)");
+    }
+
+    #[test]
+    fn arithmetic_mnemonics() {
+        let i = VInst::new(VOp::FmaVV { kind: FmaKind::Macc, vd: 1, x: 2, y: 3 });
+        assert_eq!(i.to_string(), "vfmacc.vv v1, v2, v3");
+        let i = VInst::new(VOp::ArithVX { kind: ArithKind::Sll, vd: 4, x: 5, scalar: 3 });
+        assert_eq!(i.to_string(), "vsll.vx v4, v5, 3");
+        let i = VInst::new(VOp::FArithVF { kind: FArithKind::Fmul, vd: 1, x: 1, scalar: 2.5f64.to_bits() });
+        assert_eq!(i.to_string(), "vfmul.vf v1, v1, 2.5");
+    }
+
+    #[test]
+    fn mask_and_reduction_mnemonics() {
+        let i = VInst::new(VOp::Popc { m: 0 });
+        assert_eq!(i.to_string(), "vpopc.m x_, v0");
+        let i = VInst::new(VOp::Red { kind: RedKind::Fsum, vd: 6, x: 7, acc: 6 });
+        assert_eq!(i.to_string(), "vfredsum.vs v6, v7, v6");
+        let i = VInst::new(VOp::MaskSet { kind: MaskSetKind::Sbf, md: 4, m: 2 });
+        assert_eq!(i.to_string(), "vmsbf.m v4, v2");
+    }
+
+    #[test]
+    fn every_op_formats_without_panicking() {
+        // Smoke over one instance of each variant.
+        let ops = vec![
+            VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } },
+            VOp::LoadWiden { vd: 1, addr: MemAddr::Strided { base: 0, stride: 4 } },
+            VOp::Store { vs: 1, addr: MemAddr::Indexed { base: 0, index: 2 } },
+            VOp::ArithVV { kind: ArithKind::Maxu, vd: 1, x: 2, y: 3 },
+            VOp::ArithVX { kind: ArithKind::Rsub, vd: 1, x: 2, scalar: 9 },
+            VOp::FArithVV { kind: FArithKind::Fdiv, vd: 1, x: 2, y: 3 },
+            VOp::FArithVF { kind: FArithKind::Fsgnjn, vd: 1, x: 2, scalar: 0 },
+            VOp::FUnary { kind: FUnaryKind::Fsqrt, vd: 1, x: 2 },
+            VOp::IMaccVV { vd: 1, x: 2, y: 3 },
+            VOp::SatAddU { vd: 1, x: 2, y: 3 },
+            VOp::WidenBin { kind: WidenKind::Mulu, vd: 1, x: 2, y: 3 },
+            VOp::NarrowSrl { vd: 1, x: 2, shamt: 8 },
+            VOp::MaskSet { kind: MaskSetKind::Sof, md: 1, m: 2 },
+            VOp::FmaVF { kind: FmaKind::Nmsac, vd: 1, scalar: 0, y: 2 },
+            VOp::CmpVV { kind: CmpKind::Flt, md: 1, x: 2, y: 3 },
+            VOp::CmpVX { kind: CmpKind::Gtu, md: 1, x: 2, scalar: 4 },
+            VOp::MaskOp { kind: MaskKind::Nor, md: 1, m1: 2, m2: 3 },
+            VOp::First { m: 1 },
+            VOp::Iota { vd: 1, m: 2 },
+            VOp::Id { vd: 1 },
+            VOp::Slide { kind: SlideKind::OneDown, vd: 1, x: 2, amount: 5 },
+            VOp::Gather { vd: 1, x: 2, y: 3 },
+            VOp::Compress { vd: 1, x: 2, m: 3 },
+            VOp::Merge { vd: 1, x: 2, y: 3 },
+            VOp::MergeVX { vd: 1, scalar: 7, y: 2 },
+            VOp::Mv { vd: 1, x: 2 },
+            VOp::MvVX { vd: 1, scalar: 3 },
+            VOp::MvSX { vd: 1, scalar: 3 },
+            VOp::MvXS { x: 1 },
+            VOp::Widen { vd: 1, x: 2 },
+            VOp::Cvt { kind: CvtKind::FToI, vd: 1, x: 2 },
+        ];
+        for op in ops {
+            let s = VInst::new(op).to_string();
+            assert!(!s.is_empty());
+            assert!(s.starts_with('v'), "mnemonic should be vector-prefixed: {s}");
+        }
+    }
+}

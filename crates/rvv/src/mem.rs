@@ -1,0 +1,94 @@
+//! The memory interface the vector unit loads from and stores to.
+//!
+//! The platform crate (`sdv-core`) implements this for its simulated flat
+//! memory; tests implement it with a plain `Vec<u8>`.
+
+/// Byte-addressable memory as seen by vector loads/stores.
+pub trait VMemory {
+    /// Read `buf.len()` bytes starting at `addr`.
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]);
+
+    /// Write `buf` starting at `addr`.
+    fn write_bytes(&mut self, addr: u64, buf: &[u8]);
+
+    /// Read a little-endian u64-at-width helper (width in bytes, 1..=8).
+    fn read_uint(&self, addr: u64, width: usize) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..width]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write the low `width` bytes of `v` at `addr`, little-endian.
+    fn write_uint(&mut self, addr: u64, width: usize, v: u64) {
+        let bytes = v.to_le_bytes();
+        self.write_bytes(addr, &bytes[..width]);
+    }
+}
+
+/// A trivial `Vec<u8>`-backed memory for unit tests.
+#[derive(Debug, Clone)]
+pub struct FlatMemory {
+    bytes: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Zero-initialized memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Self { bytes: vec![0; size] }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl VMemory for FlatMemory {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_memory_roundtrip() {
+        let mut m = FlatMemory::new(64);
+        m.write_bytes(8, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read_bytes(8, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uint_helpers_little_endian() {
+        let mut m = FlatMemory::new(64);
+        m.write_uint(0, 8, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_uint(0, 8), 0x0102_0304_0506_0708);
+        assert_eq!(m.read_uint(0, 1), 0x08);
+        assert_eq!(m.read_uint(0, 4), 0x0506_0708);
+        m.write_uint(32, 2, 0xFFFF_1234);
+        assert_eq!(m.read_uint(32, 2), 0x1234);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let m = FlatMemory::new(4);
+        let mut buf = [0u8; 8];
+        m.read_bytes(0, &mut buf);
+    }
+}

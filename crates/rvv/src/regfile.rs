@@ -1,0 +1,235 @@
+//! The vector register file.
+//!
+//! 32 architectural registers of VLEN bits each, stored as a flat byte
+//! array. Elements are accessed little-endian at any supported SEW, and any
+//! register can be read as a mask (one bit per element, LSB-first), matching
+//! the RVV mask register layout.
+
+use crate::vtype::Sew;
+
+/// Number of architectural vector registers.
+pub const NUM_VREGS: usize = 32;
+
+/// The vector register file.
+#[derive(Debug, Clone)]
+pub struct VRegFile {
+    vlen_bits: usize,
+    vlen_bytes: usize,
+    data: Vec<u8>,
+}
+
+impl VRegFile {
+    /// Create a register file with the given VLEN in bits.
+    ///
+    /// # Panics
+    /// Panics unless `vlen_bits` is a multiple of 64 and at least 64.
+    pub fn new(vlen_bits: usize) -> Self {
+        assert!(vlen_bits >= 64 && vlen_bits.is_multiple_of(64), "VLEN must be a multiple of 64 bits");
+        let vlen_bytes = vlen_bits / 8;
+        Self { vlen_bits, vlen_bytes, data: vec![0; NUM_VREGS * vlen_bytes] }
+    }
+
+    /// VLEN in bits.
+    pub fn vlen_bits(&self) -> usize {
+        self.vlen_bits
+    }
+
+    /// VLEN in bytes (the `vlenb` CSR).
+    pub fn vlen_bytes(&self) -> usize {
+        self.vlen_bytes
+    }
+
+    /// Maximum number of elements of width `sew` in one register.
+    pub fn elems_per_reg(&self, sew: Sew) -> usize {
+        self.vlen_bytes / sew.bytes()
+    }
+
+    #[inline]
+    fn reg_base(&self, reg: u8) -> usize {
+        debug_assert!((reg as usize) < NUM_VREGS);
+        reg as usize * self.vlen_bytes
+    }
+
+    /// Raw bytes of register `reg`.
+    pub fn reg_bytes(&self, reg: u8) -> &[u8] {
+        let b = self.reg_base(reg);
+        &self.data[b..b + self.vlen_bytes]
+    }
+
+    /// Mutable raw bytes of register `reg`.
+    pub fn reg_bytes_mut(&mut self, reg: u8) -> &mut [u8] {
+        let b = self.reg_base(reg);
+        &mut self.data[b..b + self.vlen_bytes]
+    }
+
+    /// Read element `idx` of the register *group* starting at `reg`, at width
+    /// `sew`, zero-extended into a u64. With LMUL > 1 the index may spill
+    /// into subsequent registers.
+    #[inline]
+    pub fn get(&self, reg: u8, sew: Sew, idx: usize) -> u64 {
+        let per_reg = self.elems_per_reg(sew);
+        let r = reg as usize + idx / per_reg;
+        let i = idx % per_reg;
+        debug_assert!(r < NUM_VREGS, "element index {idx} overflows register group at v{reg}");
+        let off = r * self.vlen_bytes + i * sew.bytes();
+        let mut buf = [0u8; 8];
+        buf[..sew.bytes()].copy_from_slice(&self.data[off..off + sew.bytes()]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write element `idx` of the register group starting at `reg` at width
+    /// `sew`. The value is truncated to the element width.
+    #[inline]
+    pub fn set(&mut self, reg: u8, sew: Sew, idx: usize, value: u64) {
+        let per_reg = self.elems_per_reg(sew);
+        let r = reg as usize + idx / per_reg;
+        let i = idx % per_reg;
+        debug_assert!(r < NUM_VREGS, "element index {idx} overflows register group at v{reg}");
+        let off = r * self.vlen_bytes + i * sew.bytes();
+        let bytes = value.to_le_bytes();
+        self.data[off..off + sew.bytes()].copy_from_slice(&bytes[..sew.bytes()]);
+    }
+
+    /// Read element `idx` as an f64 (requires SEW=64 layout).
+    #[inline]
+    pub fn get_f64(&self, reg: u8, idx: usize) -> f64 {
+        f64::from_bits(self.get(reg, Sew::E64, idx))
+    }
+
+    /// Write element `idx` as an f64.
+    #[inline]
+    pub fn set_f64(&mut self, reg: u8, idx: usize, v: f64) {
+        self.set(reg, Sew::E64, idx, v.to_bits());
+    }
+
+    /// Read element `idx` as an f32.
+    #[inline]
+    pub fn get_f32(&self, reg: u8, idx: usize) -> f32 {
+        f32::from_bits(self.get(reg, Sew::E32, idx) as u32)
+    }
+
+    /// Write element `idx` as an f32.
+    #[inline]
+    pub fn set_f32(&mut self, reg: u8, idx: usize, v: f32) {
+        self.set(reg, Sew::E32, idx, v.to_bits() as u64);
+    }
+
+    /// Read mask bit `idx` of register `reg` (LSB-first bit layout).
+    #[inline]
+    pub fn get_mask(&self, reg: u8, idx: usize) -> bool {
+        let b = self.reg_base(reg);
+        debug_assert!(idx / 8 < self.vlen_bytes, "mask bit {idx} out of range");
+        (self.data[b + idx / 8] >> (idx % 8)) & 1 == 1
+    }
+
+    /// Write mask bit `idx` of register `reg`.
+    #[inline]
+    pub fn set_mask(&mut self, reg: u8, idx: usize, v: bool) {
+        let b = self.reg_base(reg);
+        debug_assert!(idx / 8 < self.vlen_bytes, "mask bit {idx} out of range");
+        let byte = &mut self.data[b + idx / 8];
+        if v {
+            *byte |= 1 << (idx % 8);
+        } else {
+            *byte &= !(1 << (idx % 8));
+        }
+    }
+
+    /// Zero every register (machine reset).
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_sizes() {
+        let rf = VRegFile::new(16384);
+        assert_eq!(rf.vlen_bits(), 16384);
+        assert_eq!(rf.vlen_bytes(), 2048);
+        assert_eq!(rf.elems_per_reg(Sew::E64), 256);
+        assert_eq!(rf.elems_per_reg(Sew::E8), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn bad_vlen_panics() {
+        VRegFile::new(100);
+    }
+
+    #[test]
+    fn get_set_roundtrip_all_sews() {
+        let mut rf = VRegFile::new(512);
+        for sew in Sew::all() {
+            let n = rf.elems_per_reg(sew);
+            for i in 0..n {
+                let v = (i as u64).wrapping_mul(0x9E37_79B9) & sew.value_mask();
+                rf.set(3, sew, i, v);
+            }
+            for i in 0..n {
+                let v = (i as u64).wrapping_mul(0x9E37_79B9) & sew.value_mask();
+                assert_eq!(rf.get(3, sew, i), v, "sew={sew:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_truncates_to_sew() {
+        let mut rf = VRegFile::new(128);
+        rf.set(0, Sew::E8, 0, 0x1FF);
+        assert_eq!(rf.get(0, Sew::E8, 0), 0xFF);
+        // Neighbouring element untouched.
+        assert_eq!(rf.get(0, Sew::E8, 1), 0);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut rf = VRegFile::new(128);
+        rf.set(1, Sew::E64, 0, 42);
+        assert_eq!(rf.get(0, Sew::E64, 0), 0);
+        assert_eq!(rf.get(2, Sew::E64, 0), 0);
+        assert_eq!(rf.get(1, Sew::E64, 0), 42);
+    }
+
+    #[test]
+    fn group_access_spills_into_next_register() {
+        let mut rf = VRegFile::new(128); // 2 x u64 per register
+        rf.set(4, Sew::E64, 3, 99); // element 3 of group at v4 => element 1 of v5
+        assert_eq!(rf.get(5, Sew::E64, 1), 99);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut rf = VRegFile::new(256);
+        rf.set_f64(7, 2, -3.75);
+        assert_eq!(rf.get_f64(7, 2), -3.75);
+        rf.set_f32(8, 5, 1.5);
+        assert_eq!(rf.get_f32(8, 5), 1.5);
+    }
+
+    #[test]
+    fn mask_bits_roundtrip() {
+        let mut rf = VRegFile::new(256);
+        for i in 0..256 {
+            rf.set_mask(0, i, i % 3 == 0);
+        }
+        for i in 0..256 {
+            assert_eq!(rf.get_mask(0, i), i % 3 == 0, "bit {i}");
+        }
+        // Clearing a bit leaves neighbours alone.
+        rf.set_mask(0, 0, false);
+        assert!(!rf.get_mask(0, 0));
+        assert!(rf.get_mask(0, 3));
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut rf = VRegFile::new(128);
+        rf.set(9, Sew::E64, 0, u64::MAX);
+        rf.clear();
+        assert_eq!(rf.get(9, Sew::E64, 0), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Architectural vector state: register file + dynamic configuration.
+
+use crate::regfile::VRegFile;
+use crate::vtype::{vsetvl, Lmul, Sew, VType};
+
+/// The complete architectural state of the vector unit.
+#[derive(Debug, Clone)]
+pub struct VState {
+    /// The vector register file.
+    pub regs: VRegFile,
+    /// Current `(SEW, LMUL)` configuration.
+    pub vtype: VType,
+    /// Current vector length in elements.
+    pub vl: usize,
+    /// The paper's custom MAXVL CSR: an experiment knob capping the VL
+    /// granted by `vsetvl` (§2.1). Defaults to "no cap".
+    pub maxvl_cap: usize,
+}
+
+impl VState {
+    /// Fresh state for a machine with the given VLEN in bits.
+    pub fn new(vlen_bits: usize) -> Self {
+        Self {
+            regs: VRegFile::new(vlen_bits),
+            vtype: VType::default(),
+            vl: 0,
+            maxvl_cap: usize::MAX,
+        }
+    }
+
+    /// State matching the paper's VPU: VLEN = 16384 bits (256 × f64).
+    pub fn paper_vpu() -> Self {
+        Self::new(16384)
+    }
+
+    /// Execute `vsetvl`: request `avl` elements at `(sew, lmul)`. Returns the
+    /// granted VL, which also becomes the current VL.
+    pub fn set_vl(&mut self, avl: usize, sew: Sew, lmul: Lmul) -> usize {
+        self.vtype = VType::new(sew, lmul);
+        self.vl = vsetvl(avl, self.vtype, self.regs.vlen_bits(), self.maxvl_cap);
+        self.vl
+    }
+
+    /// `VLMAX` under the current vtype *and* the MAXVL cap — the largest VL
+    /// any request can be granted right now.
+    pub fn vlmax(&self) -> usize {
+        self.vtype.vlmax(self.regs.vlen_bits()).min(self.maxvl_cap)
+    }
+
+    /// Program the MAXVL CSR (the experiment knob). Does not retroactively
+    /// shrink the current `vl`; like the hardware, it takes effect at the
+    /// next `vsetvl`.
+    pub fn set_maxvl_cap(&mut self, cap: usize) {
+        assert!(cap > 0, "MAXVL cap must be positive");
+        self.maxvl_cap = cap;
+    }
+
+    /// Whether element `i` is active under the given mask flag (mask register
+    /// is architecturally `v0`).
+    #[inline]
+    pub fn active(&self, masked: bool, i: usize) -> bool {
+        !masked || self.regs.get_mask(0, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vpu_vlmax() {
+        let mut st = VState::paper_vpu();
+        assert_eq!(st.set_vl(1 << 20, Sew::E64, Lmul::M1), 256);
+        assert_eq!(st.vlmax(), 256);
+    }
+
+    #[test]
+    fn maxvl_csr_caps_grants() {
+        let mut st = VState::paper_vpu();
+        st.set_maxvl_cap(32);
+        assert_eq!(st.set_vl(1000, Sew::E64, Lmul::M1), 32);
+        assert_eq!(st.vlmax(), 32);
+        st.set_maxvl_cap(8);
+        assert_eq!(st.set_vl(1000, Sew::E64, Lmul::M1), 8);
+    }
+
+    #[test]
+    fn set_vl_grants_avl_when_small() {
+        let mut st = VState::paper_vpu();
+        assert_eq!(st.set_vl(13, Sew::E64, Lmul::M1), 13);
+        assert_eq!(st.vl, 13);
+    }
+
+    #[test]
+    fn active_respects_mask_flag() {
+        let mut st = VState::new(256);
+        st.regs.set_mask(0, 1, true);
+        assert!(st.active(false, 0)); // unmasked: everything active
+        assert!(!st.active(true, 0));
+        assert!(st.active(true, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cap_rejected() {
+        VState::paper_vpu().set_maxvl_cap(0);
+    }
+}

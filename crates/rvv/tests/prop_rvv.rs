@@ -1,0 +1,265 @@
+#![allow(clippy::needless_range_loop)] // lanes indexed against multiple reference slices
+//! Property-based tests of the RVV functional engine: every operation is
+//! checked against a plain-Rust scalar model over random vector lengths,
+//! element widths, values, and masks.
+
+use proptest::prelude::*;
+use sdv_rvv::{
+    exec, ArithKind, CmpKind, Lmul, MemAddr, RedKind, Sew, SlideKind, VInst, VOp, VState,
+};
+
+struct Mem(Vec<u8>);
+impl sdv_rvv::VMemory for Mem {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.0[a..a + buf.len()]);
+    }
+    fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.0[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+fn sew_strategy() -> impl Strategy<Value = Sew> {
+    prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32), Just(Sew::E64)]
+}
+
+fn state_with(vl: usize, sew: Sew, xs: &[u64], ys: &[u64], mask: &[bool]) -> VState {
+    let mut st = VState::new(2048); // 32 e64 per register
+    st.set_vl(vl, sew, Lmul::M1);
+    for i in 0..vl {
+        st.regs.set(1, sew, i, xs[i]);
+        st.regs.set(2, sew, i, ys[i]);
+        st.regs.set_mask(0, i, mask[i]);
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_binary_ops_match_reference(
+        sew in sew_strategy(),
+        vl in 1usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+        ys in prop::collection::vec(any::<u64>(), 32),
+        mask in prop::collection::vec(any::<bool>(), 32),
+        masked in any::<bool>(),
+        kind_idx in 0usize..14,
+    ) {
+        let kinds = [
+            ArithKind::Add, ArithKind::Sub, ArithKind::Rsub, ArithKind::And, ArithKind::Or,
+            ArithKind::Xor, ArithKind::Sll, ArithKind::Srl, ArithKind::Sra, ArithKind::Mul,
+            ArithKind::Min, ArithKind::Max, ArithKind::Minu, ArithKind::Maxu,
+        ];
+        let kind = kinds[kind_idx];
+        let mut st = state_with(vl, sew, &xs, &ys, &mask);
+        // Pre-fill destination with a sentinel to observe undisturbed lanes.
+        for i in 0..32.min(st.regs.elems_per_reg(sew)) {
+            st.regs.set(3, sew, i, 0xAAAA_AAAA_AAAA_AAAA & sew.value_mask());
+        }
+        let inst = if masked {
+            VInst::masked(VOp::ArithVV { kind, vd: 3, x: 1, y: 2 })
+        } else {
+            VInst::new(VOp::ArithVV { kind, vd: 3, x: 1, y: 2 })
+        };
+        let mut mem = Mem(vec![0; 8]);
+        exec(&inst, &mut st, &mut mem);
+        let m = sew.value_mask();
+        for i in 0..vl {
+            let (a, b) = (xs[i] & m, ys[i] & m);
+            let (sa, sb) = (sew.sign_extend(a), sew.sign_extend(b));
+            let sh = (b as u32) & (sew.bits() as u32 - 1);
+            let want = match kind {
+                ArithKind::Add => a.wrapping_add(b),
+                ArithKind::Sub => a.wrapping_sub(b),
+                ArithKind::Rsub => b.wrapping_sub(a),
+                ArithKind::And => a & b,
+                ArithKind::Or => a | b,
+                ArithKind::Xor => a ^ b,
+                ArithKind::Sll => a << sh,
+                ArithKind::Srl => a >> sh,
+                ArithKind::Sra => (sa >> sh) as u64,
+                ArithKind::Mul => a.wrapping_mul(b),
+                ArithKind::Min => if sa <= sb { a } else { b },
+                ArithKind::Max => if sa >= sb { a } else { b },
+                ArithKind::Minu => a.min(b),
+                ArithKind::Maxu => a.max(b),
+            } & m;
+            let got = st.regs.get(3, sew, i);
+            if !masked || mask[i] {
+                prop_assert_eq!(got, want, "lane {} kind {:?} sew {:?}", i, kind, sew);
+            } else {
+                prop_assert_eq!(got, 0xAAAA_AAAA_AAAA_AAAA & m, "masked-off lane {} disturbed", i);
+            }
+        }
+    }
+
+    #[test]
+    fn compares_match_reference(
+        vl in 1usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+        scalar in any::<u64>(),
+        kind_idx in 0usize..8,
+    ) {
+        let kinds = [
+            CmpKind::Eq, CmpKind::Ne, CmpKind::Lt, CmpKind::Ltu,
+            CmpKind::Le, CmpKind::Leu, CmpKind::Gt, CmpKind::Gtu,
+        ];
+        let kind = kinds[kind_idx];
+        let sew = Sew::E64;
+        let mask = vec![false; 32];
+        let mut st = state_with(vl, sew, &xs, &xs, &mask);
+        let mut mem = Mem(vec![0; 8]);
+        exec(&VInst::new(VOp::CmpVX { kind, md: 4, x: 1, scalar }), &mut st, &mut mem);
+        for i in 0..vl {
+            let (a, b) = (xs[i], scalar);
+            let (sa, sb) = (a as i64, b as i64);
+            let want = match kind {
+                CmpKind::Eq => a == b,
+                CmpKind::Ne => a != b,
+                CmpKind::Lt => sa < sb,
+                CmpKind::Ltu => a < b,
+                CmpKind::Le => sa <= sb,
+                CmpKind::Leu => a <= b,
+                CmpKind::Gt => sa > sb,
+                CmpKind::Gtu => a > b,
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(st.regs.get_mask(4, i), want, "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn reduction_sum_equals_fold(
+        vl in 1usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+        seed in any::<u64>(),
+    ) {
+        let sew = Sew::E64;
+        let mask = vec![false; 32];
+        let mut st = state_with(vl, sew, &xs, &xs, &mask);
+        st.regs.set(5, sew, 0, seed);
+        let mut mem = Mem(vec![0; 8]);
+        exec(&VInst::new(VOp::Red { kind: RedKind::Sum, vd: 6, x: 1, acc: 5 }), &mut st, &mut mem);
+        let want = xs[..vl].iter().fold(seed, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(st.regs.get(6, sew, 0), want);
+    }
+
+    #[test]
+    fn iota_then_popc_consistent(
+        vl in 1usize..=32,
+        bits in prop::collection::vec(any::<bool>(), 32),
+    ) {
+        let sew = Sew::E64;
+        let mut st = VState::new(2048);
+        st.set_vl(vl, sew, Lmul::M1);
+        for i in 0..vl {
+            st.regs.set_mask(2, i, bits[i]);
+        }
+        let mut mem = Mem(vec![0; 8]);
+        exec(&VInst::new(VOp::Iota { vd: 3, m: 2 }), &mut st, &mut mem);
+        let info = exec(&VInst::new(VOp::Popc { m: 2 }), &mut st, &mut mem);
+        let total = info.scalar.unwrap();
+        // iota[i] counts set bits strictly below i; the final element plus
+        // its own bit equals popc.
+        let last = st.regs.get(3, sew, vl - 1) + bits[vl - 1] as u64;
+        prop_assert_eq!(last, total);
+        // iota is non-decreasing and increments by exactly the mask bits.
+        for i in 1..vl {
+            let step = st.regs.get(3, sew, i) - st.regs.get(3, sew, i - 1);
+            prop_assert_eq!(step, bits[i - 1] as u64);
+        }
+    }
+
+    #[test]
+    fn compress_packs_exactly_the_selected(
+        vl in 1usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+        bits in prop::collection::vec(any::<bool>(), 32),
+    ) {
+        let sew = Sew::E64;
+        let mask = vec![false; 32];
+        let mut st = state_with(vl, sew, &xs, &xs, &mask);
+        for i in 0..vl {
+            st.regs.set_mask(2, i, bits[i]);
+        }
+        let mut mem = Mem(vec![0; 8]);
+        exec(&VInst::new(VOp::Compress { vd: 7, x: 1, m: 2 }), &mut st, &mut mem);
+        let want: Vec<u64> = (0..vl).filter(|&i| bits[i]).map(|i| xs[i]).collect();
+        for (j, w) in want.iter().enumerate() {
+            prop_assert_eq!(st.regs.get(7, sew, j), *w, "packed slot {}", j);
+        }
+    }
+
+    #[test]
+    fn slide_up_down_roundtrip_interior(
+        vl in 2usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+        off in 1u64..8,
+    ) {
+        prop_assume!((off as usize) < vl);
+        let sew = Sew::E64;
+        let mask = vec![false; 32];
+        let mut st = state_with(vl, sew, &xs, &xs, &mask);
+        let mut mem = Mem(vec![0; 8]);
+        exec(&VInst::new(VOp::Slide { kind: SlideKind::Up, vd: 8, x: 1, amount: off }), &mut st, &mut mem);
+        exec(&VInst::new(VOp::Slide { kind: SlideKind::Down, vd: 9, x: 8, amount: off }), &mut st, &mut mem);
+        // Interior elements survive the round trip.
+        for i in 0..vl - off as usize {
+            prop_assert_eq!(st.regs.get(9, sew, i), xs[i], "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn gather_with_identity_indices_is_copy(
+        vl in 1usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        let sew = Sew::E64;
+        let mask = vec![false; 32];
+        let mut st = state_with(vl, sew, &xs, &xs, &mask);
+        let mut mem = Mem(vec![0; 8]);
+        exec(&VInst::new(VOp::Id { vd: 10 }), &mut st, &mut mem);
+        exec(&VInst::new(VOp::Gather { vd: 11, x: 1, y: 10 }), &mut st, &mut mem);
+        for i in 0..vl {
+            prop_assert_eq!(st.regs.get(11, sew, i), xs[i]);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip_random_strides(
+        vl in 1usize..=32,
+        xs in prop::collection::vec(any::<u64>(), 32),
+        stride_elems in 1i64..5,
+    ) {
+        let sew = Sew::E64;
+        let mask = vec![false; 32];
+        let mut st = state_with(vl, sew, &xs, &xs, &mask);
+        let mut mem = Mem(vec![0; 32 * 5 * 8 + 64]);
+        let stride = stride_elems * 8;
+        exec(&VInst::new(VOp::Store { vs: 1, addr: MemAddr::Strided { base: 0, stride } }), &mut st, &mut mem);
+        exec(&VInst::new(VOp::Load { vd: 12, addr: MemAddr::Strided { base: 0, stride } }), &mut st, &mut mem);
+        for i in 0..vl {
+            prop_assert_eq!(st.regs.get(12, sew, i), xs[i]);
+        }
+    }
+
+    #[test]
+    fn vsetvl_never_exceeds_caps(
+        avl in 0usize..100_000,
+        cap in 1usize..512,
+        sew in sew_strategy(),
+    ) {
+        let mut st = VState::paper_vpu();
+        st.set_maxvl_cap(cap);
+        let vl = st.set_vl(avl, sew, Lmul::M1);
+        prop_assert!(vl <= avl);
+        prop_assert!(vl <= cap);
+        prop_assert!(vl <= 16384 / sew.bits());
+        if avl > 0 && cap > 0 {
+            prop_assert!(vl > 0, "nonzero request with nonzero caps grants nonzero");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The top-level timing consumer: scalar core + VPU + memory hierarchy.
+
+use crate::config::TimingConfig;
+use crate::memhier::MemHierarchy;
+use crate::op::{Op, VClass};
+use crate::scalar::ScalarCore;
+use crate::vpu::VpuTiming;
+use sdv_engine::{Cycle, Stats};
+
+/// The assembled timing model. Feed it the dynamic [`Op`] stream a kernel
+/// produces; read back cycles (the paper's hardware cycle counter) and
+/// component statistics.
+pub struct SdvTiming {
+    scalar: ScalarCore,
+    vpu: VpuTiming,
+    hier: MemHierarchy,
+}
+
+impl SdvTiming {
+    /// Build from configuration.
+    pub fn new(cfg: TimingConfig) -> Self {
+        Self {
+            scalar: ScalarCore::new(cfg.scalar),
+            vpu: VpuTiming::new(cfg.vpu),
+            hier: MemHierarchy::new(cfg.mem),
+        }
+    }
+
+    /// The §2.2 knob: extra DRAM latency in cycles.
+    pub fn set_extra_latency(&mut self, extra: Cycle) {
+        self.hier.set_extra_latency(extra);
+    }
+
+    /// The §2.3 knob: DRAM bandwidth cap in bytes/cycle.
+    pub fn set_bandwidth_limit(&mut self, bytes_per_cycle: u64) {
+        self.hier.set_bandwidth_limit(bytes_per_cycle);
+    }
+
+    /// Raw `(num, den)` limiter programming.
+    pub fn set_bandwidth_fraction(&mut self, num: u32, den: u32) {
+        self.hier.set_bandwidth_fraction(num, den);
+    }
+
+    /// Consume one trace operation.
+    pub fn issue(&mut self, op: &Op) {
+        match op {
+            Op::IntOps(n) => self.scalar.int_ops(*n),
+            Op::FpOps(n) => self.scalar.fp_ops(*n),
+            Op::Load { addr, .. } => self.scalar.load(&mut self.hier, *addr),
+            Op::Store { addr, .. } => self.scalar.store(&mut self.hier, *addr),
+            Op::Branch { taken } => self.scalar.branch(*taken),
+            Op::Vector(vop) => {
+                // Vector instructions consume a scalar issue slot, then run
+                // decoupled. `vsetvl` stays on the scalar side entirely.
+                self.scalar.int_ops(1);
+                if vop.class == VClass::SetVl {
+                    return;
+                }
+                let d = self.vpu.dispatch(vop, self.scalar.now(), &mut self.hier);
+                if d.accepted_at > self.scalar.now() {
+                    self.scalar.advance_to(d.accepted_at);
+                }
+                if vop.produces_scalar {
+                    // The scalar core consumes the result immediately: a
+                    // hard scalar<->vector synchronization.
+                    self.scalar.advance_to(d.completion + self.vpu.scalar_read_latency());
+                }
+            }
+            Op::Sync => {
+                self.scalar.advance_to(self.vpu.all_done());
+            }
+        }
+    }
+
+    /// Finish the program: drain everything and return the final cycle count
+    /// (what the paper's hardware cycle counter would read).
+    pub fn finish(&mut self) -> Cycle {
+        self.scalar.advance_to(self.vpu.all_done());
+        self.scalar.drain();
+        self.scalar.now()
+    }
+
+    /// Current scalar-core cycle (advances as ops are issued).
+    pub fn now(&self) -> Cycle {
+        self.scalar.now()
+    }
+
+    /// Merged statistics from every component.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.absorb(self.scalar.stats());
+        s.absorb(self.vpu.stats());
+        s.absorb(&self.hier.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{VectorMemOp, VectorOp};
+
+    fn machine() -> SdvTiming {
+        SdvTiming::new(TimingConfig::default())
+    }
+
+    fn gather(vl: usize, lines: Vec<u64>) -> Op {
+        Op::Vector(VectorOp {
+            class: VClass::Memory,
+            vl,
+            active: vl,
+            mem: Some(VectorMemOp { is_load: true, unit_stride: false, elems: vl, lines }),
+            produces_scalar: false,
+            is_fp: false,
+        })
+    }
+
+    #[test]
+    fn empty_program_is_zero_cycles() {
+        let mut m = machine();
+        assert_eq!(m.finish(), 0);
+    }
+
+    #[test]
+    fn scalar_only_program() {
+        let mut m = machine();
+        m.issue(&Op::IntOps(100));
+        m.issue(&Op::Branch { taken: true });
+        let t = m.finish();
+        assert!((50..70).contains(&t), "100 ops at 2-wide + branch: {t}");
+    }
+
+    #[test]
+    fn sync_waits_for_vector_work() {
+        let mut m = machine();
+        m.issue(&gather(256, (0..64).map(|i| i * 4096).collect()));
+        let before = m.now();
+        m.issue(&Op::Sync);
+        assert!(m.now() > before, "sync must wait for the gather");
+    }
+
+    #[test]
+    fn finish_includes_vector_drain() {
+        let mut m = machine();
+        m.issue(&gather(256, (0..64).map(|i| i * 4096).collect()));
+        let t = m.finish();
+        assert!(t > 50);
+    }
+
+    #[test]
+    fn scalar_producing_vector_op_synchronizes() {
+        let mut m = machine();
+        m.issue(&gather(256, (0..64).map(|i| i * 4096).collect()));
+        let popc = Op::Vector(VectorOp {
+            class: VClass::Arith,
+            vl: 256,
+            active: 256,
+            mem: None,
+            produces_scalar: true,
+            is_fp: false,
+        });
+        m.issue(&popc);
+        // In-order VPU completion means the popc result arrives after the
+        // gather; the scalar core is now synchronized past it.
+        let t_after_popc = m.now();
+        assert!(t_after_popc > 50);
+    }
+
+    #[test]
+    fn vector_program_beats_scalar_on_streaming() {
+        // 4096 elements: scalar = 4096 loads; vector = 16 unit-stride loads
+        // of 256 elements (512 lines total in both cases).
+        let scalar_t = {
+            let mut m = machine();
+            for i in 0..4096u64 {
+                m.issue(&Op::Load { addr: i * 8, size: 8 });
+                m.issue(&Op::FpOps(1));
+            }
+            m.finish()
+        };
+        let vector_t = {
+            let mut m = machine();
+            for blk in 0..16u64 {
+                let base = blk * 256 * 8;
+                let lines: Vec<u64> = (0..32).map(|l| base + l * 64).collect();
+                m.issue(&Op::Vector(VectorOp {
+                    class: VClass::Memory,
+                    vl: 256,
+                    active: 256,
+                    mem: Some(VectorMemOp { is_load: true, unit_stride: true, elems: 256, lines }),
+                    produces_scalar: false,
+            is_fp: false,
+                }));
+                m.issue(&Op::Vector(VectorOp {
+                    class: VClass::Arith,
+                    vl: 256,
+                    active: 256,
+                    mem: None,
+                    produces_scalar: false,
+            is_fp: false,
+                }));
+            }
+            m.finish()
+        };
+        assert!(
+            vector_t * 3 < scalar_t,
+            "long vectors should win streaming by >3x: vector={vector_t} scalar={scalar_t}"
+        );
+    }
+
+    #[test]
+    fn latency_tolerance_improves_with_vl() {
+        // The paper's central claim, reproduced at the op level: the same
+        // 4096-element gather footprint, chunked at VL=8 vs VL=256. Adding
+        // latency must hurt VL=8 more than VL=256.
+        let run = |vl: u64, extra: u64| {
+            let mut m = machine();
+            m.set_extra_latency(extra);
+            let total = 4096u64;
+            for chunk in 0..total / vl {
+                let lines: Vec<u64> = (0..vl).map(|e| (chunk * vl + e) * 4096).collect();
+                m.issue(&gather(vl as usize, lines));
+                m.issue(&Op::IntOps(4));
+            }
+            m.finish() as f64
+        };
+        let slowdown_8 = run(8, 512) / run(8, 0);
+        let slowdown_256 = run(256, 512) / run(256, 0);
+        assert!(
+            slowdown_256 < slowdown_8,
+            "long vectors must tolerate latency better: vl8 {slowdown_8:.2}x vs vl256 {slowdown_256:.2}x"
+        );
+    }
+
+    #[test]
+    fn bandwidth_utilization_improves_with_vl() {
+        // Normalized-to-1B/cy execution time at full bandwidth: longer VL
+        // must extract more benefit from the extra bandwidth (§4.2).
+        let run = |vl: u64, bw: u64| {
+            let mut m = machine();
+            m.set_bandwidth_limit(bw);
+            let total = 8192u64;
+            for chunk in 0..total / vl {
+                let base = chunk * vl * 8;
+                let lines: Vec<u64> = (0..(vl * 8).div_ceil(64)).map(|l| base + l * 64).collect();
+                m.issue(&Op::Vector(VectorOp {
+                    class: VClass::Memory,
+                    vl: vl as usize,
+                    active: vl as usize,
+                    mem: Some(VectorMemOp {
+                        is_load: true,
+                        unit_stride: true,
+                        elems: vl as usize,
+                        lines,
+                    }),
+                    produces_scalar: false,
+            is_fp: false,
+                }));
+                m.issue(&Op::IntOps(4));
+            }
+            m.finish() as f64
+        };
+        let gain_8 = run(8, 1) / run(8, 64);
+        let gain_256 = run(256, 1) / run(256, 64);
+        assert!(
+            gain_256 > gain_8,
+            "long vectors must exploit bandwidth better: vl8 {gain_8:.2}x vs vl256 {gain_256:.2}x"
+        );
+    }
+
+    #[test]
+    fn stats_are_merged_across_components() {
+        let mut m = machine();
+        m.issue(&Op::Load { addr: 0, size: 8 });
+        m.issue(&gather(8, vec![0, 4096]));
+        m.finish();
+        let s = m.stats();
+        assert!(s.get("scalar.loads") == 1);
+        assert!(s.get("vpu.instrs") == 1);
+        assert!(s.get("dram.requests") >= 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut m = machine();
+            for i in 0..500u64 {
+                m.issue(&Op::Load { addr: (i * 809) % 100_000, size: 8 });
+                m.issue(&Op::IntOps(3));
+            }
+            m.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

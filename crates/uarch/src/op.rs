@@ -1,0 +1,262 @@
+//! The dynamic trace-operation vocabulary.
+//!
+//! While a kernel runs functionally against the platform's `Vm` API, every
+//! architectural event is narrated to the timing model as an [`Op`]. The
+//! vocabulary is deliberately small: scalar compute, scalar memory,
+//! branches, vector instructions (carrying their resolved memory footprint),
+//! and explicit scalar↔vector synchronization.
+
+use sdv_rvv::{ExecInfo, MemAccessKind, VInst, VOp};
+
+/// Classification of a vector instruction for costing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VClass {
+    /// Single-pass element-wise work (add/mul/FMA/compare/mask/merge/moves).
+    Arith,
+    /// Long-latency element-wise work (divide, and square root if added).
+    ArithLong,
+    /// Reductions (lane tree + drain).
+    Reduction,
+    /// Cross-lane permutation (slides, gather-in-register, compress, iota).
+    Permute,
+    /// Memory instruction (the footprint rides in [`VectorOp::mem`]).
+    Memory,
+    /// `vsetvl` — handled on the scalar side but kept for accounting.
+    SetVl,
+}
+
+/// The memory footprint of one vector load/store, already resolved to cache
+/// lines by the functional model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorMemOp {
+    /// `true` for loads.
+    pub is_load: bool,
+    /// `true` when the access was unit-stride (line-burst friendly).
+    pub unit_stride: bool,
+    /// Distinct line addresses in first-touch order (adjacent same-line
+    /// element accesses coalesced, as the vector memory unit would).
+    pub lines: Vec<u64>,
+    /// Number of element accesses behind those lines.
+    pub elems: usize,
+}
+
+/// One vector instruction as seen by the timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorOp {
+    /// Cost class.
+    pub class: VClass,
+    /// Vector length it executed at.
+    pub vl: usize,
+    /// Active (unmasked) elements.
+    pub active: usize,
+    /// Memory footprint for `VClass::Memory`.
+    pub mem: Option<VectorMemOp>,
+    /// Whether the scalar core consumes this instruction's scalar result
+    /// immediately (vpopc/vfirst/vmv.x.s) — a synchronization point.
+    pub produces_scalar: bool,
+    /// Whether this is a floating-point instruction (for FLOP accounting).
+    pub is_fp: bool,
+}
+
+/// A dynamic trace operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `n` scalar integer/address-generation operations.
+    IntOps(u32),
+    /// `n` scalar floating-point operations.
+    FpOps(u32),
+    /// A scalar load of `size` bytes.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A scalar store of `size` bytes.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A conditional branch.
+    Branch {
+        /// Whether it was taken (taken branches pay a redirect bubble).
+        taken: bool,
+    },
+    /// A vector instruction.
+    Vector(VectorOp),
+    /// Wait until all outstanding vector work has completed (the scalar core
+    /// reads a vector-produced scalar, or the program ends).
+    Sync,
+}
+
+/// Coalesce element-granular accesses into distinct line addresses in
+/// first-touch order. Full dedup for unit-stride bursts; for scattered
+/// accesses only *adjacent* same-line elements coalesce, modelling a vector
+/// memory unit that compares each address against its predecessor rather
+/// than doing a full CAM across the whole request.
+pub fn coalesce_lines(
+    accesses: &[sdv_rvv::MemAccess],
+    line_bytes: u64,
+    unit_stride: bool,
+) -> Vec<u64> {
+    let mut lines = Vec::new();
+    if unit_stride {
+        let mut last = None;
+        for a in accesses {
+            let l = a.addr & !(line_bytes - 1);
+            if last != Some(l) && !lines.contains(&l) {
+                lines.push(l);
+            }
+            last = Some(l);
+        }
+    } else {
+        let mut last = None;
+        for a in accesses {
+            let l = a.addr & !(line_bytes - 1);
+            if last != Some(l) {
+                lines.push(l);
+            }
+            last = Some(l);
+        }
+    }
+    lines
+}
+
+/// Build a [`VectorOp`] from a functionally-executed instruction.
+pub fn classify(inst: &VInst, info: &ExecInfo, line_bytes: u64) -> VectorOp {
+    let class = match &inst.op {
+        VOp::Load { .. }
+        | VOp::LoadWiden { .. }
+        | VOp::Store { .. }
+        | VOp::SegLoad { .. }
+        | VOp::SegStore { .. } => VClass::Memory,
+        VOp::FArithVV { kind, .. } | VOp::FArithVF { kind, .. } => {
+            if matches!(kind, sdv_rvv::FArithKind::Fdiv) {
+                VClass::ArithLong
+            } else {
+                VClass::Arith
+            }
+        }
+        VOp::FUnary { kind, .. } => {
+            if matches!(kind, sdv_rvv::FUnaryKind::Fsqrt) {
+                VClass::ArithLong
+            } else {
+                VClass::Arith
+            }
+        }
+        VOp::Red { .. } => VClass::Reduction,
+        VOp::Slide { .. } | VOp::Gather { .. } | VOp::Compress { .. } | VOp::Iota { .. } => {
+            VClass::Permute
+        }
+        _ => VClass::Arith,
+    };
+    let mem = if class == VClass::Memory {
+        let is_load =
+            matches!(inst.op, VOp::Load { .. } | VOp::LoadWiden { .. } | VOp::SegLoad { .. });
+        debug_assert!(info
+            .mem
+            .iter()
+            .all(|a| (a.kind == MemAccessKind::Read) == is_load));
+        Some(VectorMemOp {
+            is_load,
+            unit_stride: info.unit_stride,
+            lines: coalesce_lines(&info.mem, line_bytes, info.unit_stride),
+            elems: info.mem.len(),
+        })
+    } else {
+        None
+    };
+    let is_fp = matches!(
+        inst.op,
+        VOp::FArithVV { .. }
+            | VOp::FArithVF { .. }
+            | VOp::FUnary { .. }
+            | VOp::FmaVV { .. }
+            | VOp::FmaVF { .. }
+            | VOp::Red { kind: sdv_rvv::RedKind::Fsum, .. }
+            | VOp::Red { kind: sdv_rvv::RedKind::Fmax, .. }
+            | VOp::Red { kind: sdv_rvv::RedKind::Fmin, .. }
+            | VOp::Cvt { .. }
+    );
+    VectorOp {
+        class,
+        vl: info.vl,
+        active: info.active,
+        mem,
+        produces_scalar: inst.produces_scalar(),
+        is_fp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_rvv::{ArithKind, MemAccess, MemAddr};
+
+    fn acc(addr: u64) -> MemAccess {
+        MemAccess { addr, size: 8, kind: MemAccessKind::Read }
+    }
+
+    #[test]
+    fn coalesce_unit_stride_dedups_fully() {
+        let accesses: Vec<_> = (0..32).map(|i| acc(i * 8)).collect();
+        let lines = coalesce_lines(&accesses, 64, true);
+        assert_eq!(lines, vec![0, 64, 128, 192]);
+    }
+
+    #[test]
+    fn coalesce_gather_only_adjacent() {
+        // Elements: line 0, line 0, line 64, line 0 -> revisit of line 0 is a
+        // separate request (no full CAM).
+        let accesses = vec![acc(0), acc(8), acc(64), acc(16)];
+        let lines = coalesce_lines(&accesses, 64, false);
+        assert_eq!(lines, vec![0, 64, 0]);
+    }
+
+    #[test]
+    fn coalesce_empty() {
+        assert!(coalesce_lines(&[], 64, true).is_empty());
+        assert!(coalesce_lines(&[], 64, false).is_empty());
+    }
+
+    #[test]
+    fn classify_load_builds_footprint() {
+        let inst = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } });
+        let info = ExecInfo {
+            mem: (0..16).map(|i| acc(i * 8)).collect(),
+            scalar: None,
+            active: 16,
+            vl: 16,
+            unit_stride: true,
+        };
+        let v = classify(&inst, &info, 64);
+        assert_eq!(v.class, VClass::Memory);
+        let m = v.mem.unwrap();
+        assert!(m.is_load);
+        assert!(m.unit_stride);
+        assert_eq!(m.lines, vec![0, 64]);
+        assert_eq!(m.elems, 16);
+    }
+
+    #[test]
+    fn classify_arith_kinds() {
+        let info = ExecInfo { vl: 8, active: 8, ..Default::default() };
+        let add = VInst::new(VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 2, y: 3 });
+        assert_eq!(classify(&add, &info, 64).class, VClass::Arith);
+        let div = VInst::new(VOp::FArithVV { kind: sdv_rvv::FArithKind::Fdiv, vd: 1, x: 2, y: 3 });
+        assert_eq!(classify(&div, &info, 64).class, VClass::ArithLong);
+        let red = VInst::new(VOp::Red { kind: sdv_rvv::RedKind::Fsum, vd: 1, x: 2, acc: 3 });
+        assert_eq!(classify(&red, &info, 64).class, VClass::Reduction);
+        let cmp = VInst::new(VOp::Compress { vd: 1, x: 2, m: 3 });
+        assert_eq!(classify(&cmp, &info, 64).class, VClass::Permute);
+    }
+
+    #[test]
+    fn classify_scalar_producers() {
+        let info = ExecInfo { vl: 8, active: 8, scalar: Some(3), ..Default::default() };
+        let popc = VInst::new(VOp::Popc { m: 0 });
+        assert!(classify(&popc, &info, 64).produces_scalar);
+    }
+}

@@ -1,0 +1,362 @@
+//! The Atrevido-style scalar core timing model.
+//!
+//! In-order superscalar issue with two mechanisms bounding memory-level
+//! parallelism — the quantities that make the *scalar* curves in the paper's
+//! figures steep:
+//!
+//! * an **MSHR cap** (`max_outstanding_loads`): at most N distinct lines may
+//!   be in flight; further misses stall,
+//! * a **run-ahead window** (`runahead_window`): the core may issue at most
+//!   W ops past the oldest incomplete load, approximating stall-on-use with
+//!   a modest out-of-order window.
+
+use crate::config::ScalarConfig;
+use crate::memhier::MemHierarchy;
+use sdv_engine::{Cycle, Stats};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    line: u64,
+    completion: Cycle,
+    op_idx: u64,
+    /// Merged loads share an MSHR with their primary.
+    primary: bool,
+}
+
+/// The scalar core.
+pub struct ScalarCore {
+    cfg: ScalarConfig,
+    cycle: Cycle,
+    slot: u32,
+    op_idx: u64,
+    pending: VecDeque<PendingLoad>,
+    outstanding_lines: usize,
+    stores: VecDeque<Cycle>,
+    stats: Stats,
+}
+
+impl ScalarCore {
+    /// A core at cycle 0.
+    pub fn new(cfg: ScalarConfig) -> Self {
+        assert!(cfg.issue_width > 0, "issue width must be positive");
+        assert!(cfg.max_outstanding_loads > 0, "need at least one MSHR");
+        Self {
+            cfg,
+            cycle: 0,
+            slot: 0,
+            op_idx: 0,
+            pending: VecDeque::new(),
+            outstanding_lines: 0,
+            stores: VecDeque::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Jump forward to `t` (stalls).
+    pub fn advance_to(&mut self, t: Cycle) {
+        if t > self.cycle {
+            self.stats.add("scalar.stall_cycles", t - self.cycle);
+            self.cycle = t;
+            self.slot = 0;
+        }
+    }
+
+    /// Consume `n` issue slots at the configured width.
+    fn issue_slots(&mut self, n: u32) {
+        let total = self.slot + n;
+        self.cycle += (total / self.cfg.issue_width) as Cycle;
+        self.slot = total % self.cfg.issue_width;
+        self.op_idx += n as u64;
+        self.stats.add("scalar.ops", n as u64);
+    }
+
+    fn retire_completed(&mut self) {
+        // Loads complete out of order (bank/DRAM effects), so retirement
+        // scans the whole set: a merged entry at the front with a late
+        // completion must not pin completed primaries behind it.
+        let cycle = self.cycle;
+        let mut released = 0;
+        self.pending.retain(|p| {
+            if p.completion <= cycle {
+                if p.primary {
+                    released += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.outstanding_lines -= released;
+        while let Some(&f) = self.stores.front() {
+            if f <= self.cycle {
+                self.stores.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Enforce the run-ahead window before issuing the next op.
+    fn window_stall(&mut self) {
+        self.retire_completed();
+        // The oldest incomplete load bounds how far ahead we may issue.
+        while let Some(oldest) = self.pending.iter().min_by_key(|p| p.op_idx).copied() {
+            if self.op_idx.saturating_sub(oldest.op_idx) >= self.cfg.runahead_window as u64 {
+                self.stats.inc("scalar.window_stalls");
+                self.advance_to(oldest.completion);
+                self.retire_completed();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Issue `n` ops, `slots_per_op` issue slots each, enforcing the
+    /// run-ahead window *within* the bulk: the core may not sail past an
+    /// incomplete load by more than the window even inside one batch.
+    fn bulk_issue(&mut self, mut n: u32, slots_per_op: u32) {
+        while n > 0 {
+            self.window_stall();
+            let room = match self.pending.iter().map(|p| p.op_idx).min() {
+                Some(oldest) => {
+                    let used = self.op_idx - oldest;
+                    (self.cfg.runahead_window as u64).saturating_sub(used).max(1) as u32
+                }
+                None => n,
+            };
+            let chunk = n.min(room);
+            self.issue_slots(chunk * slots_per_op);
+            n -= chunk;
+        }
+    }
+
+    /// Issue `n` integer/address ops.
+    pub fn int_ops(&mut self, n: u32) {
+        self.bulk_issue(n, 1);
+    }
+
+    /// Issue `n` FP ops.
+    pub fn fp_ops(&mut self, n: u32) {
+        self.bulk_issue(n, self.cfg.fp_issue_slots);
+        self.stats.add("scalar.fp_ops", n as u64);
+    }
+
+    /// Issue a branch.
+    pub fn branch(&mut self, taken: bool) {
+        self.window_stall();
+        self.issue_slots(1);
+        if taken {
+            self.cycle += self.cfg.branch_penalty;
+            self.slot = 0;
+        }
+        self.stats.inc("scalar.branches");
+    }
+
+    /// Issue a load through the hierarchy.
+    pub fn load(&mut self, hier: &mut MemHierarchy, addr: u64) {
+        self.window_stall();
+        let line = hier.line_bytes();
+        let line_addr = addr & !(line - 1);
+        // Merge with an in-flight load of the same line: no new MSHR.
+        let merged = self.pending.iter().find(|p| p.line == line_addr).map(|p| p.completion);
+        if let Some(completion) = merged {
+            self.pending.push_back(PendingLoad {
+                line: line_addr,
+                completion,
+                op_idx: self.op_idx,
+                primary: false,
+            });
+            self.issue_slots(1);
+            self.stats.inc("scalar.loads");
+            return;
+        }
+        // MSHR cap: stall until the earliest-finishing primary completes.
+        // `retire_completed` leaves only future completions, so each
+        // iteration strictly advances time.
+        while self.outstanding_lines >= self.cfg.max_outstanding_loads {
+            let next = self
+                .pending
+                .iter()
+                .filter(|p| p.primary)
+                .map(|p| p.completion)
+                .min()
+                .expect("outstanding_lines > 0 implies a primary exists");
+            debug_assert!(next > self.cycle, "retire left a completed primary behind");
+            self.stats.inc("scalar.mshr_stalls");
+            self.advance_to(next);
+            self.retire_completed();
+        }
+        let completion = hier.core_access(addr, false, self.cycle);
+        self.pending.push_back(PendingLoad {
+            line: line_addr,
+            completion,
+            op_idx: self.op_idx,
+            primary: true,
+        });
+        self.outstanding_lines += 1;
+        self.issue_slots(1);
+        self.stats.inc("scalar.loads");
+    }
+
+    /// Issue a store (retires via the store buffer).
+    pub fn store(&mut self, hier: &mut MemHierarchy, addr: u64) {
+        self.window_stall();
+        while self.stores.len() >= self.cfg.store_buffer {
+            let f = self.stores[0];
+            self.stats.inc("scalar.store_buffer_stalls");
+            self.advance_to(f);
+            self.retire_completed();
+        }
+        let completion = hier.core_access(addr, true, self.cycle);
+        self.stores.push_back(completion);
+        self.issue_slots(1);
+        self.stats.inc("scalar.stores");
+    }
+
+    /// Drain: wait for every outstanding load and store.
+    pub fn drain(&mut self) {
+        let last = self
+            .pending
+            .iter()
+            .map(|p| p.completion)
+            .chain(self.stores.iter().copied())
+            .max()
+            .unwrap_or(0);
+        self.advance_to(last);
+        self.retire_completed();
+    }
+
+    /// Core statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemHierConfig;
+
+    fn parts() -> (ScalarCore, MemHierarchy) {
+        (ScalarCore::new(ScalarConfig::default()), MemHierarchy::new(MemHierConfig::default()))
+    }
+
+    #[test]
+    fn issue_width_packs_ops() {
+        let (mut c, _) = parts();
+        c.int_ops(4); // 2-wide: 2 cycles
+        assert_eq!(c.now(), 2);
+        c.int_ops(1);
+        assert_eq!(c.now(), 2, "half-filled cycle");
+        c.int_ops(1);
+        assert_eq!(c.now(), 3);
+    }
+
+    #[test]
+    fn taken_branch_pays_penalty() {
+        let (mut c, _) = parts();
+        c.branch(false);
+        let t0 = c.now();
+        c.branch(true);
+        assert!(c.now() >= t0 + ScalarConfig::default().branch_penalty);
+    }
+
+    #[test]
+    fn independent_loads_overlap_up_to_mshr_cap() {
+        let (mut c, mut h) = parts();
+        // 4 loads to distinct lines: all issue back-to-back (cap is 4).
+        for i in 0..4u64 {
+            c.load(&mut h, i * 64);
+        }
+        assert!(c.now() < 10, "no stall within the MSHR budget: {}", c.now());
+        // The 5th distinct-line load must wait for one to complete.
+        c.load(&mut h, 4 * 64);
+        assert!(c.now() > 40, "5th load stalls on MSHRs: {}", c.now());
+        assert_eq!(c.stats().get("scalar.mshr_stalls"), 1);
+    }
+
+    #[test]
+    fn same_line_loads_merge_without_mshr_pressure() {
+        let (mut c, mut h) = parts();
+        for i in 0..16u64 {
+            c.load(&mut h, i * 8); // two lines total
+        }
+        assert_eq!(c.stats().get("scalar.mshr_stalls"), 0);
+        assert!(c.now() < 16);
+    }
+
+    #[test]
+    fn runahead_window_stalls_on_old_loads() {
+        let (mut c, mut h) = parts();
+        c.load(&mut h, 0); // cold miss, ~50 cycles
+        // Issue more ops than the window allows: the core must stall on the load.
+        c.int_ops(ScalarConfig::default().runahead_window as u32 + 8);
+        assert!(c.now() > 40, "window forces a stall: {}", c.now());
+        assert!(c.stats().get("scalar.window_stalls") > 0);
+    }
+
+    #[test]
+    fn window_does_not_stall_on_completed_loads() {
+        let (mut c, mut h) = parts();
+        c.load(&mut h, 0);
+        c.advance_to(200); // load long since complete
+        c.int_ops(100);
+        assert_eq!(c.stats().get("scalar.window_stalls"), 0);
+    }
+
+    #[test]
+    fn store_buffer_absorbs_then_backpressures() {
+        let (mut c, mut h) = parts();
+        let sb = ScalarConfig::default().store_buffer;
+        for i in 0..sb as u64 {
+            c.store(&mut h, i * 64);
+        }
+        let t = c.now();
+        assert!(t < 10, "buffered stores don't stall: {t}");
+        c.store(&mut h, 100 * 64);
+        assert!(c.stats().get("scalar.store_buffer_stalls") >= 1);
+    }
+
+    #[test]
+    fn drain_waits_for_everything() {
+        let (mut c, mut h) = parts();
+        c.load(&mut h, 0);
+        c.store(&mut h, 4096);
+        c.drain();
+        let t = c.now();
+        assert!(t > 40);
+        // Idempotent.
+        c.drain();
+        assert_eq!(c.now(), t);
+    }
+
+    #[test]
+    fn latency_knob_hurts_serial_loads_linearly() {
+        // Serial dependent-ish loads (window forces serialization):
+        // doubling extra latency should add ~extra per miss.
+        let window = ScalarConfig::default().runahead_window as u32;
+        let run = |extra: u64| {
+            let (mut c, mut h) = parts();
+            h.set_extra_latency(extra);
+            for i in 0..20u64 {
+                c.load(&mut h, i * 4096);
+                c.int_ops(window + 8); // beyond the window: forces stall-on-use
+            }
+            c.drain();
+            c.now()
+        };
+        let t0 = run(0);
+        let t256 = run(256);
+        let delta = t256 - t0;
+        assert!(
+            (20 * 220..=20 * 280).contains(&delta),
+            "each of 20 serialized misses should absorb ~256 extra cycles, delta={delta}"
+        );
+    }
+}

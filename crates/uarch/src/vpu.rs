@@ -1,0 +1,345 @@
+//! The Vitruvius-style decoupled vector unit timing model.
+//!
+//! Three mechanisms shape the paper's results and are modelled directly:
+//!
+//! * **element throughput**: an arithmetic instruction occupies the 8-lane
+//!   datapath for `ceil(vl/lanes)` cycles, plus a fixed startup — so short
+//!   VLs pay proportionally more overhead per element,
+//! * **decoupling**: the scalar core runs ahead through a small instruction
+//!   queue and only waits when it consumes a vector-produced scalar,
+//! * **deep vector-memory MLP**: the memory unit keeps up to
+//!   `vmem_outstanding` line requests in flight, so one long-vector gather
+//!   pays the DRAM latency roughly once per *batch* instead of once per
+//!   element — the latency-tolerance mechanism of §4.1.
+
+use crate::config::VpuConfig;
+use crate::memhier::MemHierarchy;
+use crate::op::{VClass, VectorOp};
+use sdv_engine::{Cycle, Stats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Result of dispatching one vector instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct Dispatched {
+    /// Cycle the scalar core was able to hand the instruction over (later
+    /// than the dispatch attempt when the queue was full).
+    pub accepted_at: Cycle,
+    /// Cycle the instruction completes in the VPU.
+    pub completion: Cycle,
+}
+
+/// The vector unit.
+pub struct VpuTiming {
+    cfg: VpuConfig,
+    /// Completion times of instructions still in the decoupled queue window.
+    queue: VecDeque<Cycle>,
+    /// When the arithmetic datapath frees.
+    exec_free: Cycle,
+    /// When the memory unit can start its next request stream.
+    vmem_free: Cycle,
+    /// In-flight line-request completions — shared across instructions:
+    /// this is the hardware request window, so total vector MLP is
+    /// `min(queue_depth × lines-per-instruction, vmem_outstanding)` — short
+    /// VLs are queue-bound, long VLs window-bound.
+    outstanding: BinaryHeap<Reverse<Cycle>>,
+    /// In-order completion horizon.
+    last_completion: Cycle,
+    stats: Stats,
+}
+
+impl VpuTiming {
+    /// A VPU at cycle 0.
+    pub fn new(cfg: VpuConfig) -> Self {
+        assert!(cfg.lanes > 0, "need at least one lane");
+        assert!(cfg.queue_depth > 0, "decoupling queue needs depth");
+        assert!(cfg.vmem_outstanding > 0, "memory unit needs outstanding slots");
+        Self {
+            cfg,
+            queue: VecDeque::new(),
+            exec_free: 0,
+            vmem_free: 0,
+            outstanding: BinaryHeap::new(),
+            last_completion: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Cycles the datapath is occupied by `vl` elements.
+    fn element_cycles(&self, vl: usize) -> Cycle {
+        (vl.div_ceil(self.cfg.lanes)) as Cycle
+    }
+
+    /// Dispatch one vector instruction at `now`.
+    pub fn dispatch(&mut self, vop: &VectorOp, now: Cycle, hier: &mut MemHierarchy) -> Dispatched {
+        // Decoupling queue backpressure.
+        let mut accepted_at = now;
+        while self.queue.len() >= self.cfg.queue_depth {
+            let head = self.queue.pop_front().expect("non-empty");
+            if head > accepted_at {
+                self.stats.add("vpu.queue_stall_cycles", head - accepted_at);
+                accepted_at = head;
+            }
+        }
+        self.queue.retain(|&c| c > accepted_at);
+
+        let completion = match vop.class {
+            VClass::SetVl => accepted_at + 1,
+            VClass::Arith | VClass::ArithLong | VClass::Reduction | VClass::Permute => {
+                let start = accepted_at.max(self.exec_free);
+                let batches = self.element_cycles(vop.vl);
+                let occupancy = match vop.class {
+                    VClass::ArithLong => batches * self.cfg.long_op_factor,
+                    VClass::Permute => batches * 2,
+                    _ => batches,
+                };
+                self.exec_free = start + occupancy;
+                let extra = if vop.class == VClass::Reduction {
+                    self.cfg.reduction_overhead
+                } else {
+                    0
+                };
+                self.stats.add("vpu.exec_cycles", occupancy);
+                start + self.cfg.startup + occupancy + extra
+            }
+            VClass::Memory => self.memory_op(vop, accepted_at, hier),
+        };
+        // In-order completion.
+        let completion = completion.max(self.last_completion);
+        self.last_completion = completion;
+        self.queue.push_back(completion);
+        self.stats.inc("vpu.instrs");
+        self.stats.add("vpu.elements", vop.active as u64);
+        if vop.is_fp {
+            // FLOP accounting (FMAs count two by convention; approximated
+            // as one element-op here and doubled by the roofline tool).
+            self.stats.add("vpu.fp_elements", vop.active as u64);
+        }
+        Dispatched { accepted_at, completion }
+    }
+
+    /// Cost a vector load/store: stream line requests into the hierarchy at
+    /// the unit's issue rate, bounded by the outstanding-request window.
+    fn memory_op(&mut self, vop: &VectorOp, accepted_at: Cycle, hier: &mut MemHierarchy) -> Cycle {
+        let mem = vop.mem.as_ref().expect("Memory class op without footprint");
+        let start = accepted_at.max(self.vmem_free) + self.cfg.startup;
+        if mem.lines.is_empty() {
+            self.vmem_free = start;
+            return start;
+        }
+        self.stats.inc(if mem.is_load { "vpu.vloads" } else { "vpu.vstores" });
+        self.stats.add("vpu.vmem_lines", mem.lines.len() as u64);
+        self.stats.add("vpu.vmem_elems", mem.elems as u64);
+
+        // Address-generation spacing between consecutive line requests.
+        let spacing: Vec<Cycle> = if mem.unit_stride {
+            // A burst engine: one line request per cycle (per config).
+            (0..mem.lines.len())
+                .map(|k| (k as u64) / self.cfg.vmem_unit_issue_per_cycle as u64)
+                .collect()
+        } else {
+            // Indexed: address generation is element-paced.
+            let rate = self.cfg.vmem_index_issue_per_cycle as u64;
+            let elems_per_line = (mem.elems as u64).max(1);
+            (0..mem.lines.len())
+                .map(|k| (k as u64 * elems_per_line) / (mem.lines.len() as u64 * rate))
+                .collect()
+        };
+
+        let mut last_issue = start;
+        let mut data_done = start;
+        for (k, &line) in mem.lines.iter().enumerate() {
+            let mut t = start + spacing[k];
+            if t < last_issue {
+                t = last_issue;
+            }
+            // Free request slots whose data has already returned.
+            while let Some(&Reverse(c)) = self.outstanding.peek() {
+                if c <= t {
+                    self.outstanding.pop();
+                } else {
+                    break;
+                }
+            }
+            // Outstanding-window backpressure: the mechanism that converts
+            // latency into (amortized) throughput for long vectors.
+            if self.outstanding.len() >= self.cfg.vmem_outstanding {
+                let Reverse(earliest) = self.outstanding.pop().expect("non-empty");
+                if earliest > t {
+                    self.stats.add("vpu.vmem_window_stall_cycles", earliest - t);
+                    t = earliest;
+                }
+            }
+            let done = hier.vpu_access(line, !mem.is_load, t);
+            self.outstanding.push(Reverse(done));
+            last_issue = t;
+            data_done = data_done.max(done);
+        }
+        self.vmem_free = last_issue + 1;
+        if mem.is_load {
+            // Register write-back of the gathered elements.
+            data_done + self.element_cycles(vop.vl)
+        } else {
+            // Stores complete (for dependence purposes) once issued and
+            // globally ordered.
+            data_done
+        }
+    }
+
+    /// Completion time of the last instruction dispatched so far.
+    pub fn all_done(&self) -> Cycle {
+        self.last_completion
+    }
+
+    /// Latency for the scalar core to read back a scalar result.
+    pub fn scalar_read_latency(&self) -> Cycle {
+        self.cfg.scalar_read_latency
+    }
+
+    /// VPU statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemHierConfig;
+    use crate::op::VectorMemOp;
+
+    fn parts() -> (VpuTiming, MemHierarchy) {
+        (VpuTiming::new(VpuConfig::default()), MemHierarchy::new(MemHierConfig::default()))
+    }
+
+    fn arith(vl: usize) -> VectorOp {
+        VectorOp { class: VClass::Arith, vl, active: vl, mem: None, produces_scalar: false, is_fp: false }
+    }
+
+    fn load_op(vl: usize, lines: Vec<u64>, unit: bool) -> VectorOp {
+        VectorOp {
+            class: VClass::Memory,
+            vl,
+            active: vl,
+            mem: Some(VectorMemOp { is_load: true, unit_stride: unit, elems: vl, lines }),
+            produces_scalar: false,
+            is_fp: false,
+        }
+    }
+
+    #[test]
+    fn arith_cost_scales_with_vl_over_lanes() {
+        let (mut v, mut h) = parts();
+        let d8 = v.dispatch(&arith(8), 0, &mut h);
+        let base = d8.completion; // startup + 1
+        let (mut v2, mut h2) = parts();
+        let d256 = v2.dispatch(&arith(256), 0, &mut h2);
+        assert_eq!(d256.completion - base, 31, "256/8=32 batches vs 1 batch");
+    }
+
+    #[test]
+    fn startup_amortizes_at_long_vl() {
+        // Cycles per element strictly improves with VL.
+        let per_elem = |vl: usize| {
+            let (mut v, mut h) = parts();
+            let d = v.dispatch(&arith(vl), 0, &mut h);
+            d.completion as f64 / vl as f64
+        };
+        assert!(per_elem(8) > per_elem(64));
+        assert!(per_elem(64) > per_elem(256));
+    }
+
+    #[test]
+    fn back_to_back_arith_pipelines() {
+        let (mut v, mut h) = parts();
+        let d1 = v.dispatch(&arith(256), 0, &mut h);
+        let d2 = v.dispatch(&arith(256), 1, &mut h);
+        // Occupancy-limited, not completion-limited: spacing = 32 cycles,
+        // not the full startup+32.
+        assert_eq!(d2.completion - d1.completion, 32);
+    }
+
+    #[test]
+    fn queue_backpressures_when_full() {
+        let (mut v, mut h) = parts();
+        let depth = VpuConfig::default().queue_depth;
+        let mut last = Dispatched { accepted_at: 0, completion: 0 };
+        for _ in 0..depth + 1 {
+            last = v.dispatch(&arith(256), 0, &mut h);
+        }
+        assert!(last.accepted_at > 0, "queue full: dispatch had to wait");
+        assert!(v.stats().get("vpu.queue_stall_cycles") > 0);
+    }
+
+    #[test]
+    fn gather_overlaps_line_fetches() {
+        // 32 distinct lines, all cold: if fetches were serial this would cost
+        // 32 * ~50 = 1600 cycles; with deep MLP it must be far below that.
+        let (mut v, mut h) = parts();
+        let lines: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+        let d = v.dispatch(&load_op(256, lines, false), 0, &mut h);
+        assert!(d.completion < 500, "MLP must overlap fetches: {}", d.completion);
+        assert!(d.completion > 50, "but they are not free: {}", d.completion);
+    }
+
+    #[test]
+    fn outstanding_window_caps_mlp() {
+        // More lines than the window: issue must throttle.
+        let cfg = VpuConfig { vmem_outstanding: 4, ..VpuConfig::default() };
+        let mut v = VpuTiming::new(cfg);
+        let mut h = MemHierarchy::new(MemHierConfig::default());
+        let lines: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+        v.dispatch(&load_op(256, lines, false), 0, &mut h);
+        assert!(v.stats().get("vpu.vmem_window_stall_cycles") > 0);
+    }
+
+    #[test]
+    fn extra_latency_amortized_by_long_vectors() {
+        // One 256-element gather over 64 lines: +1024 cycles of DRAM latency
+        // must cost far less than 64 * 1024 extra.
+        let run = |extra: u64| {
+            let (mut v, mut h) = parts();
+            h.set_extra_latency(extra);
+            let lines: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+            v.dispatch(&load_op(256, lines, false), 0, &mut h).completion
+        };
+        let delta = run(1024) - run(0);
+        assert!(delta >= 1024, "at least one serialized latency: {delta}");
+        assert!(delta <= 3 * 1024, "but amortized across the window: {delta}");
+    }
+
+    #[test]
+    fn unit_stride_streams_faster_than_gather() {
+        let (mut v, mut h) = parts();
+        let lines: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        let du = v.dispatch(&load_op(256, lines.clone(), true), 0, &mut h);
+        let (mut v2, mut h2) = parts();
+        let dg = v2.dispatch(&load_op(256, lines, false), 0, &mut h2);
+        assert!(du.completion <= dg.completion, "{} vs {}", du.completion, dg.completion);
+    }
+
+    #[test]
+    fn in_order_completion() {
+        let (mut v, mut h) = parts();
+        let d1 = v.dispatch(&load_op(256, (0..64).map(|i| i * 4096).collect(), false), 0, &mut h);
+        let d2 = v.dispatch(&arith(8), d1.accepted_at, &mut h);
+        assert!(d2.completion >= d1.completion, "no completion reordering");
+    }
+
+    #[test]
+    fn reduction_pays_tree_overhead() {
+        let (mut v, mut h) = parts();
+        let red = VectorOp { class: VClass::Reduction, vl: 256, active: 256, mem: None, produces_scalar: false, is_fp: false };
+        let d = v.dispatch(&red, 0, &mut h);
+        let (mut v2, mut h2) = parts();
+        let a = v2.dispatch(&arith(256), 0, &mut h2);
+        assert_eq!(d.completion - a.completion, VpuConfig::default().reduction_overhead);
+    }
+
+    #[test]
+    fn empty_footprint_is_cheap() {
+        let (mut v, mut h) = parts();
+        let d = v.dispatch(&load_op(0, vec![], false), 0, &mut h);
+        assert!(d.completion <= VpuConfig::default().startup + 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Graph analytics on the platform model: run BFS and PageRank on an RMAT
+//! (power-law) graph, scalar vs long-vector, and report cycles plus memory
+//! system statistics.
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use sdv_core::SdvMachine;
+use sdv_kernels::{bfs, pagerank, Graph};
+
+fn main() {
+    // A social-network-flavoured RMAT graph: 2^13 vertices, avg degree 16.
+    let g = Graph::rmat(13, 16, 2024);
+    println!(
+        "RMAT graph: {} vertices, {} directed edges, max degree {}",
+        g.n,
+        g.num_edges(),
+        (0..g.n).map(|v| g.degree(v)).max().unwrap()
+    );
+
+    // --- BFS ---
+    println!("\nBFS from vertex 0:");
+    let mut scalar_levels = Vec::new();
+    for (label, vector) in [("scalar", false), ("vector vl=256", true)] {
+        let mut m = SdvMachine::new(256 << 20);
+        let dev = bfs::setup_bfs(&mut m, &g, 256, 0);
+        if vector {
+            bfs::bfs_vector(&mut m, &dev);
+        } else {
+            bfs::bfs_scalar(&mut m, &dev);
+        }
+        let cycles = m.finish();
+        let levels = bfs::read_levels(&m, &dev);
+        let reached = levels.iter().filter(|&&l| l != bfs::INF).count();
+        let depth = levels.iter().filter(|&&l| l != bfs::INF).max().unwrap();
+        let s = m.stats();
+        println!(
+            "  {label:<14} {cycles:>12} cycles  (reached {reached}, depth {depth}, DRAM lines {})",
+            s.get("dram.requests")
+        );
+        if vector {
+            assert_eq!(levels, scalar_levels, "scalar and vector BFS must agree");
+        } else {
+            scalar_levels = levels;
+        }
+    }
+
+    println!(
+        "  note: on power-law graphs the sliced vector BFS pays heavy hub padding and\n\
+         \u{20}       revisits every vertex per level — the scalar queue wins here, while on\n\
+         \u{20}       the paper's uniform graphs the ordering flips (see results/fig3.txt)."
+    );
+
+    // --- PageRank ---
+    println!("\nPageRank (d=0.85, 10 iterations):");
+    let mut ranks_scalar = Vec::new();
+    for (label, vector) in [("scalar", false), ("vector vl=256", true)] {
+        let mut m = SdvMachine::new(256 << 20);
+        let dev = pagerank::setup_pagerank(&mut m, &g, 256, 0.85, 10);
+        if vector {
+            pagerank::pagerank_vector(&mut m, &dev);
+        } else {
+            pagerank::pagerank_scalar(&mut m, &dev);
+        }
+        let cycles = m.finish();
+        let pr = pagerank::read_pr(&m, &dev);
+        println!("  {label:<14} {cycles:>12} cycles");
+        if vector {
+            let max_diff = pr
+                .iter()
+                .zip(&ranks_scalar)
+                .map(|(a, b): (&f64, &f64)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_diff < 1e-9, "implementations diverged: {max_diff}");
+        } else {
+            ranks_scalar = pr.clone();
+        }
+        // Top-5 hubs.
+        if vector {
+            let mut idx: Vec<usize> = (0..g.n).collect();
+            idx.sort_by(|&a, &b| pr[b].partial_cmp(&pr[a]).unwrap());
+            print!("  top-5 hubs:");
+            for &v in idx.iter().take(5) {
+                print!("  v{v} (deg {}, pr {:.5})", g.degree(v), pr[v]);
+            }
+            println!();
+        }
+    }
+}

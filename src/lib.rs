@@ -1,0 +1,14 @@
+//! # longvec-sdv
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! *"Short Reasons for Long Vectors in HPC CPUs: A Study Based on RISC-V"*
+//! (SC 2023). See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+pub use sdv_core as core;
+pub use sdv_engine as engine;
+pub use sdv_kernels as kernels;
+pub use sdv_memsys as memsys;
+pub use sdv_noc as noc;
+pub use sdv_rvv as rvv;
+pub use sdv_uarch as uarch;

@@ -1,0 +1,121 @@
+//! `sdv` — command-line front end to the FPGA-SDV platform model.
+//!
+//! ```text
+//! sdv describe                          print the instantiated platform (Fig. 1/2)
+//! sdv run [options]                     run one kernel cell and print cycles + stats
+//! sdv sweep [options]                   latency or bandwidth sweep for one kernel
+//!
+//! options:
+//!   --kernel spmv|bfs|pr|fft            (default spmv)
+//!   --impl scalar|vector                (default vector)
+//!   --vl N                              MAXVL cap for vector runs (default 256)
+//!   --latency N                         extra DRAM latency cycles (default 0)
+//!   --bw N                              bandwidth cap, bytes/cycle (default 64)
+//!   --small                             reduced workloads
+//!   --stats                             print component statistics after a run
+//!   --axis latency|bandwidth            sweep axis (default latency)
+//! ```
+
+use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
+use sdv_core::SdvMachine;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_kernel(args: &[String]) -> KernelKind {
+    match arg_value(args, "--kernel").as_deref() {
+        None | Some("spmv") => KernelKind::Spmv,
+        Some("bfs") => KernelKind::Bfs,
+        Some("pr") => KernelKind::Pr,
+        Some("fft") => KernelKind::Fft,
+        Some(other) => {
+            eprintln!("unknown kernel '{other}' (spmv|bfs|pr|fft)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_impl(args: &[String]) -> ImplKind {
+    let vl: usize = arg_value(args, "--vl").map_or(256, |v| v.parse().expect("--vl N"));
+    match arg_value(args, "--impl").as_deref() {
+        Some("scalar") => ImplKind::Scalar,
+        None | Some("vector") => ImplKind::Vector { maxvl: vl },
+        Some(other) => {
+            eprintln!("unknown impl '{other}' (scalar|vector)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "describe" => {
+            println!("{}", SdvMachine::new(1 << 12).describe());
+        }
+        "run" => {
+            let w = if args.iter().any(|a| a == "--small") {
+                Workloads::small()
+            } else {
+                Workloads::paper()
+            };
+            let cell = Cell {
+                kernel: parse_kernel(&args),
+                imp: parse_impl(&args),
+                extra_latency: arg_value(&args, "--latency")
+                    .map_or(0, |v| v.parse().expect("--latency N")),
+                bandwidth: arg_value(&args, "--bw").map_or(64, |v| v.parse().expect("--bw N")),
+            };
+            let r = run(&w, cell);
+            println!(
+                "{} {} +{} latency, {} B/cy: {} cycles",
+                cell.kernel.name(),
+                cell.imp.label(),
+                cell.extra_latency,
+                cell.bandwidth,
+                r.cycles
+            );
+            if args.iter().any(|a| a == "--stats") {
+                print!("{}", r.stats);
+            }
+        }
+        "sweep" => {
+            let w = if args.iter().any(|a| a == "--small") {
+                Workloads::small()
+            } else {
+                Workloads::paper()
+            };
+            let kernel = parse_kernel(&args);
+            let imp = parse_impl(&args);
+            let axis = arg_value(&args, "--axis").unwrap_or_else(|| "latency".into());
+            match axis.as_str() {
+                "latency" => {
+                    println!("{:<10} {:>14}", "+latency", "cycles");
+                    for lat in [0u64, 16, 32, 64, 128, 256, 512, 1024] {
+                        let r = run(&w, Cell { kernel, imp, extra_latency: lat, bandwidth: 64 });
+                        println!("{:<10} {:>14}", format!("+{lat}"), r.cycles);
+                    }
+                }
+                "bandwidth" => {
+                    println!("{:<10} {:>14}", "B/cy", "cycles");
+                    for bw in [1u64, 2, 4, 8, 16, 32, 64] {
+                        let r = run(&w, Cell { kernel, imp, extra_latency: 0, bandwidth: bw });
+                        println!("{:<10} {:>14}", bw, r.cycles);
+                    }
+                }
+                other => {
+                    eprintln!("unknown axis '{other}' (latency|bandwidth)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {
+            println!(
+                "sdv — FPGA-SDV platform model (see README.md)\n\n\
+                 usage: sdv describe\n       sdv run   [--kernel K] [--impl I] [--vl N] [--latency N] [--bw N] [--small] [--stats]\n       sdv sweep [--kernel K] [--impl I] [--vl N] [--axis latency|bandwidth] [--small]"
+            );
+        }
+    }
+}

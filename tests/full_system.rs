@@ -1,0 +1,136 @@
+//! End-to-end functional validation: every kernel, scalar and vector, run
+//! on the *timed* platform model, checked against host-side references.
+//! (The kernels' own unit tests validate against `FunctionalMachine`; these
+//! prove the timed machine computes the same architecture.)
+
+use sdv_core::SdvMachine;
+use sdv_kernels::{bfs, fft, pagerank, spmv, CsrMatrix, Graph, SellCS};
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol * (1.0 + x.abs()))
+}
+
+#[test]
+fn spmv_timed_scalar_and_vector_match_reference() {
+    let mat = CsrMatrix::cage_like(800, 21);
+    let sell = SellCS::from_csr(&mat, 256, 256);
+    let want = spmv::expected_y(&mat);
+
+    let mut m = SdvMachine::new(64 << 20);
+    let dev = spmv::setup_spmv(&mut m, &mat, &sell);
+    spmv::spmv_scalar(&mut m, &dev);
+    let scalar_cycles = m.finish();
+    assert!(close(&spmv::read_y(&m, &dev), &want, 1e-9));
+    assert!(scalar_cycles > 0);
+
+    let mut m = SdvMachine::new(64 << 20);
+    let dev = spmv::setup_spmv(&mut m, &mat, &sell);
+    spmv::spmv_vector_sell(&mut m, &dev);
+    m.finish();
+    assert!(close(&spmv::read_y(&m, &dev), &want, 1e-9));
+
+    let mut m = SdvMachine::new(64 << 20);
+    let dev = spmv::setup_spmv(&mut m, &mat, &sell);
+    spmv::spmv_vector_csr(&mut m, &dev);
+    m.finish();
+    assert!(close(&spmv::read_y(&m, &dev), &want, 1e-9));
+}
+
+#[test]
+fn bfs_timed_matches_reference() {
+    let g = Graph::uniform(1500, 8, 33);
+    let want: Vec<u64> = g
+        .bfs_reference(3)
+        .iter()
+        .map(|&l| if l == u32::MAX { bfs::INF } else { l as u64 })
+        .collect();
+
+    let mut m = SdvMachine::new(128 << 20);
+    let dev = bfs::setup_bfs(&mut m, &g, 256, 3);
+    bfs::bfs_scalar(&mut m, &dev);
+    m.finish();
+    assert_eq!(bfs::read_levels(&m, &dev), want);
+
+    let mut m = SdvMachine::new(128 << 20);
+    let dev = bfs::setup_bfs(&mut m, &g, 256, 3);
+    bfs::bfs_vector(&mut m, &dev);
+    m.finish();
+    assert_eq!(bfs::read_levels(&m, &dev), want);
+}
+
+#[test]
+fn pagerank_timed_matches_reference() {
+    let g = Graph::rmat(10, 8, 5);
+    let want = g.pagerank_reference(0.85, 5);
+
+    for vector in [false, true] {
+        let mut m = SdvMachine::new(128 << 20);
+        let dev = pagerank::setup_pagerank(&mut m, &g, 256, 0.85, 5);
+        if vector {
+            pagerank::pagerank_vector(&mut m, &dev);
+        } else {
+            pagerank::pagerank_scalar(&mut m, &dev);
+        }
+        m.finish();
+        let got = pagerank::read_pr(&m, &dev);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9, "vector={vector}");
+        }
+    }
+}
+
+#[test]
+fn fft_timed_matches_dft() {
+    let n = 256;
+    let (re, im) = fft::test_signal(n);
+    let want = fft::dft_naive(&re, &im);
+
+    for vector in [false, true] {
+        let mut m = SdvMachine::new(32 << 20);
+        let dev = fft::setup_fft(&mut m, &re, &im);
+        if vector {
+            fft::fft_vector(&mut m, &dev);
+        } else {
+            fft::fft_scalar(&mut m, &dev);
+        }
+        m.finish();
+        let (fr, fi) = fft::read_result(&m, &dev);
+        assert!(close(&fr, &want.0, 1e-6), "vector={vector}");
+        assert!(close(&fi, &want.1, 1e-6), "vector={vector}");
+    }
+}
+
+#[test]
+fn determinism_across_repeated_runs() {
+    let mat = CsrMatrix::cage_like(600, 7);
+    let sell = SellCS::from_csr(&mat, 256, 256);
+    let run_once = || {
+        let mut m = SdvMachine::new(64 << 20);
+        m.set_extra_latency(128);
+        m.set_bandwidth_limit(8);
+        let dev = spmv::setup_spmv(&mut m, &mat, &sell);
+        spmv::spmv_vector_sell(&mut m, &dev);
+        m.finish()
+    };
+    let a = run_once();
+    let b = run_once();
+    let c = run_once();
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn stats_are_self_consistent() {
+    let mat = CsrMatrix::cage_like(600, 9);
+    let sell = SellCS::from_csr(&mat, 256, 256);
+    let mut m = SdvMachine::new(64 << 20);
+    let dev = spmv::setup_spmv(&mut m, &mat, &sell);
+    spmv::spmv_vector_sell(&mut m, &dev);
+    m.finish();
+    let s = m.stats();
+    assert_eq!(s.get("dram.bytes"), s.get("dram.requests") * 64);
+    let bank_misses: u64 = (0..4).map(|b| s.get(&format!("l2.bank{b}.misses"))).sum();
+    assert!(bank_misses > 0);
+    assert!(s.get("vpu.instrs") > 0);
+    assert!(s.get("noc.packets") > 0);
+}
