@@ -4,7 +4,7 @@
 //!
 //! Usage: `fig3_latency [--small] [--threads N] [--csv PATH]`
 
-use sdv_bench::{sweep, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
 use std::fmt::Write as _;
 
 fn main() {
@@ -17,6 +17,9 @@ fn main() {
     let latencies: &[u64] = &[0, 16, 32, 64, 128, 256, 512, 1024];
     let impls = ImplKind::paper_set();
 
+    // One runner for the whole figure: machines are reset and reused across
+    // kernels instead of reallocated, and repeated cells are memoized.
+    let mut sweeper = Sweeper::new();
     let mut csv_out = String::from("kernel,impl,extra_latency,cycles\n");
     for kernel in KernelKind::all() {
         let cells: Vec<Cell> = impls
@@ -30,7 +33,7 @@ fn main() {
                 })
             })
             .collect();
-        let results = sweep(&w, &cells, threads);
+        let results = sweeper.sweep(&w, &cells, threads);
         let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
         let rows: Vec<(String, Vec<String>)> = latencies
             .iter()

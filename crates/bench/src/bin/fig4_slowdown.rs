@@ -11,7 +11,7 @@
 //! Usage: `fig4_slowdown [--small] [--threads N] [--csv PATH]`
 
 use sdv_bench::table::{render, slowdown_cell};
-use sdv_bench::{sweep, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
 use std::fmt::Write as _;
 
 fn main() {
@@ -24,6 +24,10 @@ fn main() {
     let latencies: &[u64] = &[0, 16, 32, 64, 128, 256, 512, 1024];
     let impls = ImplKind::paper_set();
 
+    // One runner for the whole figure: machine pool + memo shared across
+    // kernels (fig4's grid is identical to fig3's, so a combined driver could
+    // share a Sweeper across both and pay for each cell once).
+    let mut sweeper = Sweeper::new();
     let mut csv_out = String::from("kernel,impl,extra_latency,slowdown\n");
     let mut anchors: Vec<String> = Vec::new();
     for kernel in KernelKind::all() {
@@ -38,7 +42,7 @@ fn main() {
                 })
             })
             .collect();
-        let results = sweep(&w, &cells, threads);
+        let results = sweeper.sweep(&w, &cells, threads);
         // results[ii * L + li]; baseline is li == 0.
         let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
         let mut slowdown = vec![vec![0.0f64; impls.len()]; latencies.len()];

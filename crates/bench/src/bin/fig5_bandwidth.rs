@@ -7,7 +7,7 @@
 //! Usage: `fig5_bandwidth [--small] [--threads N] [--csv PATH]`
 
 use sdv_bench::table::render;
-use sdv_bench::{sweep, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
 use std::fmt::Write as _;
 
 fn main() {
@@ -20,6 +20,9 @@ fn main() {
     let bandwidths: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
     let impls = ImplKind::paper_set();
 
+    // One runner for the whole figure: machines reset and reused across
+    // kernels, repeated cells memoized.
+    let mut sweeper = Sweeper::new();
     let mut csv_out = String::from("kernel,impl,bandwidth_bytes_per_cycle,normalized_time\n");
     for kernel in KernelKind::all() {
         let cells: Vec<Cell> = impls
@@ -33,7 +36,7 @@ fn main() {
                 })
             })
             .collect();
-        let results = sweep(&w, &cells, threads);
+        let results = sweeper.sweep(&w, &cells, threads);
         let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
         let rows: Vec<(String, Vec<String>)> = bandwidths
             .iter()

@@ -1,0 +1,306 @@
+//! perf_baseline — the self-hosted simulator-throughput harness.
+//!
+//! Runs the small-workload kernel suite plus a set of component
+//! microbenchmarks (the successors of the old Criterion benches, now
+//! dependency-free) and reports host wall-clock per cell and simulated
+//! cycles per second. Results are written as machine-readable JSON under
+//! `results/perf/` so successive PRs can track the simulator's throughput
+//! trajectory.
+//!
+//! Usage: `perf_baseline [--smoke] [--threads N] [--label NAME] [--out PATH]`
+//!
+//! * `--smoke`  — tiny subset (one cell per kernel, reduced micro iters);
+//!   used by `scripts/check.sh` as a fast end-to-end sanity pass.
+//! * `--label`  — name recorded in the JSON and used for the default output
+//!   file name (`results/perf/<label>.json`). Defaults to `latest`.
+//! * `--out`    — explicit output path, overriding the label-derived one.
+
+use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
+use sdv_engine::BoundedQueue;
+use sdv_memsys::{AccessKind, Cache, CacheConfig, DramChannel};
+use sdv_noc::Mesh;
+use sdv_rvv::{exec, ArithKind, FmaKind, Lmul, MemAddr, Sew, VInst, VOp, VState};
+use std::time::Instant;
+
+struct Flat(Vec<u8>);
+impl sdv_rvv::VMemory for Flat {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.0[a..a + buf.len()]);
+    }
+    fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let a = addr as usize;
+        self.0[a..a + buf.len()].copy_from_slice(buf);
+    }
+}
+
+struct CellReport {
+    cell: Cell,
+    cycles: u64,
+    wall_ms: f64,
+}
+
+struct MicroReport {
+    name: &'static str,
+    iters: u64,
+    ns_per_iter: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "latest".to_string());
+    let out = arg_value(&args, "--out")
+        .unwrap_or_else(|| format!("results/perf/{label}.json"));
+
+    let w = Workloads::small();
+    let cells = suite(smoke);
+
+    // Per-cell wall clock, sequentially (stable numbers on any host). The
+    // pooled runner is what fig3/fig4/fig5 use, so this measures the real
+    // steady-state cost per cell; every cell in the suite is distinct, so
+    // memoization never shortcuts the measurement.
+    let mut pool = Sweeper::new();
+    let mut reports = Vec::with_capacity(cells.len());
+    let t_suite = Instant::now();
+    for &cell in &cells {
+        let t = Instant::now();
+        let r = pool.run_cell(&w, cell);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        reports.push(CellReport { cell, cycles: r.cycles, wall_ms });
+    }
+    let sequential_ms = t_suite.elapsed().as_secs_f64() * 1e3;
+
+    // The same suite through the sweep entry point, on a FRESH runner so its
+    // empty memo forces every cell to be simulated again.
+    let t_sweep = Instant::now();
+    let swept = Sweeper::new().sweep(&w, &cells, threads);
+    let sweep_ms = t_sweep.elapsed().as_secs_f64() * 1e3;
+    for (seq, sw) in reports.iter().zip(&swept) {
+        assert_eq!(seq.cycles, sw.cycles, "sweep must reproduce sequential cycles");
+    }
+
+    let micro = micro_suite(if smoke { 1 } else { 8 });
+
+    let sim_cycles: u64 = reports.iter().map(|r| r.cycles).sum();
+    let cps = sim_cycles as f64 / (sequential_ms / 1e3);
+    print_human(&reports, &micro, sequential_ms, sweep_ms, cps);
+
+    let json = render_json(&label, smoke, threads, &reports, &micro, sequential_ms, sweep_ms);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, json).expect("write json");
+    println!("wrote {out}");
+}
+
+/// The measured cell suite: every kernel crossed with a representative
+/// implementation/latency spread. All cells are distinct, so memoization can
+/// never shortcut this measurement.
+fn suite(smoke: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    if smoke {
+        for kernel in KernelKind::all() {
+            cells.push(Cell {
+                kernel,
+                imp: ImplKind::Vector { maxvl: 256 },
+                extra_latency: 0,
+                bandwidth: 64,
+            });
+        }
+        return cells;
+    }
+    for kernel in KernelKind::all() {
+        for imp in [ImplKind::Scalar, ImplKind::Vector { maxvl: 8 }, ImplKind::Vector { maxvl: 256 }]
+        {
+            for extra_latency in [0, 512] {
+                cells.push(Cell { kernel, imp, extra_latency, bandwidth: 64 });
+            }
+        }
+    }
+    cells
+}
+
+fn time_micro(name: &'static str, iters: u64, mut f: impl FnMut()) -> MicroReport {
+    // One warmup pass, then the timed run.
+    f();
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns_per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+    MicroReport { name, iters, ns_per_iter }
+}
+
+/// Component microbenchmarks: functional RVV ops, cache, DRAM, NoC, and the
+/// bounded queue's out-of-order removal. These replace the former Criterion
+/// benches with a zero-dependency equivalent.
+fn micro_suite(scale: u64) -> Vec<MicroReport> {
+    let mut out = Vec::new();
+
+    let mut st = VState::paper_vpu();
+    st.set_vl(256, Sew::E64, Lmul::M1);
+    let mut mem = Flat(vec![0u8; 1 << 16]);
+
+    let vadd = VInst::new(VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 2, y: 3 });
+    out.push(time_micro("exec_vadd_vl256", 40_000 * scale, || {
+        exec(std::hint::black_box(&vadd), &mut st, &mut mem);
+    }));
+    let vfmacc = VInst::new(VOp::FmaVV { kind: FmaKind::Macc, vd: 1, x: 2, y: 3 });
+    out.push(time_micro("exec_vfmacc_vl256", 40_000 * scale, || {
+        exec(std::hint::black_box(&vfmacc), &mut st, &mut mem);
+    }));
+    let vle = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } });
+    out.push(time_micro("exec_vle_vl256", 40_000 * scale, || {
+        exec(std::hint::black_box(&vle), &mut st, &mut mem);
+    }));
+    let vse = VInst::new(VOp::Store { vs: 1, addr: MemAddr::Unit { base: 0 } });
+    out.push(time_micro("exec_vse_vl256", 40_000 * scale, || {
+        exec(std::hint::black_box(&vse), &mut st, &mut mem);
+    }));
+    // Indexed load: fill v4 with in-bounds indices first.
+    for i in 0..256 {
+        st.regs.set(4, Sew::E64, i, ((i * 37) % 1024) as u64 * 8);
+    }
+    let vlxe = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Indexed { base: 0, index: 4 } });
+    out.push(time_micro("exec_vlxe_vl256", 20_000 * scale, || {
+        exec(std::hint::black_box(&vlxe), &mut st, &mut mem);
+    }));
+    let vmask = VInst::masked(VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 2, y: 3 });
+    out.push(time_micro("exec_vadd_masked_vl256", 40_000 * scale, || {
+        exec(std::hint::black_box(&vmask), &mut st, &mut mem);
+    }));
+
+    let mut cache = Cache::new(CacheConfig::l1d());
+    cache.fill(0x1000, false);
+    out.push(time_micro("cache_hit", 400_000 * scale, || {
+        std::hint::black_box(cache.access(0x1000, AccessKind::Read));
+    }));
+    let mut dram = DramChannel::default();
+    let mut t = 0u64;
+    out.push(time_micro("dram_submit", 200_000 * scale, || {
+        t += 1;
+        std::hint::black_box(dram.submit(t * 64, t));
+    }));
+    let mut mesh = Mesh::default();
+    let mut t = 0u64;
+    out.push(time_micro("noc_send_diagonal", 200_000 * scale, || {
+        t += 1;
+        std::hint::black_box(mesh.send(0, 3, 64, t));
+    }));
+
+    // Out-of-order removal from a full queue — the pattern that motivated
+    // the non-shifting `remove_first`.
+    let mut q: BoundedQueue<u64> = BoundedQueue::new(64);
+    let mut k = 0u64;
+    while !q.is_full() {
+        q.push(k).unwrap();
+        k += 1;
+    }
+    out.push(time_micro("bounded_queue_remove_first", 200_000 * scale, || {
+        let victim = k.wrapping_mul(0x9E37_79B9) % 64;
+        let got = q.remove_first(|&v| v % 64 == victim % 64);
+        std::hint::black_box(&got);
+        if let Some(_) = got {
+            q.push(k).unwrap();
+            k += 1;
+        }
+    }));
+
+    out
+}
+
+fn print_human(
+    reports: &[CellReport],
+    micro: &[MicroReport],
+    sequential_ms: f64,
+    sweep_ms: f64,
+    cps: f64,
+) {
+    println!("perf_baseline — small-workload kernel suite");
+    println!("{:<6} {:>8} {:>6} {:>12} {:>10} {:>12}", "kernel", "impl", "+lat", "cycles", "wall ms", "Mcycles/s");
+    for r in reports {
+        println!(
+            "{:<6} {:>8} {:>6} {:>12} {:>10.2} {:>12.2}",
+            r.cell.kernel.name(),
+            r.cell.imp.label(),
+            r.cell.extra_latency,
+            r.cycles,
+            r.wall_ms,
+            r.cycles as f64 / r.wall_ms / 1e3,
+        );
+    }
+    println!(
+        "suite: {} cells, sequential {:.1} ms, sweep {:.1} ms, {:.2} Msim-cycles/s",
+        reports.len(),
+        sequential_ms,
+        sweep_ms,
+        cps / 1e6
+    );
+    println!("\nmicrobenchmarks");
+    for m in micro {
+        println!("{:<28} {:>12.1} ns/iter  ({} iters)", m.name, m.ns_per_iter, m.iters);
+    }
+}
+
+fn render_json(
+    label: &str,
+    smoke: bool,
+    threads: usize,
+    reports: &[CellReport],
+    micro: &[MicroReport],
+    sequential_ms: f64,
+    sweep_ms: f64,
+) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let sim_cycles: u64 = reports.iter().map(|r| r.cycles).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"label\": \"{label}\",\n"));
+    s.push_str(&format!("  \"timestamp_unix\": {unix_secs},\n"));
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"workload\": \"small\",\n");
+    s.push_str("  \"cells\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 == reports.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"impl\": \"{}\", \"extra_latency\": {}, \"bandwidth\": {}, \"cycles\": {}, \"wall_ms\": {:.3}, \"sim_cycles_per_sec\": {:.0}}}{sep}\n",
+            r.cell.kernel.name(),
+            r.cell.imp.label(),
+            r.cell.extra_latency,
+            r.cell.bandwidth,
+            r.cycles,
+            r.wall_ms,
+            r.cycles as f64 / (r.wall_ms / 1e3),
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"totals\": {{\"cells\": {}, \"sim_cycles\": {}, \"sequential_ms\": {:.3}, \"sweep_ms\": {:.3}, \"sim_cycles_per_sec\": {:.0}}},\n",
+        reports.len(),
+        sim_cycles,
+        sequential_ms,
+        sweep_ms,
+        sim_cycles as f64 / (sequential_ms / 1e3),
+    ));
+    s.push_str("  \"micro\": [\n");
+    for (i, m) in micro.iter().enumerate() {
+        let sep = if i + 1 == micro.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.2}}}{sep}\n",
+            m.name, m.iters, m.ns_per_iter
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

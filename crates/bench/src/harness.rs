@@ -149,6 +149,14 @@ pub struct RunResult {
 /// Run one cell on a fresh machine with the given timing configuration.
 pub fn run_with_config(w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
     let mut m = SdvMachine::with_config(w.heap, cfg);
+    run_on(&mut m, w, cell, cfg)
+}
+
+/// Run one cell on a pooled machine: rewinds it to the fresh state (keeping
+/// its allocations), then runs the kernel. Cycle counts are bit-identical to
+/// [`run_with_config`] on a brand-new machine.
+fn run_on(m: &mut SdvMachine, w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
+    m.reset_with_config(cfg);
     m.set_extra_latency(cell.extra_latency);
     m.set_bandwidth_limit(cell.bandwidth);
     if let ImplKind::Vector { maxvl } = cell.imp {
@@ -156,36 +164,36 @@ pub fn run_with_config(w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResul
     }
     match (cell.kernel, cell.imp) {
         (KernelKind::Spmv, ImplKind::Scalar) => {
-            let dev = spmv::setup_spmv(&mut m, &w.mat, &w.sell);
-            spmv::spmv_scalar(&mut m, &dev);
+            let dev = spmv::setup_spmv(m, &w.mat, &w.sell);
+            spmv::spmv_scalar(m, &dev);
         }
         (KernelKind::Spmv, ImplKind::Vector { .. }) => {
-            let dev = spmv::setup_spmv(&mut m, &w.mat, &w.sell);
-            spmv::spmv_vector_sell(&mut m, &dev);
+            let dev = spmv::setup_spmv(m, &w.mat, &w.sell);
+            spmv::spmv_vector_sell(m, &dev);
         }
         (KernelKind::Bfs, ImplKind::Scalar) => {
-            let dev = bfs::setup_bfs(&mut m, &w.graph, 256, w.bfs_src);
-            bfs::bfs_scalar(&mut m, &dev);
+            let dev = bfs::setup_bfs(m, &w.graph, 256, w.bfs_src);
+            bfs::bfs_scalar(m, &dev);
         }
         (KernelKind::Bfs, ImplKind::Vector { .. }) => {
-            let dev = bfs::setup_bfs(&mut m, &w.graph, 256, w.bfs_src);
-            bfs::bfs_vector(&mut m, &dev);
+            let dev = bfs::setup_bfs(m, &w.graph, 256, w.bfs_src);
+            bfs::bfs_vector(m, &dev);
         }
         (KernelKind::Pr, ImplKind::Scalar) => {
-            let dev = pagerank::setup_pagerank(&mut m, &w.graph, 256, 0.85, w.pr_iters);
-            pagerank::pagerank_scalar(&mut m, &dev);
+            let dev = pagerank::setup_pagerank(m, &w.graph, 256, 0.85, w.pr_iters);
+            pagerank::pagerank_scalar(m, &dev);
         }
         (KernelKind::Pr, ImplKind::Vector { .. }) => {
-            let dev = pagerank::setup_pagerank(&mut m, &w.graph, 256, 0.85, w.pr_iters);
-            pagerank::pagerank_vector(&mut m, &dev);
+            let dev = pagerank::setup_pagerank(m, &w.graph, 256, 0.85, w.pr_iters);
+            pagerank::pagerank_vector(m, &dev);
         }
         (KernelKind::Fft, ImplKind::Scalar) => {
-            let dev = fft::setup_fft(&mut m, &w.signal.0, &w.signal.1);
-            fft::fft_scalar(&mut m, &dev);
+            let dev = fft::setup_fft(m, &w.signal.0, &w.signal.1);
+            fft::fft_scalar(m, &dev);
         }
         (KernelKind::Fft, ImplKind::Vector { .. }) => {
-            let dev = fft::setup_fft(&mut m, &w.signal.0, &w.signal.1);
-            fft::fft_vector(&mut m, &dev);
+            let dev = fft::setup_fft(m, &w.signal.0, &w.signal.1);
+            fft::fft_vector(m, &dev);
         }
     }
     let cycles = m.finish();
@@ -228,29 +236,111 @@ pub fn run_spmv_variant(
 
 /// Run a grid of cells across OS threads. Results come back in input order.
 /// Each simulation is single-threaded and deterministic, so the grid is
-/// embarrassingly parallel.
+/// embarrassingly parallel. Convenience wrapper over a one-shot [`Sweeper`];
+/// figure binaries that run several overlapping grids should hold a single
+/// `Sweeper` instead so machines and duplicate cells are shared.
 pub fn sweep(w: &Workloads, cells: &[Cell], threads: usize) -> Vec<RunResult> {
-    assert!(threads > 0);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
-        (0..cells.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(cells.len().max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let r = run(w, cells[i]);
-                *slots[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.into_inner().unwrap();
+    Sweeper::new().sweep(w, cells, threads)
+}
+
+/// A persistent experiment runner.
+///
+/// Holds a pool of simulated machines whose big allocations (register file,
+/// simulated heap, execution scratch) survive from cell to cell, and a memo
+/// of every cell simulated so far: overlapping figure grids (e.g. the
+/// unthrottled column FIG3 and FIG4 share) are simulated exactly once.
+///
+/// Use one `Sweeper` per [`Workloads`]: pooled machines are sized for the
+/// first workload's heap, and memoized results are only valid for the inputs
+/// they ran against.
+pub struct Sweeper {
+    machines: Vec<std::sync::Mutex<Option<SdvMachine>>>,
+    memo: std::collections::HashMap<Cell, RunResult>,
+}
+
+impl Default for Sweeper {
+    fn default() -> Self {
+        Self::new()
     }
-    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+impl Sweeper {
+    /// An empty runner. Machines are created lazily, one per worker thread.
+    pub fn new() -> Self {
+        Self { machines: Vec::new(), memo: std::collections::HashMap::new() }
+    }
+
+    /// Number of distinct cells simulated so far.
+    pub fn cells_simulated(&self) -> usize {
+        self.memo.len()
+    }
+
+    fn ensure_slots(&mut self, n: usize) {
+        while self.machines.len() < n {
+            self.machines.push(std::sync::Mutex::new(None));
+        }
+    }
+
+    /// Run one cell sequentially on the pooled machine. A cell already in
+    /// the memo returns its recorded result without re-simulating.
+    pub fn run_cell(&mut self, w: &Workloads, cell: Cell) -> RunResult {
+        if let Some(r) = self.memo.get(&cell) {
+            return r.clone();
+        }
+        self.ensure_slots(1);
+        let r = {
+            let mut slot = self.machines[0].lock().unwrap();
+            let m = slot.get_or_insert_with(|| SdvMachine::new(w.heap));
+            run_on(m, w, cell, TimingConfig::default())
+        };
+        self.memo.insert(cell, r.clone());
+        r
+    }
+
+    /// Run a grid of cells across OS threads, reusing pooled machines and
+    /// the memo. Results come back in input order; duplicate cells — within
+    /// this grid or remembered from earlier calls — are simulated once.
+    pub fn sweep(&mut self, w: &Workloads, cells: &[Cell], threads: usize) -> Vec<RunResult> {
+        assert!(threads > 0);
+        // Unique not-yet-memoized cells, in first-seen order.
+        let mut todo: Vec<Cell> = Vec::new();
+        for c in cells {
+            if !self.memo.contains_key(c) && !todo.contains(c) {
+                todo.push(*c);
+            }
+        }
+        let workers = threads.min(todo.len().max(1));
+        self.ensure_slots(workers);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+            (0..todo.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        let machines = &self.machines;
+        let todo_ref = &todo;
+        std::thread::scope(|s| {
+            for j in 0..workers {
+                let slots = &slots;
+                let next = &next;
+                s.spawn(move || {
+                    // Each worker owns one pooled machine for the whole grid.
+                    let mut guard = machines[j].lock().unwrap();
+                    let m = guard.get_or_insert_with(|| SdvMachine::new(w.heap));
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= todo_ref.len() {
+                            break;
+                        }
+                        let r = run_on(m, w, todo_ref[i], TimingConfig::default());
+                        *slots[i].lock().unwrap() = Some(r);
+                    }
+                });
+            }
+        });
+        for (c, slot) in todo.iter().zip(slots) {
+            let r = slot.into_inner().unwrap().expect("worker filled every slot");
+            self.memo.insert(*c, r);
+        }
+        cells.iter().map(|c| self.memo[c].clone()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +392,43 @@ mod tests {
             let solo = run(&w, *c);
             assert_eq!(solo.cycles, r.cycles, "determinism across threads");
         }
+    }
+
+    #[test]
+    fn pooled_machine_reuse_is_bit_identical() {
+        let w = Workloads::small();
+        let mut sw = Sweeper::new();
+        let cells = [
+            cell(KernelKind::Fft, ImplKind::Vector { maxvl: 64 }),
+            cell(KernelKind::Spmv, ImplKind::Scalar),
+            cell(KernelKind::Fft, ImplKind::Vector { maxvl: 64 }), // memo hit
+        ];
+        let rs: Vec<u64> = cells.iter().map(|c| sw.run_cell(&w, *c).cycles).collect();
+        assert_eq!(rs[0], rs[2], "memoized result matches the original");
+        assert_eq!(sw.cells_simulated(), 2, "duplicate cell must not re-simulate");
+        for (c, got) in cells.iter().zip(&rs) {
+            assert_eq!(run(&w, *c).cycles, *got, "pooled machine must match a fresh one");
+        }
+    }
+
+    #[test]
+    fn sweep_thread_count_does_not_change_results() {
+        let w = Workloads::small();
+        let mut cells = Vec::new();
+        for imp in
+            [ImplKind::Scalar, ImplKind::Vector { maxvl: 32 }, ImplKind::Vector { maxvl: 256 }]
+        {
+            for lat in [0, 256] {
+                cells.push(Cell { kernel: KernelKind::Spmv, imp, extra_latency: lat, bandwidth: 64 });
+            }
+        }
+        cells.push(cells[0]); // duplicate: exercises the memo path
+        let one = Sweeper::new().sweep(&w, &cells, 1);
+        let four = Sweeper::new().sweep(&w, &cells, 4);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.cycles, b.cycles, "1-thread vs 4-thread: {:?}", a.cell);
+        }
+        assert_eq!(one[0].cycles, one[cells.len() - 1].cycles, "duplicate cell agrees");
     }
 
     #[test]

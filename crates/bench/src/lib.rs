@@ -19,5 +19,5 @@ pub mod table;
 
 pub use harness::{
     run, run_spmv_variant, run_with_config, sweep, Cell, ImplKind, KernelKind, RunResult,
-    SpmvVariant, Workloads,
+    SpmvVariant, Sweeper, Workloads,
 };

@@ -7,7 +7,7 @@
 use crate::memory::SimMemory;
 use crate::vm::Vm;
 use sdv_engine::Stats;
-use sdv_rvv::{exec, Lmul, Sew, VInst, VState};
+use sdv_rvv::{exec_into, ExecInfo, ExecScratch, Lmul, Sew, VInst, VState};
 
 /// A machine with architectural state only.
 pub struct FunctionalMachine {
@@ -15,13 +15,22 @@ pub struct FunctionalMachine {
     mem: SimMemory,
     ops: u64,
     stats: Stats,
+    scratch: ExecScratch,
+    info: ExecInfo,
 }
 
 impl FunctionalMachine {
     /// A machine with the paper's VPU (VLEN = 16384 bits) and `heap` bytes of
     /// simulated memory.
     pub fn new(heap: usize) -> Self {
-        Self { state: VState::paper_vpu(), mem: SimMemory::new(heap), ops: 0, stats: Stats::new() }
+        Self {
+            state: VState::paper_vpu(),
+            mem: SimMemory::new(heap),
+            ops: 0,
+            stats: Stats::new(),
+            scratch: ExecScratch::default(),
+            info: ExecInfo::default(),
+        }
     }
 
     /// A machine with a custom VLEN in bits.
@@ -31,6 +40,8 @@ impl FunctionalMachine {
             mem: SimMemory::new(heap),
             ops: 0,
             stats: Stats::new(),
+            scratch: ExecScratch::default(),
+            info: ExecInfo::default(),
         }
     }
 
@@ -137,9 +148,9 @@ impl Vm for FunctionalMachine {
     fn exec_v(&mut self, inst: VInst) -> Option<u64> {
         self.ops += 1;
         self.stats.inc("func.vector_instrs");
-        let info = exec(&inst, &mut self.state, &mut self.mem);
-        self.stats.add("func.vector_elems", info.active as u64);
-        info.scalar
+        exec_into(&inst, &mut self.state, &mut self.mem, &mut self.scratch, &mut self.info);
+        self.stats.add("func.vector_elems", self.info.active as u64);
+        self.info.scalar
     }
 
     fn rdcycle(&mut self) -> u64 {

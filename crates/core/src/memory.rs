@@ -63,6 +63,17 @@ impl SimMemory {
         self.brk - HEAP_BASE
     }
 
+    /// Reset to the freshly-constructed state, keeping the backing
+    /// allocation: the allocator rewinds to [`HEAP_BASE`] and every byte that
+    /// was ever reachable through it is zeroed again. `brk` is the high-water
+    /// mark of all allocations, and kernels only touch allocated regions, so
+    /// zeroing up to it restores `new()`-equivalent contents.
+    pub fn reset(&mut self) {
+        let high = self.brk as usize;
+        self.bytes[..high].fill(0);
+        self.brk = HEAP_BASE;
+    }
+
     // ---- untimed setup/readback accessors (workload construction) ----
 
     /// Write an f64 without charging the timing model.

@@ -8,8 +8,8 @@
 use crate::memory::SimMemory;
 use crate::vm::Vm;
 use sdv_engine::{Cycle, Stats};
-use sdv_rvv::{exec, Lmul, Sew, VInst, VState};
-use sdv_uarch::op::classify;
+use sdv_rvv::{exec_into, ExecInfo, ExecScratch, Lmul, Sew, VInst, VState};
+use sdv_uarch::op::classify_into;
 use sdv_uarch::{Op, SdvTiming, TimingConfig, VClass, VectorOp};
 
 /// The FPGA-SDV platform model.
@@ -20,6 +20,11 @@ pub struct SdvMachine {
     cfg: TimingConfig,
     line_bytes: u64,
     extra_latency_for_display: Cycle,
+    /// Reusable execution buffers: no per-instruction heap traffic.
+    scratch: ExecScratch,
+    info: ExecInfo,
+    /// Recycled line-address buffer for vector memory classification.
+    lines_pool: Vec<u64>,
 }
 
 impl SdvMachine {
@@ -38,12 +43,28 @@ impl SdvMachine {
             cfg,
             line_bytes,
             extra_latency_for_display: 0,
+            scratch: ExecScratch::default(),
+            info: ExecInfo::default(),
+            lines_pool: Vec::new(),
         }
     }
 
     /// The timing configuration in effect.
     pub fn config(&self) -> &TimingConfig {
         &self.cfg
+    }
+
+    /// Rewind this machine to the state `with_config(heap, cfg)` would build,
+    /// reusing the large allocations (register file, simulated heap, exec
+    /// scratch). Timing state is rebuilt from scratch — cycle counts of a
+    /// reset machine are bit-identical to those of a fresh one.
+    pub fn reset_with_config(&mut self, cfg: TimingConfig) {
+        self.state.reset();
+        self.mem.reset();
+        self.timing = SdvTiming::new(cfg);
+        self.line_bytes = cfg.mem.l1.line_bytes;
+        self.cfg = cfg;
+        self.extra_latency_for_display = 0;
     }
 
     /// The paper's §2.2 knob: extra DRAM latency in cycles.
@@ -214,10 +235,18 @@ impl Vm for SdvMachine {
     }
 
     fn exec_v(&mut self, inst: VInst) -> Option<u64> {
-        let info = exec(&inst, &mut self.state, &mut self.mem);
-        let vop = classify(&inst, &info, self.line_bytes);
-        self.timing.issue(&Op::Vector(vop));
-        info.scalar
+        exec_into(&inst, &mut self.state, &mut self.mem, &mut self.scratch, &mut self.info);
+        let vop = classify_into(&inst, &self.info, self.line_bytes, &mut self.lines_pool);
+        let op = Op::Vector(vop);
+        self.timing.issue(&op);
+        // Reclaim the line buffer for the next memory instruction.
+        if let Op::Vector(v) = op {
+            if let Some(m) = v.mem {
+                self.lines_pool = m.lines;
+                self.lines_pool.clear();
+            }
+        }
+        self.info.scalar
     }
 
     fn rdcycle(&mut self) -> u64 {

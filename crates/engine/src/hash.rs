@@ -1,0 +1,129 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The simulator's hot loops index small maps by line address, link id, or
+//! short counter name millions of times per run. The standard library's
+//! SipHash is DoS-resistant but costs tens of nanoseconds per short key;
+//! none of these maps are exposed to untrusted input, so we use an
+//! FxHash-style multiply-xor hasher instead. The hash is fully
+//! deterministic (no per-process seed), which also keeps reruns of the
+//! simulator byte-for-byte reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash family (Firefox / rustc): a random-ish odd
+/// 64-bit constant with a good avalanche when combined with a rotate.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: word-at-a-time rotate-xor-multiply.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab\0" and "ab" cannot collide trivially.
+            self.mix(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`] — drop-in for simulator-internal maps.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"l1.miss"), hash_of(b"l1.miss"));
+        let mut a = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        let mut b = FxHasher::default();
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        assert_ne!(hash_of(b"l1.miss"), hash_of(b"l2.miss"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        let mut a = FxHasher::default();
+        a.write_u64(64);
+        let mut b = FxHasher::default();
+        b.write_u64(128);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fast_map_works_like_hashmap() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(512 * 64)), Some(&512));
+        assert_eq!(m.remove(&0), Some(0));
+        assert!(!m.contains_key(&0));
+    }
+
+    #[test]
+    fn fast_set_works() {
+        let mut s: FastSet<&str> = FastSet::default();
+        assert!(s.insert("a"));
+        assert!(!s.insert("a"));
+        assert!(s.contains("a"));
+    }
+}

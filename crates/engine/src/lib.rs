@@ -21,12 +21,14 @@
 
 pub mod clock;
 pub mod events;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use clock::Cycle;
 pub use events::EventQueue;
+pub use hash::{FastMap, FastSet, FxHasher};
 pub use queue::BoundedQueue;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Stats};

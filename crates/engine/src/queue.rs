@@ -8,9 +8,16 @@
 use std::collections::VecDeque;
 
 /// A FIFO with a hard capacity.
+///
+/// Out-of-order removal ([`BoundedQueue::remove_first`]) leaves a tombstone
+/// (`None`) in place instead of shifting every later element, so removal from
+/// the middle of a deep queue is O(search) rather than O(search + shift).
+/// Tombstones are lazily reclaimed as they reach the front; they never count
+/// toward occupancy.
 #[derive(Debug, Clone)]
 pub struct BoundedQueue<T> {
-    items: VecDeque<T>,
+    items: VecDeque<Option<T>>,
+    live: usize,
     capacity: usize,
 }
 
@@ -21,52 +28,59 @@ impl<T> BoundedQueue<T> {
     /// Panics if `capacity == 0`; a zero-depth queue cannot transport anything.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        Self { items: VecDeque::with_capacity(capacity), capacity }
+        Self { items: VecDeque::with_capacity(capacity), live: 0, capacity }
     }
 
     /// Attempt to enqueue. Returns `Err(item)` (backpressure) when full.
     pub fn push(&mut self, item: T) -> Result<(), T> {
-        if self.items.len() == self.capacity {
+        if self.live == self.capacity {
             Err(item)
         } else {
-            self.items.push_back(item);
+            self.items.push_back(Some(item));
+            self.live += 1;
             Ok(())
         }
     }
 
     /// Dequeue the oldest item.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        while let Some(slot) = self.items.pop_front() {
+            if let Some(item) = slot {
+                self.live -= 1;
+                return Some(item);
+            }
+        }
+        None
     }
 
     /// Peek the oldest item without removing it.
     pub fn front(&self) -> Option<&T> {
-        self.items.front()
+        self.items.iter().find_map(Option::as_ref)
     }
 
     /// Mutable peek of the oldest item.
     pub fn front_mut(&mut self) -> Option<&mut T> {
-        self.items.front_mut()
+        self.items.iter_mut().find_map(Option::as_mut)
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.live
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.live == 0
     }
 
     /// Whether the queue is at capacity (a push would stall).
     pub fn is_full(&self) -> bool {
-        self.items.len() == self.capacity
+        self.live == self.capacity
     }
 
     /// Remaining free slots.
     pub fn free(&self) -> usize {
-        self.capacity - self.items.len()
+        self.capacity - self.live
     }
 
     /// Configured capacity.
@@ -76,15 +90,26 @@ impl<T> BoundedQueue<T> {
 
     /// Iterate over queued items, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        self.items.iter().filter_map(Option::as_ref)
     }
 
     /// Remove and return the first item matching `pred`, preserving the
     /// relative order of the rest. Used by MSHR-style structures that
     /// complete out of order.
+    ///
+    /// The vacated slot becomes a tombstone — later items keep their physical
+    /// positions — and any tombstones now at the front are reclaimed.
     pub fn remove_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
-        let idx = self.items.iter().position(&mut pred)?;
-        self.items.remove(idx)
+        let idx = self
+            .items
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(&mut pred))?;
+        let item = self.items[idx].take();
+        self.live -= 1;
+        while matches!(self.items.front(), Some(None)) {
+            self.items.pop_front();
+        }
+        item
     }
 }
 
@@ -147,6 +172,42 @@ mod tests {
         assert_eq!(q.remove_first(|&x| x == 9), None);
         let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(rest, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn tombstones_do_not_count_toward_occupancy() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        // Remove from the middle: physical slots stay put, occupancy drops.
+        assert_eq!(q.remove_first(|&x| x == 1), Some(1));
+        assert_eq!(q.remove_first(|&x| x == 2), Some(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.free(), 2);
+        assert!(!q.is_full());
+        // front/iter skip tombstones.
+        assert_eq!(q.front(), Some(&0));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![0, 3]);
+        // Refill past the tombstones and drain: FIFO order of live items.
+        q.push(4).unwrap();
+        q.push(5).unwrap();
+        assert!(q.is_full());
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![0, 3, 4, 5]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn removing_the_front_reclaims_leading_tombstones() {
+        let mut q = BoundedQueue::new(3);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        assert_eq!(q.remove_first(|&c| c == 'a'), Some('a'));
+        // The head tombstone is reclaimed eagerly; front_mut sees 'b'.
+        *q.front_mut().unwrap() = 'B';
+        assert_eq!(q.pop(), Some('B'));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Workload generators (synthetic CAGE-like matrices, random graphs) must be
 //! reproducible across runs and platforms, so the runtime path uses this
 //! self-contained xoshiro256** implementation rather than an external crate.
-//! (`rand` is still used in dev-dependencies where convenience matters.)
+//! All randomized tests in the workspace draw from this generator too,
+//! keeping the build free of registry dependencies.
 
 /// xoshiro256** by Blackman & Vigna, seeded through splitmix64.
 #[derive(Debug, Clone)]

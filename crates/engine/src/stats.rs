@@ -4,8 +4,15 @@
 //! counters plus optional histograms. The registry is intentionally simple —
 //! string keys, u64 values — so benches and tests can assert on any metric
 //! without plumbing typed accessors through the machine.
+//!
+//! Counter updates sit on the simulator's hottest paths (every scalar op,
+//! every cache line, every NoC packet), so the registry is tuned for them:
+//! lookups hash the borrowed `&str` key directly (no allocation once a
+//! counter exists) through the deterministic [`crate::FxHasher`], and the
+//! name-ordered view required by reports is produced by sorting at read
+//! time, where it is cold.
 
-use std::collections::BTreeMap;
+use crate::hash::FastMap;
 use std::fmt;
 
 /// A named monotonically increasing counter.
@@ -101,8 +108,8 @@ impl Histogram {
 /// A registry of named counters and histograms.
 #[derive(Debug, Default, Clone)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    counters: FastMap<String, u64>,
+    histograms: FastMap<String, Histogram>,
 }
 
 impl Stats {
@@ -111,19 +118,30 @@ impl Stats {
         Self::default()
     }
 
-    /// Add `n` to counter `key`, creating it at zero if absent.
+    /// Add `n` to counter `key`, creating it at zero if absent. Allocates
+    /// only the first time a key is seen.
+    #[inline]
     pub fn add(&mut self, key: &str, n: u64) {
-        *self.counters.entry(key.to_string()).or_insert(0) += n;
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += n;
+        } else {
+            self.counters.insert(key.to_string(), n);
+        }
     }
 
     /// Increment counter `key`.
+    #[inline]
     pub fn inc(&mut self, key: &str) {
         self.add(key, 1);
     }
 
     /// Set counter `key` to an absolute value (for gauges like final cycle count).
     pub fn set(&mut self, key: &str, v: u64) {
-        self.counters.insert(key.to_string(), v);
+        if let Some(c) = self.counters.get_mut(key) {
+            *c = v;
+        } else {
+            self.counters.insert(key.to_string(), v);
+        }
     }
 
     /// Read counter `key` (0 if never touched).
@@ -134,12 +152,14 @@ impl Stats {
     /// Record a histogram sample, creating the histogram with default
     /// power-of-two bounds on first use.
     pub fn record(&mut self, key: &str, v: u64) {
-        self.histograms
-            .entry(key.to_string())
-            .or_insert_with(|| {
-                Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384])
-            })
-            .record(v);
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(v);
+        } else {
+            let mut h =
+                Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384]);
+            h.record(v);
+            self.histograms.insert(key.to_string(), h);
+        }
     }
 
     /// Access a histogram by name.
@@ -149,17 +169,22 @@ impl Stats {
 
     /// Iterate counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        let mut entries: Vec<(&str, u64)> =
+            self.counters.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries.into_iter()
     }
 
     /// Merge another registry into this one (counters add, histograms are
     /// kept from `self` if duplicated — merging histograms is not needed).
     pub fn absorb(&mut self, other: &Stats) {
-        for (k, v) in other.counters.iter() {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (k, &v) in other.counters.iter() {
+            self.add(k, v);
         }
         for (k, h) in other.histograms.iter() {
-            self.histograms.entry(k.clone()).or_insert_with(|| h.clone());
+            if !self.histograms.contains_key(k) {
+                self.histograms.insert(k.clone(), h.clone());
+            }
         }
     }
 
@@ -172,10 +197,13 @@ impl Stats {
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in self.counters.iter() {
+        for (k, v) in self.iter() {
             writeln!(f, "{k:<48} {v}")?;
         }
-        for (k, h) in self.histograms.iter() {
+        let mut hists: Vec<(&str, &Histogram)> =
+            self.histograms.iter().map(|(k, h)| (k.as_str(), h)).collect();
+        hists.sort_unstable_by_key(|&(k, _)| k);
+        for (k, h) in hists {
             writeln!(f, "{k:<48} n={} mean={:.2} max={}", h.samples(), h.mean(), h.max())?;
         }
         Ok(())

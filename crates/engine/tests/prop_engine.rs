@@ -1,103 +1,157 @@
-//! Property-based tests of the simulation substrate.
+//! Randomized tests of the simulation substrate, driven by the in-repo
+//! deterministic [`Rng`] so the suite needs no external crates and replays
+//! identically on every run.
 
-use proptest::prelude::*;
 use sdv_engine::{BoundedQueue, EventQueue, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn event_queue_pops_sorted_stable(
-        events in prop::collection::vec((0u64..1000, any::<u32>()), 0..200),
-    ) {
+#[test]
+fn event_queue_pops_sorted_stable() {
+    let mut rng = Rng::new(0xE1E1_0001);
+    for case in 0..128 {
+        let n = rng.index(200);
+        let events: Vec<(u64, u32)> =
+            (0..n).map(|_| (rng.below(1000), rng.next_u64() as u32)).collect();
         let mut q = EventQueue::new();
         for (i, &(t, p)) in events.iter().enumerate() {
             q.schedule(t, (i, p));
         }
         let mut last: Option<(u64, usize)> = None;
-        let mut n = 0;
+        let mut popped = 0;
         while let Some((t, (seq, _))) = q.pop() {
             if let Some((lt, lseq)) = last {
-                prop_assert!(t > lt || (t == lt && seq > lseq), "stable time order");
+                assert!(t > lt || (t == lt && seq > lseq), "stable time order, case {case}");
             }
             last = Some((t, seq));
-            n += 1;
+            popped += 1;
         }
-        prop_assert_eq!(n, events.len());
+        assert_eq!(popped, events.len());
     }
+}
 
-    #[test]
-    fn event_queue_pop_due_is_a_filtered_pop(
-        events in prop::collection::vec(0u64..100, 0..100),
-        now in 0u64..100,
-    ) {
+#[test]
+fn event_queue_pop_due_is_a_filtered_pop() {
+    let mut rng = Rng::new(0xE1E1_0002);
+    for _ in 0..128 {
+        let n = rng.index(100);
+        let events: Vec<u64> = (0..n).map(|_| rng.below(100)).collect();
+        let now = rng.below(100);
         let mut q = EventQueue::new();
         for &t in &events {
             q.schedule(t, t);
         }
         let mut due = Vec::new();
         while let Some((t, _)) = q.pop_due(now) {
-            prop_assert!(t <= now);
+            assert!(t <= now);
             due.push(t);
         }
         let expected = events.iter().filter(|&&t| t <= now).count();
-        prop_assert_eq!(due.len(), expected);
-        prop_assert!(due.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(due.len(), expected);
+        assert!(due.windows(2).all(|w| w[0] <= w[1]));
     }
+}
 
-    #[test]
-    fn bounded_queue_is_fifo_under_mixed_ops(
-        cap in 1usize..16,
-        ops in prop::collection::vec(prop::option::of(any::<u16>()), 0..200),
-    ) {
-        // Some(v) = push, None = pop. Model against a plain VecDeque.
+#[test]
+fn bounded_queue_is_fifo_under_mixed_ops() {
+    let mut rng = Rng::new(0xE1E1_0003);
+    for _ in 0..128 {
+        let cap = 1 + rng.index(15);
+        let n_ops = rng.index(200);
+        // chance(0.55) = push of a random value, else pop. Model against a
+        // plain VecDeque.
         let mut q = BoundedQueue::new(cap);
         let mut model = std::collections::VecDeque::new();
-        for op in ops {
-            match op {
-                Some(v) => {
-                    let r = q.push(v);
-                    if model.len() < cap {
-                        prop_assert!(r.is_ok());
-                        model.push_back(v);
-                    } else {
-                        prop_assert_eq!(r, Err(v));
-                    }
+        for _ in 0..n_ops {
+            if rng.chance(0.55) {
+                let v = rng.next_u64() as u16;
+                let r = q.push(v);
+                if model.len() < cap {
+                    assert!(r.is_ok());
+                    model.push_back(v);
+                } else {
+                    assert_eq!(r, Err(v));
                 }
-                None => {
-                    prop_assert_eq!(q.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(q.pop(), model.pop_front());
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.is_full(), model.len() == cap);
-            prop_assert_eq!(q.front().copied(), model.front().copied());
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.is_full(), model.len() == cap);
+            assert_eq!(q.front().copied(), model.front().copied());
         }
     }
+}
 
-    #[test]
-    fn rng_streams_are_reproducible_and_bounded(
-        seed in any::<u64>(),
-        bound in 1u64..1_000_000,
-    ) {
+#[test]
+fn bounded_queue_remove_first_preserves_order_under_interleaved_completes() {
+    // Out-of-order completion (the MSHR pattern): remove matching entries
+    // from the middle while pushes and pops continue. Relative order of the
+    // survivors must be exactly the model's.
+    let mut rng = Rng::new(0xE1E1_0004);
+    for _ in 0..128 {
+        let cap = 2 + rng.index(14);
+        let mut q: BoundedQueue<u32> = BoundedQueue::new(cap);
+        let mut model: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let mut next_id = 0u32;
+        for _ in 0..300 {
+            match rng.index(4) {
+                0 | 1 => {
+                    let v = next_id;
+                    next_id += 1;
+                    let r = q.push(v);
+                    if model.len() < cap {
+                        assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        assert_eq!(r, Err(v));
+                    }
+                }
+                2 => {
+                    // Complete a random in-flight entry (same residue class),
+                    // not necessarily the head.
+                    if !model.is_empty() {
+                        let residue = rng.next_u64() as u32 % 3;
+                        let got = q.remove_first(|&v| v % 3 == residue);
+                        let want_idx = model.iter().position(|&v| v % 3 == residue);
+                        assert_eq!(got, want_idx.map(|i| model.remove(i).unwrap()));
+                    }
+                }
+                _ => {
+                    assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.front().copied(), model.front().copied());
+            assert!(q.iter().copied().eq(model.iter().copied()), "relative order preserved");
+        }
+    }
+}
+
+#[test]
+fn rng_streams_are_reproducible_and_bounded() {
+    let mut meta = Rng::new(0xE1E1_0005);
+    for _ in 0..128 {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.below(1_000_000);
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..100 {
             let x = a.below(bound);
-            prop_assert_eq!(x, b.below(bound));
-            prop_assert!(x < bound);
+            assert_eq!(x, b.below(bound));
+            assert!(x < bound);
         }
     }
+}
 
-    #[test]
-    fn rng_shuffle_is_permutation(
-        seed in any::<u64>(),
-        n in 0usize..200,
-    ) {
+#[test]
+fn rng_shuffle_is_permutation() {
+    let mut meta = Rng::new(0xE1E1_0006);
+    for _ in 0..128 {
+        let seed = meta.next_u64();
+        let n = meta.index(200);
         let mut rng = Rng::new(seed);
         let mut v: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut v);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }
 }

@@ -1,25 +1,24 @@
-//! Property-based tests of the kernels: random workloads, every
-//! implementation against a host-side reference, on the functional machine.
+//! Randomized tests of the kernels: random workloads, every implementation
+//! against a host-side reference, on the functional machine. Driven by the
+//! in-repo deterministic `sdv_engine::Rng`.
 
-use proptest::prelude::*;
 use sdv_core::{FunctionalMachine, Vm};
+use sdv_engine::Rng;
 use sdv_kernels::{bfs, fft, pagerank, spmv, CsrMatrix, Graph, SellCS};
 
 fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol * (1.0 + x.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn spmv_all_formats_match_reference(
-        n in 16usize..220,
-        per_row in 1usize..9,
-        seed in any::<u64>(),
-        c in prop_oneof![Just(8usize), Just(32), Just(256)],
-        cap in prop_oneof![Just(8usize), Just(64), Just(256)],
-    ) {
+#[test]
+fn spmv_all_formats_match_reference() {
+    let mut rng = Rng::new(0x3A17_0001);
+    for _ in 0..12 {
+        let n = 16 + rng.index(204);
+        let per_row = 1 + rng.index(8);
+        let seed = rng.next_u64();
+        let c = [8usize, 32, 256][rng.index(3)];
+        let cap = [8usize, 64, 256][rng.index(3)];
         let mat = CsrMatrix::random_uniform(n, per_row, seed);
         let sell = SellCS::from_csr(&mat, c, c);
         let want = spmv::expected_y(&mat);
@@ -28,30 +27,31 @@ proptest! {
         vm.set_maxvl_cap(cap);
         let dev = spmv::setup_spmv(&mut vm, &mat, &sell);
         spmv::spmv_vector_sell(&mut vm, &dev);
-        prop_assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "sell c={} cap={}", c, cap);
+        assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "sell c={c} cap={cap}");
 
         let mut vm = FunctionalMachine::new(32 << 20);
         vm.set_maxvl_cap(cap);
         let dev = spmv::setup_spmv(&mut vm, &mat, &sell);
         spmv::spmv_vector_csr(&mut vm, &dev);
-        prop_assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "csr-gather cap={}", cap);
+        assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "csr-gather cap={cap}");
 
         let mut vm = FunctionalMachine::new(32 << 20);
         let dev = spmv::setup_spmv(&mut vm, &mat, &sell);
         spmv::spmv_scalar(&mut vm, &dev);
-        prop_assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "scalar");
+        assert!(close(&spmv::read_y(&vm, &dev), &want, 1e-9), "scalar");
     }
+}
 
-    #[test]
-    fn bfs_vector_matches_reference_on_random_graphs(
-        n in 8usize..300,
-        deg in 1usize..8,
-        seed in any::<u64>(),
-        src_pick in any::<u64>(),
-        cap in prop_oneof![Just(8usize), Just(256)],
-    ) {
+#[test]
+fn bfs_vector_matches_reference_on_random_graphs() {
+    let mut rng = Rng::new(0x3A17_0002);
+    for _ in 0..12 {
+        let n = 8 + rng.index(292);
+        let deg = 1 + rng.index(7);
+        let seed = rng.next_u64();
+        let src = rng.index(n);
+        let cap = [8usize, 256][rng.index(2)];
         let g = Graph::uniform(n, deg, seed);
-        let src = (src_pick % n as u64) as usize;
         let want: Vec<u64> = g
             .bfs_reference(src)
             .iter()
@@ -61,16 +61,18 @@ proptest! {
         vm.set_maxvl_cap(cap);
         let dev = bfs::setup_bfs(&mut vm, &g, 256, src);
         bfs::bfs_vector(&mut vm, &dev);
-        prop_assert_eq!(bfs::read_levels(&vm, &dev), want);
+        assert_eq!(bfs::read_levels(&vm, &dev), want);
     }
+}
 
-    #[test]
-    fn pagerank_vector_matches_reference(
-        scale in 5u32..9,
-        deg in 2usize..8,
-        seed in any::<u64>(),
-        iters in 1usize..6,
-    ) {
+#[test]
+fn pagerank_vector_matches_reference() {
+    let mut rng = Rng::new(0x3A17_0003);
+    for _ in 0..12 {
+        let scale = 5 + rng.below(4) as u32;
+        let deg = 2 + rng.index(6);
+        let seed = rng.next_u64();
+        let iters = 1 + rng.index(5);
         let g = Graph::rmat(scale, deg, seed);
         let want = g.pagerank_reference(0.85, iters);
         let mut vm = FunctionalMachine::new(64 << 20);
@@ -78,20 +80,22 @@ proptest! {
         pagerank::pagerank_vector(&mut vm, &dev);
         let got = pagerank::read_pr(&vm, &dev);
         for (a, b) in got.iter().zip(&want) {
-            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn fft_vector_matches_dft_random_signals(
-        log_n in 2u32..9,
-        seed in any::<u64>(),
-        cap in prop_oneof![Just(8usize), Just(256)],
-    ) {
+#[test]
+fn fft_vector_matches_dft_random_signals() {
+    let mut rng = Rng::new(0x3A17_0004);
+    for _ in 0..12 {
+        let log_n = 2 + rng.below(7) as u32;
+        let seed = rng.next_u64();
+        let cap = [8usize, 256][rng.index(2)];
         let n = 1usize << log_n;
-        let mut rng = sdv_engine::Rng::new(seed);
-        let re: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
-        let im: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let mut sig = Rng::new(seed);
+        let re: Vec<f64> = (0..n).map(|_| sig.range_f64(-1.0, 1.0)).collect();
+        let im: Vec<f64> = (0..n).map(|_| sig.range_f64(-1.0, 1.0)).collect();
         let want = fft::dft_naive(&re, &im);
         let mut vm = FunctionalMachine::new(16 << 20);
         vm.set_maxvl_cap(cap);
@@ -99,48 +103,52 @@ proptest! {
         fft::fft_vector(&mut vm, &dev);
         let (fr, fi) = fft::read_result(&vm, &dev);
         let tol = 1e-9 * n as f64;
-        prop_assert!(close(&fr, &want.0, tol));
-        prop_assert!(close(&fi, &want.1, tol));
+        assert!(close(&fr, &want.0, tol));
+        assert!(close(&fi, &want.1, tol));
     }
+}
 
-    #[test]
-    fn sell_conversion_preserves_every_entry(
-        n in 4usize..150,
-        per_row in 1usize..7,
-        seed in any::<u64>(),
-        c in 1usize..80,
-        sigma in 1usize..200,
-    ) {
+#[test]
+fn sell_conversion_preserves_every_entry() {
+    let mut rng = Rng::new(0x3A17_0005);
+    for _ in 0..12 {
+        let n = 4 + rng.index(146);
+        let per_row = 1 + rng.index(6);
+        let seed = rng.next_u64();
+        let c = 1 + rng.index(79);
+        let sigma = 1 + rng.index(199);
         let mat = CsrMatrix::random_uniform(n, per_row, seed);
         let sell = SellCS::from_csr(&mat, c, sigma);
         let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
         let want = mat.multiply(&x);
         let got = sell.multiply(&x);
-        prop_assert!(close(&got, &want, 1e-9), "c={} sigma={}", c, sigma);
+        assert!(close(&got, &want, 1e-9), "c={c} sigma={sigma}");
         // Padding never shrinks below nnz and the permutation is complete.
-        prop_assert!(sell.stored() >= mat.nnz());
+        assert!(sell.stored() >= mat.nnz());
         let mut p = sell.perm.clone();
         p.sort_unstable();
-        prop_assert_eq!(p, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(p, (0..n as u32).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn graph_generators_produce_valid_csr(
-        n in 2usize..300,
-        deg in 1usize..10,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn graph_generators_produce_valid_csr() {
+    let mut rng = Rng::new(0x3A17_0006);
+    for _ in 0..12 {
+        let n = 2 + rng.index(298);
+        let deg = 1 + rng.index(9);
+        let seed = rng.next_u64();
         let g = Graph::uniform(n, deg, seed);
-        prop_assert_eq!(g.row_ptr.len(), n + 1);
-        prop_assert_eq!(*g.row_ptr.last().unwrap() as usize, g.adj.len());
+        assert_eq!(g.row_ptr.len(), n + 1);
+        assert_eq!(*g.row_ptr.last().unwrap() as usize, g.adj.len());
         for v in 0..n {
             let nb = g.neighbors(v);
             // Sorted, deduplicated, no self-loops, symmetric.
-            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            assert!(nb.windows(2).all(|w| w[0] < w[1]));
             for &u in nb {
-                prop_assert!((u as usize) < n);
-                prop_assert!(u as usize != v);
-                prop_assert!(g.neighbors(u as usize).contains(&(v as u32)), "symmetry");
+                assert!((u as usize) < n);
+                assert!(u as usize != v);
+                assert!(g.neighbors(u as usize).contains(&(v as u32)), "symmetry");
             }
         }
     }

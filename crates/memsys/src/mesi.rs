@@ -10,7 +10,7 @@
 //! The implementation is a full N-requestor MESI directory so it is reusable
 //! (and testable) beyond the 2-requestor instantiation.
 
-use std::collections::HashMap;
+use sdv_engine::FastMap;
 
 /// A coherence requestor id (e.g. 0 = core L1D, 1 = VPU).
 pub type Requestor = u8;
@@ -42,7 +42,7 @@ pub struct DirAction {
 /// The per-bank MESI directory.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    lines: HashMap<u64, DirState>,
+    lines: FastMap<u64, DirState>,
     recalls: u64,
     invalidations: u64,
 }

@@ -6,7 +6,7 @@
 //! DRAM latency lands almost entirely on the critical path, while the VPU's
 //! deep file overlaps hundreds of element requests.
 
-use std::collections::HashMap;
+use sdv_engine::FastMap;
 
 /// Result of trying to allocate an MSHR for a line miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +23,7 @@ pub enum AllocOutcome {
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
     capacity: usize,
-    entries: HashMap<u64, Vec<W>>,
+    entries: FastMap<u64, Vec<W>>,
     peak: usize,
 }
 
@@ -34,7 +34,7 @@ impl<W> MshrFile<W> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        Self { capacity, entries: HashMap::new(), peak: 0 }
+        Self { capacity, entries: FastMap::default(), peak: 0 }
     }
 
     /// Try to register `waiter` for `line`. See [`AllocOutcome`].

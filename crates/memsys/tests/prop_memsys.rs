@@ -1,32 +1,34 @@
-//! Property-based tests of the memory-subsystem components against simple
-//! reference models and hard invariants.
+//! Randomized tests of the memory-subsystem components against simple
+//! reference models and hard invariants, driven by the in-repo
+//! deterministic `sdv_engine::Rng`.
 
-use proptest::prelude::*;
+use sdv_engine::Rng;
 use sdv_memsys::{
     AccessKind, AddressMap, AllocOutcome, BandwidthLimiter, Cache, CacheConfig, DramChannel,
     DramConfig, LatencyController, MshrFile,
 };
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_agrees_with_set_model(
-        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400),
-    ) {
+#[test]
+fn cache_agrees_with_set_model() {
+    let mut rng = Rng::new(0x3E3_0001);
+    for _ in 0..64 {
+        let n_ops = 1 + rng.index(399);
         // Reference: per-set LRU lists over the same geometry.
         let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 }; // 8 sets
         let mut cache = Cache::new(cfg);
         let num_sets = cfg.num_sets() as u64;
         let mut model: HashMap<u64, Vec<u64>> = HashMap::new(); // set -> MRU-first lines
-        for (line_idx, is_write) in ops {
+        for _ in 0..n_ops {
+            let line_idx = rng.below(64);
+            let is_write = rng.chance(0.5);
             let addr = line_idx * 64;
             let set = line_idx % num_sets;
             let lru = model.entry(set).or_default();
             let model_hit = lru.contains(&addr);
-            let got_hit = cache.access(addr, if is_write { AccessKind::Write } else { AccessKind::Read });
-            prop_assert_eq!(got_hit, model_hit, "line {:#x}", addr);
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let got_hit = cache.access(addr, kind);
+            assert_eq!(got_hit, model_hit, "line {addr:#x}");
             if model_hit {
                 lru.retain(|&l| l != addr);
                 lru.insert(0, addr);
@@ -37,40 +39,43 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn cache_never_exceeds_capacity(
-        ops in prop::collection::vec(0u64..10_000, 1..500),
-    ) {
+#[test]
+fn cache_never_exceeds_capacity() {
+    let mut rng = Rng::new(0x3E3_0002);
+    for _ in 0..64 {
+        let n_ops = 1 + rng.index(499);
         let cfg = CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64 };
         let mut cache = Cache::new(cfg);
         let mut resident: HashSet<u64> = HashSet::new();
-        for line_idx in ops {
-            let addr = line_idx * 64;
+        for _ in 0..n_ops {
+            let addr = rng.below(10_000) * 64;
             if !cache.access(addr, AccessKind::Read) {
                 if let Some(v) = cache.fill(addr, false) {
-                    prop_assert!(resident.remove(&v.addr), "victim {:#x} was not resident", v.addr);
+                    assert!(resident.remove(&v.addr), "victim {:#x} was not resident", v.addr);
                 }
                 resident.insert(addr);
             }
-            prop_assert!(resident.len() <= (cfg.size_bytes / cfg.line_bytes) as usize);
+            assert!(resident.len() <= (cfg.size_bytes / cfg.line_bytes) as usize);
         }
     }
+}
 
-    #[test]
-    fn limiter_respects_window_budget(
-        num in 1u32..4,
-        den in 1u32..16,
-        arrivals in prop::collection::vec(0u64..2000, 1..300),
-    ) {
-        prop_assume!(num <= den);
-        let mut sorted = arrivals.clone();
+#[test]
+fn limiter_respects_window_budget() {
+    let mut rng = Rng::new(0x3E3_0003);
+    for _ in 0..64 {
+        let den = 1 + rng.below(15) as u32;
+        let num = 1 + rng.below(den.min(3) as u64) as u32;
+        let n = 1 + rng.index(299);
+        let mut sorted: Vec<u64> = (0..n).map(|_| rng.below(2000)).collect();
         sorted.sort_unstable();
         let mut limiter = BandwidthLimiter::new(num, den);
         let mut admitted: Vec<u64> = sorted.iter().map(|&t| limiter.admit(t)).collect();
         // No admission precedes its request.
         for (&a, &t) in admitted.iter().zip(&sorted) {
-            prop_assert!(a >= t);
+            assert!(a >= t);
         }
         // Budget: at most `num` admissions per aligned den-window.
         admitted.sort_unstable();
@@ -78,29 +83,33 @@ proptest! {
         for &a in &admitted {
             *per_window.entry(a / den as u64).or_insert(0) += 1;
         }
-        for (&w, &n) in &per_window {
-            prop_assert!(n <= num, "window {} got {} > {}", w, n, num);
+        for (&w, &got) in &per_window {
+            assert!(got <= num, "window {w} got {got} > {num}");
         }
     }
+}
 
-    #[test]
-    fn latency_controller_is_exact_and_pipelined(
-        extra in 0u64..5000,
-        times in prop::collection::vec(0u64..100_000, 1..50),
-    ) {
+#[test]
+fn latency_controller_is_exact_and_pipelined() {
+    let mut rng = Rng::new(0x3E3_0004);
+    for _ in 0..64 {
+        let extra = rng.below(5000);
         let lc = LatencyController::new(extra);
-        for &t in &times {
-            prop_assert_eq!(lc.release_time(t), t + extra);
+        for _ in 0..50 {
+            let t = rng.below(100_000);
+            assert_eq!(lc.release_time(t), t + extra);
         }
     }
+}
 
-    #[test]
-    fn dram_completion_bounds(
-        extra in 0u64..2000,
-        bw in 1u64..=64,
-        arrivals in prop::collection::vec(0u64..500, 1..100),
-    ) {
-        let mut sorted = arrivals.clone();
+#[test]
+fn dram_completion_bounds() {
+    let mut rng = Rng::new(0x3E3_0005);
+    for _ in 0..64 {
+        let extra = rng.below(2000);
+        let bw = 1 + rng.below(64);
+        let n = 1 + rng.index(99);
+        let mut sorted: Vec<u64> = (0..n).map(|_| rng.below(500)).collect();
         sorted.sort_unstable();
         let mut d = DramChannel::new(DramConfig::default());
         d.set_extra_latency(extra);
@@ -109,60 +118,65 @@ proptest! {
         let mut last = 0u64;
         for &t in &sorted {
             let done = d.submit(t.wrapping_mul(64) % (1 << 30), t);
-            prop_assert!(done >= t + service + extra, "floor");
+            assert!(done >= t + service + extra, "floor");
             // Admissions serialize: completions are non-decreasing under
             // monotone arrivals with a fixed pipeline.
-            prop_assert!(done >= last);
+            assert!(done >= last);
             last = done;
         }
-        prop_assert_eq!(d.requests(), sorted.len() as u64);
+        assert_eq!(d.requests(), sorted.len() as u64);
     }
+}
 
-    #[test]
-    fn mshr_file_bookkeeping(
-        lines in prop::collection::vec(0u64..8, 1..100),
-    ) {
+#[test]
+fn mshr_file_bookkeeping() {
+    let mut rng = Rng::new(0x3E3_0006);
+    for _ in 0..64 {
+        let n = 1 + rng.index(99);
+        let lines: Vec<u64> = (0..n).map(|_| rng.below(8)).collect();
         let mut m: MshrFile<usize> = MshrFile::new(4);
         let mut live: HashMap<u64, usize> = HashMap::new(); // line -> waiters
         for (i, &l) in lines.iter().enumerate() {
             let line = l * 64;
             match m.alloc(line, i) {
                 AllocOutcome::Primary => {
-                    prop_assert!(!live.contains_key(&line));
+                    assert!(!live.contains_key(&line));
                     live.insert(line, 1);
                 }
                 AllocOutcome::Secondary => {
                     *live.get_mut(&line).unwrap() += 1;
                 }
                 AllocOutcome::Full => {
-                    prop_assert_eq!(live.len(), 4);
+                    assert_eq!(live.len(), 4);
                     // Drain one to make room.
                     let (&oldest, _) = live.iter().next().unwrap();
                     let ws = m.complete(oldest);
-                    prop_assert_eq!(ws.len(), live.remove(&oldest).unwrap());
+                    assert_eq!(ws.len(), live.remove(&oldest).unwrap());
                 }
             }
-            prop_assert_eq!(m.in_flight(), live.len());
+            assert_eq!(m.in_flight(), live.len());
         }
-        for (line, n) in live {
-            prop_assert_eq!(m.complete(line).len(), n);
+        for (line, waiters) in live {
+            assert_eq!(m.complete(line).len(), waiters);
         }
-        prop_assert!(m.is_empty());
+        assert!(m.is_empty());
     }
+}
 
-    #[test]
-    fn address_map_invariants(
-        addr in any::<u64>().prop_map(|a| a % (1 << 40)),
-        size in 1u64..4096,
-    ) {
+#[test]
+fn address_map_invariants() {
+    let mut rng = Rng::new(0x3E3_0007);
+    for _ in 0..256 {
+        let addr = rng.next_u64() % (1 << 40);
+        let size = 1 + rng.below(4095);
         let m = AddressMap::default();
         let line = m.line_of(addr);
-        prop_assert!(line <= addr);
-        prop_assert!(addr - line < 64);
-        prop_assert_eq!(m.bank_of(addr), m.bank_of(line));
-        prop_assert!(m.bank_of(addr) < 4);
+        assert!(line <= addr);
+        assert!(addr - line < 64);
+        assert_eq!(m.bank_of(addr), m.bank_of(line));
+        assert!(m.bank_of(addr) < 4);
         let spanned = m.lines_spanned(addr, size);
-        prop_assert!(spanned >= size.div_ceil(64));
-        prop_assert!(spanned <= size / 64 + 2);
+        assert!(spanned >= size.div_ceil(64));
+        assert!(spanned <= size / 64 + 2);
     }
 }

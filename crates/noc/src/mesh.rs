@@ -1,8 +1,7 @@
 //! The wormhole-routed mesh transport model.
 
-use crate::topology::{xy_route, Coord, LinkId, NodeId};
+use crate::topology::{Coord, NodeId};
 use sdv_engine::{Cycle, Stats};
-use std::collections::HashMap;
 
 /// Mesh geometry and timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -38,9 +37,21 @@ impl MeshConfig {
 #[derive(Debug, Clone)]
 pub struct Mesh {
     cfg: MeshConfig,
-    /// Earliest cycle each directed link's input is free.
-    link_free: HashMap<LinkId, Cycle>,
-    stats: Stats,
+    /// Earliest cycle each directed link's input is free, indexed
+    /// `from * nodes + to`. A flat table (meshes are small) so the per-hop
+    /// reservation in [`Mesh::send`] is one array access, not a hash lookup.
+    link_free: Vec<Cycle>,
+    ctr: MeshCounters,
+}
+
+/// Transport event counters — plain fields bumped on every packet, assembled
+/// into a registry view by [`Mesh::stats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct MeshCounters {
+    packets: u64,
+    flits: u64,
+    hops: u64,
+    link_wait_cycles: u64,
 }
 
 impl Mesh {
@@ -51,7 +62,8 @@ impl Mesh {
     pub fn new(cfg: MeshConfig) -> Self {
         assert!(cfg.width > 0 && cfg.height > 0, "mesh must have at least one node");
         assert!(cfg.flit_bytes > 0, "flits must carry payload");
-        Self { cfg, link_free: HashMap::new(), stats: Stats::new() }
+        let nodes = cfg.nodes();
+        Self { cfg, link_free: vec![0; nodes * nodes], ctr: MeshCounters::default() }
     }
 
     /// The configuration.
@@ -72,23 +84,35 @@ impl Mesh {
     /// pays one router traversal.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: Cycle) -> Cycle {
         let flits = self.flits_for(bytes);
-        let route = xy_route(src, dst, self.cfg.width, self.cfg.height);
-        self.stats.inc("noc.packets");
-        self.stats.add("noc.flits", flits);
-        self.stats.add("noc.hops", route.len() as u64);
+        let width = self.cfg.width;
+        let nodes = self.cfg.nodes();
+        let s = Coord::of(src, width);
+        let d = Coord::of(dst, width);
+        debug_assert!(s.x < width && s.y < self.cfg.height, "src {src} outside mesh");
+        debug_assert!(d.x < width && d.y < self.cfg.height, "dst {dst} outside mesh");
+        self.ctr.packets += 1;
+        self.ctr.flits += flits;
+        self.ctr.hops += s.hops_to(&d) as u64;
 
-        // Head flit timing: per hop, wait for the link to be free, then pay
-        // router + link latency. Each link is then busy for `flits` cycles.
+        // Head flit timing: walk the XY route (X dimension first) in place;
+        // per hop, wait for the link to be free, then pay router + link
+        // latency. Each link is then busy for `flits` cycles.
         let mut head = now + self.cfg.router_latency; // injection router
-        for link in route {
-            let free = self.link_free.get(&link).copied().unwrap_or(0);
+        let mut cur = s;
+        while cur != d {
+            let next = if cur.x != d.x {
+                Coord { x: if d.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y }
+            } else {
+                Coord { x: cur.x, y: if d.y > cur.y { cur.y + 1 } else { cur.y - 1 } }
+            };
+            let link = cur.id(width) * nodes + next.id(width);
+            let free = self.link_free[link];
             let depart = head.max(free);
             let waited = depart - head;
-            if waited > 0 {
-                self.stats.add("noc.link_wait_cycles", waited);
-            }
-            self.link_free.insert(link, depart + flits);
+            self.ctr.link_wait_cycles += waited;
+            self.link_free[link] = depart + flits;
             head = depart + self.cfg.link_latency + self.cfg.router_latency;
+            cur = next;
         }
         // Tail flit arrives `flits - 1` cycles behind the head.
         head + (flits - 1)
@@ -102,15 +126,20 @@ impl Mesh {
             + (self.flits_for(bytes) - 1)
     }
 
-    /// Transport statistics.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Transport statistics, assembled into a registry view.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("noc.packets", self.ctr.packets);
+        s.set("noc.flits", self.ctr.flits);
+        s.set("noc.hops", self.ctr.hops);
+        s.set("noc.link_wait_cycles", self.ctr.link_wait_cycles);
+        s
     }
 
     /// Forget link occupancy and statistics (between experiment runs).
     pub fn reset(&mut self) {
-        self.link_free.clear();
-        self.stats.clear();
+        self.link_free.fill(0);
+        self.ctr = MeshCounters::default();
     }
 }
 

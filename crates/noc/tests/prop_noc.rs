@@ -1,76 +1,92 @@
-//! Property-based tests of the mesh NoC model.
+//! Randomized tests of the mesh NoC model, driven by the in-repo
+//! deterministic `sdv_engine::Rng`.
 
-use proptest::prelude::*;
+use sdv_engine::Rng;
 use sdv_noc::{Mesh, MeshConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn delivery_never_beats_zero_load(
-        w in 1usize..5,
-        h in 1usize..5,
-        sends in prop::collection::vec((0usize..25, 0usize..25, 1u64..512, 0u64..1000), 1..60),
-    ) {
+#[test]
+fn delivery_never_beats_zero_load() {
+    let mut rng = Rng::new(0x0C_0001);
+    for _ in 0..64 {
+        let w = 1 + rng.index(4);
+        let h = 1 + rng.index(4);
+        let n = 1 + rng.index(59);
         let cfg = MeshConfig { width: w, height: h, ..MeshConfig::default() };
         let mut mesh = Mesh::new(cfg);
-        for (src, dst, bytes, now) in sends {
-            let (src, dst) = (src % (w * h), dst % (w * h));
+        for _ in 0..n {
+            let src = rng.index(w * h);
+            let dst = rng.index(w * h);
+            let bytes = 1 + rng.below(511);
+            let now = rng.below(1000);
             let t = mesh.send(src, dst, bytes, now);
             let zl = mesh.zero_load_latency(src, dst, bytes);
-            prop_assert!(t >= now + zl, "{}->{}: {} < {} + {}", src, dst, t, now, zl);
+            assert!(t >= now + zl, "{src}->{dst}: {t} < {now} + {zl}");
         }
     }
+}
 
-    #[test]
-    fn deterministic_replay(
-        sends in prop::collection::vec((0usize..4, 0usize..4, 1u64..256, 0u64..500), 1..40),
-    ) {
+#[test]
+fn deterministic_replay() {
+    let mut rng = Rng::new(0x0C_0002);
+    for _ in 0..64 {
+        let n = 1 + rng.index(39);
+        let sends: Vec<(usize, usize, u64, u64)> = (0..n)
+            .map(|_| (rng.index(4), rng.index(4), 1 + rng.below(255), rng.below(500)))
+            .collect();
         let run = || {
             let mut mesh = Mesh::default();
             sends.iter().map(|&(s, d, b, t)| mesh.send(s, d, b, t)).collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn uncontended_latency_is_zero_load_exactly(
-        src in 0usize..4,
-        dst in 0usize..4,
-        bytes in 1u64..1024,
-        now in 0u64..10_000,
-    ) {
+#[test]
+fn uncontended_latency_is_zero_load_exactly() {
+    let mut rng = Rng::new(0x0C_0003);
+    for _ in 0..64 {
+        let src = rng.index(4);
+        let dst = rng.index(4);
+        let bytes = 1 + rng.below(1023);
+        let now = rng.below(10_000);
         let mut mesh = Mesh::default();
         let t = mesh.send(src, dst, bytes, now);
-        prop_assert_eq!(t, now + mesh.zero_load_latency(src, dst, bytes));
+        assert_eq!(t, now + mesh.zero_load_latency(src, dst, bytes));
     }
+}
 
-    #[test]
-    fn flits_accounting_consistent(
-        sends in prop::collection::vec((0usize..4, 0usize..4, 1u64..512), 1..30),
-    ) {
+#[test]
+fn flits_accounting_consistent() {
+    let mut rng = Rng::new(0x0C_0004);
+    for _ in 0..64 {
+        let n = 1 + rng.index(29);
+        let sends: Vec<(usize, usize, u64)> =
+            (0..n).map(|_| (rng.index(4), rng.index(4), 1 + rng.below(511))).collect();
         let mut mesh = Mesh::default();
         let mut expect_flits = 0u64;
         for &(s, d, b) in &sends {
             expect_flits += mesh.flits_for(b);
             mesh.send(s, d, b, 0);
         }
-        prop_assert_eq!(mesh.stats().get("noc.packets"), sends.len() as u64);
-        prop_assert_eq!(mesh.stats().get("noc.flits"), expect_flits);
+        assert_eq!(mesh.stats().get("noc.packets"), sends.len() as u64);
+        assert_eq!(mesh.stats().get("noc.flits"), expect_flits);
     }
+}
 
-    #[test]
-    fn heavier_traffic_never_reduces_total_time(
-        base in prop::collection::vec((0usize..4, 0usize..4), 2..20),
-    ) {
+#[test]
+fn heavier_traffic_never_reduces_total_time() {
+    let mut rng = Rng::new(0x0C_0005);
+    for _ in 0..64 {
+        let n = 2 + rng.index(18);
+        let base: Vec<(usize, usize)> = (0..n).map(|_| (rng.index(4), rng.index(4))).collect();
         // Sending a superset of packets (same instants) cannot make the last
         // delivery earlier: link reservations only push times later.
-        let run = |n: usize| {
+        let run = |k: usize| {
             let mut mesh = Mesh::default();
-            base.iter().take(n).map(|&(s, d)| mesh.send(s, d, 64, 0)).max().unwrap()
+            base.iter().take(k).map(|&(s, d)| mesh.send(s, d, 64, 0)).max().unwrap()
         };
         let half = run(base.len() / 2 + 1);
         let full = run(base.len());
-        prop_assert!(full >= half);
+        assert!(full >= half);
     }
 }

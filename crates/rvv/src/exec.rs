@@ -35,11 +35,143 @@ pub struct MemAccess {
     pub kind: MemAccessKind,
 }
 
-/// What executing one instruction did — the functional-to-timing bridge.
+/// A run of accesses at consecutive addresses: element `k` of the run is at
+/// `addr + k * size`. Unit-stride instructions produce one run for the whole
+/// vector; gathers degenerate to one run per element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRun {
+    /// Byte address of the first access in the run.
+    pub addr: u64,
+    /// Per-access size in bytes (the SEW width).
+    pub size: u8,
+    /// Number of accesses in the run.
+    pub count: u32,
+    /// Read or write.
+    pub kind: MemAccessKind,
+}
+
+/// The memory accesses of one instruction, stored run-length compressed but
+/// preserving exact element order. Contiguous same-kind accesses coalesce
+/// into a single [`MemRun`]; iterating or indexing expands back to the
+/// identical [`MemAccess`] sequence a per-element list would hold.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemList {
+    runs: Vec<MemRun>,
+    total: usize,
+}
+
+impl MemList {
+    /// Number of element-granular accesses (expanded, not runs).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no access was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The run-length representation, in element order.
+    pub fn runs(&self) -> &[MemRun] {
+        &self.runs
+    }
+
+    /// Drop all recorded accesses, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.total = 0;
+    }
+
+    /// Append one access, merging into the last run when contiguous.
+    pub fn push(&mut self, a: MemAccess) {
+        self.push_run(a.addr, a.size, 1, a.kind);
+    }
+
+    /// Append `count` accesses at `addr, addr+size, ...`, merging with the
+    /// last run when contiguous. A zero `count` is a no-op.
+    pub fn push_run(&mut self, addr: u64, size: u8, count: u32, kind: MemAccessKind) {
+        if count == 0 {
+            return;
+        }
+        self.total += count as usize;
+        if let Some(last) = self.runs.last_mut() {
+            if last.kind == kind
+                && last.size == size
+                && addr == last.addr + last.size as u64 * last.count as u64
+            {
+                last.count += count;
+                return;
+            }
+        }
+        self.runs.push(MemRun { addr, size, count, kind });
+    }
+
+    /// The `i`-th element-granular access, in element order.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn access(&self, i: usize) -> MemAccess {
+        let mut k = i;
+        for r in &self.runs {
+            if k < r.count as usize {
+                return MemAccess {
+                    addr: r.addr + k as u64 * r.size as u64,
+                    size: r.size,
+                    kind: r.kind,
+                };
+            }
+            k -= r.count as usize;
+        }
+        panic!("access index {i} out of range (len {})", self.total);
+    }
+
+    /// Iterate the expanded element-granular accesses, in element order.
+    pub fn iter(&self) -> impl Iterator<Item = MemAccess> + '_ {
+        self.runs.iter().flat_map(|r| {
+            (0..r.count as u64).map(move |k| MemAccess {
+                addr: r.addr + k * r.size as u64,
+                size: r.size,
+                kind: r.kind,
+            })
+        })
+    }
+}
+
+impl FromIterator<MemAccess> for MemList {
+    fn from_iter<T: IntoIterator<Item = MemAccess>>(iter: T) -> Self {
+        let mut l = MemList::default();
+        for a in iter {
+            l.push(a);
+        }
+        l
+    }
+}
+
+/// Reusable per-machine scratch buffers for [`exec_into`]. Holding one of
+/// these across instructions removes every per-instruction heap allocation
+/// from the execution hot path (source snapshots, mask snapshots, element
+/// addresses, staged memory bytes).
 #[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
+    /// First source-operand snapshot.
+    pub xs: Vec<u64>,
+    /// Second source-operand snapshot.
+    pub ys: Vec<u64>,
+    /// Mask-operand snapshot.
+    pub bs: Vec<bool>,
+    /// Second mask snapshot (activity or a second mask operand).
+    pub bs2: Vec<bool>,
+    /// Per-element addresses of a memory instruction (None = masked off).
+    pub addrs: Vec<Option<u64>>,
+    /// Staged raw bytes for bulk loads/stores.
+    pub bytes: Vec<u8>,
+}
+
+/// What executing one instruction did — the functional-to-timing bridge.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecInfo {
-    /// Element-granular memory accesses, in element order.
-    pub mem: Vec<MemAccess>,
+    /// Memory accesses in element order, run-length compressed.
+    pub mem: MemList,
     /// Scalar result (for `vpopc`, `vfirst`, `vmv.x.s`). `vfirst` returns
     /// `-1i64 as u64` when no bit is set.
     pub scalar: Option<u64>,
@@ -49,6 +181,17 @@ pub struct ExecInfo {
     pub vl: usize,
     /// Whether the addressing mode was unit-stride (timing: line bursts).
     pub unit_stride: bool,
+}
+
+impl ExecInfo {
+    /// Reset for reuse on the next instruction, keeping allocations.
+    pub fn reset(&mut self, vl: usize) {
+        self.mem.clear();
+        self.scalar = None;
+        self.active = 0;
+        self.vl = vl;
+        self.unit_stride = false;
+    }
 }
 
 #[inline]
@@ -184,15 +327,17 @@ fn compare(sew: Sew, kind: CmpKind, a: u64, b: u64) -> bool {
 /// Masked-off elements are *not* accessed (RVV masked loads/stores skip them).
 /// `elem_bytes` is the in-memory element footprint (SEW/2 for widening
 /// loads); index registers are always read at the full SEW.
-fn element_addrs(
+fn element_addrs_into(
     state: &VState,
     addr: &MemAddr,
     masked: bool,
     elem_bytes: usize,
-) -> (Vec<Option<u64>>, bool) {
+    out: &mut Vec<Option<u64>>,
+) -> bool {
     let sew = state.vtype.sew;
     let vl = state.vl;
-    let mut out = Vec::with_capacity(vl);
+    out.clear();
+    out.reserve(vl);
     let unit = matches!(addr, MemAddr::Unit { .. });
     for i in 0..vl {
         if !state.active(masked, i) {
@@ -206,39 +351,79 @@ fn element_addrs(
         };
         out.push(Some(a));
     }
-    (out, unit)
+    unit
 }
 
-/// Execute one instruction. Returns what happened.
+/// Snapshot per-element activity: all-true when unmasked, else the low `vl`
+/// bits of `v0`.
+fn fill_active(state: &VState, masked: bool, vl: usize, out: &mut Vec<bool>) {
+    if masked {
+        state.regs.read_mask_bits_into(0, vl, out);
+    } else {
+        out.clear();
+        out.resize(vl, true);
+    }
+}
+
+/// Execute one instruction with fresh buffers. Convenience wrapper around
+/// [`exec_into`] for tests and one-off callers; hot loops should hold an
+/// [`ExecScratch`] + [`ExecInfo`] and call [`exec_into`] directly.
 ///
 /// # Panics
 /// Panics on malformed programs (FP ops at SEW<32, register-group overflow);
 /// these are programming errors in the kernel, not runtime conditions.
 pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecInfo {
+    let mut scratch = ExecScratch::default();
+    let mut info = ExecInfo::default();
+    exec_into(inst, state, mem, &mut scratch, &mut info);
+    info
+}
+
+/// Execute one instruction, reusing `scratch` buffers and writing the outcome
+/// into `info` (which is reset first). Allocation-free after warm-up.
+///
+/// # Panics
+/// Panics on malformed programs (FP ops at SEW<32, register-group overflow);
+/// these are programming errors in the kernel, not runtime conditions.
+pub fn exec_into<M: VMemory>(
+    inst: &VInst,
+    state: &mut VState,
+    mem: &mut M,
+    scratch: &mut ExecScratch,
+    info: &mut ExecInfo,
+) {
     let sew = state.vtype.sew;
     let vl = state.vl;
     let masked = inst.masked;
-    let mut info = ExecInfo { vl, ..ExecInfo::default() };
-
-    // Snapshot-read helper: many ops must be alias-safe (vd may equal a
-    // source), so sources are materialized before any write.
-    let read_vec = |st: &VState, r: u8| -> Vec<u64> {
-        (0..vl).map(|i| st.regs.get(r, sew, i)).collect()
-    };
-    let read_mask_vec = |st: &VState, r: u8| -> Vec<bool> {
-        (0..vl).map(|i| st.regs.get_mask(r, i)).collect()
-    };
+    info.reset(vl);
+    // Split borrows: each buffer is borrowed independently of `state`.
+    // Sources are snapshotted into these before any write, keeping every op
+    // alias-safe (vd may equal a source register).
+    let ExecScratch { xs, ys, bs, bs2, addrs, bytes } = scratch;
 
     match &inst.op {
         VOp::Load { vd, addr } => {
-            let (addrs, unit) = element_addrs(state, addr, masked, sew.bytes());
-            info.unit_stride = unit;
-            for (i, a) in addrs.iter().enumerate() {
-                if let Some(a) = *a {
-                    let v = mem.read_uint(a, sew.bytes());
-                    state.regs.set(*vd, sew, i, v);
-                    info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Read });
-                    info.active += 1;
+            if let (MemAddr::Unit { base }, false) = (addr, masked) {
+                // Bulk path: one memcpy into the contiguous register group.
+                // Registers and memory are both little-endian, so the bytes
+                // land exactly where the per-element loop would put them.
+                info.unit_stride = true;
+                if vl > 0 {
+                    let nbytes = vl * sew.bytes();
+                    mem.read_bytes(*base, state.regs.group_bytes_mut(*vd, nbytes));
+                    info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Read);
+                    info.active = vl;
+                }
+            } else {
+                let unit = element_addrs_into(state, addr, masked, sew.bytes(), addrs);
+                info.unit_stride = unit;
+                for (i, a) in addrs.iter().enumerate() {
+                    if let Some(a) = *a {
+                        let v = mem.read_uint(a, sew.bytes());
+                        state.regs.set(*vd, sew, i, v);
+                        info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Read });
+                        info.active += 1;
+                    }
                 }
             }
         }
@@ -246,72 +431,141 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             let nf = *nf as usize;
             assert!((2..=8).contains(&nf), "segment nf must be 2..=8");
             info.unit_stride = true;
-            for i in 0..vl {
-                if !state.active(masked, i) {
-                    continue;
+            let eb = sew.bytes();
+            if !masked {
+                // The field-interleaved footprint is fully contiguous: stage
+                // it with one bulk read, then de-interleave into registers.
+                if vl > 0 {
+                    bytes.clear();
+                    bytes.resize(vl * nf * eb, 0);
+                    mem.read_bytes(*base, bytes);
+                    for i in 0..vl {
+                        for f in 0..nf {
+                            let off = (i * nf + f) * eb;
+                            let mut w = [0u8; 8];
+                            w[..eb].copy_from_slice(&bytes[off..off + eb]);
+                            state.regs.set(vd + f as u8, sew, i, u64::from_le_bytes(w));
+                        }
+                    }
+                    info.mem.push_run(*base, eb as u8, (vl * nf) as u32, MemAccessKind::Read);
+                    info.active = vl;
                 }
-                for f in 0..nf {
-                    let a = base + ((i * nf + f) * sew.bytes()) as u64;
-                    let v = mem.read_uint(a, sew.bytes());
-                    state.regs.set(vd + f as u8, sew, i, v);
-                    info.mem.push(MemAccess {
-                        addr: a,
-                        size: sew.bytes() as u8,
-                        kind: MemAccessKind::Read,
-                    });
+            } else {
+                for i in 0..vl {
+                    if !state.active(masked, i) {
+                        continue;
+                    }
+                    for f in 0..nf {
+                        let a = base + ((i * nf + f) * eb) as u64;
+                        let v = mem.read_uint(a, eb);
+                        state.regs.set(vd + f as u8, sew, i, v);
+                        info.mem.push(MemAccess {
+                            addr: a,
+                            size: eb as u8,
+                            kind: MemAccessKind::Read,
+                        });
+                    }
+                    info.active += 1;
                 }
-                info.active += 1;
             }
         }
         VOp::SegStore { vs, base, nf } => {
             let nf = *nf as usize;
             assert!((2..=8).contains(&nf), "segment nf must be 2..=8");
             info.unit_stride = true;
-            for i in 0..vl {
-                if !state.active(masked, i) {
-                    continue;
+            let eb = sew.bytes();
+            if !masked {
+                // Re-interleave into a staging buffer, then one bulk write.
+                if vl > 0 {
+                    bytes.clear();
+                    bytes.resize(vl * nf * eb, 0);
+                    for i in 0..vl {
+                        for f in 0..nf {
+                            let v = state.regs.get(vs + f as u8, sew, i);
+                            let off = (i * nf + f) * eb;
+                            bytes[off..off + eb].copy_from_slice(&v.to_le_bytes()[..eb]);
+                        }
+                    }
+                    mem.write_bytes(*base, bytes);
+                    info.mem.push_run(*base, eb as u8, (vl * nf) as u32, MemAccessKind::Write);
+                    info.active = vl;
                 }
-                for f in 0..nf {
-                    let a = base + ((i * nf + f) * sew.bytes()) as u64;
-                    let v = state.regs.get(vs + f as u8, sew, i);
-                    mem.write_uint(a, sew.bytes(), v);
-                    info.mem.push(MemAccess {
-                        addr: a,
-                        size: sew.bytes() as u8,
-                        kind: MemAccessKind::Write,
-                    });
+            } else {
+                for i in 0..vl {
+                    if !state.active(masked, i) {
+                        continue;
+                    }
+                    for f in 0..nf {
+                        let a = base + ((i * nf + f) * eb) as u64;
+                        let v = state.regs.get(vs + f as u8, sew, i);
+                        mem.write_uint(a, eb, v);
+                        info.mem.push(MemAccess {
+                            addr: a,
+                            size: eb as u8,
+                            kind: MemAccessKind::Write,
+                        });
+                    }
+                    info.active += 1;
                 }
-                info.active += 1;
             }
         }
         VOp::LoadWiden { vd, addr } => {
             let half = sew.half().expect("widening load requires SEW >= 16");
-            let (addrs, unit) = element_addrs(state, addr, masked, half.bytes());
-            info.unit_stride = unit;
-            for (i, a) in addrs.iter().enumerate() {
-                if let Some(a) = *a {
-                    let v = mem.read_uint(a, half.bytes());
-                    state.regs.set(*vd, sew, i, v);
-                    info.mem.push(MemAccess { addr: a, size: half.bytes() as u8, kind: MemAccessKind::Read });
-                    info.active += 1;
+            let hb = half.bytes();
+            if let (MemAddr::Unit { base }, false) = (addr, masked) {
+                // Stage the narrow elements with one bulk read, then widen.
+                info.unit_stride = true;
+                if vl > 0 {
+                    bytes.clear();
+                    bytes.resize(vl * hb, 0);
+                    mem.read_bytes(*base, bytes);
+                    for i in 0..vl {
+                        let mut w = [0u8; 8];
+                        w[..hb].copy_from_slice(&bytes[i * hb..(i + 1) * hb]);
+                        state.regs.set(*vd, sew, i, u64::from_le_bytes(w));
+                    }
+                    info.mem.push_run(*base, hb as u8, vl as u32, MemAccessKind::Read);
+                    info.active = vl;
+                }
+            } else {
+                let unit = element_addrs_into(state, addr, masked, hb, addrs);
+                info.unit_stride = unit;
+                for (i, a) in addrs.iter().enumerate() {
+                    if let Some(a) = *a {
+                        let v = mem.read_uint(a, hb);
+                        state.regs.set(*vd, sew, i, v);
+                        info.mem.push(MemAccess { addr: a, size: hb as u8, kind: MemAccessKind::Read });
+                        info.active += 1;
+                    }
                 }
             }
         }
         VOp::Store { vs, addr } => {
-            let (addrs, unit) = element_addrs(state, addr, masked, sew.bytes());
-            info.unit_stride = unit;
-            for (i, a) in addrs.iter().enumerate() {
-                if let Some(a) = *a {
-                    let v = state.regs.get(*vs, sew, i);
-                    mem.write_uint(a, sew.bytes(), v);
-                    info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Write });
-                    info.active += 1;
+            if let (MemAddr::Unit { base }, false) = (addr, masked) {
+                // Bulk path: one memcpy out of the contiguous register group.
+                info.unit_stride = true;
+                if vl > 0 {
+                    let nbytes = vl * sew.bytes();
+                    mem.write_bytes(*base, state.regs.group_bytes(*vs, nbytes));
+                    info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Write);
+                    info.active = vl;
+                }
+            } else {
+                let unit = element_addrs_into(state, addr, masked, sew.bytes(), addrs);
+                info.unit_stride = unit;
+                for (i, a) in addrs.iter().enumerate() {
+                    if let Some(a) = *a {
+                        let v = state.regs.get(*vs, sew, i);
+                        mem.write_uint(a, sew.bytes(), v);
+                        info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Write });
+                        info.active += 1;
+                    }
                 }
             }
         }
         VOp::ArithVV { kind, vd, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
                     state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], ys[i]));
@@ -320,7 +574,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::ArithVX { kind, vd, x, scalar } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             for i in 0..vl {
                 if state.active(masked, i) {
                     state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], *scalar));
@@ -329,8 +583,8 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::FArithVV { kind, vd, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
                     state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], ys[i]));
@@ -339,7 +593,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::FArithVF { kind, vd, x, scalar } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             for i in 0..vl {
                 if state.active(masked, i) {
                     state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], *scalar));
@@ -348,7 +602,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::FUnary { kind, vd, x } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             for i in 0..vl {
                 if state.active(masked, i) {
                     let r = match sew {
@@ -378,8 +632,8 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::IMaccVV { vd, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
                     let acc = state.regs.get(*vd, sew, i);
@@ -390,8 +644,8 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::SatAddU { vd, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             let max = sew.value_mask();
             for i in 0..vl {
                 if state.active(masked, i) {
@@ -404,8 +658,8 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
         }
         VOp::WidenBin { kind, vd, x, y } => {
             let half = sew.half().expect("widening requires SEW >= 16");
-            let xs: Vec<u64> = (0..vl).map(|i| state.regs.get(*x, half, i)).collect();
-            let ys: Vec<u64> = (0..vl).map(|i| state.regs.get(*y, half, i)).collect();
+            state.regs.read_elems_into(*x, half, vl, xs);
+            state.regs.read_elems_into(*y, half, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
                     let r = match kind {
@@ -420,7 +674,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
         }
         VOp::NarrowSrl { vd, x, shamt } => {
             let half = sew.half().expect("narrowing requires SEW >= 16");
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             for i in 0..vl {
                 if state.active(masked, i) {
                     let r = (xs[i] >> (shamt & (sew.bits() as u32 - 1))) & half.value_mask();
@@ -430,24 +684,23 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::MaskSet { kind, md, m } => {
-            let ms = read_mask_vec(state, *m);
-            let first = ms.iter().position(|&b| b);
-            for i in 0..vl {
-                let r = match (kind, first) {
-                    (crate::instr::MaskSetKind::Sbf, Some(f)) => i < f,
-                    (crate::instr::MaskSetKind::Sif, Some(f)) => i <= f,
-                    (crate::instr::MaskSetKind::Sof, Some(f)) => i == f,
-                    (crate::instr::MaskSetKind::Sbf, None)
-                    | (crate::instr::MaskSetKind::Sif, None) => true,
-                    (crate::instr::MaskSetKind::Sof, None) => false,
-                };
-                state.regs.set_mask(*md, i, r);
-            }
+            state.regs.read_mask_bits_into(*m, vl, bs);
+            let first = bs.iter().position(|&b| b);
+            bs2.clear();
+            bs2.extend((0..vl).map(|i| match (kind, first) {
+                (crate::instr::MaskSetKind::Sbf, Some(f)) => i < f,
+                (crate::instr::MaskSetKind::Sif, Some(f)) => i <= f,
+                (crate::instr::MaskSetKind::Sof, Some(f)) => i == f,
+                (crate::instr::MaskSetKind::Sbf, None)
+                | (crate::instr::MaskSetKind::Sif, None) => true,
+                (crate::instr::MaskSetKind::Sof, None) => false,
+            }));
+            state.regs.write_mask_bits(*md, bs2);
             info.active = vl;
         }
         VOp::FmaVV { kind, vd, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
                     let acc = state.regs.get(*vd, sew, i);
@@ -457,7 +710,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::FmaVF { kind, vd, scalar, y } => {
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
                     let acc = state.regs.get(*vd, sew, i);
@@ -467,51 +720,48 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::CmpVV { kind, md, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             // Must snapshot activity before writing: md may be v0 itself.
-            let act: Vec<bool> = (0..vl).map(|i| state.active(masked, i)).collect();
-            for i in 0..vl {
-                if act[i] {
-                    state.regs.set_mask(*md, i, compare(sew, *kind, xs[i], ys[i]));
-                    info.active += 1;
-                }
-            }
+            fill_active(state, masked, vl, bs2);
+            bs.clear();
+            bs.extend((0..vl).map(|i| compare(sew, *kind, xs[i], ys[i])));
+            state.regs.write_mask_bits_where(*md, bs, bs2);
+            info.active = bs2.iter().filter(|&&a| a).count();
         }
         VOp::CmpVX { kind, md, x, scalar } => {
-            let xs = read_vec(state, *x);
-            let act: Vec<bool> = (0..vl).map(|i| state.active(masked, i)).collect();
-            for i in 0..vl {
-                if act[i] {
-                    state.regs.set_mask(*md, i, compare(sew, *kind, xs[i], *scalar));
-                    info.active += 1;
-                }
-            }
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            fill_active(state, masked, vl, bs2);
+            bs.clear();
+            bs.extend((0..vl).map(|i| compare(sew, *kind, xs[i], *scalar)));
+            state.regs.write_mask_bits_where(*md, bs, bs2);
+            info.active = bs2.iter().filter(|&&a| a).count();
         }
         VOp::MaskOp { kind, md, m1, m2 } => {
-            let a = read_mask_vec(state, *m1);
-            let b = read_mask_vec(state, *m2);
+            state.regs.read_mask_bits_into(*m1, vl, bs);
+            state.regs.read_mask_bits_into(*m2, vl, bs2);
             for i in 0..vl {
-                let r = match kind {
-                    MaskKind::And => a[i] & b[i],
-                    MaskKind::Or => a[i] | b[i],
-                    MaskKind::Xor => a[i] ^ b[i],
-                    MaskKind::AndNot => a[i] & !b[i],
-                    MaskKind::Nand => !(a[i] & b[i]),
-                    MaskKind::Nor => !(a[i] | b[i]),
+                bs[i] = match kind {
+                    MaskKind::And => bs[i] & bs2[i],
+                    MaskKind::Or => bs[i] | bs2[i],
+                    MaskKind::Xor => bs[i] ^ bs2[i],
+                    MaskKind::AndNot => bs[i] & !bs2[i],
+                    MaskKind::Nand => !(bs[i] & bs2[i]),
+                    MaskKind::Nor => !(bs[i] | bs2[i]),
                 };
-                state.regs.set_mask(*md, i, r);
             }
+            state.regs.write_mask_bits(*md, bs);
             info.active = vl;
         }
         VOp::Popc { m } => {
-            let mut n = 0u64;
-            for i in 0..vl {
-                if state.active(masked, i) && state.regs.get_mask(*m, i) {
-                    n += 1;
-                }
-            }
-            info.scalar = Some(n);
+            state.regs.read_mask_bits_into(*m, vl, bs);
+            let n = if masked {
+                state.regs.read_mask_bits_into(0, vl, bs2);
+                bs.iter().zip(bs2.iter()).filter(|&(&v, &a)| v && a).count()
+            } else {
+                bs.iter().filter(|&&v| v).count()
+            };
+            info.scalar = Some(n as u64);
             info.active = vl;
         }
         VOp::First { m } => {
@@ -526,13 +776,13 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             info.active = vl;
         }
         VOp::Iota { vd, m } => {
-            let ms = read_mask_vec(state, *m);
-            let act: Vec<bool> = (0..vl).map(|i| state.active(masked, i)).collect();
+            state.regs.read_mask_bits_into(*m, vl, bs);
+            fill_active(state, masked, vl, bs2);
             let mut cnt = 0u64;
             for i in 0..vl {
-                if act[i] {
+                if bs2[i] {
                     state.regs.set(*vd, sew, i, cnt);
-                    if ms[i] {
+                    if bs[i] {
                         cnt += 1;
                     }
                     info.active += 1;
@@ -548,7 +798,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::Red { kind, vd, x, acc } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             let seed = state.regs.get(*acc, sew, 0);
             let is_fp = matches!(kind, RedKind::Fsum | RedKind::Fmax | RedKind::Fmin);
             let mut r = seed;
@@ -605,7 +855,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             state.regs.set(*vd, sew, 0, r);
         }
         VOp::Slide { kind, vd, x, amount } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             let vlmax = state.vlmax().min(state.regs.elems_per_reg(sew) * state.vtype.lmul.factor());
             match kind {
                 SlideKind::Up => {
@@ -661,26 +911,24 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::Gather { vd, x, y } => {
-            let table: Vec<u64> =
-                (0..state.regs.elems_per_reg(sew) * state.vtype.lmul.factor())
-                    .map(|i| state.regs.get(*x, sew, i))
-                    .collect();
-            let idxs = read_vec(state, *y);
+            let table_len = state.regs.elems_per_reg(sew) * state.vtype.lmul.factor();
+            state.regs.read_elems_into(*x, sew, table_len, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 if state.active(masked, i) {
-                    let j = idxs[i] as usize;
-                    let v = if j < table.len() { table[j] } else { 0 };
+                    let j = ys[i] as usize;
+                    let v = if j < table_len { xs[j] } else { 0 };
                     state.regs.set(*vd, sew, i, v);
                     info.active += 1;
                 }
             }
         }
         VOp::Compress { vd, x, m } => {
-            let xs = read_vec(state, *x);
-            let ms = read_mask_vec(state, *m);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_mask_bits_into(*m, vl, bs);
             let mut j = 0usize;
             for i in 0..vl {
-                if ms[i] {
+                if bs[i] {
                     state.regs.set(*vd, sew, j, xs[i]);
                     j += 1;
                 }
@@ -688,8 +936,8 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             info.active = j;
         }
         VOp::Merge { vd, x, y } => {
-            let xs = read_vec(state, *x);
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 let take_x = state.regs.get_mask(0, i);
                 state.regs.set(*vd, sew, i, if take_x { xs[i] } else { ys[i] });
@@ -697,7 +945,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             info.active = vl;
         }
         VOp::MergeVX { vd, scalar, y } => {
-            let ys = read_vec(state, *y);
+            state.regs.read_elems_into(*y, sew, vl, ys);
             for i in 0..vl {
                 let take_s = state.regs.get_mask(0, i);
                 state.regs.set(*vd, sew, i, if take_s { *scalar } else { ys[i] });
@@ -705,7 +953,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             info.active = vl;
         }
         VOp::Mv { vd, x } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             for i in 0..vl {
                 if state.active(masked, i) {
                     state.regs.set(*vd, sew, i, xs[i]);
@@ -731,7 +979,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
         }
         VOp::Widen { vd, x } => {
             let half = sew.half().expect("cannot widen from SEW=8's half");
-            let xs: Vec<u64> = (0..vl).map(|i| state.regs.get(*x, half, i)).collect();
+            state.regs.read_elems_into(*x, half, vl, xs);
             for i in 0..vl {
                 if state.active(masked, i) {
                     state.regs.set(*vd, sew, i, xs[i]);
@@ -740,7 +988,7 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
         VOp::Cvt { kind, vd, x } => {
-            let xs = read_vec(state, *x);
+            state.regs.read_elems_into(*x, sew, vl, xs);
             for i in 0..vl {
                 if !state.active(masked, i) {
                     continue;
@@ -786,7 +1034,6 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
             }
         }
     }
-    info
 }
 
 #[cfg(test)]
@@ -882,8 +1129,8 @@ mod tests {
         );
         assert!(info.unit_stride);
         assert_eq!(info.mem.len(), 4);
-        assert_eq!(info.mem[1].addr, 4, "element footprint is SEW/2 bytes");
-        assert_eq!(info.mem[0].size, 4);
+        assert_eq!(info.mem.access(1).addr, 4, "element footprint is SEW/2 bytes");
+        assert_eq!(info.mem.access(0).size, 4);
         for i in 0..4 {
             assert_eq!(s.regs.get(2, Sew::E64, i), 0x8000_0000 + i as u64, "zero-extended");
         }
@@ -1450,6 +1697,107 @@ mod tests {
         s.regs.set(6, Sew::E64, 0, 0);
         exec(&VInst::new(VOp::Red { kind: RedKind::Sum, vd: 8, x: 2, acc: 6 }), &mut s, &mut mem);
         assert_eq!(s.regs.get(8, Sew::E64, 0), 64);
+    }
+
+    #[test]
+    fn memlist_merges_contiguous_and_expands_in_order() {
+        let mut l = MemList::default();
+        for i in 0..4u64 {
+            l.push(MemAccess { addr: 100 + i * 8, size: 8, kind: MemAccessKind::Read });
+        }
+        assert_eq!(l.runs().len(), 1, "contiguous same-kind accesses coalesce");
+        assert_eq!(l.len(), 4);
+        l.push(MemAccess { addr: 500, size: 8, kind: MemAccessKind::Read });
+        l.push(MemAccess { addr: 508, size: 8, kind: MemAccessKind::Write });
+        assert_eq!(l.runs().len(), 3, "gap and kind change both break runs");
+        assert_eq!(l.len(), 6);
+        let flat: Vec<MemAccess> = l.iter().collect();
+        assert_eq!(flat.len(), 6);
+        for (i, a) in flat.iter().enumerate() {
+            assert_eq!(*a, l.access(i), "iter and access agree at {i}");
+        }
+        assert_eq!(l.access(3).addr, 124);
+        assert_eq!(l.access(4).addr, 500);
+        assert_eq!(l.access(5).kind, MemAccessKind::Write);
+    }
+
+    #[test]
+    fn memlist_strided_pushes_stay_separate() {
+        let l: MemList = (0..5u64)
+            .map(|i| MemAccess { addr: i * 24, size: 8, kind: MemAccessKind::Write })
+            .collect();
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.runs().len(), 5);
+        assert_eq!(l.access(2).addr, 48);
+    }
+
+    #[test]
+    fn memlist_push_run_merges_and_skips_empty() {
+        let mut l = MemList::default();
+        l.push_run(0, 8, 4, MemAccessKind::Read);
+        l.push_run(32, 8, 4, MemAccessKind::Read);
+        assert_eq!(l.runs().len(), 1, "adjacent runs merge");
+        assert_eq!(l.len(), 8);
+        l.push_run(96, 8, 0, MemAccessKind::Read);
+        assert_eq!(l.len(), 8, "count 0 is a no-op");
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.runs().len(), 0);
+    }
+
+    #[test]
+    fn exec_into_with_reused_scratch_matches_fresh_exec() {
+        // Run a sequence of instructions twice: once with exec() (fresh
+        // buffers each time) and once through a single reused scratch/info.
+        // Register state, memory, and ExecInfo must match exactly.
+        let prog = vec![
+            VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } }),
+            VInst::new(VOp::ArithVX { kind: ArithKind::Add, vd: 2, x: 1, scalar: 5 }),
+            VInst::masked(VOp::Load { vd: 3, addr: MemAddr::Strided { base: 8, stride: 16 } }),
+            VInst::new(VOp::CmpVX { kind: CmpKind::Gtu, md: 4, x: 2, scalar: 108 }),
+            VInst::new(VOp::Store { vs: 2, addr: MemAddr::Unit { base: 256 } }),
+        ];
+        let setup = || {
+            let mut s = st(8);
+            let mut mem = FlatMemory::new(1024);
+            for i in 0..8 {
+                mem.write_uint(i * 8, 8, 100 + i);
+            }
+            for i in 0..8 {
+                s.regs.set_mask(0, i as usize, i % 2 == 0);
+            }
+            (s, mem)
+        };
+        let (mut s1, mut m1) = setup();
+        let fresh: Vec<ExecInfo> = prog.iter().map(|i| exec(i, &mut s1, &mut m1)).collect();
+        let (mut s2, mut m2) = setup();
+        let mut scratch = ExecScratch::default();
+        let mut info = ExecInfo::default();
+        for (i, inst) in prog.iter().enumerate() {
+            exec_into(inst, &mut s2, &mut m2, &mut scratch, &mut info);
+            assert_eq!(info, fresh[i], "instruction {i}");
+        }
+        for r in 0..8u8 {
+            for e in 0..8 {
+                assert_eq!(s1.regs.get(r, Sew::E64, e), s2.regs.get(r, Sew::E64, e));
+            }
+        }
+        assert_eq!(m1.read_uint(256 + 7 * 8, 8), m2.read_uint(256 + 7 * 8, 8));
+    }
+
+    #[test]
+    fn bulk_unit_load_records_single_run() {
+        let mut s = st(8);
+        let mut mem = FlatMemory::new(1024);
+        let info = exec(
+            &VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 64 } }),
+            &mut s,
+            &mut mem,
+        );
+        assert_eq!(info.mem.len(), 8);
+        assert_eq!(info.mem.runs().len(), 1);
+        let r = info.mem.runs()[0];
+        assert_eq!((r.addr, r.size, r.count, r.kind), (64, 8, 8, MemAccessKind::Read));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod regfile;
 pub mod state;
 pub mod vtype;
 
-pub use exec::{exec, ExecInfo, MemAccess, MemAccessKind};
+pub use exec::{exec, exec_into, ExecInfo, ExecScratch, MemAccess, MemAccessKind, MemList, MemRun};
 pub use instr::{
     ArithKind, CmpKind, CvtKind, FArithKind, FmaKind, FUnaryKind, MaskKind, MaskSetKind, MemAddr,
     RedKind, Reg, SlideKind, VInst, VOp, WidenKind,

@@ -65,29 +65,159 @@ impl VRegFile {
     /// Read element `idx` of the register *group* starting at `reg`, at width
     /// `sew`, zero-extended into a u64. With LMUL > 1 the index may spill
     /// into subsequent registers.
+    ///
+    /// Registers are contiguous in storage, so element `idx` of the group
+    /// lives at byte offset `reg * VLENB + idx * SEW/8` — no per-access
+    /// div/mod to locate the spill register. Each width gets a typed
+    /// fixed-size load instead of a byte-loop through a scratch buffer.
     #[inline]
     pub fn get(&self, reg: u8, sew: Sew, idx: usize) -> u64 {
-        let per_reg = self.elems_per_reg(sew);
-        let r = reg as usize + idx / per_reg;
-        let i = idx % per_reg;
-        debug_assert!(r < NUM_VREGS, "element index {idx} overflows register group at v{reg}");
-        let off = r * self.vlen_bytes + i * sew.bytes();
-        let mut buf = [0u8; 8];
-        buf[..sew.bytes()].copy_from_slice(&self.data[off..off + sew.bytes()]);
-        u64::from_le_bytes(buf)
+        let off = self.reg_base(reg) + idx * sew.bytes();
+        debug_assert!(
+            off + sew.bytes() <= self.data.len(),
+            "element index {idx} overflows register group at v{reg}"
+        );
+        match sew {
+            Sew::E8 => self.data[off] as u64,
+            Sew::E16 => {
+                u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap()) as u64
+            }
+            Sew::E32 => {
+                u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as u64
+            }
+            Sew::E64 => u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap()),
+        }
     }
 
     /// Write element `idx` of the register group starting at `reg` at width
     /// `sew`. The value is truncated to the element width.
     #[inline]
     pub fn set(&mut self, reg: u8, sew: Sew, idx: usize, value: u64) {
-        let per_reg = self.elems_per_reg(sew);
-        let r = reg as usize + idx / per_reg;
-        let i = idx % per_reg;
-        debug_assert!(r < NUM_VREGS, "element index {idx} overflows register group at v{reg}");
-        let off = r * self.vlen_bytes + i * sew.bytes();
-        let bytes = value.to_le_bytes();
-        self.data[off..off + sew.bytes()].copy_from_slice(&bytes[..sew.bytes()]);
+        let off = self.reg_base(reg) + idx * sew.bytes();
+        debug_assert!(
+            off + sew.bytes() <= self.data.len(),
+            "element index {idx} overflows register group at v{reg}"
+        );
+        match sew {
+            Sew::E8 => self.data[off] = value as u8,
+            Sew::E16 => {
+                self.data[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes())
+            }
+            Sew::E32 => {
+                self.data[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes())
+            }
+            Sew::E64 => self.data[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+        }
+    }
+
+    /// Raw bytes of the first `len_bytes` of the register group at `reg`
+    /// (spilling into subsequent registers, which are contiguous).
+    #[inline]
+    pub fn group_bytes(&self, reg: u8, len_bytes: usize) -> &[u8] {
+        let b = self.reg_base(reg);
+        debug_assert!(b + len_bytes <= self.data.len(), "group at v{reg} overflows the file");
+        &self.data[b..b + len_bytes]
+    }
+
+    /// Mutable raw bytes of the first `len_bytes` of the group at `reg`.
+    #[inline]
+    pub fn group_bytes_mut(&mut self, reg: u8, len_bytes: usize) -> &mut [u8] {
+        let b = self.reg_base(reg);
+        debug_assert!(b + len_bytes <= self.data.len(), "group at v{reg} overflows the file");
+        &mut self.data[b..b + len_bytes]
+    }
+
+    /// Snapshot elements `0..n` of the group at `reg` into `out` (cleared
+    /// first), zero-extended to u64. This is the bulk form of [`Self::get`]
+    /// used for alias-safe source snapshots: one bounds check and a typed
+    /// chunk walk instead of `n` independent element reads.
+    pub fn read_elems_into(&self, reg: u8, sew: Sew, n: usize, out: &mut Vec<u64>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let b = self.reg_base(reg);
+        let bytes = &self.data[b..b + n * sew.bytes()];
+        out.reserve(n);
+        match sew {
+            Sew::E8 => out.extend(bytes.iter().map(|&v| v as u64)),
+            Sew::E16 => out.extend(
+                bytes.chunks_exact(2).map(|c| u16::from_le_bytes(c.try_into().unwrap()) as u64),
+            ),
+            Sew::E32 => out.extend(
+                bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap()) as u64),
+            ),
+            Sew::E64 => out
+                .extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()))),
+        }
+    }
+
+    /// Snapshot mask bits `0..n` of register `reg` into `out` (cleared
+    /// first), reading the register one 64-bit word at a time instead of one
+    /// bit at a time.
+    pub fn read_mask_bits_into(&self, reg: u8, n: usize, out: &mut Vec<bool>) {
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        debug_assert!(n <= self.vlen_bits, "mask bit range {n} out of register");
+        let b = self.reg_base(reg);
+        out.reserve(n);
+        for w in 0..n.div_ceil(64) {
+            let off = b + w * 8;
+            let word = u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap());
+            let take = (n - w * 64).min(64);
+            out.extend((0..take).map(|i| (word >> i) & 1 == 1));
+        }
+    }
+
+    /// Write mask bits `0..bits.len()` of register `reg` from a bool slice,
+    /// read-modify-writing 64-bit words so bits beyond the written range stay
+    /// undisturbed (tail-undisturbed mask semantics).
+    pub fn write_mask_bits(&mut self, reg: u8, bits: &[bool]) {
+        let n = bits.len();
+        debug_assert!(n <= self.vlen_bits, "mask bit range {n} out of register");
+        let b = self.reg_base(reg);
+        for w in 0..n.div_ceil(64) {
+            let off = b + w * 8;
+            let mut word = u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap());
+            let take = (n - w * 64).min(64);
+            for i in 0..take {
+                let m = 1u64 << i;
+                if bits[w * 64 + i] {
+                    word |= m;
+                } else {
+                    word &= !m;
+                }
+            }
+            self.data[off..off + 8].copy_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    /// Like [`Self::write_mask_bits`] but only updates bit `i` where
+    /// `active[i]` is set; inactive bits keep their old value (masked-off
+    /// undisturbed semantics for compares writing a mask destination).
+    pub fn write_mask_bits_where(&mut self, reg: u8, bits: &[bool], active: &[bool]) {
+        let n = bits.len();
+        debug_assert_eq!(n, active.len());
+        debug_assert!(n <= self.vlen_bits, "mask bit range {n} out of register");
+        let b = self.reg_base(reg);
+        for w in 0..n.div_ceil(64) {
+            let off = b + w * 8;
+            let mut word = u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap());
+            let take = (n - w * 64).min(64);
+            for i in 0..take {
+                if active[w * 64 + i] {
+                    let m = 1u64 << i;
+                    if bits[w * 64 + i] {
+                        word |= m;
+                    } else {
+                        word &= !m;
+                    }
+                }
+            }
+            self.data[off..off + 8].copy_from_slice(&word.to_le_bytes());
+        }
     }
 
     /// Read element `idx` as an f64 (requires SEW=64 layout).
@@ -223,6 +353,64 @@ mod tests {
         rf.set_mask(0, 0, false);
         assert!(!rf.get_mask(0, 0));
         assert!(rf.get_mask(0, 3));
+    }
+
+    #[test]
+    fn read_elems_into_matches_get_all_sews() {
+        let mut rf = VRegFile::new(512);
+        for sew in Sew::all() {
+            let n = rf.elems_per_reg(sew) * 2; // span a 2-register group
+            for i in 0..n {
+                rf.set(4, sew, i, (i as u64).wrapping_mul(0xD1B5_4A33) & sew.value_mask());
+            }
+            let mut out = Vec::new();
+            rf.read_elems_into(4, sew, n, &mut out);
+            assert_eq!(out.len(), n);
+            for i in 0..n {
+                assert_eq!(out[i], rf.get(4, sew, i), "sew={sew:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_words_roundtrip_matches_bitwise() {
+        let mut rf = VRegFile::new(256);
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7) % 3 == 0).collect();
+        rf.write_mask_bits(5, &bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(rf.get_mask(5, i), b, "bit {i}");
+        }
+        // Bits beyond the written range stay undisturbed.
+        rf.set_mask(5, 220, true);
+        rf.write_mask_bits(5, &bits[..100]);
+        assert!(rf.get_mask(5, 220));
+        let mut out = Vec::new();
+        rf.read_mask_bits_into(5, 200, &mut out);
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn masked_mask_write_keeps_inactive_bits() {
+        let mut rf = VRegFile::new(256);
+        for i in 0..128 {
+            rf.set_mask(9, i, true);
+        }
+        let bits: Vec<bool> = (0..128).map(|_| false).collect();
+        let active: Vec<bool> = (0..128).map(|i| i % 2 == 0).collect();
+        rf.write_mask_bits_where(9, &bits, &active);
+        for i in 0..128 {
+            assert_eq!(rf.get_mask(9, i), i % 2 == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn group_bytes_cover_spilled_registers() {
+        let mut rf = VRegFile::new(128); // 16 bytes per register
+        rf.set(6, Sew::E64, 3, 0xAABB); // element 1 of v7
+        let g = rf.group_bytes(6, 32);
+        assert_eq!(u64::from_le_bytes(g[24..32].try_into().unwrap()), 0xAABB);
+        rf.group_bytes_mut(6, 32)[0] = 0x7F;
+        assert_eq!(rf.get(6, Sew::E8, 0), 0x7F);
     }
 
     #[test]

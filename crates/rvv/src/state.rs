@@ -61,6 +61,16 @@ impl VState {
     pub fn active(&self, masked: bool, i: usize) -> bool {
         !masked || self.regs.get_mask(0, i)
     }
+
+    /// Reset to the power-on state (all registers zero, no configuration),
+    /// keeping the register-file allocation. Equivalent to a fresh
+    /// [`VState::new`] at the same VLEN.
+    pub fn reset(&mut self) {
+        self.regs.clear();
+        self.vtype = VType::default();
+        self.vl = 0;
+        self.maxvl_cap = usize::MAX;
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,11 @@
 #![allow(clippy::needless_range_loop)] // lanes indexed against multiple reference slices
-//! Property-based tests of the RVV functional engine: every operation is
-//! checked against a plain-Rust scalar model over random vector lengths,
-//! element widths, values, and masks.
+//! Randomized tests of the RVV functional engine: every operation is checked
+//! against a plain-Rust scalar model over random vector lengths, element
+//! widths, values, and masks. Randomness comes from the in-repo
+//! deterministic `sdv_engine::Rng`, so runs replay identically with no
+//! external crates.
 
-use proptest::prelude::*;
+use sdv_engine::Rng;
 use sdv_rvv::{
     exec, ArithKind, CmpKind, Lmul, MemAddr, RedKind, Sew, SlideKind, VInst, VOp, VState,
 };
@@ -20,8 +22,16 @@ impl sdv_rvv::VMemory for Mem {
     }
 }
 
-fn sew_strategy() -> impl Strategy<Value = Sew> {
-    prop_oneof![Just(Sew::E8), Just(Sew::E16), Just(Sew::E32), Just(Sew::E64)]
+fn random_sew(rng: &mut Rng) -> Sew {
+    [Sew::E8, Sew::E16, Sew::E32, Sew::E64][rng.index(4)]
+}
+
+fn random_words(rng: &mut Rng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn random_mask(rng: &mut Rng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.chance(0.5)).collect()
 }
 
 fn state_with(vl: usize, sew: Sew, xs: &[u64], ys: &[u64], mask: &[bool]) -> VState {
@@ -35,35 +45,40 @@ fn state_with(vl: usize, sew: Sew, xs: &[u64], ys: &[u64], mask: &[bool]) -> VSt
     st
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn int_binary_ops_match_reference(
-        sew in sew_strategy(),
-        vl in 1usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-        ys in prop::collection::vec(any::<u64>(), 32),
-        mask in prop::collection::vec(any::<bool>(), 32),
-        masked in any::<bool>(),
-        kind_idx in 0usize..14,
-    ) {
-        let kinds = [
-            ArithKind::Add, ArithKind::Sub, ArithKind::Rsub, ArithKind::And, ArithKind::Or,
-            ArithKind::Xor, ArithKind::Sll, ArithKind::Srl, ArithKind::Sra, ArithKind::Mul,
-            ArithKind::Min, ArithKind::Max, ArithKind::Minu, ArithKind::Maxu,
-        ];
-        let kind = kinds[kind_idx];
+#[test]
+fn int_binary_ops_match_reference() {
+    let kinds = [
+        ArithKind::Add,
+        ArithKind::Sub,
+        ArithKind::Rsub,
+        ArithKind::And,
+        ArithKind::Or,
+        ArithKind::Xor,
+        ArithKind::Sll,
+        ArithKind::Srl,
+        ArithKind::Sra,
+        ArithKind::Mul,
+        ArithKind::Min,
+        ArithKind::Max,
+        ArithKind::Minu,
+        ArithKind::Maxu,
+    ];
+    let mut rng = Rng::new(0x5ADD_0001);
+    for case in 0..128 {
+        let sew = random_sew(&mut rng);
+        let vl = 1 + rng.index(32);
+        let xs = random_words(&mut rng, 32);
+        let ys = random_words(&mut rng, 32);
+        let mask = random_mask(&mut rng, 32);
+        let masked = rng.chance(0.5);
+        let kind = kinds[rng.index(kinds.len())];
         let mut st = state_with(vl, sew, &xs, &ys, &mask);
         // Pre-fill destination with a sentinel to observe undisturbed lanes.
         for i in 0..32.min(st.regs.elems_per_reg(sew)) {
             st.regs.set(3, sew, i, 0xAAAA_AAAA_AAAA_AAAA & sew.value_mask());
         }
-        let inst = if masked {
-            VInst::masked(VOp::ArithVV { kind, vd: 3, x: 1, y: 2 })
-        } else {
-            VInst::new(VOp::ArithVV { kind, vd: 3, x: 1, y: 2 })
-        };
+        let op = VOp::ArithVV { kind, vd: 3, x: 1, y: 2 };
+        let inst = if masked { VInst::masked(op) } else { VInst::new(op) };
         let mut mem = Mem(vec![0; 8]);
         exec(&inst, &mut st, &mut mem);
         let m = sew.value_mask();
@@ -82,32 +97,51 @@ proptest! {
                 ArithKind::Srl => a >> sh,
                 ArithKind::Sra => (sa >> sh) as u64,
                 ArithKind::Mul => a.wrapping_mul(b),
-                ArithKind::Min => if sa <= sb { a } else { b },
-                ArithKind::Max => if sa >= sb { a } else { b },
+                ArithKind::Min => {
+                    if sa <= sb {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                ArithKind::Max => {
+                    if sa >= sb {
+                        a
+                    } else {
+                        b
+                    }
+                }
                 ArithKind::Minu => a.min(b),
                 ArithKind::Maxu => a.max(b),
             } & m;
             let got = st.regs.get(3, sew, i);
             if !masked || mask[i] {
-                prop_assert_eq!(got, want, "lane {} kind {:?} sew {:?}", i, kind, sew);
+                assert_eq!(got, want, "case {case} lane {i} kind {kind:?} sew {sew:?}");
             } else {
-                prop_assert_eq!(got, 0xAAAA_AAAA_AAAA_AAAA & m, "masked-off lane {} disturbed", i);
+                assert_eq!(got, 0xAAAA_AAAA_AAAA_AAAA & m, "masked-off lane {i} disturbed");
             }
         }
     }
+}
 
-    #[test]
-    fn compares_match_reference(
-        vl in 1usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-        scalar in any::<u64>(),
-        kind_idx in 0usize..8,
-    ) {
-        let kinds = [
-            CmpKind::Eq, CmpKind::Ne, CmpKind::Lt, CmpKind::Ltu,
-            CmpKind::Le, CmpKind::Leu, CmpKind::Gt, CmpKind::Gtu,
-        ];
-        let kind = kinds[kind_idx];
+#[test]
+fn compares_match_reference() {
+    let kinds = [
+        CmpKind::Eq,
+        CmpKind::Ne,
+        CmpKind::Lt,
+        CmpKind::Ltu,
+        CmpKind::Le,
+        CmpKind::Leu,
+        CmpKind::Gt,
+        CmpKind::Gtu,
+    ];
+    let mut rng = Rng::new(0x5ADD_0002);
+    for case in 0..128 {
+        let vl = 1 + rng.index(32);
+        let xs = random_words(&mut rng, 32);
+        let scalar = rng.next_u64();
+        let kind = kinds[rng.index(kinds.len())];
         let sew = Sew::E64;
         let mask = vec![false; 32];
         let mut st = state_with(vl, sew, &xs, &xs, &mask);
@@ -127,16 +161,18 @@ proptest! {
                 CmpKind::Gtu => a > b,
                 _ => unreachable!(),
             };
-            prop_assert_eq!(st.regs.get_mask(4, i), want, "lane {}", i);
+            assert_eq!(st.regs.get_mask(4, i), want, "case {case} lane {i}");
         }
     }
+}
 
-    #[test]
-    fn reduction_sum_equals_fold(
-        vl in 1usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn reduction_sum_equals_fold() {
+    let mut rng = Rng::new(0x5ADD_0003);
+    for _ in 0..128 {
+        let vl = 1 + rng.index(32);
+        let xs = random_words(&mut rng, 32);
+        let seed = rng.next_u64();
         let sew = Sew::E64;
         let mask = vec![false; 32];
         let mut st = state_with(vl, sew, &xs, &xs, &mask);
@@ -144,14 +180,16 @@ proptest! {
         let mut mem = Mem(vec![0; 8]);
         exec(&VInst::new(VOp::Red { kind: RedKind::Sum, vd: 6, x: 1, acc: 5 }), &mut st, &mut mem);
         let want = xs[..vl].iter().fold(seed, |a, &b| a.wrapping_add(b));
-        prop_assert_eq!(st.regs.get(6, sew, 0), want);
+        assert_eq!(st.regs.get(6, sew, 0), want);
     }
+}
 
-    #[test]
-    fn iota_then_popc_consistent(
-        vl in 1usize..=32,
-        bits in prop::collection::vec(any::<bool>(), 32),
-    ) {
+#[test]
+fn iota_then_popc_consistent() {
+    let mut rng = Rng::new(0x5ADD_0004);
+    for _ in 0..128 {
+        let vl = 1 + rng.index(32);
+        let bits = random_mask(&mut rng, 32);
         let sew = Sew::E64;
         let mut st = VState::new(2048);
         st.set_vl(vl, sew, Lmul::M1);
@@ -165,20 +203,22 @@ proptest! {
         // iota[i] counts set bits strictly below i; the final element plus
         // its own bit equals popc.
         let last = st.regs.get(3, sew, vl - 1) + bits[vl - 1] as u64;
-        prop_assert_eq!(last, total);
+        assert_eq!(last, total);
         // iota is non-decreasing and increments by exactly the mask bits.
         for i in 1..vl {
             let step = st.regs.get(3, sew, i) - st.regs.get(3, sew, i - 1);
-            prop_assert_eq!(step, bits[i - 1] as u64);
+            assert_eq!(step, bits[i - 1] as u64);
         }
     }
+}
 
-    #[test]
-    fn compress_packs_exactly_the_selected(
-        vl in 1usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-        bits in prop::collection::vec(any::<bool>(), 32),
-    ) {
+#[test]
+fn compress_packs_exactly_the_selected() {
+    let mut rng = Rng::new(0x5ADD_0005);
+    for _ in 0..128 {
+        let vl = 1 + rng.index(32);
+        let xs = random_words(&mut rng, 32);
+        let bits = random_mask(&mut rng, 32);
         let sew = Sew::E64;
         let mask = vec![false; 32];
         let mut st = state_with(vl, sew, &xs, &xs, &mask);
@@ -189,34 +229,42 @@ proptest! {
         exec(&VInst::new(VOp::Compress { vd: 7, x: 1, m: 2 }), &mut st, &mut mem);
         let want: Vec<u64> = (0..vl).filter(|&i| bits[i]).map(|i| xs[i]).collect();
         for (j, w) in want.iter().enumerate() {
-            prop_assert_eq!(st.regs.get(7, sew, j), *w, "packed slot {}", j);
+            assert_eq!(st.regs.get(7, sew, j), *w, "packed slot {j}");
         }
     }
+}
 
-    #[test]
-    fn slide_up_down_roundtrip_interior(
-        vl in 2usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-        off in 1u64..8,
-    ) {
-        prop_assume!((off as usize) < vl);
+#[test]
+fn slide_up_down_roundtrip_interior() {
+    let mut rng = Rng::new(0x5ADD_0006);
+    for _ in 0..128 {
+        let vl = 2 + rng.index(31);
+        let xs = random_words(&mut rng, 32);
+        let off = 1 + rng.below(7);
+        if off as usize >= vl {
+            continue;
+        }
         let sew = Sew::E64;
         let mask = vec![false; 32];
         let mut st = state_with(vl, sew, &xs, &xs, &mask);
         let mut mem = Mem(vec![0; 8]);
-        exec(&VInst::new(VOp::Slide { kind: SlideKind::Up, vd: 8, x: 1, amount: off }), &mut st, &mut mem);
-        exec(&VInst::new(VOp::Slide { kind: SlideKind::Down, vd: 9, x: 8, amount: off }), &mut st, &mut mem);
+        let up = VOp::Slide { kind: SlideKind::Up, vd: 8, x: 1, amount: off };
+        let down = VOp::Slide { kind: SlideKind::Down, vd: 9, x: 8, amount: off };
+        exec(&VInst::new(up), &mut st, &mut mem);
+        exec(&VInst::new(down), &mut st, &mut mem);
         // Interior elements survive the round trip.
         for i in 0..vl - off as usize {
-            prop_assert_eq!(st.regs.get(9, sew, i), xs[i], "lane {}", i);
+            assert_eq!(st.regs.get(9, sew, i), xs[i], "lane {i}");
         }
     }
+}
 
-    #[test]
-    fn gather_with_identity_indices_is_copy(
-        vl in 1usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-    ) {
+#[test]
+fn gather_with_identity_indices_is_copy() {
+    let mut rng = Rng::new(0x5ADD_0007);
+    for _ in 0..128 {
+        let vl = 1 + rng.index(32);
+        let xs = random_words(&mut rng, 32);
         let sew = Sew::E64;
         let mask = vec![false; 32];
         let mut st = state_with(vl, sew, &xs, &xs, &mask);
@@ -224,42 +272,48 @@ proptest! {
         exec(&VInst::new(VOp::Id { vd: 10 }), &mut st, &mut mem);
         exec(&VInst::new(VOp::Gather { vd: 11, x: 1, y: 10 }), &mut st, &mut mem);
         for i in 0..vl {
-            prop_assert_eq!(st.regs.get(11, sew, i), xs[i]);
+            assert_eq!(st.regs.get(11, sew, i), xs[i]);
         }
     }
+}
 
-    #[test]
-    fn load_store_roundtrip_random_strides(
-        vl in 1usize..=32,
-        xs in prop::collection::vec(any::<u64>(), 32),
-        stride_elems in 1i64..5,
-    ) {
+#[test]
+fn load_store_roundtrip_random_strides() {
+    let mut rng = Rng::new(0x5ADD_0008);
+    for _ in 0..128 {
+        let vl = 1 + rng.index(32);
+        let xs = random_words(&mut rng, 32);
+        let stride_elems = 1 + rng.below(4) as i64;
         let sew = Sew::E64;
         let mask = vec![false; 32];
         let mut st = state_with(vl, sew, &xs, &xs, &mask);
         let mut mem = Mem(vec![0; 32 * 5 * 8 + 64]);
         let stride = stride_elems * 8;
-        exec(&VInst::new(VOp::Store { vs: 1, addr: MemAddr::Strided { base: 0, stride } }), &mut st, &mut mem);
-        exec(&VInst::new(VOp::Load { vd: 12, addr: MemAddr::Strided { base: 0, stride } }), &mut st, &mut mem);
+        let store = VOp::Store { vs: 1, addr: MemAddr::Strided { base: 0, stride } };
+        let load = VOp::Load { vd: 12, addr: MemAddr::Strided { base: 0, stride } };
+        exec(&VInst::new(store), &mut st, &mut mem);
+        exec(&VInst::new(load), &mut st, &mut mem);
         for i in 0..vl {
-            prop_assert_eq!(st.regs.get(12, sew, i), xs[i]);
+            assert_eq!(st.regs.get(12, sew, i), xs[i]);
         }
     }
+}
 
-    #[test]
-    fn vsetvl_never_exceeds_caps(
-        avl in 0usize..100_000,
-        cap in 1usize..512,
-        sew in sew_strategy(),
-    ) {
+#[test]
+fn vsetvl_never_exceeds_caps() {
+    let mut rng = Rng::new(0x5ADD_0009);
+    for _ in 0..128 {
+        let avl = rng.index(100_000);
+        let cap = 1 + rng.index(511);
+        let sew = random_sew(&mut rng);
         let mut st = VState::paper_vpu();
         st.set_maxvl_cap(cap);
         let vl = st.set_vl(avl, sew, Lmul::M1);
-        prop_assert!(vl <= avl);
-        prop_assert!(vl <= cap);
-        prop_assert!(vl <= 16384 / sew.bits());
+        assert!(vl <= avl);
+        assert!(vl <= cap);
+        assert!(vl <= 16384 / sew.bits());
         if avl > 0 && cap > 0 {
-            prop_assert!(vl > 0, "nonzero request with nonzero caps grants nonzero");
+            assert!(vl > 0, "nonzero request with nonzero caps grants nonzero");
         }
     }
 }

@@ -88,8 +88,8 @@ impl SdvTiming {
     /// Merged statistics from every component.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.absorb(self.scalar.stats());
-        s.absorb(self.vpu.stats());
+        s.absorb(&self.scalar.stats());
+        s.absorb(&self.vpu.stats());
         s.absorb(&self.hier.stats());
         s
     }

@@ -13,10 +13,9 @@
 //!   bypasses the L1 and is kept coherent by the home node) — id 1.
 
 use crate::config::MemHierConfig;
-use sdv_engine::{Cycle, Stats};
+use sdv_engine::{Cycle, FastMap, Stats};
 use sdv_memsys::{AccessKind, AddressMap, Cache, Directory, DramChannel};
 use sdv_noc::Mesh;
-use std::collections::HashMap;
 
 /// Coherence requestor id of the core's L1D.
 pub const REQ_L1: u8 = 0;
@@ -38,10 +37,31 @@ pub struct MemHierarchy {
     mesh: Mesh,
     dram: DramChannel,
     /// In-flight L1 fills: line -> ready time (merges same-line misses).
-    l1_inflight: HashMap<u64, Cycle>,
+    l1_inflight: FastMap<u64, Cycle>,
     /// In-flight L2 fills: line -> ready-at-bank time.
-    l2_inflight: HashMap<u64, Cycle>,
-    stats: Stats,
+    l2_inflight: FastMap<u64, Cycle>,
+    ctr: HierCounters,
+}
+
+/// Hierarchy event counters bumped on every access — plain fields, assembled
+/// into a registry view by [`MemHierarchy::stats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct HierCounters {
+    l1_load: u64,
+    l1_store: u64,
+    l1_miss: u64,
+    l1_merged_miss: u64,
+    l1_writeback: u64,
+    l1_prefetch: u64,
+    l2_hit: u64,
+    l2_miss: u64,
+    l2_merged_miss: u64,
+    l2_writeback: u64,
+    l2_store_through: u64,
+    vpu_load_line: u64,
+    vpu_store_line: u64,
+    coherence_recall: u64,
+    coherence_invalidate: u64,
 }
 
 impl MemHierarchy {
@@ -63,9 +83,9 @@ impl MemHierarchy {
             banks,
             mesh: Mesh::new(cfg.mesh),
             dram: DramChannel::new(cfg.dram),
-            l1_inflight: HashMap::new(),
-            l2_inflight: HashMap::new(),
-            stats: Stats::new(),
+            l1_inflight: FastMap::default(),
+            l2_inflight: FastMap::default(),
+            ctr: HierCounters::default(),
         }
     }
 
@@ -123,12 +143,12 @@ impl MemHierarchy {
     fn l2_fill(&mut self, bank: usize, line: u64, t: Cycle) -> Cycle {
         if let Some(&ready) = self.l2_inflight.get(&line) {
             if ready > t {
-                self.stats.inc("l2.merged_miss");
+                self.ctr.l2_merged_miss += 1;
                 return ready;
             }
             self.l2_inflight.remove(&line);
         }
-        self.stats.inc("l2.miss");
+        self.ctr.l2_miss += 1;
         let submit = t + self.cfg.dram_path_latency;
         let done = self.dram.submit(line, submit) + self.cfg.dram_path_latency;
         if let Some(victim) = self.banks[bank].cache.fill(line, false) {
@@ -137,7 +157,7 @@ impl MemHierarchy {
                 // the demand fetch and consumes a DRAM admission slot then —
                 // never at the fill's (latency-delayed) completion, which
                 // would push the admission window into the future.
-                self.stats.inc("l2.writeback");
+                self.ctr.l2_writeback += 1;
                 self.dram.submit(victim.addr, submit);
             }
         }
@@ -149,7 +169,11 @@ impl MemHierarchy {
     pub fn core_access(&mut self, addr: u64, is_write: bool, now: Cycle) -> Cycle {
         let line = self.amap.line_of(addr);
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
-        self.stats.inc(if is_write { "l1.store" } else { "l1.load" });
+        if is_write {
+            self.ctr.l1_store += 1;
+        } else {
+            self.ctr.l1_load += 1;
+        }
         let t_l1 = now + self.cfg.l1_hit_latency;
         if self.l1.access(line, kind) {
             // Stream prefetch keeps running ahead even once demand accesses
@@ -172,7 +196,7 @@ impl MemHierarchy {
         // L1 miss. Merge with an in-flight fill of the same line.
         if let Some(&ready) = self.l1_inflight.get(&line) {
             if ready > now {
-                self.stats.inc("l1.merged_miss");
+                self.ctr.l1_merged_miss += 1;
                 if is_write {
                     // The merged store dirties the line once it arrives.
                     self.l1.fill(line, true);
@@ -181,7 +205,7 @@ impl MemHierarchy {
             }
             self.l1_inflight.remove(&line);
         }
-        self.stats.inc("l1.miss");
+        self.ctr.l1_miss += 1;
         let bank = self.amap.bank_of(line);
         let node = self.bank_node(bank);
         // Request message to the home node.
@@ -198,7 +222,7 @@ impl MemHierarchy {
         debug_assert!(action.invalidate.is_empty());
         let hit = self.banks[bank].cache.access(line, AccessKind::Read);
         let t_data = if hit {
-            self.stats.inc("l2.hit");
+            self.ctr.l2_hit += 1;
             self.l2_ready_no_earlier_than(line, t_bank + self.cfg.l2_hit_latency)
         } else {
             let t_miss = t_bank + self.cfg.l2_hit_latency;
@@ -211,7 +235,7 @@ impl MemHierarchy {
             let vbank = self.amap.bank_of(victim.addr);
             self.banks[vbank].dir.evicted(victim.addr, REQ_L1);
             if victim.dirty {
-                self.stats.inc("l1.writeback");
+                self.ctr.l1_writeback += 1;
                 let vnode = self.bank_node(vbank);
                 let t_wb = self.mesh.send(self.cfg.core_node, vnode, self.line_bytes(), t_resp);
                 let t_wb = self.claim_bank(vbank, t_wb);
@@ -219,7 +243,7 @@ impl MemHierarchy {
                 // inclusive assumptions; fill() refreshes it either way).
                 if let Some(v2) = self.banks[vbank].cache.fill(victim.addr, true) {
                     if v2.dirty {
-                        self.stats.inc("l2.writeback");
+                        self.ctr.l2_writeback += 1;
                         self.dram.submit(v2.addr, t_wb);
                     }
                 }
@@ -239,7 +263,7 @@ impl MemHierarchy {
         if self.l1.contains(line) || self.l1_inflight.get(&line).is_some_and(|&r| r > now) {
             return;
         }
-        self.stats.inc("l1.prefetch");
+        self.ctr.l1_prefetch += 1;
         let bank = self.amap.bank_of(line);
         let node = self.bank_node(bank);
         let t_req = self.mesh.send(self.cfg.core_node, node, 8, now + self.cfg.l1_hit_latency);
@@ -247,7 +271,7 @@ impl MemHierarchy {
         self.banks[bank].dir.caching_read(line, REQ_L1);
         let hit = self.banks[bank].cache.access(line, AccessKind::Read);
         let t_data = if hit {
-            self.stats.inc("l2.hit");
+            self.ctr.l2_hit += 1;
             self.l2_ready_no_earlier_than(line, t_bank + self.cfg.l2_hit_latency)
         } else {
             self.l2_fill(bank, line, t_bank + self.cfg.l2_hit_latency)
@@ -257,11 +281,11 @@ impl MemHierarchy {
             let vbank = self.amap.bank_of(victim.addr);
             self.banks[vbank].dir.evicted(victim.addr, REQ_L1);
             if victim.dirty {
-                self.stats.inc("l1.writeback");
+                self.ctr.l1_writeback += 1;
                 let t_wb = self.claim_bank(vbank, t_resp);
                 if let Some(v2) = self.banks[vbank].cache.fill(victim.addr, true) {
                     if v2.dirty {
-                        self.stats.inc("l2.writeback");
+                        self.ctr.l2_writeback += 1;
                         self.dram.submit(v2.addr, t_wb);
                     }
                 }
@@ -275,7 +299,11 @@ impl MemHierarchy {
     /// (stores).
     pub fn vpu_access(&mut self, line_addr: u64, is_write: bool, now: Cycle) -> Cycle {
         let line = self.amap.line_of(line_addr);
-        self.stats.inc(if is_write { "vpu.store_line" } else { "vpu.load_line" });
+        if is_write {
+            self.ctr.vpu_store_line += 1;
+        } else {
+            self.ctr.vpu_load_line += 1;
+        }
         let bank = self.amap.bank_of(line);
         let node = self.bank_node(bank);
         let t_req = self.mesh.send(self.cfg.core_node, node, if is_write { self.line_bytes() } else { 8 }, now);
@@ -287,7 +315,7 @@ impl MemHierarchy {
         };
         if let Some(owner) = action.recall_from {
             debug_assert_eq!(owner, REQ_L1);
-            self.stats.inc("coherence.recall");
+            self.ctr.coherence_recall += 1;
             // Home node recalls the (possibly dirty) L1 copy.
             t_bank += self.cfg.recall_latency;
             if is_write || action.invalidate.contains(&REQ_L1) {
@@ -298,7 +326,7 @@ impl MemHierarchy {
             // Recalled data merges into the L2 copy.
             self.banks[bank].cache.fill(line, true);
         } else if action.invalidate.contains(&REQ_L1) {
-            self.stats.inc("coherence.invalidate");
+            self.ctr.coherence_invalidate += 1;
             t_bank += self.cfg.recall_latency;
             self.l1.invalidate(line);
         }
@@ -307,12 +335,12 @@ impl MemHierarchy {
             if is_write { AccessKind::Write } else { AccessKind::Read },
         );
         let t_data = if hit {
-            self.stats.inc("l2.hit");
+            self.ctr.l2_hit += 1;
             self.l2_ready_no_earlier_than(line, t_bank + self.cfg.l2_hit_latency)
         } else if is_write {
             // Streaming store miss: no-allocate, write straight through to
             // DRAM (consumes an admission slot; completes when admitted).
-            self.stats.inc("l2.store_through");
+            self.ctr.l2_store_through += 1;
             let submit = t_bank + self.cfg.l2_hit_latency + self.cfg.dram_path_latency;
             self.dram.submit(line, submit)
         } else {
@@ -331,8 +359,23 @@ impl MemHierarchy {
 
     /// Merged statistics from every component.
     pub fn stats(&self) -> Stats {
-        let mut s = self.stats.clone();
-        s.absorb(self.mesh.stats());
+        let mut s = Stats::new();
+        s.set("l1.load", self.ctr.l1_load);
+        s.set("l1.store", self.ctr.l1_store);
+        s.set("l1.miss", self.ctr.l1_miss);
+        s.set("l1.merged_miss", self.ctr.l1_merged_miss);
+        s.set("l1.writeback", self.ctr.l1_writeback);
+        s.set("l1.prefetch", self.ctr.l1_prefetch);
+        s.set("l2.hit", self.ctr.l2_hit);
+        s.set("l2.miss", self.ctr.l2_miss);
+        s.set("l2.merged_miss", self.ctr.l2_merged_miss);
+        s.set("l2.writeback", self.ctr.l2_writeback);
+        s.set("l2.store_through", self.ctr.l2_store_through);
+        s.set("vpu.load_line", self.ctr.vpu_load_line);
+        s.set("vpu.store_line", self.ctr.vpu_store_line);
+        s.set("coherence.recall", self.ctr.coherence_recall);
+        s.set("coherence.invalidate", self.ctr.coherence_invalidate);
+        s.absorb(&self.mesh.stats());
         s.set("dram.requests", self.dram.requests());
         s.set("dram.row_hits", self.dram.row_hits());
         s.set("dram.bytes", self.dram.bytes());

@@ -6,7 +6,7 @@
 //! branches, vector instructions (carrying their resolved memory footprint),
 //! and explicit scalar↔vector synchronization.
 
-use sdv_rvv::{ExecInfo, MemAccessKind, VInst, VOp};
+use sdv_rvv::{ExecInfo, MemAccessKind, MemList, VInst, VOp};
 
 /// Classification of a vector instruction for costing purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,36 +96,60 @@ pub enum Op {
 /// accesses only *adjacent* same-line elements coalesce, modelling a vector
 /// memory unit that compares each address against its predecessor rather
 /// than doing a full CAM across the whole request.
-pub fn coalesce_lines(
-    accesses: &[sdv_rvv::MemAccess],
+pub fn coalesce_lines(accesses: &MemList, line_bytes: u64, unit_stride: bool) -> Vec<u64> {
+    let mut lines = Vec::new();
+    coalesce_lines_into(accesses, line_bytes, unit_stride, &mut lines);
+    lines
+}
+
+/// [`coalesce_lines`] into a caller-provided buffer (cleared first), so hot
+/// paths can recycle the line list across instructions. Walks the run-length
+/// representation directly: within a run addresses climb by `size` (at most a
+/// line), so the run's distinct lines are exactly `first..=last` with no
+/// skips — one bounds computation replaces the per-element recomputation.
+pub fn coalesce_lines_into(
+    accesses: &MemList,
     line_bytes: u64,
     unit_stride: bool,
-) -> Vec<u64> {
-    let mut lines = Vec::new();
-    if unit_stride {
-        let mut last = None;
-        for a in accesses {
-            let l = a.addr & !(line_bytes - 1);
-            if last != Some(l) && !lines.contains(&l) {
+    lines: &mut Vec<u64>,
+) {
+    lines.clear();
+    let mask = !(line_bytes - 1);
+    let mut last: Option<u64> = None;
+    for r in accesses.runs() {
+        debug_assert!(r.size as u64 <= line_bytes, "element larger than a line");
+        let first = r.addr & mask;
+        let end = (r.addr + r.size as u64 * (r.count as u64 - 1)) & mask;
+        let mut l = first;
+        loop {
+            if last != Some(l) && (!unit_stride || !lines.contains(&l)) {
                 lines.push(l);
             }
             last = Some(l);
-        }
-    } else {
-        let mut last = None;
-        for a in accesses {
-            let l = a.addr & !(line_bytes - 1);
-            if last != Some(l) {
-                lines.push(l);
+            if l == end {
+                break;
             }
-            last = Some(l);
+            l += line_bytes;
         }
     }
-    lines
 }
 
 /// Build a [`VectorOp`] from a functionally-executed instruction.
 pub fn classify(inst: &VInst, info: &ExecInfo, line_bytes: u64) -> VectorOp {
+    let mut pool = Vec::new();
+    classify_into(inst, info, line_bytes, &mut pool)
+}
+
+/// [`classify`] with a recycled line buffer: for memory instructions the
+/// coalesced lines are built in `lines_pool` and moved into the returned
+/// [`VectorMemOp`] (leaving `lines_pool` empty). Callers that get the `Vec`
+/// back after timing can hand it in again to avoid reallocating.
+pub fn classify_into(
+    inst: &VInst,
+    info: &ExecInfo,
+    line_bytes: u64,
+    lines_pool: &mut Vec<u64>,
+) -> VectorOp {
     let class = match &inst.op {
         VOp::Load { .. }
         | VOp::LoadWiden { .. }
@@ -159,10 +183,11 @@ pub fn classify(inst: &VInst, info: &ExecInfo, line_bytes: u64) -> VectorOp {
             .mem
             .iter()
             .all(|a| (a.kind == MemAccessKind::Read) == is_load));
+        coalesce_lines_into(&info.mem, line_bytes, info.unit_stride, lines_pool);
         Some(VectorMemOp {
             is_load,
             unit_stride: info.unit_stride,
-            lines: coalesce_lines(&info.mem, line_bytes, info.unit_stride),
+            lines: std::mem::take(lines_pool),
             elems: info.mem.len(),
         })
     } else {
@@ -201,7 +226,7 @@ mod tests {
 
     #[test]
     fn coalesce_unit_stride_dedups_fully() {
-        let accesses: Vec<_> = (0..32).map(|i| acc(i * 8)).collect();
+        let accesses: MemList = (0..32).map(|i| acc(i * 8)).collect();
         let lines = coalesce_lines(&accesses, 64, true);
         assert_eq!(lines, vec![0, 64, 128, 192]);
     }
@@ -210,15 +235,38 @@ mod tests {
     fn coalesce_gather_only_adjacent() {
         // Elements: line 0, line 0, line 64, line 0 -> revisit of line 0 is a
         // separate request (no full CAM).
-        let accesses = vec![acc(0), acc(8), acc(64), acc(16)];
+        let accesses: MemList = [acc(0), acc(8), acc(64), acc(16)].into_iter().collect();
         let lines = coalesce_lines(&accesses, 64, false);
         assert_eq!(lines, vec![0, 64, 0]);
     }
 
     #[test]
     fn coalesce_empty() {
-        assert!(coalesce_lines(&[], 64, true).is_empty());
-        assert!(coalesce_lines(&[], 64, false).is_empty());
+        assert!(coalesce_lines(&MemList::default(), 64, true).is_empty());
+        assert!(coalesce_lines(&MemList::default(), 64, false).is_empty());
+    }
+
+    #[test]
+    fn coalesce_matches_per_element_walk_on_mixed_runs() {
+        // A unit-stride burst, a gap, then a strided tail: the run-walking
+        // coalesce must reproduce the per-element reference exactly.
+        let mixed: Vec<sdv_rvv::MemAccess> = (0..16)
+            .map(|i| acc(i * 8))
+            .chain((0..5).map(|i| acc(1024 + i * 40)))
+            .collect();
+        let list: MemList = mixed.iter().copied().collect();
+        for unit in [true, false] {
+            let mut want: Vec<u64> = Vec::new();
+            let mut last = None;
+            for a in &mixed {
+                let l = a.addr & !63;
+                if last != Some(l) && (!unit || !want.contains(&l)) {
+                    want.push(l);
+                }
+                last = Some(l);
+            }
+            assert_eq!(coalesce_lines(&list, 64, unit), want, "unit={unit}");
+        }
     }
 
     #[test]

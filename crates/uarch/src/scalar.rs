@@ -24,6 +24,21 @@ struct PendingLoad {
     primary: bool,
 }
 
+/// Event counters, kept as plain fields because they are bumped on every
+/// single scalar op — the registry view is assembled in [`ScalarCore::stats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct ScalarCounters {
+    stall_cycles: u64,
+    ops: u64,
+    fp_ops: u64,
+    branches: u64,
+    loads: u64,
+    stores: u64,
+    window_stalls: u64,
+    mshr_stalls: u64,
+    store_buffer_stalls: u64,
+}
+
 /// The scalar core.
 pub struct ScalarCore {
     cfg: ScalarConfig,
@@ -33,7 +48,7 @@ pub struct ScalarCore {
     pending: VecDeque<PendingLoad>,
     outstanding_lines: usize,
     stores: VecDeque<Cycle>,
-    stats: Stats,
+    ctr: ScalarCounters,
 }
 
 impl ScalarCore {
@@ -49,7 +64,7 @@ impl ScalarCore {
             pending: VecDeque::new(),
             outstanding_lines: 0,
             stores: VecDeque::new(),
-            stats: Stats::new(),
+            ctr: ScalarCounters::default(),
         }
     }
 
@@ -61,7 +76,7 @@ impl ScalarCore {
     /// Jump forward to `t` (stalls).
     pub fn advance_to(&mut self, t: Cycle) {
         if t > self.cycle {
-            self.stats.add("scalar.stall_cycles", t - self.cycle);
+            self.ctr.stall_cycles += t - self.cycle;
             self.cycle = t;
             self.slot = 0;
         }
@@ -73,7 +88,7 @@ impl ScalarCore {
         self.cycle += (total / self.cfg.issue_width) as Cycle;
         self.slot = total % self.cfg.issue_width;
         self.op_idx += n as u64;
-        self.stats.add("scalar.ops", n as u64);
+        self.ctr.ops += n as u64;
     }
 
     fn retire_completed(&mut self) {
@@ -108,7 +123,7 @@ impl ScalarCore {
         // The oldest incomplete load bounds how far ahead we may issue.
         while let Some(oldest) = self.pending.iter().min_by_key(|p| p.op_idx).copied() {
             if self.op_idx.saturating_sub(oldest.op_idx) >= self.cfg.runahead_window as u64 {
-                self.stats.inc("scalar.window_stalls");
+                self.ctr.window_stalls += 1;
                 self.advance_to(oldest.completion);
                 self.retire_completed();
             } else {
@@ -144,7 +159,7 @@ impl ScalarCore {
     /// Issue `n` FP ops.
     pub fn fp_ops(&mut self, n: u32) {
         self.bulk_issue(n, self.cfg.fp_issue_slots);
-        self.stats.add("scalar.fp_ops", n as u64);
+        self.ctr.fp_ops += n as u64;
     }
 
     /// Issue a branch.
@@ -155,7 +170,7 @@ impl ScalarCore {
             self.cycle += self.cfg.branch_penalty;
             self.slot = 0;
         }
-        self.stats.inc("scalar.branches");
+        self.ctr.branches += 1;
     }
 
     /// Issue a load through the hierarchy.
@@ -173,7 +188,7 @@ impl ScalarCore {
                 primary: false,
             });
             self.issue_slots(1);
-            self.stats.inc("scalar.loads");
+            self.ctr.loads += 1;
             return;
         }
         // MSHR cap: stall until the earliest-finishing primary completes.
@@ -188,7 +203,7 @@ impl ScalarCore {
                 .min()
                 .expect("outstanding_lines > 0 implies a primary exists");
             debug_assert!(next > self.cycle, "retire left a completed primary behind");
-            self.stats.inc("scalar.mshr_stalls");
+            self.ctr.mshr_stalls += 1;
             self.advance_to(next);
             self.retire_completed();
         }
@@ -201,7 +216,7 @@ impl ScalarCore {
         });
         self.outstanding_lines += 1;
         self.issue_slots(1);
-        self.stats.inc("scalar.loads");
+        self.ctr.loads += 1;
     }
 
     /// Issue a store (retires via the store buffer).
@@ -209,14 +224,14 @@ impl ScalarCore {
         self.window_stall();
         while self.stores.len() >= self.cfg.store_buffer {
             let f = self.stores[0];
-            self.stats.inc("scalar.store_buffer_stalls");
+            self.ctr.store_buffer_stalls += 1;
             self.advance_to(f);
             self.retire_completed();
         }
         let completion = hier.core_access(addr, true, self.cycle);
         self.stores.push_back(completion);
         self.issue_slots(1);
-        self.stats.inc("scalar.stores");
+        self.ctr.stores += 1;
     }
 
     /// Drain: wait for every outstanding load and store.
@@ -232,9 +247,19 @@ impl ScalarCore {
         self.retire_completed();
     }
 
-    /// Core statistics.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Core statistics, assembled into a registry view.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("scalar.stall_cycles", self.ctr.stall_cycles);
+        s.set("scalar.ops", self.ctr.ops);
+        s.set("scalar.fp_ops", self.ctr.fp_ops);
+        s.set("scalar.branches", self.ctr.branches);
+        s.set("scalar.loads", self.ctr.loads);
+        s.set("scalar.stores", self.ctr.stores);
+        s.set("scalar.window_stalls", self.ctr.window_stalls);
+        s.set("scalar.mshr_stalls", self.ctr.mshr_stalls);
+        s.set("scalar.store_buffer_stalls", self.ctr.store_buffer_stalls);
+        s
     }
 }
 

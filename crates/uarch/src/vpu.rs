@@ -45,7 +45,23 @@ pub struct VpuTiming {
     outstanding: BinaryHeap<Reverse<Cycle>>,
     /// In-order completion horizon.
     last_completion: Cycle,
-    stats: Stats,
+    ctr: VpuCounters,
+}
+
+/// Event counters bumped on every dispatched instruction / line request —
+/// plain fields, assembled into a registry view by [`VpuTiming::stats`].
+#[derive(Debug, Default, Clone, Copy)]
+struct VpuCounters {
+    instrs: u64,
+    elements: u64,
+    fp_elements: u64,
+    exec_cycles: u64,
+    queue_stall_cycles: u64,
+    vloads: u64,
+    vstores: u64,
+    vmem_lines: u64,
+    vmem_elems: u64,
+    vmem_window_stall_cycles: u64,
 }
 
 impl VpuTiming {
@@ -61,7 +77,7 @@ impl VpuTiming {
             vmem_free: 0,
             outstanding: BinaryHeap::new(),
             last_completion: 0,
-            stats: Stats::new(),
+            ctr: VpuCounters::default(),
         }
     }
 
@@ -77,7 +93,7 @@ impl VpuTiming {
         while self.queue.len() >= self.cfg.queue_depth {
             let head = self.queue.pop_front().expect("non-empty");
             if head > accepted_at {
-                self.stats.add("vpu.queue_stall_cycles", head - accepted_at);
+                self.ctr.queue_stall_cycles += head - accepted_at;
                 accepted_at = head;
             }
         }
@@ -99,7 +115,7 @@ impl VpuTiming {
                 } else {
                     0
                 };
-                self.stats.add("vpu.exec_cycles", occupancy);
+                self.ctr.exec_cycles += occupancy;
                 start + self.cfg.startup + occupancy + extra
             }
             VClass::Memory => self.memory_op(vop, accepted_at, hier),
@@ -108,12 +124,12 @@ impl VpuTiming {
         let completion = completion.max(self.last_completion);
         self.last_completion = completion;
         self.queue.push_back(completion);
-        self.stats.inc("vpu.instrs");
-        self.stats.add("vpu.elements", vop.active as u64);
+        self.ctr.instrs += 1;
+        self.ctr.elements += vop.active as u64;
         if vop.is_fp {
             // FLOP accounting (FMAs count two by convention; approximated
             // as one element-op here and doubled by the roofline tool).
-            self.stats.add("vpu.fp_elements", vop.active as u64);
+            self.ctr.fp_elements += vop.active as u64;
         }
         Dispatched { accepted_at, completion }
     }
@@ -127,29 +143,32 @@ impl VpuTiming {
             self.vmem_free = start;
             return start;
         }
-        self.stats.inc(if mem.is_load { "vpu.vloads" } else { "vpu.vstores" });
-        self.stats.add("vpu.vmem_lines", mem.lines.len() as u64);
-        self.stats.add("vpu.vmem_elems", mem.elems as u64);
-
-        // Address-generation spacing between consecutive line requests.
-        let spacing: Vec<Cycle> = if mem.unit_stride {
-            // A burst engine: one line request per cycle (per config).
-            (0..mem.lines.len())
-                .map(|k| (k as u64) / self.cfg.vmem_unit_issue_per_cycle as u64)
-                .collect()
+        if mem.is_load {
+            self.ctr.vloads += 1;
         } else {
-            // Indexed: address generation is element-paced.
-            let rate = self.cfg.vmem_index_issue_per_cycle as u64;
-            let elems_per_line = (mem.elems as u64).max(1);
-            (0..mem.lines.len())
-                .map(|k| (k as u64 * elems_per_line) / (mem.lines.len() as u64 * rate))
-                .collect()
-        };
+            self.ctr.vstores += 1;
+        }
+        self.ctr.vmem_lines += mem.lines.len() as u64;
+        self.ctr.vmem_elems += mem.elems as u64;
+
+        // Address-generation spacing between consecutive line requests,
+        // computed inline per request (no spacing buffer): unit-stride is a
+        // burst engine issuing `vmem_unit_issue_per_cycle` lines per cycle;
+        // indexed generation is element-paced.
+        let unit_rate = self.cfg.vmem_unit_issue_per_cycle as u64;
+        let index_rate = self.cfg.vmem_index_issue_per_cycle as u64;
+        let elems_per_line = (mem.elems as u64).max(1);
+        let n_lines = mem.lines.len() as u64;
 
         let mut last_issue = start;
         let mut data_done = start;
         for (k, &line) in mem.lines.iter().enumerate() {
-            let mut t = start + spacing[k];
+            let spacing = if mem.unit_stride {
+                k as u64 / unit_rate
+            } else {
+                (k as u64 * elems_per_line) / (n_lines * index_rate)
+            };
+            let mut t = start + spacing;
             if t < last_issue {
                 t = last_issue;
             }
@@ -166,7 +185,7 @@ impl VpuTiming {
             if self.outstanding.len() >= self.cfg.vmem_outstanding {
                 let Reverse(earliest) = self.outstanding.pop().expect("non-empty");
                 if earliest > t {
-                    self.stats.add("vpu.vmem_window_stall_cycles", earliest - t);
+                    self.ctr.vmem_window_stall_cycles += earliest - t;
                     t = earliest;
                 }
             }
@@ -196,9 +215,20 @@ impl VpuTiming {
         self.cfg.scalar_read_latency
     }
 
-    /// VPU statistics.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// VPU statistics, assembled into a registry view.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("vpu.instrs", self.ctr.instrs);
+        s.set("vpu.elements", self.ctr.elements);
+        s.set("vpu.fp_elements", self.ctr.fp_elements);
+        s.set("vpu.exec_cycles", self.ctr.exec_cycles);
+        s.set("vpu.queue_stall_cycles", self.ctr.queue_stall_cycles);
+        s.set("vpu.vloads", self.ctr.vloads);
+        s.set("vpu.vstores", self.ctr.vstores);
+        s.set("vpu.vmem_lines", self.ctr.vmem_lines);
+        s.set("vpu.vmem_elems", self.ctr.vmem_elems);
+        s.set("vpu.vmem_window_stall_cycles", self.ctr.vmem_window_stall_cycles);
+        s
     }
 }
 

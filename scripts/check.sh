@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo gate: build, test, smoke-perf, and verify cycle outputs are
+# bit-identical to the golden figure-3 CSV. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (release) =="
+cargo test -q --workspace --release
+
+echo "== perf smoke =="
+./target/release/perf_baseline --smoke --label check_smoke
+
+echo "== golden CSV diff (small fig3, must be bit-identical) =="
+tmp_csv="$(mktemp /tmp/fig3_small.XXXXXX.csv)"
+trap 'rm -f "$tmp_csv"' EXIT
+./target/release/fig3_latency --small --csv "$tmp_csv" >/dev/null
+diff -u results/golden/fig3_small.csv "$tmp_csv"
+echo "golden CSV matches"
+
+echo "== check.sh: all gates passed =="
