@@ -39,7 +39,7 @@ fn main() {
                     format!("{}", run_with_config(&w, cell, cfg).cycles)
                 })
                 .collect();
-            rows.push((imp.label(), cells));
+            rows.push((imp.to_string(), cells));
         }
         println!(
             "{}",

@@ -37,7 +37,7 @@ fn main() {
             let hits = open.stats.get("dram.row_hits") as f64;
             let reqs = open.stats.get("dram.requests").max(1) as f64;
             rows.push((
-                format!("{} {}", kernel.name(), imp.label()),
+                format!("{} {}", kernel.name(), imp),
                 vec![
                     format!("{}", flat.cycles),
                     format!("{}", open.cycles),

@@ -10,7 +10,7 @@
 //! Usage: `ablation_sigma [--small]`
 
 use sdv_bench::table::render;
-use sdv_core::{SdvMachine, Vm};
+use sdv_core::SdvMachine;
 use sdv_kernels::{spmv, CsrMatrix, SellCS};
 
 fn run(mat: &CsrMatrix, sell: &SellCS, lat: u64) -> u64 {

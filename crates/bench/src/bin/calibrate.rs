@@ -43,7 +43,7 @@ fn main() {
                 println!(
                     "{:<5} {:<8} lat={:<5} bw={:<3} cycles={:<12} dram_lines={:<9} wall={:?}",
                     kernel.name(),
-                    imp.label(),
+                    imp,
                     lat,
                     bw,
                     r.cycles,

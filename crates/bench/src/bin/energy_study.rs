@@ -38,7 +38,7 @@ fn main() {
                 );
                 let e = estimate_energy(&cfg, &r.stats, r.cycles);
                 (
-                    imp.label(),
+                    imp.to_string(),
                     vec![
                         format!("{}", r.cycles),
                         format!("{:.1}", e.total_nj / 1000.0),

@@ -17,7 +17,10 @@ use std::fmt::Write as _;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let threads = arg_value(&args, "--threads").map_or_else(
+        || std::thread::available_parallelism().map_or(1, |n| n.get()),
+        |v| v.parse().expect("--threads N"),
+    );
     let csv = arg_value(&args, "--csv");
 
     let w = if small { Workloads::small() } else { Workloads::paper() };
@@ -28,6 +31,24 @@ fn main() {
     // kernels (fig4's grid is identical to fig3's, so a combined driver could
     // share a Sweeper across both and pay for each cell once).
     let mut sweeper = Sweeper::new();
+    // Submit the whole figure as ONE grid up front: the long-pole-first
+    // schedule then orders cells across all four kernels (not within each
+    // kernel's barrier), so workers never idle at a per-kernel boundary.
+    // The per-kernel sweeps below replay from the memo for free.
+    let all_cells: Vec<Cell> = KernelKind::all()
+        .into_iter()
+        .flat_map(|kernel| {
+            impls.iter().flat_map(move |&imp| {
+                latencies.iter().map(move |&extra_latency| Cell {
+                    kernel,
+                    imp,
+                    extra_latency,
+                    bandwidth: 64,
+                })
+            })
+        })
+        .collect();
+    sweeper.sweep(&w, &all_cells, threads);
     let mut csv_out = String::from("kernel,impl,extra_latency,slowdown\n");
     let mut anchors: Vec<String> = Vec::new();
     for kernel in KernelKind::all() {
@@ -44,7 +65,7 @@ fn main() {
             .collect();
         let results = sweeper.sweep(&w, &cells, threads);
         // results[ii * L + li]; baseline is li == 0.
-        let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
+        let headers: Vec<String> = impls.iter().map(|i| i.to_string()).collect();
         let mut slowdown = vec![vec![0.0f64; impls.len()]; latencies.len()];
         for (ii, _) in impls.iter().enumerate() {
             let base = results[ii * latencies.len()].cycles as f64;
@@ -64,7 +85,7 @@ fn main() {
                             csv_out,
                             "{},{},{},{:.4}",
                             kernel.name(),
-                            imp.label(),
+                            imp,
                             lat,
                             slowdown[li][ii]
                         )

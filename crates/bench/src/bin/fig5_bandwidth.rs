@@ -13,7 +13,10 @@ use std::fmt::Write as _;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let threads = arg_value(&args, "--threads").map_or_else(
+        || std::thread::available_parallelism().map_or(1, |n| n.get()),
+        |v| v.parse().expect("--threads N"),
+    );
     let csv = arg_value(&args, "--csv");
 
     let w = if small { Workloads::small() } else { Workloads::paper() };
@@ -23,6 +26,24 @@ fn main() {
     // One runner for the whole figure: machines reset and reused across
     // kernels, repeated cells memoized.
     let mut sweeper = Sweeper::new();
+    // Submit the whole figure as ONE grid up front: the long-pole-first
+    // schedule then orders cells across all four kernels (not within each
+    // kernel's barrier), so workers never idle at a per-kernel boundary.
+    // The per-kernel sweeps below replay from the memo for free.
+    let all_cells: Vec<Cell> = KernelKind::all()
+        .into_iter()
+        .flat_map(|kernel| {
+            impls.iter().flat_map(move |&imp| {
+                bandwidths.iter().map(move |&bandwidth| Cell {
+                    kernel,
+                    imp,
+                    extra_latency: 0,
+                    bandwidth,
+                })
+            })
+        })
+        .collect();
+    sweeper.sweep(&w, &all_cells, threads);
     let mut csv_out = String::from("kernel,impl,bandwidth_bytes_per_cycle,normalized_time\n");
     for kernel in KernelKind::all() {
         let cells: Vec<Cell> = impls
@@ -37,7 +58,7 @@ fn main() {
             })
             .collect();
         let results = sweeper.sweep(&w, &cells, threads);
-        let headers: Vec<String> = impls.iter().map(|i| i.label()).collect();
+        let headers: Vec<String> = impls.iter().map(|i| i.to_string()).collect();
         let rows: Vec<(String, Vec<String>)> = bandwidths
             .iter()
             .enumerate()
@@ -52,7 +73,7 @@ fn main() {
                             csv_out,
                             "{},{},{},{:.4}",
                             kernel.name(),
-                            imp.label(),
+                            imp,
                             bw,
                             norm
                         )
@@ -79,7 +100,7 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(ii, imp)| sdv_bench::plot::Series {
-                label: imp.label(),
+                label: imp.to_string(),
                 ys: bandwidths
                     .iter()
                     .enumerate()

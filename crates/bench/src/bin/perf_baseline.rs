@@ -7,19 +7,30 @@
 //! `results/perf/` so successive PRs can track the simulator's throughput
 //! trajectory.
 //!
-//! Usage: `perf_baseline [--smoke] [--threads N] [--label NAME] [--out PATH]`
+//! Usage: `perf_baseline [--smoke] [--threads N] [--label NAME] [--out PATH]
+//!                       [--against LABEL] [--threshold X]`
 //!
 //! * `--smoke`  — tiny subset (one cell per kernel, reduced micro iters);
 //!   used by `scripts/check.sh` as a fast end-to-end sanity pass.
+//! * `--threads`— worker threads for the pooled-sweep pass. Defaults to the
+//!   host's available parallelism.
 //! * `--label`  — name recorded in the JSON and used for the default output
 //!   file name (`results/perf/<label>.json`). Defaults to `latest`.
 //! * `--out`    — explicit output path, overriding the label-derived one.
+//! * `--against`— compare this run to a previously recorded
+//!   `results/perf/<LABEL>.json`: prints per-micro and per-cell deltas, and
+//!   exits non-zero when anything slowed down by more than `--threshold`
+//!   (a ratio, default 1.5 — generous because shared hosts are noisy).
+//!   A simulated-cycle mismatch on any common cell is always an error:
+//!   wall time may drift, cycles must not.
 
 use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
 use sdv_engine::BoundedQueue;
 use sdv_memsys::{AccessKind, Cache, CacheConfig, DramChannel};
 use sdv_noc::Mesh;
-use sdv_rvv::{exec, ArithKind, FmaKind, Lmul, MemAddr, Sew, VInst, VOp, VState};
+use sdv_rvv::{
+    exec_into, ArithKind, ExecInfo, ExecScratch, FmaKind, Lmul, MemAddr, Sew, VInst, VOp, VState,
+};
 use std::time::Instant;
 
 struct Flat(Vec<u8>);
@@ -49,8 +60,14 @@ struct MicroReport {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let threads = arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads N"));
+    let threads = arg_value(&args, "--threads").map_or_else(
+        || std::thread::available_parallelism().map_or(1, |n| n.get()),
+        |v| v.parse().expect("--threads N"),
+    );
     let label = arg_value(&args, "--label").unwrap_or_else(|| "latest".to_string());
+    let against = arg_value(&args, "--against");
+    let threshold: f64 =
+        arg_value(&args, "--threshold").map_or(1.5, |v| v.parse().expect("--threshold X"));
     let out = arg_value(&args, "--out")
         .unwrap_or_else(|| format!("results/perf/{label}.json"));
 
@@ -93,6 +110,155 @@ fn main() {
     }
     std::fs::write(&out, json).expect("write json");
     println!("wrote {out}");
+
+    if let Some(base_label) = against {
+        let path = format!("results/perf/{base_label}.json");
+        let base = Baseline::load(&path)
+            .unwrap_or_else(|e| panic!("cannot load baseline {path}: {e}"));
+        if !compare(&base, &base_label, &reports, &micro, sequential_ms, threshold) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A previously recorded perf_baseline JSON, re-read with a line-oriented
+/// parser (the writer emits one cell/micro per line; no JSON dependency
+/// needed to read our own output back).
+struct Baseline {
+    cells: Vec<(String, String, u64, u64, f64)>, // kernel, impl, +lat, cycles, wall_ms
+    micro: Vec<(String, f64)>,                   // name, ns_per_iter
+    sequential_ms: Option<f64>,
+}
+
+impl Baseline {
+    fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let mut base = Baseline { cells: Vec::new(), micro: Vec::new(), sequential_ms: None };
+        for line in text.lines() {
+            if line.contains("\"kernel\"") {
+                base.cells.push((
+                    json_str(line, "kernel").ok_or("cell line missing kernel")?,
+                    json_str(line, "impl").ok_or("cell line missing impl")?,
+                    json_num(line, "extra_latency").ok_or("cell line missing extra_latency")?
+                        as u64,
+                    json_num(line, "cycles").ok_or("cell line missing cycles")? as u64,
+                    json_num(line, "wall_ms").ok_or("cell line missing wall_ms")?,
+                ));
+            } else if line.contains("\"ns_per_iter\"") {
+                base.micro.push((
+                    json_str(line, "name").ok_or("micro line missing name")?,
+                    json_num(line, "ns_per_iter").ok_or("micro line missing ns_per_iter")?,
+                ));
+            } else if line.contains("\"sequential_ms\"") {
+                base.sequential_ms = json_num(line, "sequential_ms");
+            }
+        }
+        if base.cells.is_empty() && base.micro.is_empty() {
+            return Err("no cells or micros found".to_string());
+        }
+        Ok(base)
+    }
+}
+
+/// Extract `"key": "value"` from a single JSON line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extract `"key": <number>` from a single JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Print per-micro and per-cell deltas against `base`. Returns false when the
+/// run regressed: any common cell's wall time or any micro slowed past
+/// `threshold`, the suite total slowed past `threshold`, or any common
+/// cell's simulated cycles changed at all.
+fn compare(
+    base: &Baseline,
+    base_label: &str,
+    reports: &[CellReport],
+    micro: &[MicroReport],
+    sequential_ms: f64,
+    threshold: f64,
+) -> bool {
+    let mut ok = true;
+    println!("\ncomparison vs '{base_label}' (threshold {threshold:.2}x)");
+    println!("{:<28} {:>12} {:>12} {:>8}", "micro", "base ns", "now ns", "ratio");
+    for m in micro {
+        let Some((_, base_ns)) = base.micro.iter().find(|(n, _)| n == m.name) else {
+            continue;
+        };
+        let ratio = m.ns_per_iter / base_ns;
+        let flag = if ratio > threshold {
+            ok = false;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>7.2}x{flag}",
+            m.name, base_ns, m.ns_per_iter, ratio
+        );
+    }
+    println!("{:<28} {:>12} {:>12} {:>8}", "cell", "base ms", "now ms", "ratio");
+    for r in reports {
+        let imp = r.cell.imp.to_string();
+        let Some(&(_, _, _, base_cycles, base_ms)) = base.cells.iter().find(|(k, i, lat, _, _)| {
+            *k == r.cell.kernel.name() && *i == imp && *lat == r.cell.extra_latency
+        }) else {
+            continue;
+        };
+        if base_cycles != r.cycles {
+            ok = false;
+            println!(
+                "{:<28} CYCLES CHANGED: {} -> {} (simulation is no longer equivalent)",
+                format!("{}/{}/+{}", r.cell.kernel.name(), imp, r.cell.extra_latency),
+                base_cycles,
+                r.cycles
+            );
+            continue;
+        }
+        let ratio = r.wall_ms / base_ms;
+        let flag = if ratio > threshold {
+            ok = false;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<28} {:>12.2} {:>12.2} {:>7.2}x{flag}",
+            format!("{}/{}/+{}", r.cell.kernel.name(), imp, r.cell.extra_latency),
+            base_ms,
+            r.wall_ms,
+            ratio
+        );
+    }
+    // The suite total is only comparable when both runs measured the same
+    // cell set (a smoke run against a full baseline would be meaningless).
+    if let Some(base_seq) = base.sequential_ms.filter(|_| base.cells.len() == reports.len()) {
+        let ratio = sequential_ms / base_seq;
+        let flag = if ratio > threshold {
+            ok = false;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!("suite sequential: {base_seq:.1} ms -> {sequential_ms:.1} ms ({ratio:.2}x){flag}");
+    }
+    if !ok {
+        println!("comparison FAILED vs '{base_label}'");
+    }
+    ok
 }
 
 /// The measured cell suite: every kernel crossed with a representative
@@ -142,22 +308,27 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
     let mut st = VState::paper_vpu();
     st.set_vl(256, Sew::E64, Lmul::M1);
     let mut mem = Flat(vec![0u8; 1 << 16]);
+    // Steady-state hot path: reuse scratch + info across iterations, exactly
+    // as `Sweeper`'s kernel loop does, so the micro measures the interpreter
+    // rather than per-call allocation.
+    let mut scratch = ExecScratch::default();
+    let mut info = ExecInfo::default();
 
     let vadd = VInst::new(VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 2, y: 3 });
     out.push(time_micro("exec_vadd_vl256", 40_000 * scale, || {
-        exec(std::hint::black_box(&vadd), &mut st, &mut mem);
+        exec_into(std::hint::black_box(&vadd), &mut st, &mut mem, &mut scratch, &mut info);
     }));
     let vfmacc = VInst::new(VOp::FmaVV { kind: FmaKind::Macc, vd: 1, x: 2, y: 3 });
     out.push(time_micro("exec_vfmacc_vl256", 40_000 * scale, || {
-        exec(std::hint::black_box(&vfmacc), &mut st, &mut mem);
+        exec_into(std::hint::black_box(&vfmacc), &mut st, &mut mem, &mut scratch, &mut info);
     }));
     let vle = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } });
     out.push(time_micro("exec_vle_vl256", 40_000 * scale, || {
-        exec(std::hint::black_box(&vle), &mut st, &mut mem);
+        exec_into(std::hint::black_box(&vle), &mut st, &mut mem, &mut scratch, &mut info);
     }));
     let vse = VInst::new(VOp::Store { vs: 1, addr: MemAddr::Unit { base: 0 } });
     out.push(time_micro("exec_vse_vl256", 40_000 * scale, || {
-        exec(std::hint::black_box(&vse), &mut st, &mut mem);
+        exec_into(std::hint::black_box(&vse), &mut st, &mut mem, &mut scratch, &mut info);
     }));
     // Indexed load: fill v4 with in-bounds indices first.
     for i in 0..256 {
@@ -165,11 +336,11 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
     }
     let vlxe = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Indexed { base: 0, index: 4 } });
     out.push(time_micro("exec_vlxe_vl256", 20_000 * scale, || {
-        exec(std::hint::black_box(&vlxe), &mut st, &mut mem);
+        exec_into(std::hint::black_box(&vlxe), &mut st, &mut mem, &mut scratch, &mut info);
     }));
     let vmask = VInst::masked(VOp::ArithVV { kind: ArithKind::Add, vd: 1, x: 2, y: 3 });
     out.push(time_micro("exec_vadd_masked_vl256", 40_000 * scale, || {
-        exec(std::hint::black_box(&vmask), &mut st, &mut mem);
+        exec_into(std::hint::black_box(&vmask), &mut st, &mut mem, &mut scratch, &mut info);
     }));
 
     let mut cache = Cache::new(CacheConfig::l1d());
@@ -202,7 +373,7 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
         let victim = k.wrapping_mul(0x9E37_79B9) % 64;
         let got = q.remove_first(|&v| v % 64 == victim % 64);
         std::hint::black_box(&got);
-        if let Some(_) = got {
+        if got.is_some() {
             q.push(k).unwrap();
             k += 1;
         }
@@ -224,7 +395,7 @@ fn print_human(
         println!(
             "{:<6} {:>8} {:>6} {:>12} {:>10.2} {:>12.2}",
             r.cell.kernel.name(),
-            r.cell.imp.label(),
+            r.cell.imp,
             r.cell.extra_latency,
             r.cycles,
             r.wall_ms,
@@ -272,7 +443,7 @@ fn render_json(
         s.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"impl\": \"{}\", \"extra_latency\": {}, \"bandwidth\": {}, \"cycles\": {}, \"wall_ms\": {:.3}, \"sim_cycles_per_sec\": {:.0}}}{sep}\n",
             r.cell.kernel.name(),
-            r.cell.imp.label(),
+            r.cell.imp,
             r.cell.extra_latency,
             r.cell.bandwidth,
             r.cycles,

@@ -44,7 +44,7 @@ fn main() {
                 let mem_roof = bw as f64 * intensity;
                 let bound = if mem_roof < lanes_peak { "memory" } else { "compute" };
                 (
-                    format!("{} {}", kernel.name(), imp.label()),
+                    format!("{} {}", kernel.name(), imp),
                     vec![
                         format!("{:.2e}", flops),
                         format!("{:.2e}", bytes),
@@ -57,7 +57,7 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render(&format!("EXT5 — roofline placement ({})", imp.label()), "kernel", &headers, &rows)
+            render(&format!("EXT5 — roofline placement ({})", imp), "kernel", &headers, &rows)
         );
     }
     println!(

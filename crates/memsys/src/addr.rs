@@ -9,6 +9,13 @@
 pub struct AddressMap {
     line_bytes: u64,
     num_banks: u64,
+    /// `log2(line_bytes)`: line math is shift/mask, not division (these run
+    /// on every modelled access).
+    line_shift: u32,
+    /// `num_banks - 1` when the bank count is a power of two, else 0 (the
+    /// modulo fallback is used).
+    bank_mask: u64,
+    bank_pow2: bool,
 }
 
 impl AddressMap {
@@ -19,7 +26,13 @@ impl AddressMap {
     pub fn new(line_bytes: u64, num_banks: u64) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(num_banks > 0, "need at least one bank");
-        Self { line_bytes, num_banks }
+        Self {
+            line_bytes,
+            num_banks,
+            line_shift: line_bytes.trailing_zeros(),
+            bank_mask: num_banks.wrapping_sub(1),
+            bank_pow2: num_banks.is_power_of_two(),
+        }
     }
 
     /// Line size in bytes.
@@ -43,13 +56,18 @@ impl AddressMap {
     /// The line index (line number) containing `addr`.
     #[inline]
     pub fn line_index(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        addr >> self.line_shift
     }
 
     /// The bank serving `addr` (line-interleaved).
     #[inline]
     pub fn bank_of(&self, addr: u64) -> usize {
-        (self.line_index(addr) % self.num_banks) as usize
+        let line = self.line_index(addr);
+        if self.bank_pow2 {
+            (line & self.bank_mask) as usize
+        } else {
+            (line % self.num_banks) as usize
+        }
     }
 
     /// Number of distinct lines an access of `size` bytes at `addr` touches.

@@ -67,6 +67,9 @@ pub struct Victim {
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
+    /// `log2(line_bytes)`: tag extraction is a shift, not a division (this
+    /// runs on every modelled access).
+    line_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -84,7 +87,14 @@ impl Cache {
         assert!(num_sets > 0, "geometry yields zero sets");
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
         let empty = Line { tag: 0, valid: false, dirty: false, last_use: 0 };
-        Self { cfg, sets: vec![vec![empty; cfg.ways]; num_sets], tick: 0, hits: 0, misses: 0 }
+        Self {
+            cfg,
+            sets: vec![vec![empty; cfg.ways]; num_sets],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The geometry.
@@ -94,7 +104,7 @@ impl Cache {
 
     #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
+        let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets.len() - 1);
         (set, line)
     }

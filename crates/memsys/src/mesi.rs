@@ -94,7 +94,9 @@ impl Directory {
                 DirAction { recall_from: None, invalidate: inv, exclusive: true }
             }
             DirState::Exclusive(owner) if owner == who => {
-                DirAction { recall_from: None, invalidate: vec![], exclusive: true }
+                // Already the exclusive owner: the directory entry is
+                // correct as-is, skip the redundant re-insert.
+                return DirAction { recall_from: None, invalidate: vec![], exclusive: true };
             }
             DirState::Exclusive(owner) => {
                 self.recalls += 1;
@@ -124,7 +126,16 @@ impl Directory {
     /// and must be invalidated; a dirty owner must write back first so the
     /// merge happens in L2.
     pub fn noncaching_write(&mut self, line: u64, who: Requestor) -> DirAction {
-        let action = match self.state(line) {
+        // The line ends Uncached either way, and Uncached is represented by
+        // *absence* (see `state`). Storing it explicitly would grow the map
+        // by one dead entry per line the VPU ever streams through, so remove
+        // instead — and in the common pure-streaming case (no entry at all)
+        // the single lookup in `state` is the only hash operation.
+        let state = self.state(line);
+        if state != DirState::Uncached {
+            self.lines.remove(&line);
+        }
+        match state {
             DirState::Uncached => DirAction { recall_from: None, invalidate: vec![], exclusive: false },
             DirState::Shared(mask) => {
                 let inv = sharers(mask & !(1 << who));
@@ -139,20 +150,22 @@ impl Directory {
                 self.invalidations += 1;
                 DirAction { recall_from: Some(owner), invalidate: vec![owner], exclusive: false }
             }
-        };
-        self.lines.insert(line, DirState::Uncached);
-        action
+        }
     }
 
     /// A caching requestor silently evicted its (possibly dirty) copy.
     pub fn evicted(&mut self, line: u64, who: Requestor) {
         match self.state(line) {
             DirState::Exclusive(owner) if owner == who => {
-                self.lines.insert(line, DirState::Uncached);
+                self.lines.remove(&line);
             }
             DirState::Shared(mask) => {
                 let m = mask & !(1 << who);
-                self.lines.insert(line, if m == 0 { DirState::Uncached } else { DirState::Shared(m) });
+                if m == 0 {
+                    self.lines.remove(&line);
+                } else {
+                    self.lines.insert(line, DirState::Shared(m));
+                }
             }
             _ => {}
         }

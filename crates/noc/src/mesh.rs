@@ -41,6 +41,12 @@ pub struct Mesh {
     /// `from * nodes + to`. A flat table (meshes are small) so the per-hop
     /// reservation in [`Mesh::send`] is one array access, not a hash lookup.
     link_free: Vec<Cycle>,
+    /// Precomputed XY routes, flattened: the route for `src -> dst` is the
+    /// link indices `route_links[route_offsets[src * nodes + dst]
+    /// .. route_offsets[src * nodes + dst + 1]]`. Routing is static, so the
+    /// per-send coordinate div/mod walk is done once at construction.
+    route_links: Vec<u32>,
+    route_offsets: Vec<u32>,
     ctr: MeshCounters,
 }
 
@@ -63,7 +69,32 @@ impl Mesh {
         assert!(cfg.width > 0 && cfg.height > 0, "mesh must have at least one node");
         assert!(cfg.flit_bytes > 0, "flits must carry payload");
         let nodes = cfg.nodes();
-        Self { cfg, link_free: vec![0; nodes * nodes], ctr: MeshCounters::default() }
+        let mut route_links = Vec::new();
+        let mut route_offsets = Vec::with_capacity(nodes * nodes + 1);
+        route_offsets.push(0);
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                let d = Coord::of(dst, cfg.width);
+                let mut cur = Coord::of(src, cfg.width);
+                while cur != d {
+                    let next = if cur.x != d.x {
+                        Coord { x: if d.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y }
+                    } else {
+                        Coord { x: cur.x, y: if d.y > cur.y { cur.y + 1 } else { cur.y - 1 } }
+                    };
+                    route_links.push((cur.id(cfg.width) * nodes + next.id(cfg.width)) as u32);
+                    cur = next;
+                }
+                route_offsets.push(route_links.len() as u32);
+            }
+        }
+        Self {
+            cfg,
+            link_free: vec![0; nodes * nodes],
+            route_links,
+            route_offsets,
+            ctr: MeshCounters::default(),
+        }
     }
 
     /// The configuration.
@@ -75,7 +106,11 @@ impl Mesh {
     /// share the first flit (wide links), so a zero-payload control message
     /// is one flit.
     pub fn flits_for(&self, bytes: u64) -> u64 {
-        bytes.div_ceil(self.cfg.flit_bytes).max(1)
+        if bytes <= self.cfg.flit_bytes {
+            1
+        } else {
+            bytes.div_ceil(self.cfg.flit_bytes)
+        }
     }
 
     /// Transport a `bytes`-byte message from `src` to `dst`, starting at
@@ -84,35 +119,27 @@ impl Mesh {
     /// pays one router traversal.
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: Cycle) -> Cycle {
         let flits = self.flits_for(bytes);
-        let width = self.cfg.width;
         let nodes = self.cfg.nodes();
-        let s = Coord::of(src, width);
-        let d = Coord::of(dst, width);
-        debug_assert!(s.x < width && s.y < self.cfg.height, "src {src} outside mesh");
-        debug_assert!(d.x < width && d.y < self.cfg.height, "dst {dst} outside mesh");
+        debug_assert!(src < nodes, "src {src} outside mesh");
+        debug_assert!(dst < nodes, "dst {dst} outside mesh");
+        // The XY route (X dimension first) was precomputed at construction.
+        let pair = src * nodes + dst;
+        let start = self.route_offsets[pair] as usize;
+        let end = self.route_offsets[pair + 1] as usize;
         self.ctr.packets += 1;
         self.ctr.flits += flits;
-        self.ctr.hops += s.hops_to(&d) as u64;
+        self.ctr.hops += (end - start) as u64;
 
-        // Head flit timing: walk the XY route (X dimension first) in place;
-        // per hop, wait for the link to be free, then pay router + link
-        // latency. Each link is then busy for `flits` cycles.
+        // Head flit timing: per hop, wait for the link to be free, then pay
+        // router + link latency. Each link is then busy for `flits` cycles.
         let mut head = now + self.cfg.router_latency; // injection router
-        let mut cur = s;
-        while cur != d {
-            let next = if cur.x != d.x {
-                Coord { x: if d.x > cur.x { cur.x + 1 } else { cur.x - 1 }, y: cur.y }
-            } else {
-                Coord { x: cur.x, y: if d.y > cur.y { cur.y + 1 } else { cur.y - 1 } }
-            };
-            let link = cur.id(width) * nodes + next.id(width);
+        for k in start..end {
+            let link = self.route_links[k] as usize;
             let free = self.link_free[link];
             let depart = head.max(free);
-            let waited = depart - head;
-            self.ctr.link_wait_cycles += waited;
+            self.ctr.link_wait_cycles += depart - head;
             self.link_free[link] = depart + flits;
             head = depart + self.cfg.link_latency + self.cfg.router_latency;
-            cur = next;
         }
         // Tail flit arrives `flits - 1` cycles behind the head.
         head + (flits - 1)

@@ -8,8 +8,8 @@
 //! instruction; nothing in this module knows about cycles.
 
 use crate::instr::{
-    ArithKind, CmpKind, CvtKind, FArithKind, FmaKind, MaskKind, MemAddr, RedKind, SlideKind,
-    VInst, VOp,
+    ArithKind, CmpKind, CvtKind, FArithKind, FUnaryKind, FmaKind, MaskKind, MemAddr, RedKind,
+    SlideKind, VInst, VOp, WidenKind,
 };
 use crate::mem::VMemory;
 use crate::state::VState;
@@ -157,6 +157,10 @@ pub struct ExecScratch {
     pub xs: Vec<u64>,
     /// Second source-operand snapshot.
     pub ys: Vec<u64>,
+    /// Destination staging buffer: batch kernels compute every lane here,
+    /// then the write-back copies all lanes (unmasked) or only the active
+    /// ones (masked) into the register file.
+    pub zs: Vec<u64>,
     /// Mask-operand snapshot.
     pub bs: Vec<bool>,
     /// Second mask snapshot (activity or a second mask operand).
@@ -194,6 +198,7 @@ impl ExecInfo {
     }
 }
 
+#[cfg(test)]
 #[inline]
 fn fp_bin(sew: Sew, kind: FArithKind, a: u64, b: u64) -> u64 {
     match sew {
@@ -231,6 +236,7 @@ fn fp_bin(sew: Sew, kind: FArithKind, a: u64, b: u64) -> u64 {
     }
 }
 
+#[cfg(test)]
 #[inline]
 fn fp_fma(sew: Sew, kind: FmaKind, acc: u64, a: u64, b: u64) -> u64 {
     match sew {
@@ -257,6 +263,7 @@ fn fp_fma(sew: Sew, kind: FmaKind, acc: u64, a: u64, b: u64) -> u64 {
     }
 }
 
+#[cfg(test)]
 #[inline]
 fn int_bin(sew: Sew, kind: ArithKind, a: u64, b: u64) -> u64 {
     let mask = sew.value_mask();
@@ -292,6 +299,7 @@ fn int_bin(sew: Sew, kind: ArithKind, a: u64, b: u64) -> u64 {
     r & mask
 }
 
+#[cfg(test)]
 #[inline]
 fn compare(sew: Sew, kind: CmpKind, a: u64, b: u64) -> bool {
     let (ua, ub) = (a & sew.value_mask(), b & sew.value_mask());
@@ -355,13 +363,482 @@ fn element_addrs_into(
 }
 
 /// Snapshot per-element activity: all-true when unmasked, else the low `vl`
-/// bits of `v0`.
+/// bits of `v0`. (Test-only: the batch backend uses
+/// [`VState::snapshot_active`]; the reference interpreter keeps this copy.)
+#[cfg(test)]
 fn fill_active(state: &VState, masked: bool, vl: usize, out: &mut Vec<bool>) {
     if masked {
         state.regs.read_mask_bits_into(0, vl, out);
     } else {
         out.clear();
         out.resize(vl, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernels
+// ---------------------------------------------------------------------------
+//
+// The execution hot path works on whole-vector snapshots: operands are read
+// into `&[u64]` scratch slices, one `match` on (SEW, op kind) selects a
+// monomorphized slice loop, and results are staged in `zs` then written back
+// in bulk. Neither per-element closures nor per-element SEW dispatch appear
+// inside any loop, so LLVM can unroll and autovectorize every kernel.
+//
+// Masked ops compute all `vl` lanes into the staging buffer and then write
+// only the active lanes ([`VRegFile::write_elems_where`]); every op is a pure
+// per-lane function, so computing an inactive lane and discarding it is
+// indistinguishable from skipping it. The activity mask is snapshotted before
+// the destination is written, so a masked op whose destination group overlaps
+// `v0` sees the pre-instruction mask for every lane.
+
+/// Paired element stream for the binary kernels (`vv` form): zips two
+/// register snapshots.
+#[inline]
+fn zip2<'a>(xs: &'a [u64], ys: &'a [u64]) -> impl Iterator<Item = (u64, u64)> + 'a {
+    xs.iter().copied().zip(ys.iter().copied())
+}
+
+/// Paired element stream for the `vx`/`vf` forms: a snapshot against a
+/// broadcast scalar.
+#[inline]
+fn with_scalar(xs: &[u64], scalar: u64) -> impl Iterator<Item = (u64, u64)> + '_ {
+    xs.iter().map(move |&a| (a, scalar))
+}
+
+/// Write staged lanes to `vd`: all of them when unmasked, only the
+/// `v0`-active ones when masked (inactive lanes undisturbed). Returns the
+/// number of active lanes.
+#[inline]
+fn write_lanes(
+    state: &mut VState,
+    masked: bool,
+    vd: u8,
+    sew: Sew,
+    vals: &[u64],
+    act: &mut Vec<bool>,
+) -> usize {
+    if masked {
+        state.regs.read_mask_bits_into(0, vals.len(), act);
+        state.regs.write_elems_where(vd, sew, vals, act)
+    } else {
+        state.regs.write_elems(vd, sew, vals);
+        vals.len()
+    }
+}
+
+/// Integer binary ops over an element stream. The op-kind dispatch happens
+/// once; every arm is its own tight loop with the SEW mask and sign-extension
+/// shift hoisted to loop invariants.
+fn int_bin_batch(
+    sew: Sew,
+    kind: ArithKind,
+    pairs: impl Iterator<Item = (u64, u64)>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    let mask = sew.value_mask();
+    let sb = sew.bits() as u32;
+    let sh = 64 - sb;
+    macro_rules! go {
+        ($f:expr) => {
+            out.extend(pairs.map(|(a, b)| ($f)(a, b)))
+        };
+    }
+    match kind {
+        ArithKind::Add => go!(|a: u64, b: u64| a.wrapping_add(b) & mask),
+        ArithKind::Sub => go!(|a: u64, b: u64| a.wrapping_sub(b) & mask),
+        ArithKind::Rsub => go!(|a: u64, b: u64| b.wrapping_sub(a) & mask),
+        ArithKind::And => go!(|a: u64, b: u64| (a & b) & mask),
+        ArithKind::Or => go!(|a: u64, b: u64| (a | b) & mask),
+        ArithKind::Xor => go!(|a: u64, b: u64| (a ^ b) & mask),
+        ArithKind::Sll => go!(|a: u64, b: u64| (a << ((b as u32) & (sb - 1))) & mask),
+        ArithKind::Srl => go!(|a: u64, b: u64| ((a & mask) >> ((b as u32) & (sb - 1))) & mask),
+        ArithKind::Sra => go!(|a: u64, b: u64| {
+            ((((a << sh) as i64 >> sh) >> ((b as u32) & (sb - 1))) as u64) & mask
+        }),
+        ArithKind::Mul => go!(|a: u64, b: u64| a.wrapping_mul(b) & mask),
+        ArithKind::Min => go!(|a: u64, b: u64| {
+            if ((a << sh) as i64 >> sh) <= ((b << sh) as i64 >> sh) {
+                a & mask
+            } else {
+                b & mask
+            }
+        }),
+        ArithKind::Max => go!(|a: u64, b: u64| {
+            if ((a << sh) as i64 >> sh) >= ((b << sh) as i64 >> sh) {
+                a & mask
+            } else {
+                b & mask
+            }
+        }),
+        ArithKind::Minu => go!(|a: u64, b: u64| (a & mask).min(b & mask)),
+        ArithKind::Maxu => go!(|a: u64, b: u64| (a & mask).max(b & mask)),
+    }
+}
+
+/// FP binary ops over an element stream, kind × width dispatch hoisted.
+fn fp_bin_batch(
+    sew: Sew,
+    kind: FArithKind,
+    pairs: impl Iterator<Item = (u64, u64)>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    macro_rules! fp {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => out.extend(
+                    pairs.map(|(a, b)| ($f64e)(f64::from_bits(a), f64::from_bits(b)).to_bits()),
+                ),
+                Sew::E32 => out.extend(pairs.map(|(a, b)| {
+                    ($f32e)(f32::from_bits(a as u32), f32::from_bits(b as u32)).to_bits() as u64
+                })),
+                _ => panic!("FP ops require SEW of 32 or 64 bits, got {sew:?}"),
+            }
+        };
+    }
+    match kind {
+        FArithKind::Fadd => fp!(|x: f64, y: f64| x + y, |x: f32, y: f32| x + y),
+        FArithKind::Fsub => fp!(|x: f64, y: f64| x - y, |x: f32, y: f32| x - y),
+        FArithKind::Frsub => fp!(|x: f64, y: f64| y - x, |x: f32, y: f32| y - x),
+        FArithKind::Fmul => fp!(|x: f64, y: f64| x * y, |x: f32, y: f32| x * y),
+        FArithKind::Fdiv => fp!(|x: f64, y: f64| x / y, |x: f32, y: f32| x / y),
+        FArithKind::Fmin => fp!(|x: f64, y: f64| x.min(y), |x: f32, y: f32| x.min(y)),
+        FArithKind::Fmax => fp!(|x: f64, y: f64| x.max(y), |x: f32, y: f32| x.max(y)),
+        FArithKind::Fsgnj => {
+            fp!(|x: f64, y: f64| x.abs().copysign(y), |x: f32, y: f32| x.abs().copysign(y))
+        }
+        FArithKind::Fsgnjn => {
+            fp!(|x: f64, y: f64| x.abs().copysign(-y), |x: f32, y: f32| x.abs().copysign(-y))
+        }
+    }
+}
+
+/// FP fused multiply-add family, accumulating in place over `acc` (the `vd`
+/// snapshot): `acc[i] = fma(acc[i], x_i, y_i)` per [`FmaKind`].
+fn fp_fma_batch(sew: Sew, kind: FmaKind, acc: &mut [u64], srcs: impl Iterator<Item = (u64, u64)>) {
+    macro_rules! fp {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => {
+                    for (d, (a, b)) in acc.iter_mut().zip(srcs) {
+                        *d = ($f64e)(f64::from_bits(*d), f64::from_bits(a), f64::from_bits(b))
+                            .to_bits();
+                    }
+                }
+                Sew::E32 => {
+                    for (d, (a, b)) in acc.iter_mut().zip(srcs) {
+                        *d = ($f32e)(
+                            f32::from_bits(*d as u32),
+                            f32::from_bits(a as u32),
+                            f32::from_bits(b as u32),
+                        )
+                        .to_bits() as u64;
+                    }
+                }
+                _ => panic!("FMA requires SEW of 32 or 64 bits, got {sew:?}"),
+            }
+        };
+    }
+    match kind {
+        FmaKind::Macc => fp!(
+            |d: f64, x: f64, y: f64| x.mul_add(y, d),
+            |d: f32, x: f32, y: f32| x.mul_add(y, d)
+        ),
+        FmaKind::Nmsac => fp!(
+            |d: f64, x: f64, y: f64| (-x).mul_add(y, d),
+            |d: f32, x: f32, y: f32| (-x).mul_add(y, d)
+        ),
+        FmaKind::Madd => fp!(
+            |d: f64, x: f64, y: f64| x.mul_add(d, y),
+            |d: f32, x: f32, y: f32| x.mul_add(d, y)
+        ),
+    }
+}
+
+/// FP unary ops over a snapshot, kind × width dispatch hoisted.
+fn fp_unary_batch(sew: Sew, kind: FUnaryKind, xs: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    macro_rules! fp {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => out.extend(xs.iter().map(|&a| ($f64e)(f64::from_bits(a)).to_bits())),
+                Sew::E32 => out.extend(
+                    xs.iter().map(|&a| ($f32e)(f32::from_bits(a as u32)).to_bits() as u64),
+                ),
+                _ => panic!("FP unary requires SEW of 32 or 64 bits"),
+            }
+        };
+    }
+    match kind {
+        FUnaryKind::Fsqrt => fp!(|v: f64| v.sqrt(), |v: f32| v.sqrt()),
+        FUnaryKind::Fneg => fp!(|v: f64| -v, |v: f32| -v),
+        FUnaryKind::Fabs => fp!(|v: f64| v.abs(), |v: f32| v.abs()),
+    }
+}
+
+/// Compares over an element stream, producing mask bits.
+fn compare_batch(
+    sew: Sew,
+    kind: CmpKind,
+    pairs: impl Iterator<Item = (u64, u64)>,
+    out: &mut Vec<bool>,
+) {
+    out.clear();
+    let mask = sew.value_mask();
+    let sh = 64 - sew.bits() as u32;
+    macro_rules! go {
+        ($f:expr) => {
+            out.extend(pairs.map(|(a, b)| ($f)(a, b)))
+        };
+    }
+    macro_rules! gof {
+        ($f:expr) => {
+            match sew {
+                Sew::E64 => go!(|a: u64, b: u64| ($f)(f64::from_bits(a), f64::from_bits(b))),
+                Sew::E32 => go!(|a: u64, b: u64| ($f)(
+                    f32::from_bits(a as u32) as f64,
+                    f32::from_bits(b as u32) as f64
+                )),
+                _ => panic!("FP compare requires SEW of 32 or 64 bits"),
+            }
+        };
+    }
+    match kind {
+        CmpKind::Eq => go!(|a: u64, b: u64| a & mask == b & mask),
+        CmpKind::Ne => go!(|a: u64, b: u64| a & mask != b & mask),
+        CmpKind::Lt => go!(|a: u64, b: u64| ((a << sh) as i64 >> sh) < ((b << sh) as i64 >> sh)),
+        CmpKind::Ltu => go!(|a: u64, b: u64| (a & mask) < (b & mask)),
+        CmpKind::Le => go!(|a: u64, b: u64| ((a << sh) as i64 >> sh) <= ((b << sh) as i64 >> sh)),
+        CmpKind::Leu => go!(|a: u64, b: u64| (a & mask) <= (b & mask)),
+        CmpKind::Gt => go!(|a: u64, b: u64| ((a << sh) as i64 >> sh) > ((b << sh) as i64 >> sh)),
+        CmpKind::Gtu => go!(|a: u64, b: u64| (a & mask) > (b & mask)),
+        CmpKind::Feq => gof!(|x: f64, y: f64| x == y),
+        CmpKind::Fne => gof!(|x: f64, y: f64| x != y),
+        CmpKind::Flt => gof!(|x: f64, y: f64| x < y),
+        CmpKind::Fle => gof!(|x: f64, y: f64| x <= y),
+        CmpKind::Fgt => gof!(|x: f64, y: f64| x > y),
+    }
+}
+
+/// Int/FP conversions over a snapshot, (SEW, kind) dispatch hoisted.
+fn cvt_batch(sew: Sew, kind: CvtKind, xs: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    macro_rules! go {
+        ($f:expr) => {
+            out.extend(xs.iter().map(|&v| ($f)(v)))
+        };
+    }
+    match (sew, kind) {
+        (Sew::E64, CvtKind::UToF) => go!(|v: u64| (v as f64).to_bits()),
+        (Sew::E64, CvtKind::IToF) => go!(|v: u64| ((v as i64) as f64).to_bits()),
+        (Sew::E64, CvtKind::FToU) => go!(|v: u64| {
+            let f = f64::from_bits(v).round_ties_even();
+            if f <= 0.0 {
+                0
+            } else if f >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                f as u64
+            }
+        }),
+        (Sew::E64, CvtKind::FToI) => go!(|v: u64| {
+            let f = f64::from_bits(v).round_ties_even();
+            (f as i64) as u64
+        }),
+        (Sew::E32, CvtKind::UToF) => go!(|v: u64| ((v as u32) as f32).to_bits() as u64),
+        (Sew::E32, CvtKind::IToF) => go!(|v: u64| ((v as u32 as i32) as f32).to_bits() as u64),
+        (Sew::E32, CvtKind::FToU) => go!(|v: u64| {
+            let f = f32::from_bits(v as u32).round_ties_even();
+            if f <= 0.0 {
+                0
+            } else if f >= u32::MAX as f32 {
+                u32::MAX as u64
+            } else {
+                f as u32 as u64
+            }
+        }),
+        (Sew::E32, CvtKind::FToI) => go!(|v: u64| {
+            let f = f32::from_bits(v as u32).round_ties_even();
+            (f as i32) as u32 as u64
+        }),
+        _ => panic!("conversion requires SEW of 32 or 64 bits"),
+    }
+}
+
+/// Reductions over a snapshot with the kind dispatch hoisted; `active` is
+/// `None` on the all-lanes fast path.
+fn reduce_batch(sew: Sew, kind: RedKind, seed: u64, xs: &[u64], active: Option<&[bool]>) -> u64 {
+    let mask = sew.value_mask();
+    let sh = 64 - sew.bits() as u32;
+    macro_rules! fold {
+        ($f:expr) => {{
+            let f = $f;
+            let mut r = seed;
+            match active {
+                None => {
+                    for &v in xs {
+                        r = f(r, v);
+                    }
+                }
+                Some(act) => {
+                    for (&v, &a) in xs.iter().zip(act) {
+                        if a {
+                            r = f(r, v);
+                        }
+                    }
+                }
+            }
+            r
+        }};
+    }
+    macro_rules! ffold {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => fold!(|r: u64, v: u64| ($f64e)(f64::from_bits(r), f64::from_bits(v))
+                    .to_bits()),
+                Sew::E32 => fold!(|r: u64, v: u64| ($f32e)(
+                    f32::from_bits(r as u32),
+                    f32::from_bits(v as u32)
+                )
+                .to_bits() as u64),
+                _ => panic!("FP reduction requires SEW of 32 or 64 bits"),
+            }
+        };
+    }
+    match kind {
+        RedKind::Sum => fold!(|r: u64, v: u64| r.wrapping_add(v) & mask),
+        RedKind::Max => fold!(|r: u64, v: u64| {
+            if ((v << sh) as i64 >> sh) > ((r << sh) as i64 >> sh) {
+                v
+            } else {
+                r
+            }
+        }),
+        RedKind::Min => fold!(|r: u64, v: u64| {
+            if ((v << sh) as i64 >> sh) < ((r << sh) as i64 >> sh) {
+                v
+            } else {
+                r
+            }
+        }),
+        RedKind::Maxu => fold!(|r: u64, v: u64| (r & mask).max(v & mask)),
+        RedKind::Fsum => ffold!(|a: f64, b: f64| a + b, |a: f32, b: f32| a + b),
+        RedKind::Fmax => ffold!(|a: f64, b: f64| a.max(b), |a: f32, b: f32| a.max(b)),
+        RedKind::Fmin => ffold!(|a: f64, b: f64| a.min(b), |a: f32, b: f32| a.min(b)),
+    }
+}
+
+/// Gather `addrs.len()` elements of `W` bytes each into `vals`, recording
+/// the accesses in `list`. Contiguous streaks are accumulated in two locals
+/// and flushed as whole runs, so the run-length trace is built without a
+/// per-element merge check against the list tail; because the kind and size
+/// are constant across the loop, the resulting runs are identical to pushing
+/// each access individually.
+fn gather_w<M: VMemory, const W: usize>(
+    mem: &M,
+    addrs: &[u64],
+    vals: &mut Vec<u64>,
+    list: &mut MemList,
+) {
+    vals.clear();
+    let mut run_addr = 0u64;
+    let mut run_count = 0u32;
+    for &a in addrs {
+        let mut buf = [0u8; 8];
+        mem.read_bytes(a, &mut buf[..W]);
+        vals.push(u64::from_le_bytes(buf));
+        if run_count > 0 && a == run_addr + W as u64 * run_count as u64 {
+            run_count += 1;
+        } else {
+            list.push_run(run_addr, W as u8, run_count, MemAccessKind::Read);
+            run_addr = a;
+            run_count = 1;
+        }
+    }
+    list.push_run(run_addr, W as u8, run_count, MemAccessKind::Read);
+}
+
+/// Scatter counterpart of [`gather_w`]: write `vals[i]` (low `W` bytes) to
+/// `addrs[i]`, recording run-compressed write accesses.
+fn scatter_w<M: VMemory, const W: usize>(
+    mem: &mut M,
+    addrs: &[u64],
+    vals: &[u64],
+    list: &mut MemList,
+) {
+    let mut run_addr = 0u64;
+    let mut run_count = 0u32;
+    for (&a, &v) in addrs.iter().zip(vals) {
+        mem.write_bytes(a, &v.to_le_bytes()[..W]);
+        if run_count > 0 && a == run_addr + W as u64 * run_count as u64 {
+            run_count += 1;
+        } else {
+            list.push_run(run_addr, W as u8, run_count, MemAccessKind::Write);
+            run_addr = a;
+            run_count = 1;
+        }
+    }
+    list.push_run(run_addr, W as u8, run_count, MemAccessKind::Write);
+}
+
+/// Width dispatch for [`gather_w`]: monomorphizes the element size so the
+/// memory helper's byte slicing const-folds.
+fn gather_elems<M: VMemory>(
+    mem: &M,
+    width: usize,
+    addrs: &[u64],
+    vals: &mut Vec<u64>,
+    list: &mut MemList,
+) {
+    match width {
+        1 => gather_w::<M, 1>(mem, addrs, vals, list),
+        2 => gather_w::<M, 2>(mem, addrs, vals, list),
+        4 => gather_w::<M, 4>(mem, addrs, vals, list),
+        8 => gather_w::<M, 8>(mem, addrs, vals, list),
+        _ => unreachable!("unsupported element width {width}"),
+    }
+}
+
+/// Compute the element addresses of an unmasked strided/indexed access into
+/// `out`. Unit-stride never reaches here — it takes the bulk memcpy path.
+/// `idx` is scratch for the index-register snapshot (read at full SEW, like
+/// the architecture).
+fn addrs_unmasked(
+    state: &VState,
+    addr: &MemAddr,
+    vl: usize,
+    idx: &mut Vec<u64>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    match addr {
+        MemAddr::Unit { .. } => unreachable!("unit-stride takes the bulk path"),
+        MemAddr::Strided { base, stride } => {
+            out.extend((0..vl).map(|i| (*base as i64 + stride * i as i64) as u64));
+        }
+        MemAddr::Indexed { base, index } => {
+            state.regs.read_elems_into(*index, state.vtype.sew, vl, idx);
+            out.extend(idx.iter().map(|&o| base + o));
+        }
+    }
+}
+
+/// Width dispatch for [`scatter_w`].
+fn scatter_elems<M: VMemory>(
+    mem: &mut M,
+    width: usize,
+    addrs: &[u64],
+    vals: &[u64],
+    list: &mut MemList,
+) {
+    match width {
+        1 => scatter_w::<M, 1>(mem, addrs, vals, list),
+        2 => scatter_w::<M, 2>(mem, addrs, vals, list),
+        4 => scatter_w::<M, 4>(mem, addrs, vals, list),
+        8 => scatter_w::<M, 8>(mem, addrs, vals, list),
+        _ => unreachable!("unsupported element width {width}"),
     }
 }
 
@@ -399,19 +876,30 @@ pub fn exec_into<M: VMemory>(
     // Split borrows: each buffer is borrowed independently of `state`.
     // Sources are snapshotted into these before any write, keeping every op
     // alias-safe (vd may equal a source register).
-    let ExecScratch { xs, ys, bs, bs2, addrs, bytes } = scratch;
+    let ExecScratch { xs, ys, zs, bs, bs2, addrs, bytes } = scratch;
 
     match &inst.op {
         VOp::Load { vd, addr } => {
-            if let (MemAddr::Unit { base }, false) = (addr, masked) {
-                // Bulk path: one memcpy into the contiguous register group.
-                // Registers and memory are both little-endian, so the bytes
-                // land exactly where the per-element loop would put them.
-                info.unit_stride = true;
-                if vl > 0 {
-                    let nbytes = vl * sew.bytes();
-                    mem.read_bytes(*base, state.regs.group_bytes_mut(*vd, nbytes));
-                    info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Read);
+            if !masked {
+                if let MemAddr::Unit { base } = addr {
+                    // Bulk path: one memcpy into the contiguous register
+                    // group. Registers and memory are both little-endian, so
+                    // the bytes land exactly where a per-element loop would
+                    // put them.
+                    info.unit_stride = true;
+                    if vl > 0 {
+                        let nbytes = vl * sew.bytes();
+                        mem.read_bytes(*base, state.regs.group_bytes_mut(*vd, nbytes));
+                        info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Read);
+                        info.active = vl;
+                    }
+                } else {
+                    // Strided/indexed gather: compute every address, then one
+                    // width-monomorphized element loop builds the value batch
+                    // and the run-compressed trace together.
+                    addrs_unmasked(state, addr, vl, ys, xs);
+                    gather_elems(mem, sew.bytes(), xs, zs, &mut info.mem);
+                    state.regs.write_elems(*vd, sew, zs);
                     info.active = vl;
                 }
             } else {
@@ -439,13 +927,15 @@ pub fn exec_into<M: VMemory>(
                     bytes.clear();
                     bytes.resize(vl * nf * eb, 0);
                     mem.read_bytes(*base, bytes);
-                    for i in 0..vl {
-                        for f in 0..nf {
+                    for f in 0..nf {
+                        zs.clear();
+                        zs.extend((0..vl).map(|i| {
                             let off = (i * nf + f) * eb;
                             let mut w = [0u8; 8];
                             w[..eb].copy_from_slice(&bytes[off..off + eb]);
-                            state.regs.set(vd + f as u8, sew, i, u64::from_le_bytes(w));
-                        }
+                            u64::from_le_bytes(w)
+                        }));
+                        state.regs.write_elems(vd + f as u8, sew, zs);
                     }
                     info.mem.push_run(*base, eb as u8, (vl * nf) as u32, MemAccessKind::Read);
                     info.active = vl;
@@ -479,9 +969,9 @@ pub fn exec_into<M: VMemory>(
                 if vl > 0 {
                     bytes.clear();
                     bytes.resize(vl * nf * eb, 0);
-                    for i in 0..vl {
-                        for f in 0..nf {
-                            let v = state.regs.get(vs + f as u8, sew, i);
+                    for f in 0..nf {
+                        state.regs.read_elems_into(vs + f as u8, sew, vl, xs);
+                        for (i, &v) in xs.iter().enumerate() {
                             let off = (i * nf + f) * eb;
                             bytes[off..off + eb].copy_from_slice(&v.to_le_bytes()[..eb]);
                         }
@@ -512,19 +1002,29 @@ pub fn exec_into<M: VMemory>(
         VOp::LoadWiden { vd, addr } => {
             let half = sew.half().expect("widening load requires SEW >= 16");
             let hb = half.bytes();
-            if let (MemAddr::Unit { base }, false) = (addr, masked) {
-                // Stage the narrow elements with one bulk read, then widen.
-                info.unit_stride = true;
-                if vl > 0 {
-                    bytes.clear();
-                    bytes.resize(vl * hb, 0);
-                    mem.read_bytes(*base, bytes);
-                    for i in 0..vl {
-                        let mut w = [0u8; 8];
-                        w[..hb].copy_from_slice(&bytes[i * hb..(i + 1) * hb]);
-                        state.regs.set(*vd, sew, i, u64::from_le_bytes(w));
+            if !masked {
+                if let MemAddr::Unit { base } = addr {
+                    // Stage the narrow elements with one bulk read, widen
+                    // into the staging buffer, write back in bulk.
+                    info.unit_stride = true;
+                    if vl > 0 {
+                        bytes.clear();
+                        bytes.resize(vl * hb, 0);
+                        mem.read_bytes(*base, bytes);
+                        zs.clear();
+                        zs.extend(bytes.chunks_exact(hb).map(|c| {
+                            let mut w = [0u8; 8];
+                            w[..hb].copy_from_slice(c);
+                            u64::from_le_bytes(w)
+                        }));
+                        state.regs.write_elems(*vd, sew, zs);
+                        info.mem.push_run(*base, hb as u8, vl as u32, MemAccessKind::Read);
+                        info.active = vl;
                     }
-                    info.mem.push_run(*base, hb as u8, vl as u32, MemAccessKind::Read);
+                } else {
+                    addrs_unmasked(state, addr, vl, ys, xs);
+                    gather_elems(mem, hb, xs, zs, &mut info.mem);
+                    state.regs.write_elems(*vd, sew, zs);
                     info.active = vl;
                 }
             } else {
@@ -541,13 +1041,20 @@ pub fn exec_into<M: VMemory>(
             }
         }
         VOp::Store { vs, addr } => {
-            if let (MemAddr::Unit { base }, false) = (addr, masked) {
-                // Bulk path: one memcpy out of the contiguous register group.
-                info.unit_stride = true;
-                if vl > 0 {
-                    let nbytes = vl * sew.bytes();
-                    mem.write_bytes(*base, state.regs.group_bytes(*vs, nbytes));
-                    info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Write);
+            if !masked {
+                if let MemAddr::Unit { base } = addr {
+                    // Bulk path: one memcpy out of the contiguous group.
+                    info.unit_stride = true;
+                    if vl > 0 {
+                        let nbytes = vl * sew.bytes();
+                        mem.write_bytes(*base, state.regs.group_bytes(*vs, nbytes));
+                        info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Write);
+                        info.active = vl;
+                    }
+                } else {
+                    state.regs.read_elems_into(*vs, sew, vl, zs);
+                    addrs_unmasked(state, addr, vl, ys, xs);
+                    scatter_elems(mem, sew.bytes(), xs, zs, &mut info.mem);
                     info.active = vl;
                 }
             } else {
@@ -566,122 +1073,76 @@ pub fn exec_into<M: VMemory>(
         VOp::ArithVV { kind, vd, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], ys[i]));
-                    info.active += 1;
-                }
-            }
+            int_bin_batch(sew, *kind, zip2(xs, ys), zs);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::ArithVX { kind, vd, x, scalar } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], *scalar));
-                    info.active += 1;
-                }
-            }
+            int_bin_batch(sew, *kind, with_scalar(xs, *scalar), zs);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::FArithVV { kind, vd, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], ys[i]));
-                    info.active += 1;
-                }
-            }
+            fp_bin_batch(sew, *kind, zip2(xs, ys), zs);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::FArithVF { kind, vd, x, scalar } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], *scalar));
-                    info.active += 1;
-                }
-            }
+            fp_bin_batch(sew, *kind, with_scalar(xs, *scalar), zs);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::FUnary { kind, vd, x } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let r = match sew {
-                        Sew::E64 => {
-                            let v = f64::from_bits(xs[i]);
-                            (match kind {
-                                crate::instr::FUnaryKind::Fsqrt => v.sqrt(),
-                                crate::instr::FUnaryKind::Fneg => -v,
-                                crate::instr::FUnaryKind::Fabs => v.abs(),
-                            })
-                            .to_bits()
-                        }
-                        Sew::E32 => {
-                            let v = f32::from_bits(xs[i] as u32);
-                            (match kind {
-                                crate::instr::FUnaryKind::Fsqrt => v.sqrt(),
-                                crate::instr::FUnaryKind::Fneg => -v,
-                                crate::instr::FUnaryKind::Fabs => v.abs(),
-                            })
-                            .to_bits() as u64
-                        }
-                        _ => panic!("FP unary requires SEW of 32 or 64 bits"),
-                    };
-                    state.regs.set(*vd, sew, i, r);
-                    info.active += 1;
-                }
-            }
+            fp_unary_batch(sew, *kind, xs, zs);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::IMaccVV { vd, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let acc = state.regs.get(*vd, sew, i);
-                    let r = acc.wrapping_add(xs[i].wrapping_mul(ys[i])) & sew.value_mask();
-                    state.regs.set(*vd, sew, i, r);
-                    info.active += 1;
-                }
+            state.regs.read_elems_into(*vd, sew, vl, zs);
+            let mask = sew.value_mask();
+            for ((d, &a), &b) in zs.iter_mut().zip(xs.iter()).zip(ys.iter()) {
+                *d = d.wrapping_add(a.wrapping_mul(b)) & mask;
             }
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::SatAddU { vd, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
             let max = sew.value_mask();
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let sum = (xs[i] & max) as u128 + (ys[i] & max) as u128;
-                    let r = if sum > max as u128 { max } else { sum as u64 };
-                    state.regs.set(*vd, sew, i, r);
-                    info.active += 1;
+            zs.clear();
+            zs.extend(zip2(xs, ys).map(|(a, b)| {
+                let sum = (a & max) as u128 + (b & max) as u128;
+                if sum > max as u128 {
+                    max
+                } else {
+                    sum as u64
                 }
-            }
+            }));
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::WidenBin { kind, vd, x, y } => {
             let half = sew.half().expect("widening requires SEW >= 16");
             state.regs.read_elems_into(*x, half, vl, xs);
             state.regs.read_elems_into(*y, half, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let r = match kind {
-                        crate::instr::WidenKind::Addu => xs[i] + ys[i],
-                        crate::instr::WidenKind::Subu => xs[i].wrapping_sub(ys[i]) & sew.value_mask(),
-                        crate::instr::WidenKind::Mulu => xs[i].wrapping_mul(ys[i]) & sew.value_mask(),
-                    };
-                    state.regs.set(*vd, sew, i, r);
-                    info.active += 1;
-                }
+            let mask = sew.value_mask();
+            zs.clear();
+            match kind {
+                WidenKind::Addu => zs.extend(zip2(xs, ys).map(|(a, b)| a + b)),
+                WidenKind::Subu => zs.extend(zip2(xs, ys).map(|(a, b)| a.wrapping_sub(b) & mask)),
+                WidenKind::Mulu => zs.extend(zip2(xs, ys).map(|(a, b)| a.wrapping_mul(b) & mask)),
             }
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::NarrowSrl { vd, x, shamt } => {
             let half = sew.half().expect("narrowing requires SEW >= 16");
             state.regs.read_elems_into(*x, sew, vl, xs);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let r = (xs[i] >> (shamt & (sew.bits() as u32 - 1))) & half.value_mask();
-                    state.regs.set(*vd, half, i, r);
-                    info.active += 1;
-                }
-            }
+            let sh = shamt & (sew.bits() as u32 - 1);
+            let hm = half.value_mask();
+            zs.clear();
+            zs.extend(xs.iter().map(|&a| (a >> sh) & hm));
+            info.active = write_lanes(state, masked, *vd, half, zs, bs);
         }
         VOp::MaskSet { kind, md, m } => {
             state.regs.read_mask_bits_into(*m, vl, bs);
@@ -701,39 +1162,30 @@ pub fn exec_into<M: VMemory>(
         VOp::FmaVV { kind, vd, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let acc = state.regs.get(*vd, sew, i);
-                    state.regs.set(*vd, sew, i, fp_fma(sew, *kind, acc, xs[i], ys[i]));
-                    info.active += 1;
-                }
-            }
+            state.regs.read_elems_into(*vd, sew, vl, zs);
+            fp_fma_batch(sew, *kind, zs, zip2(xs, ys));
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::FmaVF { kind, vd, scalar, y } => {
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let acc = state.regs.get(*vd, sew, i);
-                    state.regs.set(*vd, sew, i, fp_fma(sew, *kind, acc, *scalar, ys[i]));
-                    info.active += 1;
-                }
-            }
+            state.regs.read_elems_into(*vd, sew, vl, zs);
+            let s = *scalar;
+            fp_fma_batch(sew, *kind, zs, ys.iter().map(|&b| (s, b)));
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::CmpVV { kind, md, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
             // Must snapshot activity before writing: md may be v0 itself.
-            fill_active(state, masked, vl, bs2);
-            bs.clear();
-            bs.extend((0..vl).map(|i| compare(sew, *kind, xs[i], ys[i])));
+            state.snapshot_active(masked, vl, bs2);
+            compare_batch(sew, *kind, zip2(xs, ys), bs);
             state.regs.write_mask_bits_where(*md, bs, bs2);
             info.active = bs2.iter().filter(|&&a| a).count();
         }
         VOp::CmpVX { kind, md, x, scalar } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
-            fill_active(state, masked, vl, bs2);
-            bs.clear();
-            bs.extend((0..vl).map(|i| compare(sew, *kind, xs[i], *scalar)));
+            state.snapshot_active(masked, vl, bs2);
+            compare_batch(sew, *kind, with_scalar(xs, *scalar), bs);
             state.regs.write_mask_bits_where(*md, bs, bs2);
             info.active = bs2.iter().filter(|&&a| a).count();
         }
@@ -777,7 +1229,7 @@ pub fn exec_into<M: VMemory>(
         }
         VOp::Iota { vd, m } => {
             state.regs.read_mask_bits_into(*m, vl, bs);
-            fill_active(state, masked, vl, bs2);
+            state.snapshot_active(masked, vl, bs2);
             let mut cnt = 0u64;
             for i in 0..vl {
                 if bs2[i] {
@@ -790,87 +1242,44 @@ pub fn exec_into<M: VMemory>(
             }
         }
         VOp::Id { vd } => {
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, i as u64);
-                    info.active += 1;
-                }
-            }
+            zs.clear();
+            zs.extend(0..vl as u64);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::Red { kind, vd, x, acc } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             let seed = state.regs.get(*acc, sew, 0);
-            let is_fp = matches!(kind, RedKind::Fsum | RedKind::Fmax | RedKind::Fmin);
-            let mut r = seed;
-            for (i, &v) in xs.iter().enumerate().take(vl) {
-                if !state.active(masked, i) {
-                    continue;
-                }
-                info.active += 1;
-                r = if is_fp {
-                    match sew {
-                        Sew::E64 => {
-                            let (a, b) = (f64::from_bits(r), f64::from_bits(v));
-                            match kind {
-                                RedKind::Fsum => (a + b).to_bits(),
-                                RedKind::Fmax => a.max(b).to_bits(),
-                                RedKind::Fmin => a.min(b).to_bits(),
-                                _ => unreachable!(),
-                            }
-                        }
-                        Sew::E32 => {
-                            let (a, b) = (f32::from_bits(r as u32), f32::from_bits(v as u32));
-                            (match kind {
-                                RedKind::Fsum => a + b,
-                                RedKind::Fmax => a.max(b),
-                                RedKind::Fmin => a.min(b),
-                                _ => unreachable!(),
-                            })
-                            .to_bits() as u64
-                        }
-                        _ => panic!("FP reduction requires SEW of 32 or 64 bits"),
-                    }
-                } else {
-                    match kind {
-                        RedKind::Sum => (r.wrapping_add(v)) & sew.value_mask(),
-                        RedKind::Max => {
-                            if sew.sign_extend(v) > sew.sign_extend(r) {
-                                v
-                            } else {
-                                r
-                            }
-                        }
-                        RedKind::Min => {
-                            if sew.sign_extend(v) < sew.sign_extend(r) {
-                                v
-                            } else {
-                                r
-                            }
-                        }
-                        RedKind::Maxu => (r & sew.value_mask()).max(v & sew.value_mask()),
-                        _ => unreachable!(),
-                    }
-                };
-            }
+            let r = if masked {
+                state.regs.read_mask_bits_into(0, vl, bs2);
+                info.active = bs2.iter().filter(|&&a| a).count();
+                reduce_batch(sew, *kind, seed, xs, Some(bs2))
+            } else {
+                info.active = vl;
+                reduce_batch(sew, *kind, seed, xs, None)
+            };
             state.regs.set(*vd, sew, 0, r);
         }
         VOp::Slide { kind, vd, x, amount } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             let vlmax = state.vlmax().min(state.regs.elems_per_reg(sew) * state.vtype.lmul.factor());
-            match kind {
-                SlideKind::Up => {
-                    let off = *amount as usize;
-                    for i in off..vl {
-                        if state.active(masked, i) {
-                            state.regs.set(*vd, sew, i, xs[i - off]);
-                            info.active += 1;
+            if !masked {
+                // All lanes active: build the shifted vector in the staging
+                // buffer and write it back in one go. Values past `vl` for
+                // slide-down are read before any write, so `vd == x` aliasing
+                // behaves exactly like the progressive per-element loop
+                // (which also never read an element it had already written).
+                match kind {
+                    SlideKind::Up => {
+                        let off = *amount as usize;
+                        if off < vl {
+                            state.regs.write_elems_at(*vd, sew, off, &xs[..vl - off]);
                         }
+                        info.active = vl.saturating_sub(off);
                     }
-                }
-                SlideKind::Down => {
-                    let off = *amount as usize;
-                    for i in 0..vl {
-                        if state.active(masked, i) {
+                    SlideKind::Down => {
+                        let off = *amount as usize;
+                        zs.clear();
+                        for i in 0..vl {
                             let src = i + off;
                             let v = if src < vl {
                                 xs[src]
@@ -879,33 +1288,84 @@ pub fn exec_into<M: VMemory>(
                             } else {
                                 0
                             };
-                            state.regs.set(*vd, sew, i, v);
-                            info.active += 1;
+                            zs.push(v);
                         }
+                        state.regs.write_elems(*vd, sew, zs);
+                        info.active = vl;
+                    }
+                    SlideKind::OneUp => {
+                        if vl > 0 {
+                            zs.clear();
+                            zs.push(*amount);
+                            zs.extend_from_slice(&xs[..vl - 1]);
+                            state.regs.write_elems(*vd, sew, zs);
+                        }
+                        info.active = vl;
+                    }
+                    SlideKind::OneDown => {
+                        if vl > 0 {
+                            zs.clear();
+                            zs.extend_from_slice(&xs[1..vl]);
+                            zs.push(*amount);
+                            state.regs.write_elems(*vd, sew, zs);
+                        }
+                        info.active = vl;
                     }
                 }
-                SlideKind::OneUp => {
-                    for i in (1..vl).rev() {
-                        if state.active(masked, i) {
-                            state.regs.set(*vd, sew, i, xs[i - 1]);
+            } else {
+                // Masked slides keep the per-element loop: inactive lanes
+                // stay undisturbed at arbitrary positions, so there is no
+                // dense batch to stage.
+                match kind {
+                    SlideKind::Up => {
+                        let off = *amount as usize;
+                        for i in off..vl {
+                            if state.active(masked, i) {
+                                state.regs.set(*vd, sew, i, xs[i - off]);
+                                info.active += 1;
+                            }
+                        }
+                    }
+                    SlideKind::Down => {
+                        let off = *amount as usize;
+                        for i in 0..vl {
+                            if state.active(masked, i) {
+                                let src = i + off;
+                                let v = if src < vl {
+                                    xs[src]
+                                } else if src < vlmax {
+                                    state.regs.get(*x, sew, src)
+                                } else {
+                                    0
+                                };
+                                state.regs.set(*vd, sew, i, v);
+                                info.active += 1;
+                            }
+                        }
+                    }
+                    SlideKind::OneUp => {
+                        for i in (1..vl).rev() {
+                            if state.active(masked, i) {
+                                state.regs.set(*vd, sew, i, xs[i - 1]);
+                                info.active += 1;
+                            }
+                        }
+                        if vl > 0 && state.active(masked, 0) {
+                            state.regs.set(*vd, sew, 0, *amount);
                             info.active += 1;
                         }
                     }
-                    if vl > 0 && state.active(masked, 0) {
-                        state.regs.set(*vd, sew, 0, *amount);
-                        info.active += 1;
-                    }
-                }
-                SlideKind::OneDown => {
-                    for i in 0..vl.saturating_sub(1) {
-                        if state.active(masked, i) {
-                            state.regs.set(*vd, sew, i, xs[i + 1]);
+                    SlideKind::OneDown => {
+                        for i in 0..vl.saturating_sub(1) {
+                            if state.active(masked, i) {
+                                state.regs.set(*vd, sew, i, xs[i + 1]);
+                                info.active += 1;
+                            }
+                        }
+                        if vl > 0 && state.active(masked, vl - 1) {
+                            state.regs.set(*vd, sew, vl - 1, *amount);
                             info.active += 1;
                         }
-                    }
-                    if vl > 0 && state.active(masked, vl - 1) {
-                        state.regs.set(*vd, sew, vl - 1, *amount);
-                        info.active += 1;
                     }
                 }
             }
@@ -914,60 +1374,54 @@ pub fn exec_into<M: VMemory>(
             let table_len = state.regs.elems_per_reg(sew) * state.vtype.lmul.factor();
             state.regs.read_elems_into(*x, sew, table_len, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    let j = ys[i] as usize;
-                    let v = if j < table_len { xs[j] } else { 0 };
-                    state.regs.set(*vd, sew, i, v);
-                    info.active += 1;
+            zs.clear();
+            zs.extend(ys.iter().map(|&idx| {
+                let j = idx as usize;
+                if j < table_len {
+                    xs[j]
+                } else {
+                    0
                 }
-            }
+            }));
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::Compress { vd, x, m } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_mask_bits_into(*m, vl, bs);
-            let mut j = 0usize;
-            for i in 0..vl {
-                if bs[i] {
-                    state.regs.set(*vd, sew, j, xs[i]);
-                    j += 1;
+            zs.clear();
+            for (&v, &b) in xs.iter().zip(bs.iter()) {
+                if b {
+                    zs.push(v);
                 }
             }
-            info.active = j;
+            state.regs.write_elems(*vd, sew, zs);
+            info.active = zs.len();
         }
         VOp::Merge { vd, x, y } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                let take_x = state.regs.get_mask(0, i);
-                state.regs.set(*vd, sew, i, if take_x { xs[i] } else { ys[i] });
-            }
+            state.regs.read_mask_bits_into(0, vl, bs);
+            zs.clear();
+            zs.extend(zip2(xs, ys).zip(bs.iter()).map(|((a, b), &t)| if t { a } else { b }));
+            state.regs.write_elems(*vd, sew, zs);
             info.active = vl;
         }
         VOp::MergeVX { vd, scalar, y } => {
             state.regs.read_elems_into(*y, sew, vl, ys);
-            for i in 0..vl {
-                let take_s = state.regs.get_mask(0, i);
-                state.regs.set(*vd, sew, i, if take_s { *scalar } else { ys[i] });
-            }
+            state.regs.read_mask_bits_into(0, vl, bs);
+            zs.clear();
+            zs.extend(ys.iter().zip(bs.iter()).map(|(&b, &t)| if t { *scalar } else { b }));
+            state.regs.write_elems(*vd, sew, zs);
             info.active = vl;
         }
         VOp::Mv { vd, x } => {
             state.regs.read_elems_into(*x, sew, vl, xs);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, xs[i]);
-                    info.active += 1;
-                }
-            }
+            info.active = write_lanes(state, masked, *vd, sew, xs, bs);
         }
         VOp::MvVX { vd, scalar } => {
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, *scalar);
-                    info.active += 1;
-                }
-            }
+            zs.clear();
+            zs.resize(vl, *scalar);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
         }
         VOp::MvSX { vd, scalar } => {
             state.regs.set(*vd, sew, 0, *scalar);
@@ -980,59 +1434,683 @@ pub fn exec_into<M: VMemory>(
         VOp::Widen { vd, x } => {
             let half = sew.half().expect("cannot widen from SEW=8's half");
             state.regs.read_elems_into(*x, half, vl, xs);
-            for i in 0..vl {
-                if state.active(masked, i) {
-                    state.regs.set(*vd, sew, i, xs[i]);
+            info.active = write_lanes(state, masked, *vd, sew, xs, bs);
+        }
+        VOp::Cvt { kind, vd, x } => {
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            cvt_batch(sew, *kind, xs, zs);
+            info.active = write_lanes(state, masked, *vd, sew, zs, bs);
+        }
+    }
+}
+
+
+// ---------------------------------------------------------------------------
+// Reference interpreter (tests only)
+// ---------------------------------------------------------------------------
+
+/// The pre-batch per-element interpreter, kept verbatim as the oracle for the
+/// differential tests: every element re-dispatches on SEW x op kind x mask.
+/// Slow but obvious -- each arm is a direct transcription of the RVV
+/// semantics, with no staging buffers and no bulk register accessors.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Execute one instruction the slow way. Matches [`exec`] exactly for
+    /// every program the batch backend accepts (the differential tests below
+    /// assert this), except that malformed FP/SEW combinations may panic at
+    /// a different point when no lane is active.
+    pub(crate) fn exec_ref<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecInfo {
+        let sew = state.vtype.sew;
+        let vl = state.vl;
+        let masked = inst.masked;
+        let mut out = ExecInfo::default();
+        out.reset(vl);
+        let info = &mut out;
+        let mut xs: Vec<u64> = Vec::new();
+        let mut ys: Vec<u64> = Vec::new();
+        let mut bs: Vec<bool> = Vec::new();
+        let mut bs2: Vec<bool> = Vec::new();
+        let mut addrs: Vec<Option<u64>> = Vec::new();
+        let mut bytes: Vec<u8> = Vec::new();
+        let (xs, ys, bs, bs2, addrs, bytes) =
+            (&mut xs, &mut ys, &mut bs, &mut bs2, &mut addrs, &mut bytes);
+
+        match &inst.op {
+            VOp::Load { vd, addr } => {
+                if let (MemAddr::Unit { base }, false) = (addr, masked) {
+                    // Bulk path: one memcpy into the contiguous register group.
+                    // Registers and memory are both little-endian, so the bytes
+                    // land exactly where the per-element loop would put them.
+                    info.unit_stride = true;
+                    if vl > 0 {
+                        let nbytes = vl * sew.bytes();
+                        mem.read_bytes(*base, state.regs.group_bytes_mut(*vd, nbytes));
+                        info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Read);
+                        info.active = vl;
+                    }
+                } else {
+                    let unit = element_addrs_into(state, addr, masked, sew.bytes(), addrs);
+                    info.unit_stride = unit;
+                    for (i, a) in addrs.iter().enumerate() {
+                        if let Some(a) = *a {
+                            let v = mem.read_uint(a, sew.bytes());
+                            state.regs.set(*vd, sew, i, v);
+                            info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Read });
+                            info.active += 1;
+                        }
+                    }
+                }
+            }
+            VOp::SegLoad { vd, base, nf } => {
+                let nf = *nf as usize;
+                assert!((2..=8).contains(&nf), "segment nf must be 2..=8");
+                info.unit_stride = true;
+                let eb = sew.bytes();
+                if !masked {
+                    // The field-interleaved footprint is fully contiguous: stage
+                    // it with one bulk read, then de-interleave into registers.
+                    if vl > 0 {
+                        bytes.clear();
+                        bytes.resize(vl * nf * eb, 0);
+                        mem.read_bytes(*base, bytes);
+                        for i in 0..vl {
+                            for f in 0..nf {
+                                let off = (i * nf + f) * eb;
+                                let mut w = [0u8; 8];
+                                w[..eb].copy_from_slice(&bytes[off..off + eb]);
+                                state.regs.set(vd + f as u8, sew, i, u64::from_le_bytes(w));
+                            }
+                        }
+                        info.mem.push_run(*base, eb as u8, (vl * nf) as u32, MemAccessKind::Read);
+                        info.active = vl;
+                    }
+                } else {
+                    for i in 0..vl {
+                        if !state.active(masked, i) {
+                            continue;
+                        }
+                        for f in 0..nf {
+                            let a = base + ((i * nf + f) * eb) as u64;
+                            let v = mem.read_uint(a, eb);
+                            state.regs.set(vd + f as u8, sew, i, v);
+                            info.mem.push(MemAccess {
+                                addr: a,
+                                size: eb as u8,
+                                kind: MemAccessKind::Read,
+                            });
+                        }
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::SegStore { vs, base, nf } => {
+                let nf = *nf as usize;
+                assert!((2..=8).contains(&nf), "segment nf must be 2..=8");
+                info.unit_stride = true;
+                let eb = sew.bytes();
+                if !masked {
+                    // Re-interleave into a staging buffer, then one bulk write.
+                    if vl > 0 {
+                        bytes.clear();
+                        bytes.resize(vl * nf * eb, 0);
+                        for i in 0..vl {
+                            for f in 0..nf {
+                                let v = state.regs.get(vs + f as u8, sew, i);
+                                let off = (i * nf + f) * eb;
+                                bytes[off..off + eb].copy_from_slice(&v.to_le_bytes()[..eb]);
+                            }
+                        }
+                        mem.write_bytes(*base, bytes);
+                        info.mem.push_run(*base, eb as u8, (vl * nf) as u32, MemAccessKind::Write);
+                        info.active = vl;
+                    }
+                } else {
+                    for i in 0..vl {
+                        if !state.active(masked, i) {
+                            continue;
+                        }
+                        for f in 0..nf {
+                            let a = base + ((i * nf + f) * eb) as u64;
+                            let v = state.regs.get(vs + f as u8, sew, i);
+                            mem.write_uint(a, eb, v);
+                            info.mem.push(MemAccess {
+                                addr: a,
+                                size: eb as u8,
+                                kind: MemAccessKind::Write,
+                            });
+                        }
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::LoadWiden { vd, addr } => {
+                let half = sew.half().expect("widening load requires SEW >= 16");
+                let hb = half.bytes();
+                if let (MemAddr::Unit { base }, false) = (addr, masked) {
+                    // Stage the narrow elements with one bulk read, then widen.
+                    info.unit_stride = true;
+                    if vl > 0 {
+                        bytes.clear();
+                        bytes.resize(vl * hb, 0);
+                        mem.read_bytes(*base, bytes);
+                        for i in 0..vl {
+                            let mut w = [0u8; 8];
+                            w[..hb].copy_from_slice(&bytes[i * hb..(i + 1) * hb]);
+                            state.regs.set(*vd, sew, i, u64::from_le_bytes(w));
+                        }
+                        info.mem.push_run(*base, hb as u8, vl as u32, MemAccessKind::Read);
+                        info.active = vl;
+                    }
+                } else {
+                    let unit = element_addrs_into(state, addr, masked, hb, addrs);
+                    info.unit_stride = unit;
+                    for (i, a) in addrs.iter().enumerate() {
+                        if let Some(a) = *a {
+                            let v = mem.read_uint(a, hb);
+                            state.regs.set(*vd, sew, i, v);
+                            info.mem.push(MemAccess { addr: a, size: hb as u8, kind: MemAccessKind::Read });
+                            info.active += 1;
+                        }
+                    }
+                }
+            }
+            VOp::Store { vs, addr } => {
+                if let (MemAddr::Unit { base }, false) = (addr, masked) {
+                    // Bulk path: one memcpy out of the contiguous register group.
+                    info.unit_stride = true;
+                    if vl > 0 {
+                        let nbytes = vl * sew.bytes();
+                        mem.write_bytes(*base, state.regs.group_bytes(*vs, nbytes));
+                        info.mem.push_run(*base, sew.bytes() as u8, vl as u32, MemAccessKind::Write);
+                        info.active = vl;
+                    }
+                } else {
+                    let unit = element_addrs_into(state, addr, masked, sew.bytes(), addrs);
+                    info.unit_stride = unit;
+                    for (i, a) in addrs.iter().enumerate() {
+                        if let Some(a) = *a {
+                            let v = state.regs.get(*vs, sew, i);
+                            mem.write_uint(a, sew.bytes(), v);
+                            info.mem.push(MemAccess { addr: a, size: sew.bytes() as u8, kind: MemAccessKind::Write });
+                            info.active += 1;
+                        }
+                    }
+                }
+            }
+            VOp::ArithVV { kind, vd, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], ys[i]));
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::ArithVX { kind, vd, x, scalar } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, int_bin(sew, *kind, xs[i], *scalar));
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::FArithVV { kind, vd, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], ys[i]));
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::FArithVF { kind, vd, x, scalar } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, fp_bin(sew, *kind, xs[i], *scalar));
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::FUnary { kind, vd, x } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let r = match sew {
+                            Sew::E64 => {
+                                let v = f64::from_bits(xs[i]);
+                                (match kind {
+                                    crate::instr::FUnaryKind::Fsqrt => v.sqrt(),
+                                    crate::instr::FUnaryKind::Fneg => -v,
+                                    crate::instr::FUnaryKind::Fabs => v.abs(),
+                                })
+                                .to_bits()
+                            }
+                            Sew::E32 => {
+                                let v = f32::from_bits(xs[i] as u32);
+                                (match kind {
+                                    crate::instr::FUnaryKind::Fsqrt => v.sqrt(),
+                                    crate::instr::FUnaryKind::Fneg => -v,
+                                    crate::instr::FUnaryKind::Fabs => v.abs(),
+                                })
+                                .to_bits() as u64
+                            }
+                            _ => panic!("FP unary requires SEW of 32 or 64 bits"),
+                        };
+                        state.regs.set(*vd, sew, i, r);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::IMaccVV { vd, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let acc = state.regs.get(*vd, sew, i);
+                        let r = acc.wrapping_add(xs[i].wrapping_mul(ys[i])) & sew.value_mask();
+                        state.regs.set(*vd, sew, i, r);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::SatAddU { vd, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                let max = sew.value_mask();
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let sum = (xs[i] & max) as u128 + (ys[i] & max) as u128;
+                        let r = if sum > max as u128 { max } else { sum as u64 };
+                        state.regs.set(*vd, sew, i, r);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::WidenBin { kind, vd, x, y } => {
+                let half = sew.half().expect("widening requires SEW >= 16");
+                state.regs.read_elems_into(*x, half, vl, xs);
+                state.regs.read_elems_into(*y, half, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let r = match kind {
+                            crate::instr::WidenKind::Addu => xs[i] + ys[i],
+                            crate::instr::WidenKind::Subu => xs[i].wrapping_sub(ys[i]) & sew.value_mask(),
+                            crate::instr::WidenKind::Mulu => xs[i].wrapping_mul(ys[i]) & sew.value_mask(),
+                        };
+                        state.regs.set(*vd, sew, i, r);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::NarrowSrl { vd, x, shamt } => {
+                let half = sew.half().expect("narrowing requires SEW >= 16");
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let r = (xs[i] >> (shamt & (sew.bits() as u32 - 1))) & half.value_mask();
+                        state.regs.set(*vd, half, i, r);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::MaskSet { kind, md, m } => {
+                state.regs.read_mask_bits_into(*m, vl, bs);
+                let first = bs.iter().position(|&b| b);
+                bs2.clear();
+                bs2.extend((0..vl).map(|i| match (kind, first) {
+                    (crate::instr::MaskSetKind::Sbf, Some(f)) => i < f,
+                    (crate::instr::MaskSetKind::Sif, Some(f)) => i <= f,
+                    (crate::instr::MaskSetKind::Sof, Some(f)) => i == f,
+                    (crate::instr::MaskSetKind::Sbf, None)
+                    | (crate::instr::MaskSetKind::Sif, None) => true,
+                    (crate::instr::MaskSetKind::Sof, None) => false,
+                }));
+                state.regs.write_mask_bits(*md, bs2);
+                info.active = vl;
+            }
+            VOp::FmaVV { kind, vd, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let acc = state.regs.get(*vd, sew, i);
+                        state.regs.set(*vd, sew, i, fp_fma(sew, *kind, acc, xs[i], ys[i]));
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::FmaVF { kind, vd, scalar, y } => {
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let acc = state.regs.get(*vd, sew, i);
+                        state.regs.set(*vd, sew, i, fp_fma(sew, *kind, acc, *scalar, ys[i]));
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::CmpVV { kind, md, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                // Must snapshot activity before writing: md may be v0 itself.
+                fill_active(state, masked, vl, bs2);
+                bs.clear();
+                bs.extend((0..vl).map(|i| compare(sew, *kind, xs[i], ys[i])));
+                state.regs.write_mask_bits_where(*md, bs, bs2);
+                info.active = bs2.iter().filter(|&&a| a).count();
+            }
+            VOp::CmpVX { kind, md, x, scalar } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                fill_active(state, masked, vl, bs2);
+                bs.clear();
+                bs.extend((0..vl).map(|i| compare(sew, *kind, xs[i], *scalar)));
+                state.regs.write_mask_bits_where(*md, bs, bs2);
+                info.active = bs2.iter().filter(|&&a| a).count();
+            }
+            VOp::MaskOp { kind, md, m1, m2 } => {
+                state.regs.read_mask_bits_into(*m1, vl, bs);
+                state.regs.read_mask_bits_into(*m2, vl, bs2);
+                for i in 0..vl {
+                    bs[i] = match kind {
+                        MaskKind::And => bs[i] & bs2[i],
+                        MaskKind::Or => bs[i] | bs2[i],
+                        MaskKind::Xor => bs[i] ^ bs2[i],
+                        MaskKind::AndNot => bs[i] & !bs2[i],
+                        MaskKind::Nand => !(bs[i] & bs2[i]),
+                        MaskKind::Nor => !(bs[i] | bs2[i]),
+                    };
+                }
+                state.regs.write_mask_bits(*md, bs);
+                info.active = vl;
+            }
+            VOp::Popc { m } => {
+                state.regs.read_mask_bits_into(*m, vl, bs);
+                let n = if masked {
+                    state.regs.read_mask_bits_into(0, vl, bs2);
+                    bs.iter().zip(bs2.iter()).filter(|&(&v, &a)| v && a).count()
+                } else {
+                    bs.iter().filter(|&&v| v).count()
+                };
+                info.scalar = Some(n as u64);
+                info.active = vl;
+            }
+            VOp::First { m } => {
+                let mut r = -1i64;
+                for i in 0..vl {
+                    if state.active(masked, i) && state.regs.get_mask(*m, i) {
+                        r = i as i64;
+                        break;
+                    }
+                }
+                info.scalar = Some(r as u64);
+                info.active = vl;
+            }
+            VOp::Iota { vd, m } => {
+                state.regs.read_mask_bits_into(*m, vl, bs);
+                fill_active(state, masked, vl, bs2);
+                let mut cnt = 0u64;
+                for i in 0..vl {
+                    if bs2[i] {
+                        state.regs.set(*vd, sew, i, cnt);
+                        if bs[i] {
+                            cnt += 1;
+                        }
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::Id { vd } => {
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, i as u64);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::Red { kind, vd, x, acc } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                let seed = state.regs.get(*acc, sew, 0);
+                let is_fp = matches!(kind, RedKind::Fsum | RedKind::Fmax | RedKind::Fmin);
+                let mut r = seed;
+                for (i, &v) in xs.iter().enumerate().take(vl) {
+                    if !state.active(masked, i) {
+                        continue;
+                    }
+                    info.active += 1;
+                    r = if is_fp {
+                        match sew {
+                            Sew::E64 => {
+                                let (a, b) = (f64::from_bits(r), f64::from_bits(v));
+                                match kind {
+                                    RedKind::Fsum => (a + b).to_bits(),
+                                    RedKind::Fmax => a.max(b).to_bits(),
+                                    RedKind::Fmin => a.min(b).to_bits(),
+                                    _ => unreachable!(),
+                                }
+                            }
+                            Sew::E32 => {
+                                let (a, b) = (f32::from_bits(r as u32), f32::from_bits(v as u32));
+                                (match kind {
+                                    RedKind::Fsum => a + b,
+                                    RedKind::Fmax => a.max(b),
+                                    RedKind::Fmin => a.min(b),
+                                    _ => unreachable!(),
+                                })
+                                .to_bits() as u64
+                            }
+                            _ => panic!("FP reduction requires SEW of 32 or 64 bits"),
+                        }
+                    } else {
+                        match kind {
+                            RedKind::Sum => (r.wrapping_add(v)) & sew.value_mask(),
+                            RedKind::Max => {
+                                if sew.sign_extend(v) > sew.sign_extend(r) {
+                                    v
+                                } else {
+                                    r
+                                }
+                            }
+                            RedKind::Min => {
+                                if sew.sign_extend(v) < sew.sign_extend(r) {
+                                    v
+                                } else {
+                                    r
+                                }
+                            }
+                            RedKind::Maxu => (r & sew.value_mask()).max(v & sew.value_mask()),
+                            _ => unreachable!(),
+                        }
+                    };
+                }
+                state.regs.set(*vd, sew, 0, r);
+            }
+            VOp::Slide { kind, vd, x, amount } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                let vlmax = state.vlmax().min(state.regs.elems_per_reg(sew) * state.vtype.lmul.factor());
+                match kind {
+                    SlideKind::Up => {
+                        let off = *amount as usize;
+                        for i in off..vl {
+                            if state.active(masked, i) {
+                                state.regs.set(*vd, sew, i, xs[i - off]);
+                                info.active += 1;
+                            }
+                        }
+                    }
+                    SlideKind::Down => {
+                        let off = *amount as usize;
+                        for i in 0..vl {
+                            if state.active(masked, i) {
+                                let src = i + off;
+                                let v = if src < vl {
+                                    xs[src]
+                                } else if src < vlmax {
+                                    state.regs.get(*x, sew, src)
+                                } else {
+                                    0
+                                };
+                                state.regs.set(*vd, sew, i, v);
+                                info.active += 1;
+                            }
+                        }
+                    }
+                    SlideKind::OneUp => {
+                        for i in (1..vl).rev() {
+                            if state.active(masked, i) {
+                                state.regs.set(*vd, sew, i, xs[i - 1]);
+                                info.active += 1;
+                            }
+                        }
+                        if vl > 0 && state.active(masked, 0) {
+                            state.regs.set(*vd, sew, 0, *amount);
+                            info.active += 1;
+                        }
+                    }
+                    SlideKind::OneDown => {
+                        for i in 0..vl.saturating_sub(1) {
+                            if state.active(masked, i) {
+                                state.regs.set(*vd, sew, i, xs[i + 1]);
+                                info.active += 1;
+                            }
+                        }
+                        if vl > 0 && state.active(masked, vl - 1) {
+                            state.regs.set(*vd, sew, vl - 1, *amount);
+                            info.active += 1;
+                        }
+                    }
+                }
+            }
+            VOp::Gather { vd, x, y } => {
+                let table_len = state.regs.elems_per_reg(sew) * state.vtype.lmul.factor();
+                state.regs.read_elems_into(*x, sew, table_len, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        let j = ys[i] as usize;
+                        let v = if j < table_len { xs[j] } else { 0 };
+                        state.regs.set(*vd, sew, i, v);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::Compress { vd, x, m } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_mask_bits_into(*m, vl, bs);
+                let mut j = 0usize;
+                for i in 0..vl {
+                    if bs[i] {
+                        state.regs.set(*vd, sew, j, xs[i]);
+                        j += 1;
+                    }
+                }
+                info.active = j;
+            }
+            VOp::Merge { vd, x, y } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    let take_x = state.regs.get_mask(0, i);
+                    state.regs.set(*vd, sew, i, if take_x { xs[i] } else { ys[i] });
+                }
+                info.active = vl;
+            }
+            VOp::MergeVX { vd, scalar, y } => {
+                state.regs.read_elems_into(*y, sew, vl, ys);
+                for i in 0..vl {
+                    let take_s = state.regs.get_mask(0, i);
+                    state.regs.set(*vd, sew, i, if take_s { *scalar } else { ys[i] });
+                }
+                info.active = vl;
+            }
+            VOp::Mv { vd, x } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, xs[i]);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::MvVX { vd, scalar } => {
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, *scalar);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::MvSX { vd, scalar } => {
+                state.regs.set(*vd, sew, 0, *scalar);
+                info.active = 1;
+            }
+            VOp::MvXS { x } => {
+                info.scalar = Some(state.regs.get(*x, sew, 0));
+                info.active = 1;
+            }
+            VOp::Widen { vd, x } => {
+                let half = sew.half().expect("cannot widen from SEW=8's half");
+                state.regs.read_elems_into(*x, half, vl, xs);
+                for i in 0..vl {
+                    if state.active(masked, i) {
+                        state.regs.set(*vd, sew, i, xs[i]);
+                        info.active += 1;
+                    }
+                }
+            }
+            VOp::Cvt { kind, vd, x } => {
+                state.regs.read_elems_into(*x, sew, vl, xs);
+                for i in 0..vl {
+                    if !state.active(masked, i) {
+                        continue;
+                    }
+                    let v = xs[i];
+                    let r = match (sew, kind) {
+                        (Sew::E64, CvtKind::UToF) => (v as f64).to_bits(),
+                        (Sew::E64, CvtKind::IToF) => ((v as i64) as f64).to_bits(),
+                        (Sew::E64, CvtKind::FToU) => {
+                            let f = f64::from_bits(v).round_ties_even();
+                            if f <= 0.0 {
+                                0
+                            } else if f >= u64::MAX as f64 {
+                                u64::MAX
+                            } else {
+                                f as u64
+                            }
+                        }
+                        (Sew::E64, CvtKind::FToI) => {
+                            let f = f64::from_bits(v).round_ties_even();
+                            (f as i64) as u64
+                        }
+                        (Sew::E32, CvtKind::UToF) => ((v as u32) as f32).to_bits() as u64,
+                        (Sew::E32, CvtKind::IToF) => ((v as u32 as i32) as f32).to_bits() as u64,
+                        (Sew::E32, CvtKind::FToU) => {
+                            let f = f32::from_bits(v as u32).round_ties_even();
+                            if f <= 0.0 {
+                                0
+                            } else if f >= u32::MAX as f32 {
+                                u32::MAX as u64
+                            } else {
+                                f as u32 as u64
+                            }
+                        }
+                        (Sew::E32, CvtKind::FToI) => {
+                            let f = f32::from_bits(v as u32).round_ties_even();
+                            (f as i32) as u32 as u64
+                        }
+                        _ => panic!("conversion requires SEW of 32 or 64 bits"),
+                    };
+                    state.regs.set(*vd, sew, i, r);
                     info.active += 1;
                 }
             }
         }
-        VOp::Cvt { kind, vd, x } => {
-            state.regs.read_elems_into(*x, sew, vl, xs);
-            for i in 0..vl {
-                if !state.active(masked, i) {
-                    continue;
-                }
-                let v = xs[i];
-                let r = match (sew, kind) {
-                    (Sew::E64, CvtKind::UToF) => (v as f64).to_bits(),
-                    (Sew::E64, CvtKind::IToF) => ((v as i64) as f64).to_bits(),
-                    (Sew::E64, CvtKind::FToU) => {
-                        let f = f64::from_bits(v).round_ties_even();
-                        if f <= 0.0 {
-                            0
-                        } else if f >= u64::MAX as f64 {
-                            u64::MAX
-                        } else {
-                            f as u64
-                        }
-                    }
-                    (Sew::E64, CvtKind::FToI) => {
-                        let f = f64::from_bits(v).round_ties_even();
-                        (f as i64) as u64
-                    }
-                    (Sew::E32, CvtKind::UToF) => ((v as u32) as f32).to_bits() as u64,
-                    (Sew::E32, CvtKind::IToF) => ((v as u32 as i32) as f32).to_bits() as u64,
-                    (Sew::E32, CvtKind::FToU) => {
-                        let f = f32::from_bits(v as u32).round_ties_even();
-                        if f <= 0.0 {
-                            0
-                        } else if f >= u32::MAX as f32 {
-                            u32::MAX as u64
-                        } else {
-                            f as u32 as u64
-                        }
-                    }
-                    (Sew::E32, CvtKind::FToI) => {
-                        let f = f32::from_bits(v as u32).round_ties_even();
-                        (f as i32) as u32 as u64
-                    }
-                    _ => panic!("conversion requires SEW of 32 or 64 bits"),
-                };
-                state.regs.set(*vd, sew, i, r);
-                info.active += 1;
-            }
-        }
+        out
     }
 }
 
@@ -1750,7 +2828,7 @@ mod tests {
         // Run a sequence of instructions twice: once with exec() (fresh
         // buffers each time) and once through a single reused scratch/info.
         // Register state, memory, and ExecInfo must match exactly.
-        let prog = vec![
+        let prog = [
             VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } }),
             VInst::new(VOp::ArithVX { kind: ArithKind::Add, vd: 2, x: 1, scalar: 5 }),
             VInst::masked(VOp::Load { vd: 3, addr: MemAddr::Strided { base: 8, stride: 16 } }),
@@ -1815,5 +2893,323 @@ mod tests {
         );
         let info = exec(&VInst::new(VOp::Popc { m: 1 }), &mut s, &mut mem);
         assert_eq!(info.scalar, Some(28), "elements 100..127 exceed 99");
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    //! Differential tests: the batch backend behind [`exec_into`] against the
+    //! naive per-element [`reference`] interpreter, swept over every op
+    //! family × SEW × mask pattern × edge VLs. Equality is exact: the
+    //! returned [`ExecInfo`] (including the memory trace), all 32 registers,
+    //! and the full memory image must match bit for bit.
+
+    use super::reference::exec_ref;
+    use super::*;
+    use crate::instr::MaskSetKind;
+    use crate::mem::FlatMemory;
+    use crate::vtype::Lmul;
+
+    const MEM_SIZE: usize = 128 * 1024;
+    const EDGE_VLS: [usize; 5] = [0, 1, 7, 255, 256];
+
+    /// Deterministic byte filler (splitmix-style LCG on the seed).
+    fn fill(buf: &mut [u8], mut seed: u64) {
+        for b in buf.iter_mut() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (seed >> 33) as u8;
+        }
+    }
+
+    /// A fully-random starting state: every register and every memory byte
+    /// seeded, so undisturbed-element and tail behaviour can't hide behind
+    /// zeroes.
+    fn templates() -> (VState, FlatMemory) {
+        let mut s = VState::paper_vpu();
+        for r in 0..32u8 {
+            fill(s.regs.reg_bytes_mut(r), 0x9e37_79b9_7f4a_7c15 ^ ((r as u64) << 8));
+        }
+        let mut m = FlatMemory::new(MEM_SIZE);
+        let mut bytes = vec![0u8; MEM_SIZE];
+        fill(&mut bytes, 0x0123_4567_89ab_cdef);
+        m.write_bytes(0, &bytes);
+        (s, m)
+    }
+
+    /// Mask patterns written into `v0` for the masked sweeps.
+    #[derive(Clone, Copy, Debug)]
+    enum MaskPat {
+        Unmasked,
+        Alternating,
+        AllClear,
+        AllSet,
+        Random,
+    }
+
+    const ALL_PATS: [MaskPat; 5] = [
+        MaskPat::Unmasked,
+        MaskPat::Alternating,
+        MaskPat::AllClear,
+        MaskPat::AllSet,
+        MaskPat::Random,
+    ];
+
+    impl MaskPat {
+        fn masked(self) -> bool {
+            !matches!(self, MaskPat::Unmasked)
+        }
+
+        fn bit(self, i: usize) -> bool {
+            match self {
+                MaskPat::Unmasked | MaskPat::AllSet => true,
+                MaskPat::Alternating => i.is_multiple_of(2),
+                MaskPat::AllClear => false,
+                MaskPat::Random => (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 1,
+            }
+        }
+    }
+
+    /// The op catalog at one SEW. Register conventions: `v0` is the mask,
+    /// `v4` holds controlled byte offsets for indexed addressing, and every
+    /// destination is `>= 1` so masked runs never overwrite the mask
+    /// register mid-instruction.
+    fn catalog(sew: Sew) -> Vec<VOp> {
+        use VOp::*;
+        let fbits = |v: f64| -> u64 {
+            match sew {
+                Sew::E64 => v.to_bits(),
+                Sew::E32 => (v as f32).to_bits() as u64,
+                _ => unreachable!("FP ops are only catalogued at E32/E64"),
+            }
+        };
+        let mut ops = vec![
+            Load { vd: 6, addr: MemAddr::Unit { base: 4096 } },
+            Store { vs: 6, addr: MemAddr::Unit { base: 4096 } },
+            Load { vd: 6, addr: MemAddr::Strided { base: 4096, stride: 40 } },
+            Store { vs: 6, addr: MemAddr::Strided { base: 4096, stride: 40 } },
+            Load { vd: 6, addr: MemAddr::Strided { base: 4096, stride: 0 } },
+            Store { vs: 6, addr: MemAddr::Strided { base: 65536, stride: 0 } },
+            Load { vd: 6, addr: MemAddr::Strided { base: 65536, stride: -48 } },
+            Store { vs: 6, addr: MemAddr::Strided { base: 65536, stride: -48 } },
+            Load { vd: 6, addr: MemAddr::Indexed { base: 8192, index: 4 } },
+            Store { vs: 6, addr: MemAddr::Indexed { base: 8192, index: 4 } },
+            SegLoad { vd: 8, base: 32768, nf: 2 },
+            SegStore { vs: 8, base: 32768, nf: 2 },
+            SegLoad { vd: 8, base: 32768, nf: 3 },
+            SegStore { vs: 8, base: 32768, nf: 3 },
+            SegLoad { vd: 8, base: 32768, nf: 8 },
+            SegStore { vs: 8, base: 32768, nf: 8 },
+        ];
+        for kind in [
+            ArithKind::Add,
+            ArithKind::Sub,
+            ArithKind::Rsub,
+            ArithKind::And,
+            ArithKind::Or,
+            ArithKind::Xor,
+            ArithKind::Sll,
+            ArithKind::Srl,
+            ArithKind::Sra,
+            ArithKind::Mul,
+            ArithKind::Min,
+            ArithKind::Max,
+            ArithKind::Minu,
+            ArithKind::Maxu,
+        ] {
+            ops.push(ArithVV { kind, vd: 1, x: 2, y: 3 });
+            ops.push(ArithVX { kind, vd: 1, x: 2, scalar: 0x1234_5678_9abc_def0 });
+        }
+        ops.push(IMaccVV { vd: 1, x: 2, y: 3 });
+        ops.push(SatAddU { vd: 1, x: 2, y: 3 });
+        for kind in [
+            CmpKind::Eq,
+            CmpKind::Ne,
+            CmpKind::Lt,
+            CmpKind::Ltu,
+            CmpKind::Le,
+            CmpKind::Leu,
+            CmpKind::Gt,
+            CmpKind::Gtu,
+        ] {
+            ops.push(CmpVV { kind, md: 5, x: 2, y: 3 });
+            ops.push(CmpVX { kind, md: 5, x: 2, scalar: 0x80 });
+        }
+        for kind in [MaskSetKind::Sbf, MaskSetKind::Sif, MaskSetKind::Sof] {
+            ops.push(MaskSet { kind, md: 5, m: 6 });
+        }
+        for kind in [
+            MaskKind::And,
+            MaskKind::Or,
+            MaskKind::Xor,
+            MaskKind::AndNot,
+            MaskKind::Nand,
+            MaskKind::Nor,
+        ] {
+            ops.push(MaskOp { kind, md: 5, m1: 6, m2: 7 });
+        }
+        ops.push(Popc { m: 6 });
+        ops.push(First { m: 6 });
+        ops.push(Iota { vd: 1, m: 6 });
+        ops.push(Id { vd: 1 });
+        for kind in [RedKind::Sum, RedKind::Max, RedKind::Min, RedKind::Maxu] {
+            ops.push(Red { kind, vd: 1, x: 2, acc: 3 });
+        }
+        for kind in [SlideKind::Up, SlideKind::Down] {
+            for amount in [0u64, 1, 3, 300] {
+                ops.push(Slide { kind, vd: 1, x: 2, amount });
+            }
+        }
+        ops.push(Slide { kind: SlideKind::OneUp, vd: 1, x: 2, amount: 0x55aa });
+        ops.push(Slide { kind: SlideKind::OneDown, vd: 1, x: 2, amount: 0x55aa });
+        ops.push(Gather { vd: 1, x: 2, y: 3 });
+        ops.push(Compress { vd: 1, x: 2, m: 6 });
+        ops.push(Merge { vd: 1, x: 2, y: 3 });
+        ops.push(MergeVX { vd: 1, scalar: 0xfeed, y: 3 });
+        ops.push(Mv { vd: 1, x: 2 });
+        ops.push(MvVX { vd: 1, scalar: 0xfeed_face });
+        ops.push(MvSX { vd: 1, scalar: 0xfeed_face });
+        ops.push(MvXS { x: 2 });
+        // Destination aliasing a source: batch kernels snapshot operands, the
+        // reference must agree.
+        ops.push(ArithVV { kind: ArithKind::Add, vd: 2, x: 2, y: 2 });
+        ops.push(Slide { kind: SlideKind::Up, vd: 2, x: 2, amount: 1 });
+        ops.push(Slide { kind: SlideKind::Down, vd: 2, x: 2, amount: 1 });
+        ops.push(Gather { vd: 2, x: 2, y: 2 });
+        if sew.half().is_some() {
+            for kind in [WidenKind::Addu, WidenKind::Subu, WidenKind::Mulu] {
+                ops.push(WidenBin { kind, vd: 1, x: 2, y: 3 });
+            }
+            ops.push(NarrowSrl { vd: 1, x: 2, shamt: 3 });
+            ops.push(Widen { vd: 1, x: 2 });
+            ops.push(LoadWiden { vd: 6, addr: MemAddr::Unit { base: 4096 } });
+            ops.push(LoadWiden { vd: 6, addr: MemAddr::Strided { base: 4096, stride: 40 } });
+            ops.push(LoadWiden { vd: 6, addr: MemAddr::Indexed { base: 8192, index: 4 } });
+        }
+        if matches!(sew, Sew::E32 | Sew::E64) {
+            for kind in [
+                FArithKind::Fadd,
+                FArithKind::Fsub,
+                FArithKind::Frsub,
+                FArithKind::Fmul,
+                FArithKind::Fdiv,
+                FArithKind::Fmin,
+                FArithKind::Fmax,
+                FArithKind::Fsgnj,
+                FArithKind::Fsgnjn,
+            ] {
+                ops.push(FArithVV { kind, vd: 1, x: 2, y: 3 });
+            }
+            ops.push(FArithVF { kind: FArithKind::Fadd, vd: 1, x: 2, scalar: fbits(1.5) });
+            ops.push(FArithVF { kind: FArithKind::Fmul, vd: 1, x: 2, scalar: fbits(-0.75) });
+            for kind in [FUnaryKind::Fsqrt, FUnaryKind::Fneg, FUnaryKind::Fabs] {
+                ops.push(FUnary { kind, vd: 1, x: 2 });
+            }
+            for kind in [FmaKind::Macc, FmaKind::Nmsac, FmaKind::Madd] {
+                ops.push(FmaVV { kind, vd: 1, x: 2, y: 3 });
+                ops.push(FmaVF { kind, vd: 1, scalar: fbits(2.5), y: 3 });
+            }
+            for kind in [CmpKind::Feq, CmpKind::Fne, CmpKind::Flt, CmpKind::Fle, CmpKind::Fgt] {
+                ops.push(CmpVV { kind, md: 5, x: 2, y: 3 });
+                ops.push(CmpVX { kind, md: 5, x: 2, scalar: fbits(0.5) });
+            }
+            for kind in [RedKind::Fsum, RedKind::Fmax, RedKind::Fmin] {
+                ops.push(Red { kind, vd: 1, x: 2, acc: 3 });
+            }
+            for kind in [CvtKind::UToF, CvtKind::IToF, CvtKind::FToU, CvtKind::FToI] {
+                ops.push(Cvt { kind, vd: 1, x: 2 });
+            }
+        }
+        ops
+    }
+
+    /// Run one instruction through both backends from identical state and
+    /// assert bit-exact agreement on trace, registers, and memory.
+    fn run_case(op: &VOp, pat: MaskPat, sew: Sew, lmul: Lmul, vl: usize, st: &VState, mt: &FlatMemory) {
+        let mut s1 = st.clone();
+        let granted = s1.set_vl(vl, sew, lmul);
+        assert_eq!(granted, vl, "test VL {vl} must be grantable at {sew:?}/{lmul:?}");
+        for i in 0..vl {
+            s1.regs.set_mask(0, i, pat.bit(i));
+        }
+        // Controlled byte offsets for indexed addressing: in-bounds at every
+        // SEW (they truncate at E8/E16, which both backends must agree on),
+        // unaligned on odd elements, colliding across elements.
+        for i in 0..vl {
+            let off = (((i * 37) % 512) * 8 + (i % 2) * 4) as u64;
+            s1.regs.set(4, sew, i, off);
+        }
+        let mut m1 = mt.clone();
+        let mut s2 = s1.clone();
+        let mut m2 = m1.clone();
+        let inst = VInst { op: op.clone(), masked: pat.masked() };
+        let got = exec(&inst, &mut s1, &mut m1);
+        let want = exec_ref(&inst, &mut s2, &mut m2);
+        let ctx = format!("{op:?} pat={pat:?} sew={sew:?} lmul={lmul:?} vl={vl}");
+        assert_eq!(got, want, "ExecInfo diverged: {ctx}");
+        for r in 0..32u8 {
+            assert_eq!(s1.regs.reg_bytes(r), s2.regs.reg_bytes(r), "v{r} diverged: {ctx}");
+        }
+        let mut b1 = vec![0u8; MEM_SIZE];
+        let mut b2 = vec![0u8; MEM_SIZE];
+        m1.read_bytes(0, &mut b1);
+        m2.read_bytes(0, &mut b2);
+        assert!(b1 == b2, "memory diverged: {ctx}");
+    }
+
+    fn sweep(sew: Sew) {
+        let (st, mt) = templates();
+        for op in catalog(sew) {
+            for pat in ALL_PATS {
+                for vl in EDGE_VLS {
+                    run_case(&op, pat, sew, Lmul::M1, vl, &st, &mt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_reference_e8() {
+        sweep(Sew::E8);
+    }
+
+    #[test]
+    fn batch_matches_reference_e16() {
+        sweep(Sew::E16);
+    }
+
+    #[test]
+    fn batch_matches_reference_e32() {
+        sweep(Sew::E32);
+    }
+
+    #[test]
+    fn batch_matches_reference_e64() {
+        sweep(Sew::E64);
+    }
+
+    /// LMUL=4 register groups: element indices spill across registers and
+    /// mask bits cover the whole group length.
+    #[test]
+    fn batch_matches_reference_at_lmul4() {
+        let (st, mt) = templates();
+        let ops = [
+            VOp::Load { vd: 8, addr: MemAddr::Unit { base: 4096 } },
+            VOp::Store { vs: 8, addr: MemAddr::Unit { base: 4096 } },
+            VOp::Load { vd: 8, addr: MemAddr::Indexed { base: 8192, index: 4 } },
+            VOp::ArithVV { kind: ArithKind::Add, vd: 8, x: 12, y: 16 },
+            VOp::FmaVV { kind: FmaKind::Macc, vd: 8, x: 12, y: 16 },
+            VOp::Red { kind: RedKind::Fsum, vd: 8, x: 12, acc: 16 },
+            VOp::Slide { kind: SlideKind::Down, vd: 8, x: 12, amount: 5 },
+            VOp::Gather { vd: 8, x: 12, y: 16 },
+        ];
+        for op in &ops {
+            for pat in [MaskPat::Unmasked, MaskPat::Alternating, MaskPat::Random] {
+                for vl in [1usize, 7, 1000, 1024] {
+                    run_case(op, pat, Sew::E64, Lmul::M4, vl, &st, &mt);
+                }
+            }
+        }
     }
 }

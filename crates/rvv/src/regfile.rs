@@ -152,6 +152,94 @@ impl VRegFile {
         }
     }
 
+    /// Write elements `0..vals.len()` of the group at `reg`, each truncated
+    /// to the element width. This is the bulk form of [`Self::set`] used by
+    /// the batch execution backend: one bounds check and a typed chunk walk
+    /// instead of `n` independent element writes.
+    pub fn write_elems(&mut self, reg: u8, sew: Sew, vals: &[u64]) {
+        self.write_elems_at(reg, sew, 0, vals);
+    }
+
+    /// Write elements `first..first + vals.len()` of the group at `reg`
+    /// (bulk [`Self::set`] starting at an element offset, used by slides).
+    pub fn write_elems_at(&mut self, reg: u8, sew: Sew, first: usize, vals: &[u64]) {
+        if vals.is_empty() {
+            return;
+        }
+        let b = self.reg_base(reg) + first * sew.bytes();
+        let bytes = &mut self.data[b..b + vals.len() * sew.bytes()];
+        match sew {
+            Sew::E8 => {
+                for (c, &v) in bytes.iter_mut().zip(vals) {
+                    *c = v as u8;
+                }
+            }
+            Sew::E16 => {
+                for (c, &v) in bytes.chunks_exact_mut(2).zip(vals) {
+                    c.copy_from_slice(&(v as u16).to_le_bytes());
+                }
+            }
+            Sew::E32 => {
+                for (c, &v) in bytes.chunks_exact_mut(4).zip(vals) {
+                    c.copy_from_slice(&(v as u32).to_le_bytes());
+                }
+            }
+            Sew::E64 => {
+                for (c, &v) in bytes.chunks_exact_mut(8).zip(vals) {
+                    c.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::write_elems`] but only writes element `i` where
+    /// `active[i]` is set; inactive elements keep their old value (masked-off
+    /// undisturbed semantics). Returns the number of elements written.
+    pub fn write_elems_where(&mut self, reg: u8, sew: Sew, vals: &[u64], active: &[bool]) -> usize {
+        debug_assert_eq!(vals.len(), active.len());
+        if vals.is_empty() {
+            return 0;
+        }
+        let b = self.reg_base(reg);
+        let bytes = &mut self.data[b..b + vals.len() * sew.bytes()];
+        let mut n = 0;
+        match sew {
+            Sew::E8 => {
+                for ((c, &v), &a) in bytes.iter_mut().zip(vals).zip(active) {
+                    if a {
+                        *c = v as u8;
+                        n += 1;
+                    }
+                }
+            }
+            Sew::E16 => {
+                for ((c, &v), &a) in bytes.chunks_exact_mut(2).zip(vals).zip(active) {
+                    if a {
+                        c.copy_from_slice(&(v as u16).to_le_bytes());
+                        n += 1;
+                    }
+                }
+            }
+            Sew::E32 => {
+                for ((c, &v), &a) in bytes.chunks_exact_mut(4).zip(vals).zip(active) {
+                    if a {
+                        c.copy_from_slice(&(v as u32).to_le_bytes());
+                        n += 1;
+                    }
+                }
+            }
+            Sew::E64 => {
+                for ((c, &v), &a) in bytes.chunks_exact_mut(8).zip(vals).zip(active) {
+                    if a {
+                        c.copy_from_slice(&v.to_le_bytes());
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
     /// Snapshot mask bits `0..n` of register `reg` into `out` (cleared
     /// first), reading the register one 64-bit word at a time instead of one
     /// bit at a time.
@@ -366,8 +454,55 @@ mod tests {
             let mut out = Vec::new();
             rf.read_elems_into(4, sew, n, &mut out);
             assert_eq!(out.len(), n);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, rf.get(4, sew, i), "sew={sew:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_elems_matches_set_all_sews() {
+        let mut a = VRegFile::new(512);
+        let mut b = VRegFile::new(512);
+        for sew in Sew::all() {
+            let n = a.elems_per_reg(sew) * 2; // span a 2-register group
+            let vals: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0xC2B2_AE35)).collect();
+            for (i, &v) in vals.iter().enumerate() {
+                a.set(4, sew, i, v);
+            }
+            b.write_elems(4, sew, &vals);
+            assert_eq!(a.reg_bytes(4), b.reg_bytes(4), "sew={sew:?}");
+            assert_eq!(a.reg_bytes(5), b.reg_bytes(5), "sew={sew:?} spill");
+        }
+    }
+
+    #[test]
+    fn write_elems_at_offsets_and_preserves_prefix() {
+        let mut rf = VRegFile::new(256);
+        rf.set(2, Sew::E64, 0, 111);
+        rf.write_elems_at(2, Sew::E64, 1, &[7, 8]);
+        assert_eq!(rf.get(2, Sew::E64, 0), 111, "prefix undisturbed");
+        assert_eq!(rf.get(2, Sew::E64, 1), 7);
+        assert_eq!(rf.get(2, Sew::E64, 2), 8);
+        // Empty write at an out-of-range offset is a no-op, not a panic.
+        rf.write_elems_at(2, Sew::E64, 1_000_000, &[]);
+    }
+
+    #[test]
+    fn write_elems_where_skips_inactive() {
+        let mut rf = VRegFile::new(256);
+        for sew in Sew::all() {
+            let n = rf.elems_per_reg(sew);
             for i in 0..n {
-                assert_eq!(out[i], rf.get(4, sew, i), "sew={sew:?} i={i}");
+                rf.set(1, sew, i, 0xEE);
+            }
+            let vals: Vec<u64> = (0..n).map(|i| i as u64 + 1).collect();
+            let active: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let written = rf.write_elems_where(1, sew, &vals, &active);
+            assert_eq!(written, active.iter().filter(|&&a| a).count());
+            for i in 0..n {
+                let want = if i % 3 == 0 { (i as u64 + 1) & sew.value_mask() } else { 0xEE };
+                assert_eq!(rf.get(1, sew, i), want, "sew={sew:?} i={i}");
             }
         }
     }

@@ -62,6 +62,19 @@ impl VState {
         !masked || self.regs.get_mask(0, i)
     }
 
+    /// Snapshot per-element activity for the first `vl` elements into `out`
+    /// (cleared first): all-true when unmasked, else the low `vl` bits of
+    /// `v0`. The bulk form of [`VState::active`], used by the batch
+    /// execution backend to hoist the mask check out of element loops.
+    pub fn snapshot_active(&self, masked: bool, vl: usize, out: &mut Vec<bool>) {
+        if masked {
+            self.regs.read_mask_bits_into(0, vl, out);
+        } else {
+            out.clear();
+            out.resize(vl, true);
+        }
+    }
+
     /// Reset to the power-on state (all registers zero, no configuration),
     /// keeping the register-file allocation. Equivalent to a fresh
     /// [`VState::new`] at the same VLEN.
@@ -108,6 +121,24 @@ mod tests {
         assert!(st.active(false, 0)); // unmasked: everything active
         assert!(!st.active(true, 0));
         assert!(st.active(true, 1));
+    }
+
+    #[test]
+    fn snapshot_active_matches_elementwise() {
+        let mut st = VState::new(256);
+        for i in 0..16 {
+            st.regs.set_mask(0, i, i % 3 == 1);
+        }
+        let mut out = Vec::new();
+        for masked in [false, true] {
+            st.snapshot_active(masked, 16, &mut out);
+            assert_eq!(out.len(), 16);
+            for (i, &a) in out.iter().enumerate() {
+                assert_eq!(a, st.active(masked, i), "masked={masked} i={i}");
+            }
+        }
+        st.snapshot_active(true, 0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -12,16 +12,14 @@
 
 use crate::config::ScalarConfig;
 use crate::memhier::MemHierarchy;
-use sdv_engine::{Cycle, Stats};
-use std::collections::VecDeque;
+use sdv_engine::{Cycle, FastMap, Stats};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy)]
 struct PendingLoad {
-    line: u64,
     completion: Cycle,
     op_idx: u64,
-    /// Merged loads share an MSHR with their primary.
-    primary: bool,
 }
 
 /// Event counters, kept as plain fields because they are bumped on every
@@ -45,8 +43,19 @@ pub struct ScalarCore {
     cycle: Cycle,
     slot: u32,
     op_idx: u64,
+    /// Loads in program order (`op_idx` strictly increases), completed
+    /// entries popped lazily from the front — only the front matters for the
+    /// run-ahead window, so retirement is amortized O(1) per load instead of
+    /// an O(window) scan on every op.
     pending: VecDeque<PendingLoad>,
-    outstanding_lines: usize,
+    /// In-flight line -> completion for miss merging. Entries go stale once
+    /// their completion passes; they are dropped lazily on lookup, so the
+    /// merge check is one hash probe instead of a scan over `pending`.
+    inflight_lines: FastMap<u64, Cycle>,
+    /// Completion times of primary (MSHR-holding) loads, min-first. Drained
+    /// of passed completions before each MSHR-cap check; its length is then
+    /// exactly the number of occupied MSHRs.
+    primaries: BinaryHeap<Reverse<Cycle>>,
     stores: VecDeque<Cycle>,
     ctr: ScalarCounters,
 }
@@ -62,7 +71,8 @@ impl ScalarCore {
             slot: 0,
             op_idx: 0,
             pending: VecDeque::new(),
-            outstanding_lines: 0,
+            inflight_lines: FastMap::default(),
+            primaries: BinaryHeap::new(),
             stores: VecDeque::new(),
             ctr: ScalarCounters::default(),
         }
@@ -85,35 +95,38 @@ impl ScalarCore {
     /// Consume `n` issue slots at the configured width.
     fn issue_slots(&mut self, n: u32) {
         let total = self.slot + n;
-        self.cycle += (total / self.cfg.issue_width) as Cycle;
-        self.slot = total % self.cfg.issue_width;
+        let w = self.cfg.issue_width;
+        if w.is_power_of_two() {
+            // Runs on every op: shift/mask for the common power-of-two
+            // width (both branches compute the same quotient/remainder).
+            self.cycle += (total >> w.trailing_zeros()) as Cycle;
+            self.slot = total & (w - 1);
+        } else {
+            self.cycle += (total / w) as Cycle;
+            self.slot = total % w;
+        }
         self.op_idx += n as u64;
         self.ctr.ops += n as u64;
     }
 
     fn retire_completed(&mut self) {
-        // Loads complete out of order (bank/DRAM effects), so retirement
-        // scans the whole set: a merged entry at the front with a late
-        // completion must not pin completed primaries behind it.
+        // Only the oldest incomplete load matters for the run-ahead window,
+        // so completed entries are popped from the front; completed entries
+        // *behind* an incomplete front are left in place (each is still
+        // popped exactly once, so the cost stays amortized O(1) per load).
         let cycle = self.cycle;
-        let mut released = 0;
-        self.pending.retain(|p| {
-            if p.completion <= cycle {
-                if p.primary {
-                    released += 1;
-                }
-                false
-            } else {
-                true
-            }
-        });
-        self.outstanding_lines -= released;
-        while let Some(&f) = self.stores.front() {
-            if f <= self.cycle {
-                self.stores.pop_front();
-            } else {
-                break;
-            }
+        while self.pending.front().is_some_and(|p| p.completion <= cycle) {
+            self.pending.pop_front();
+        }
+        while self.stores.front().is_some_and(|&f| f <= cycle) {
+            self.stores.pop_front();
+        }
+    }
+
+    /// Release MSHRs whose fills have completed by the current cycle.
+    fn drain_primaries(&mut self) {
+        while self.primaries.peek().is_some_and(|&Reverse(c)| c <= self.cycle) {
+            self.primaries.pop();
         }
     }
 
@@ -121,7 +134,9 @@ impl ScalarCore {
     fn window_stall(&mut self) {
         self.retire_completed();
         // The oldest incomplete load bounds how far ahead we may issue.
-        while let Some(oldest) = self.pending.iter().min_by_key(|p| p.op_idx).copied() {
+        // `pending` is pushed in program order (op_idx strictly increases
+        // between pushes), so the oldest entry is simply the front.
+        while let Some(oldest) = self.pending.front().copied() {
             if self.op_idx.saturating_sub(oldest.op_idx) >= self.cfg.runahead_window as u64 {
                 self.ctr.window_stalls += 1;
                 self.advance_to(oldest.completion);
@@ -138,7 +153,7 @@ impl ScalarCore {
     fn bulk_issue(&mut self, mut n: u32, slots_per_op: u32) {
         while n > 0 {
             self.window_stall();
-            let room = match self.pending.iter().map(|p| p.op_idx).min() {
+            let room = match self.pending.front().map(|p| p.op_idx) {
                 Some(oldest) => {
                     let used = self.op_idx - oldest;
                     (self.cfg.runahead_window as u64).saturating_sub(used).max(1) as u32
@@ -178,43 +193,35 @@ impl ScalarCore {
         self.window_stall();
         let line = hier.line_bytes();
         let line_addr = addr & !(line - 1);
-        // Merge with an in-flight load of the same line: no new MSHR.
-        let merged = self.pending.iter().find(|p| p.line == line_addr).map(|p| p.completion);
-        if let Some(completion) = merged {
-            self.pending.push_back(PendingLoad {
-                line: line_addr,
-                completion,
-                op_idx: self.op_idx,
-                primary: false,
-            });
-            self.issue_slots(1);
-            self.ctr.loads += 1;
-            return;
+        // Merge with an in-flight load of the same line: no new MSHR. A
+        // stale map entry (fill already returned) is NOT merged with — the
+        // line re-fetches through the hierarchy, exactly as a retired entry
+        // would have behaved.
+        if let Some(&completion) = self.inflight_lines.get(&line_addr) {
+            if completion > self.cycle {
+                self.pending.push_back(PendingLoad { completion, op_idx: self.op_idx });
+                self.issue_slots(1);
+                self.ctr.loads += 1;
+                return;
+            }
+            self.inflight_lines.remove(&line_addr);
         }
         // MSHR cap: stall until the earliest-finishing primary completes.
-        // `retire_completed` leaves only future completions, so each
-        // iteration strictly advances time.
-        while self.outstanding_lines >= self.cfg.max_outstanding_loads {
-            let next = self
-                .pending
-                .iter()
-                .filter(|p| p.primary)
-                .map(|p| p.completion)
-                .min()
-                .expect("outstanding_lines > 0 implies a primary exists");
-            debug_assert!(next > self.cycle, "retire left a completed primary behind");
+        // Draining leaves only future completions, so each iteration
+        // strictly advances time.
+        self.drain_primaries();
+        while self.primaries.len() >= self.cfg.max_outstanding_loads {
+            let Reverse(next) = *self.primaries.peek().expect("cap > 0 implies non-empty");
+            debug_assert!(next > self.cycle, "drain left a completed primary behind");
             self.ctr.mshr_stalls += 1;
             self.advance_to(next);
             self.retire_completed();
+            self.drain_primaries();
         }
         let completion = hier.core_access(addr, false, self.cycle);
-        self.pending.push_back(PendingLoad {
-            line: line_addr,
-            completion,
-            op_idx: self.op_idx,
-            primary: true,
-        });
-        self.outstanding_lines += 1;
+        self.pending.push_back(PendingLoad { completion, op_idx: self.op_idx });
+        self.inflight_lines.insert(line_addr, completion);
+        self.primaries.push(Reverse(completion));
         self.issue_slots(1);
         self.ctr.loads += 1;
     }

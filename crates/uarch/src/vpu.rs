@@ -97,7 +97,12 @@ impl VpuTiming {
                 accepted_at = head;
             }
         }
-        self.queue.retain(|&c| c > accepted_at);
+        // Completions enter the queue in nondecreasing order (in-order
+        // completion below), so draining instructions that finished by
+        // `accepted_at` is a prefix pop — no O(depth) shift like `retain`.
+        while self.queue.front().is_some_and(|&c| c <= accepted_at) {
+            self.queue.pop_front();
+        }
 
         let completion = match vop.class {
             VClass::SetVl => accepted_at + 1,
@@ -160,33 +165,57 @@ impl VpuTiming {
         let elems_per_line = (mem.elems as u64).max(1);
         let n_lines = mem.lines.len() as u64;
 
+        // Indexed spacing is `floor(k * elems_per_line / (n_lines *
+        // index_rate))`; step it incrementally (carry the remainder) so the
+        // per-line division happens once per instruction, not once per line.
+        let index_den = n_lines * index_rate;
+        let index_quot = elems_per_line / index_den;
+        let index_rem_step = elems_per_line % index_den;
+        let mut index_spacing = 0u64;
+        let mut index_rem = 0u64;
+
         let mut last_issue = start;
         let mut data_done = start;
         for (k, &line) in mem.lines.iter().enumerate() {
             let spacing = if mem.unit_stride {
-                k as u64 / unit_rate
+                // The default burst engine issues one line per cycle; skip
+                // the division entirely in that common configuration.
+                if unit_rate == 1 { k as u64 } else { k as u64 / unit_rate }
             } else {
-                (k as u64 * elems_per_line) / (n_lines * index_rate)
+                let s = index_spacing;
+                index_spacing += index_quot;
+                index_rem += index_rem_step;
+                if index_rem >= index_den {
+                    index_rem -= index_den;
+                    index_spacing += 1;
+                }
+                s
             };
             let mut t = start + spacing;
             if t < last_issue {
                 t = last_issue;
             }
-            // Free request slots whose data has already returned.
-            while let Some(&Reverse(c)) = self.outstanding.peek() {
-                if c <= t {
-                    self.outstanding.pop();
-                } else {
-                    break;
-                }
-            }
             // Outstanding-window backpressure: the mechanism that converts
-            // latency into (amortized) throughput for long vectors.
+            // latency into (amortized) throughput for long vectors. Returned
+            // slots (completion <= t) are pruned lazily, only when the raw
+            // count reaches the cap: issue times are nondecreasing across
+            // the run, so a stale entry stays stale, is never the stalling
+            // minimum, and cannot flip the at-capacity decision — while the
+            // common under-capacity case skips the heap entirely.
             if self.outstanding.len() >= self.cfg.vmem_outstanding {
-                let Reverse(earliest) = self.outstanding.pop().expect("non-empty");
-                if earliest > t {
-                    self.ctr.vmem_window_stall_cycles += earliest - t;
-                    t = earliest;
+                while let Some(&Reverse(c)) = self.outstanding.peek() {
+                    if c <= t {
+                        self.outstanding.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if self.outstanding.len() >= self.cfg.vmem_outstanding {
+                    let Reverse(earliest) = self.outstanding.pop().expect("non-empty");
+                    if earliest > t {
+                        self.ctr.vmem_window_stall_cycles += earliest - t;
+                        t = earliest;
+                    }
                 }
             }
             let done = hier.vpu_access(line, !mem.is_load, t);

@@ -7,11 +7,18 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests (release) =="
 cargo test -q --workspace --release
 
 echo "== perf smoke =="
-./target/release/perf_baseline --smoke --label check_smoke
+# --against exercises the baseline-comparison path end to end. The huge
+# threshold makes it a smoke of the mechanism, not a perf gate: shared CI
+# hosts are far too noisy to fail the build on wall-clock ratios, but a
+# simulated-cycle mismatch against the recorded baseline still fails.
+./target/release/perf_baseline --smoke --label check_smoke --against after_pr1 --threshold 1000
 
 echo "== golden CSV diff (small fig3, must be bit-identical) =="
 tmp_csv="$(mktemp /tmp/fig3_small.XXXXXX.csv)"

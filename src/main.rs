@@ -72,7 +72,7 @@ fn main() {
             println!(
                 "{} {} +{} latency, {} B/cy: {} cycles",
                 cell.kernel.name(),
-                cell.imp.label(),
+                cell.imp,
                 cell.extra_latency,
                 cell.bandwidth,
                 r.cycles
