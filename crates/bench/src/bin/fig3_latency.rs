@@ -2,19 +2,35 @@
 //! function of added memory latency, for the scalar implementation and the
 //! vector implementation at MAXVL ∈ {8,16,32,64,128,256}.
 //!
-//! Usage: `fig3_latency [--small] [--threads N] [--csv PATH]`
+//! Usage: `fig3_latency [--small] [--threads N] [--csv PATH]
+//! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
+//! [--fault KIND [--fault-seed N]]`
+//!
+//! With `--checkpoint`, every completed cell is persisted (atomic
+//! tmp+rename) as it lands; `--resume` preloads those cells so a killed
+//! sweep continues where it stopped and produces a bit-identical CSV.
+//! Failing cells (watchdog deadlocks, invariant violations, injected
+//! faults) are reported per cell, render as `FAILED`, and turn the exit
+//! code into 4 — the rest of the grid still completes.
 
-use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
+use sdv_bench::cli;
+use sdv_bench::{Cell, CellOutcome, ImplKind, KernelKind, Sweeper, Workloads};
 use std::fmt::Write as _;
+
+const BIN: &str = "fig3_latency";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let threads = arg_value(&args, "--threads").map_or_else(
-        || std::thread::available_parallelism().map_or(1, |n| n.get()),
-        |v| v.parse().expect("--threads N"),
-    );
-    let csv = arg_value(&args, "--csv");
+    let threads = match cli::parse_arg::<usize>(&args, "--threads") {
+        Ok(Some(0)) => cli::die_usage(BIN, "--threads must be positive"),
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let csv = cli::arg_value(&args, "--csv").map(str::to_string);
+    let cfg = cli::hardening_config(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    let checkpoint = cli::open_checkpoint(BIN, &args);
 
     let w = if small { Workloads::small() } else { Workloads::paper() };
     let latencies: &[u64] = &[0, 16, 32, 64, 128, 256, 512, 1024];
@@ -22,7 +38,15 @@ fn main() {
 
     // One runner for the whole figure: machines are reset and reused across
     // kernels instead of reallocated, and repeated cells are memoized.
-    let mut sweeper = Sweeper::new();
+    let mut sweeper = Sweeper::with_config(cfg);
+    if let Some(ck) = &checkpoint {
+        for (cell, cycles) in ck.entries() {
+            sweeper.preload(cell, cycles);
+        }
+        if !ck.is_empty() {
+            eprintln!("{BIN}: resuming — {} cells preloaded from checkpoint", ck.len());
+        }
+    }
     // Submit the whole figure as ONE grid up front: the long-pole-first
     // schedule then orders cells across all four kernels (not within each
     // kernel's barrier), so workers never idle at a per-kernel boundary.
@@ -40,7 +64,10 @@ fn main() {
             })
         })
         .collect();
-    sweeper.sweep(&w, &all_cells, threads);
+    let outcomes = match &checkpoint {
+        Some(ck) => sweeper.sweep_outcomes_with(&w, &all_cells, threads, |o| ck.record(o)),
+        None => sweeper.sweep_outcomes(&w, &all_cells, threads),
+    };
     let mut csv_out = String::from("kernel,impl,extra_latency,cycles\n");
     for kernel in KernelKind::all() {
         let cells: Vec<Cell> = impls
@@ -54,7 +81,7 @@ fn main() {
                 })
             })
             .collect();
-        let results = sweeper.sweep(&w, &cells, threads);
+        let results = sweeper.sweep_outcomes(&w, &cells, threads);
         let headers: Vec<String> = impls.iter().map(|i| i.to_string()).collect();
         let rows: Vec<(String, Vec<String>)> = latencies
             .iter()
@@ -63,18 +90,14 @@ fn main() {
                 let cells: Vec<String> = impls
                     .iter()
                     .enumerate()
-                    .map(|(ii, _)| {
-                        let r = &results[ii * latencies.len() + li];
-                        writeln!(
-                            csv_out,
-                            "{},{},{},{}",
-                            kernel.name(),
-                            r.cell.imp,
-                            lat,
-                            r.cycles
-                        )
-                        .unwrap();
-                        format!("{}", r.cycles)
+                    .map(|(ii, imp)| {
+                        let o = &results[ii * latencies.len() + li];
+                        let shown = match o.cycles() {
+                            Some(cy) => cy.to_string(),
+                            None => "FAILED".to_string(),
+                        };
+                        writeln!(csv_out, "{},{imp},{lat},{shown}", kernel.name()).unwrap();
+                        shown
                     })
                     .collect();
                 (lat.to_string(), cells)
@@ -88,39 +111,49 @@ fn main() {
                 &rows
             )
         );
-        let series: Vec<sdv_bench::plot::Series> = impls
-            .iter()
-            .enumerate()
-            .map(|(ii, imp)| sdv_bench::plot::Series {
-                label: imp.to_string(),
-                ys: latencies
-                    .iter()
-                    .enumerate()
-                    .map(|(li, _)| results[ii * latencies.len() + li].cycles as f64)
-                    .collect(),
-            })
-            .collect();
-        println!(
-            "{}",
-            sdv_bench::plot::line_chart(
-                &format!("{} (log cycles; paper Fig. 3 shape: darker/longer VL = flatter)", kernel.name()),
-                &latencies.iter().map(|l| format!("+{l}")).collect::<Vec<_>>(),
-                &series,
-                16,
-                true
-            )
-        );
+        // The log-scale chart needs every point; skip it when any cell of
+        // this kernel failed (the table above still shows which ones).
+        if results.iter().all(CellOutcome::is_done) {
+            let series: Vec<sdv_bench::plot::Series> = impls
+                .iter()
+                .enumerate()
+                .map(|(ii, imp)| sdv_bench::plot::Series {
+                    label: imp.to_string(),
+                    ys: latencies
+                        .iter()
+                        .enumerate()
+                        .map(|(li, _)| {
+                            results[ii * latencies.len() + li].cycles().unwrap() as f64
+                        })
+                        .collect(),
+                })
+                .collect();
+            println!(
+                "{}",
+                sdv_bench::plot::line_chart(
+                    &format!(
+                        "{} (log cycles; paper Fig. 3 shape: darker/longer VL = flatter)",
+                        kernel.name()
+                    ),
+                    &latencies.iter().map(|l| format!("+{l}")).collect::<Vec<_>>(),
+                    &series,
+                    16,
+                    true
+                )
+            );
+        } else {
+            println!("{}: chart skipped — kernel has failed cells\n", kernel.name());
+        }
     }
     if let Some(path) = csv {
-        std::fs::write(&path, csv_out).expect("write csv");
+        if let Err(e) = std::fs::write(&path, csv_out) {
+            cli::die_bad_input(BIN, &format!("cannot write {path}: {e}"));
+        }
         println!("wrote {path}");
     }
+    cli::report_failures_and_exit(BIN, &outcomes);
 }
 
 fn harness_table(title: &str, headers: &[String], rows: &[(String, Vec<String>)]) -> String {
     sdv_bench::table::render(title, "+latency", headers, rows)
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
 }

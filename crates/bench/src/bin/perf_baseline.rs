@@ -24,6 +24,7 @@
 //!   A simulated-cycle mismatch on any common cell is always an error:
 //!   wall time may drift, cycles must not.
 
+use sdv_bench::cli;
 use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
 use sdv_engine::BoundedQueue;
 use sdv_memsys::{AccessKind, Cache, CacheConfig, DramChannel};
@@ -57,19 +58,26 @@ struct MicroReport {
     ns_per_iter: f64,
 }
 
+const BIN: &str = "perf_baseline";
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let threads = arg_value(&args, "--threads").map_or_else(
-        || std::thread::available_parallelism().map_or(1, |n| n.get()),
-        |v| v.parse().expect("--threads N"),
-    );
-    let label = arg_value(&args, "--label").unwrap_or_else(|| "latest".to_string());
-    let against = arg_value(&args, "--against");
-    let threshold: f64 =
-        arg_value(&args, "--threshold").map_or(1.5, |v| v.parse().expect("--threshold X"));
-    let out = arg_value(&args, "--out")
-        .unwrap_or_else(|| format!("results/perf/{label}.json"));
+    let threads = match cli::parse_arg::<usize>(&args, "--threads") {
+        Ok(Some(0)) => cli::die_usage(BIN, "--threads must be positive"),
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let label =
+        cli::arg_value(&args, "--label").map_or_else(|| "latest".to_string(), str::to_string);
+    let against = cli::arg_value(&args, "--against").map(str::to_string);
+    let threshold: f64 = match cli::parse_arg::<f64>(&args, "--threshold") {
+        Ok(v) => v.unwrap_or(1.5),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let out = cli::arg_value(&args, "--out")
+        .map_or_else(|| format!("results/perf/{label}.json"), str::to_string);
 
     let w = Workloads::small();
     let cells = suite(smoke);
@@ -113,8 +121,7 @@ fn main() {
 
     if let Some(base_label) = against {
         let path = format!("results/perf/{base_label}.json");
-        let base = Baseline::load(&path)
-            .unwrap_or_else(|e| panic!("cannot load baseline {path}: {e}"));
+        let base = Baseline::load(&path).unwrap_or_else(|e| cli::die_bad_input(BIN, &e));
         if !compare(&base, &base_label, &reports, &micro, sequential_ms, threshold) {
             std::process::exit(1);
         }
@@ -131,30 +138,38 @@ struct Baseline {
 }
 
 impl Baseline {
+    /// Every error names the file and, for parse errors, the 1-based line
+    /// where the reader gave up — a truncated or hand-edited baseline should
+    /// point at the damage, not just say "parse error".
     fn load(path: &str) -> Result<Self, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
         let mut base = Baseline { cells: Vec::new(), micro: Vec::new(), sequential_ms: None };
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
+            let at = |what: &str| format!("{path}:{}: {what}", idx + 1);
             if line.contains("\"kernel\"") {
                 base.cells.push((
-                    json_str(line, "kernel").ok_or("cell line missing kernel")?,
-                    json_str(line, "impl").ok_or("cell line missing impl")?,
-                    json_num(line, "extra_latency").ok_or("cell line missing extra_latency")?
+                    json_str(line, "kernel").ok_or_else(|| at("cell line missing kernel"))?,
+                    json_str(line, "impl").ok_or_else(|| at("cell line missing impl"))?,
+                    json_num(line, "extra_latency")
+                        .ok_or_else(|| at("cell line missing extra_latency"))?
                         as u64,
-                    json_num(line, "cycles").ok_or("cell line missing cycles")? as u64,
-                    json_num(line, "wall_ms").ok_or("cell line missing wall_ms")?,
+                    json_num(line, "cycles").ok_or_else(|| at("cell line missing cycles"))?
+                        as u64,
+                    json_num(line, "wall_ms").ok_or_else(|| at("cell line missing wall_ms"))?,
                 ));
             } else if line.contains("\"ns_per_iter\"") {
                 base.micro.push((
-                    json_str(line, "name").ok_or("micro line missing name")?,
-                    json_num(line, "ns_per_iter").ok_or("micro line missing ns_per_iter")?,
+                    json_str(line, "name").ok_or_else(|| at("micro line missing name"))?,
+                    json_num(line, "ns_per_iter")
+                        .ok_or_else(|| at("micro line missing ns_per_iter"))?,
                 ));
             } else if line.contains("\"sequential_ms\"") {
                 base.sequential_ms = json_num(line, "sequential_ms");
             }
         }
         if base.cells.is_empty() && base.micro.is_empty() {
-            return Err("no cells or micros found".to_string());
+            return Err(format!("{path}: no cells or micros found"));
         }
         Ok(base)
     }
@@ -366,7 +381,7 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
     let mut q: BoundedQueue<u64> = BoundedQueue::new(64);
     let mut k = 0u64;
     while !q.is_full() {
-        q.push(k).unwrap();
+        q.push(k).expect("the is_full loop guard leaves room for this push");
         k += 1;
     }
     out.push(time_micro("bounded_queue_remove_first", 200_000 * scale, || {
@@ -374,7 +389,8 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
         let got = q.remove_first(|&v| v % 64 == victim % 64);
         std::hint::black_box(&got);
         if got.is_some() {
-            q.push(k).unwrap();
+            // One element was just removed, so the queue has exactly one slot.
+            q.push(k).expect("a successful remove_first frees a slot for this push");
             k += 1;
         }
     }));
@@ -470,8 +486,4 @@ fn render_json(
     }
     s.push_str("  ]\n}\n");
     s
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
 }

@@ -1,0 +1,234 @@
+//! Crash-safe sweep checkpoints.
+//!
+//! Long figure sweeps (hours at paper scale) persist every completed cell to
+//! a small CSV-like file so a killed run can resume with `--resume` and skip
+//! straight to the missing cells. Because every cell is deterministic, a
+//! resumed sweep produces bit-identical figures to an uninterrupted one.
+//!
+//! Records are written with the classic atomic pattern — full rewrite into a
+//! sibling `*.tmp` file, `fsync`, then `rename` over the checkpoint — so the
+//! file on disk is always a complete, parseable snapshot no matter when the
+//! process dies. Only *completed* cells are recorded: failed cells abort
+//! quickly and deterministically, so re-running them on resume is cheap and
+//! keeps their diagnostics visible.
+
+use crate::harness::{Cell, CellOutcome};
+use sdv_engine::SimError;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A checkpoint file: the set of completed cells and their cycle counts.
+///
+/// `record` takes `&self` (internally synchronized) so sweep workers can
+/// report cells as they land via
+/// [`Sweeper::sweep_outcomes_with`](crate::Sweeper::sweep_outcomes_with).
+#[derive(Debug)]
+pub struct Checkpoint {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    path: PathBuf,
+    done: HashMap<Cell, u64>,
+}
+
+impl Checkpoint {
+    /// Open (or create) the checkpoint at `path`. An existing file is parsed
+    /// and its cells become available through [`Checkpoint::entries`]; a
+    /// malformed file is a [`SimError::BadInput`] naming the line.
+    pub fn open(path: &Path) -> Result<Self, SimError> {
+        let mut done = HashMap::new();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for (idx, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    let (cell, cycles) = parse_line(line).map_err(|why| SimError::BadInput {
+                        what: format!("{}:{}: {why}", path.display(), idx + 1),
+                    })?;
+                    done.insert(cell, cycles);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(SimError::BadInput {
+                    what: format!("{}: cannot read checkpoint: {e}", path.display()),
+                });
+            }
+        }
+        Ok(Self { inner: Mutex::new(Inner { path: path.to_path_buf(), done }) })
+    }
+
+    /// Completed cells recorded so far (load-time entries plus anything
+    /// recorded since), in unspecified order.
+    pub fn entries(&self) -> Vec<(Cell, u64)> {
+        let inner = self.inner.lock().unwrap();
+        inner.done.iter().map(|(c, cy)| (*c, *cy)).collect()
+    }
+
+    /// Number of completed cells recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().done.len()
+    }
+
+    /// Whether no cells have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record one outcome. Completed cells are persisted immediately (atomic
+    /// tmp-file + rename); failed cells are deliberately *not* recorded — a
+    /// failing cell re-runs on resume, reproducing its diagnostic. Disk
+    /// errors are reported to stderr but never interrupt the sweep: the
+    /// checkpoint is an optimization, not a correctness requirement.
+    pub fn record(&self, outcome: &CellOutcome) {
+        let CellOutcome::Done(r) = outcome else { return };
+        let mut inner = self.inner.lock().unwrap();
+        inner.done.insert(r.cell, r.cycles);
+        if let Err(e) = persist(&inner) {
+            eprintln!(
+                "warning: could not persist checkpoint {}: {e}",
+                inner.path.display()
+            );
+        }
+    }
+}
+
+fn persist(inner: &Inner) -> std::io::Result<()> {
+    let mut tmp = inner.path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        let mut lines: Vec<String> = inner
+            .done
+            .iter()
+            .map(|(c, cycles)| {
+                format!(
+                    "{},{},{},{},{}",
+                    c.kernel.name(),
+                    c.imp,
+                    c.extra_latency,
+                    c.bandwidth,
+                    cycles
+                )
+            })
+            .collect();
+        lines.sort();
+        writeln!(f, "# longvec-sdv sweep checkpoint: kernel,impl,extra_latency,bandwidth,cycles")?;
+        for l in &lines {
+            writeln!(f, "{l}")?;
+        }
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &inner.path)
+}
+
+fn parse_line(line: &str) -> Result<(Cell, u64), String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 5 {
+        return Err(format!("expected 5 comma-separated fields, found {}", fields.len()));
+    }
+    let kernel = fields[0].parse().map_err(|e| format!("field 1: {e}"))?;
+    let imp = fields[1].parse().map_err(|e| format!("field 2: {e}"))?;
+    let extra_latency =
+        fields[2].parse().map_err(|_| format!("field 3: bad extra_latency '{}'", fields[2]))?;
+    let bandwidth =
+        fields[3].parse().map_err(|_| format!("field 4: bad bandwidth '{}'", fields[3]))?;
+    let cycles = fields[4].parse().map_err(|_| format!("field 5: bad cycles '{}'", fields[4]))?;
+    Ok((Cell { kernel, imp, extra_latency, bandwidth }, cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{ImplKind, KernelKind, RunResult};
+    use sdv_engine::Stats;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sdv_ckpt_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn done(cell: Cell, cycles: u64) -> CellOutcome {
+        CellOutcome::Done(RunResult { cell, cycles, stats: Stats::new() })
+    }
+
+    #[test]
+    fn round_trips_recorded_cells() {
+        let path = tmpdir("roundtrip").join("ck.csv");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::open(&path).unwrap();
+        assert!(ck.is_empty());
+        let a = Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl: 64 },
+            extra_latency: 128,
+            bandwidth: 64,
+        };
+        let b = Cell {
+            kernel: KernelKind::Fft,
+            imp: ImplKind::Scalar,
+            extra_latency: 0,
+            bandwidth: 8,
+        };
+        ck.record(&done(a, 12345));
+        ck.record(&done(b, 999));
+        let reloaded = Checkpoint::open(&path).unwrap();
+        let mut got = reloaded.entries();
+        got.sort_by_key(|(_, cy)| *cy);
+        assert_eq!(got, vec![(b, 999), (a, 12345)]);
+        // The atomic rename leaves no temp file behind.
+        assert!(!path.with_extension("csv.tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_cells_are_not_recorded() {
+        let path = tmpdir("failed").join("ck.csv");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::open(&path).unwrap();
+        let cell = Cell {
+            kernel: KernelKind::Bfs,
+            imp: ImplKind::Scalar,
+            extra_latency: 0,
+            bandwidth: 64,
+        };
+        ck.record(&CellOutcome::Failed {
+            cell,
+            error: SimError::BadInput { what: "synthetic".into() },
+        });
+        assert!(ck.is_empty());
+        assert!(!path.exists(), "nothing recorded means nothing persisted");
+    }
+
+    #[test]
+    fn malformed_checkpoint_reports_path_and_line() {
+        let path = tmpdir("malformed").join("ck.csv");
+        std::fs::write(&path, "SPMV,scalar,0,64,100\nFFT,vl=banana,0,64,5\n").unwrap();
+        let e = Checkpoint::open(&path).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("ck.csv:2"), "names file and line: {msg}");
+        assert!(matches!(e, SimError::BadInput { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let path = tmpdir("comments").join("ck.csv");
+        std::fs::write(&path, "# header\n\nPR,vl=256,512,64,777\n").unwrap();
+        let ck = Checkpoint::open(&path).unwrap();
+        assert_eq!(ck.len(), 1);
+        let (cell, cycles) = ck.entries()[0];
+        assert_eq!(cycles, 777);
+        assert_eq!(cell.kernel, KernelKind::Pr);
+        assert_eq!(cell.imp, ImplKind::Vector { maxvl: 256 });
+        let _ = std::fs::remove_file(&path);
+    }
+}

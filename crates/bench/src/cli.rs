@@ -1,0 +1,207 @@
+//! Shared command-line plumbing for the figure binaries.
+//!
+//! Centralizes argument parsing (with positions in error messages) and the
+//! workspace exit-code convention, so every binary fails the same way:
+//!
+//! * exit [`EXIT_USAGE`] (2) — malformed command line,
+//! * exit [`EXIT_BAD_INPUT`] (3) — an input file (baseline, checkpoint)
+//!   exists but cannot be parsed,
+//! * exit [`EXIT_SIM_FAULT`] (4) — the simulation itself failed: watchdog
+//!   deadlock, cycle budget, invariant violation, or an isolated panic.
+
+use crate::{CellOutcome, Checkpoint};
+use sdv_engine::{FaultKind, FaultPlan, SimError};
+use sdv_uarch::{TimingConfig, WatchdogConfig};
+
+/// Exit code for a malformed command line.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for an unreadable or unparseable input file.
+pub const EXIT_BAD_INPUT: i32 = 3;
+/// Exit code for a structured simulation failure.
+pub const EXIT_SIM_FAULT: i32 = 4;
+
+/// The value following `key`, if present.
+pub fn arg_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Parse the value following `key`. `Ok(None)` when the flag is absent;
+/// `Err` (with the argument position and offending text) when the flag is
+/// present but its value is missing or malformed.
+pub fn parse_arg<T>(args: &[String], key: &str) -> Result<Option<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let Some(i) = args.iter().position(|a| a == key) else {
+        return Ok(None);
+    };
+    let Some(v) = args.get(i + 1) else {
+        return Err(format!("{key} (argument {i}) needs a value"));
+    };
+    v.parse::<T>()
+        .map(Some)
+        .map_err(|e| format!("{key} (argument {}): bad value '{v}': {e}", i + 1))
+}
+
+/// Report a command-line error and exit with [`EXIT_USAGE`].
+pub fn die_usage(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: {msg}");
+    std::process::exit(EXIT_USAGE);
+}
+
+/// Report an input-file error and exit with [`EXIT_BAD_INPUT`].
+pub fn die_bad_input(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: {msg}");
+    std::process::exit(EXIT_BAD_INPUT);
+}
+
+/// The exit code a [`SimError`] maps to: bad input files get
+/// [`EXIT_BAD_INPUT`], every runtime failure gets [`EXIT_SIM_FAULT`].
+pub fn exit_code_for(e: &SimError) -> i32 {
+    match e {
+        SimError::BadInput { .. } => EXIT_BAD_INPUT,
+        _ => EXIT_SIM_FAULT,
+    }
+}
+
+/// Parse the shared hardening flags into a timing configuration:
+///
+/// * `--watchdog` — arm the default forward-progress window,
+/// * `--cycle-budget N` — abort any cell that runs past `N` cycles,
+/// * `--fault KIND` / `--fault-seed N` — seeded fault injection
+///   (`stall-bank`, `drop-response`, `wedge-credit`, `inject-panic`).
+///
+/// Injecting a fault implicitly arms the progress window (otherwise a
+/// wedged resource would hang the run instead of failing it cleanly).
+pub fn hardening_config(args: &[String]) -> Result<TimingConfig, String> {
+    let mut cfg = TimingConfig::default();
+    if args.iter().any(|a| a == "--watchdog") {
+        cfg.watchdog = WatchdogConfig::default_on();
+    }
+    if let Some(budget) = parse_arg::<u64>(args, "--cycle-budget")? {
+        cfg.watchdog.cycle_budget = budget;
+    }
+    if let Some(kind) = parse_arg::<FaultKind>(args, "--fault")? {
+        let seed = parse_arg::<u64>(args, "--fault-seed")?.unwrap_or(1);
+        cfg.fault = FaultPlan::new(kind, seed);
+        if cfg.watchdog.progress_window == 0 {
+            cfg.watchdog.progress_window = WatchdogConfig::default_on().progress_window;
+        }
+    }
+    Ok(cfg)
+}
+
+/// Open `--checkpoint PATH` if given. Without `--resume` an existing file is
+/// discarded (the sweep starts over); with it, previously recorded cells are
+/// available via [`Checkpoint::entries`] for preloading into a
+/// [`Sweeper`](crate::Sweeper). `--resume` without `--checkpoint` is a usage
+/// error; an unparseable checkpoint exits with [`EXIT_BAD_INPUT`].
+pub fn open_checkpoint(bin: &str, args: &[String]) -> Option<Checkpoint> {
+    let resume = args.iter().any(|a| a == "--resume");
+    let path = match arg_value(args, "--checkpoint") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            if resume {
+                die_usage(bin, "--resume requires --checkpoint PATH");
+            }
+            return None;
+        }
+    };
+    if !resume {
+        let _ = std::fs::remove_file(&path);
+    }
+    match Checkpoint::open(&path) {
+        Ok(ck) => Some(ck),
+        Err(e) => die_bad_input(bin, &e.to_string()),
+    }
+}
+
+/// Print a per-cell failure summary (plus the first failure's full
+/// diagnostic) to stderr and exit [`EXIT_SIM_FAULT`] when any cell failed;
+/// return normally otherwise. The grid itself always completes first — this
+/// runs after tables and CSVs are emitted, so partial results survive.
+pub fn report_failures_and_exit(bin: &str, outcomes: &[CellOutcome]) {
+    let failures: Vec<&CellOutcome> = outcomes.iter().filter(|o| !o.is_done()).collect();
+    if failures.is_empty() {
+        return;
+    }
+    eprintln!("{bin}: {} of {} cells FAILED:", failures.len(), outcomes.len());
+    for f in &failures {
+        if let CellOutcome::Failed { cell, error } = f {
+            let full = error.to_string();
+            let first_line = full.lines().next().unwrap_or_default();
+            eprintln!(
+                "  {}/{} (+{} latency, {} B/cy): {first_line}",
+                cell.kernel.name(),
+                cell.imp,
+                cell.extra_latency,
+                cell.bandwidth
+            );
+        }
+    }
+    if let Some(CellOutcome::Failed { error, .. }) = failures.first() {
+        eprintln!("first failure in full:\n{error}");
+    }
+    std::process::exit(EXIT_SIM_FAULT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_arg_reports_position_and_value() {
+        let a = args(&["fig3", "--threads", "four"]);
+        let e = parse_arg::<usize>(&a, "--threads").unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        assert!(e.contains("argument 2"), "{e}");
+        assert!(e.contains("'four'"), "{e}");
+        assert_eq!(parse_arg::<usize>(&a, "--absent").unwrap(), None);
+        let ok = args(&["fig3", "--threads", "4"]);
+        assert_eq!(parse_arg::<usize>(&ok, "--threads").unwrap(), Some(4));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let a = args(&["fig3", "--csv"]);
+        let e = parse_arg::<String>(&a, "--csv").unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(exit_code_for(&SimError::BadInput { what: "x".into() }), EXIT_BAD_INPUT);
+        assert_eq!(
+            exit_code_for(&SimError::Deadlock { cycle: 1, diagnostic: String::new() }),
+            EXIT_SIM_FAULT
+        );
+        assert_eq!(exit_code_for(&SimError::Panic { what: "x".into() }), EXIT_SIM_FAULT);
+        assert_ne!(EXIT_USAGE, EXIT_BAD_INPUT);
+        assert_ne!(EXIT_BAD_INPUT, EXIT_SIM_FAULT);
+    }
+
+    #[test]
+    fn hardening_flags_compose() {
+        let none = hardening_config(&args(&["fig3"])).unwrap();
+        assert!(!none.watchdog.armed());
+        assert!(!none.fault.is_active());
+
+        let wd = hardening_config(&args(&["fig3", "--watchdog"])).unwrap();
+        assert!(wd.watchdog.armed());
+
+        let both =
+            hardening_config(&args(&["b", "--cycle-budget", "9000", "--fault", "stall-bank"]))
+                .unwrap();
+        assert_eq!(both.watchdog.cycle_budget, 9000, "budget survives fault arming");
+        assert!(both.watchdog.progress_window > 0, "fault implies a progress window");
+        assert_eq!(both.fault.kind, FaultKind::StallBank);
+
+        let bad = hardening_config(&args(&["b", "--fault", "bogus"]));
+        assert!(bad.is_err());
+    }
+}

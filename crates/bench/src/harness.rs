@@ -1,7 +1,7 @@
 //! The experiment runner.
 
 use sdv_core::{SdvMachine, Vm};
-use sdv_engine::Stats;
+use sdv_engine::{SimError, Stats};
 use sdv_kernels::fft::{self, Complexes};
 use sdv_kernels::{bfs, pagerank, spmv, CsrMatrix, Graph, SellCS};
 use sdv_uarch::TimingConfig;
@@ -32,6 +32,20 @@ impl KernelKind {
             KernelKind::Bfs => "BFS",
             KernelKind::Pr => "PR",
             KernelKind::Fft => "FFT",
+        }
+    }
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "SPMV" => Ok(KernelKind::Spmv),
+            "BFS" => Ok(KernelKind::Bfs),
+            "PR" => Ok(KernelKind::Pr),
+            "FFT" => Ok(KernelKind::Fft),
+            other => Err(format!("unknown kernel '{other}' (expected SPMV, BFS, PR, or FFT)")),
         }
     }
 }
@@ -68,6 +82,27 @@ impl std::fmt::Display for ImplKind {
             ImplKind::Scalar => f.write_str("scalar"),
             ImplKind::Vector { maxvl } => write!(f, "vl={maxvl}"),
         }
+    }
+}
+
+/// Inverse of the `Display` labels: `scalar` or `vl=N`.
+impl std::str::FromStr for ImplKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "scalar" {
+            return Ok(ImplKind::Scalar);
+        }
+        if let Some(n) = s.strip_prefix("vl=") {
+            let maxvl: usize = n
+                .parse()
+                .map_err(|_| format!("bad implementation label '{s}': 'vl=' needs a number"))?;
+            if maxvl == 0 {
+                return Err(format!("bad implementation label '{s}': vl must be positive"));
+            }
+            return Ok(ImplKind::Vector { maxvl });
+        }
+        Err(format!("unknown implementation label '{s}' (expected 'scalar' or 'vl=N')"))
     }
 }
 
@@ -150,16 +185,88 @@ pub struct RunResult {
     pub stats: Stats,
 }
 
+/// How one grid cell ended: a measured result, or a structured failure
+/// (watchdog deadlock, budget exhaustion, invariant violation, or an
+/// isolated panic). Failed cells never abort the rest of a grid.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell ran to completion and passed the end-of-run audits.
+    Done(RunResult),
+    /// The cell failed; the error says how and carries the diagnostic.
+    Failed {
+        /// The cell that failed.
+        cell: Cell,
+        /// The structured failure.
+        error: SimError,
+    },
+}
+
+impl CellOutcome {
+    /// The cell this outcome belongs to.
+    pub fn cell(&self) -> Cell {
+        match self {
+            CellOutcome::Done(r) => r.cell,
+            CellOutcome::Failed { cell, .. } => *cell,
+        }
+    }
+
+    /// Measured cycles, when the cell completed.
+    pub fn cycles(&self) -> Option<u64> {
+        match self {
+            CellOutcome::Done(r) => Some(r.cycles),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the cell completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, CellOutcome::Done(_))
+    }
+
+    /// The failure, when the cell failed.
+    pub fn error(&self) -> Option<&SimError> {
+        match self {
+            CellOutcome::Done(_) => None,
+            CellOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+}
+
 /// Run one cell on a fresh machine with the given timing configuration.
 pub fn run_with_config(w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
     let mut m = SdvMachine::with_config(w.heap, cfg);
     run_on(&mut m, w, cell, cfg)
 }
 
+/// Fallible variant of [`run_with_config`]: surfaces watchdog and audit
+/// failures instead of panicking.
+pub fn try_run_with_config(
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+) -> Result<RunResult, SimError> {
+    let mut m = SdvMachine::with_config(w.heap, cfg);
+    try_run_on(&mut m, w, cell, cfg)
+}
+
 /// Run one cell on a pooled machine: rewinds it to the fresh state (keeping
 /// its allocations), then runs the kernel. Cycle counts are bit-identical to
 /// [`run_with_config`] on a brand-new machine.
 fn run_on(m: &mut SdvMachine, w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
+    try_run_on(m, w, cell, cfg).unwrap_or_else(|e| {
+        panic!("cell {}/{} failed: {e}", cell.kernel.name(), cell.imp)
+    })
+}
+
+/// Fallible pooled-machine run: the kernel always executes to completion
+/// (its control flow depends only on functional state), then any latched
+/// watchdog failure or audit violation is surfaced.
+fn try_run_on(
+    m: &mut SdvMachine,
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+) -> Result<RunResult, SimError> {
     m.reset_with_config(cfg);
     m.set_extra_latency(cell.extra_latency);
     m.set_bandwidth_limit(cell.bandwidth);
@@ -200,8 +307,43 @@ fn run_on(m: &mut SdvMachine, w: &Workloads, cell: Cell, cfg: TimingConfig) -> R
             fft::fft_vector(m, &dev);
         }
     }
-    let cycles = m.finish();
-    RunResult { cell, cycles, stats: m.stats() }
+    let cycles = m.try_finish()?;
+    Ok(RunResult { cell, cycles, stats: m.stats() })
+}
+
+/// Render a caught panic payload for a [`SimError::Panic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one cell inside a panic-isolation boundary. A panicking cell leaves
+/// the pooled machine in an unknown state, so the slot is cleared and the
+/// next cell on this worker rebuilds it; the panic becomes a structured
+/// [`SimError::Panic`] outcome instead of tearing down the whole grid.
+fn run_guarded(
+    slot: &mut Option<SdvMachine>,
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+) -> CellOutcome {
+    let m = slot.get_or_insert_with(|| SdvMachine::new(w.heap));
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| try_run_on(m, w, cell, cfg))) {
+        Ok(Ok(r)) => CellOutcome::Done(r),
+        Ok(Err(error)) => CellOutcome::Failed { cell, error },
+        Err(payload) => {
+            *slot = None;
+            CellOutcome::Failed {
+                cell,
+                error: SimError::Panic { what: panic_message(payload.as_ref()) },
+            }
+        }
+    }
 }
 
 /// Run one cell with the default machine configuration.
@@ -259,7 +401,8 @@ pub fn sweep(w: &Workloads, cells: &[Cell], threads: usize) -> Vec<RunResult> {
 /// they ran against.
 pub struct Sweeper {
     machines: Vec<std::sync::Mutex<Option<SdvMachine>>>,
-    memo: std::collections::HashMap<Cell, RunResult>,
+    memo: std::collections::HashMap<Cell, CellOutcome>,
+    cfg: TimingConfig,
 }
 
 impl Default for Sweeper {
@@ -269,14 +412,29 @@ impl Default for Sweeper {
 }
 
 impl Sweeper {
-    /// An empty runner. Machines are created lazily, one per worker thread.
+    /// An empty runner with default timing. Machines are created lazily,
+    /// one per worker thread.
     pub fn new() -> Self {
-        Self { machines: Vec::new(), memo: std::collections::HashMap::new() }
+        Self::with_config(TimingConfig::default())
+    }
+
+    /// An empty runner whose cells run under `cfg` — how figure binaries
+    /// arm the watchdog or a fault plan for every cell of a sweep.
+    pub fn with_config(cfg: TimingConfig) -> Self {
+        Self { machines: Vec::new(), memo: std::collections::HashMap::new(), cfg }
     }
 
     /// Number of distinct cells simulated so far.
     pub fn cells_simulated(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Insert a previously-recorded result (e.g. from a resume checkpoint)
+    /// so sweeps treat the cell as already simulated. The stats registry of
+    /// a preloaded result is empty — checkpoints persist only cycles, which
+    /// is all the figure binaries consume.
+    pub fn preload(&mut self, cell: Cell, cycles: u64) {
+        self.memo.insert(cell, CellOutcome::Done(RunResult { cell, cycles, stats: Stats::new() }));
     }
 
     fn ensure_slots(&mut self, n: usize) {
@@ -287,24 +445,77 @@ impl Sweeper {
 
     /// Run one cell sequentially on the pooled machine. A cell already in
     /// the memo returns its recorded result without re-simulating.
+    ///
+    /// # Panics
+    /// Panics if the cell fails; use [`Sweeper::try_run_cell`] when the
+    /// configuration can produce failures (fault injection, budgets).
     pub fn run_cell(&mut self, w: &Workloads, cell: Cell) -> RunResult {
+        match self.try_run_cell(w, cell) {
+            CellOutcome::Done(r) => r,
+            CellOutcome::Failed { cell, error } => {
+                panic!("cell {}/{} failed: {error}", cell.kernel.name(), cell.imp)
+            }
+        }
+    }
+
+    /// Run one cell sequentially on the pooled machine, reporting failures
+    /// as a structured outcome instead of panicking.
+    pub fn try_run_cell(&mut self, w: &Workloads, cell: Cell) -> CellOutcome {
         if let Some(r) = self.memo.get(&cell) {
             return r.clone();
         }
         self.ensure_slots(1);
-        let r = {
+        let out = {
             let mut slot = self.machines[0].lock().unwrap();
-            let m = slot.get_or_insert_with(|| SdvMachine::new(w.heap));
-            run_on(m, w, cell, TimingConfig::default())
+            run_guarded(&mut slot, w, cell, self.cfg)
         };
-        self.memo.insert(cell, r.clone());
-        r
+        self.memo.insert(cell, out.clone());
+        out
     }
 
     /// Run a grid of cells across OS threads, reusing pooled machines and
     /// the memo. Results come back in input order; duplicate cells — within
     /// this grid or remembered from earlier calls — are simulated once.
+    ///
+    /// # Panics
+    /// Panics if any cell fails; use [`Sweeper::sweep_outcomes`] when the
+    /// configuration can produce failures.
     pub fn sweep(&mut self, w: &Workloads, cells: &[Cell], threads: usize) -> Vec<RunResult> {
+        self.sweep_outcomes(w, cells, threads)
+            .into_iter()
+            .map(|o| match o {
+                CellOutcome::Done(r) => r,
+                CellOutcome::Failed { cell, error } => {
+                    panic!("cell {}/{} failed: {error}", cell.kernel.name(), cell.imp)
+                }
+            })
+            .collect()
+    }
+
+    /// Like [`Sweeper::sweep`], but every cell's fate comes back as a
+    /// [`CellOutcome`]: failing cells (watchdog aborts, invariant
+    /// violations, even panics) are isolated and the rest of the grid
+    /// completes.
+    pub fn sweep_outcomes(
+        &mut self,
+        w: &Workloads,
+        cells: &[Cell],
+        threads: usize,
+    ) -> Vec<CellOutcome> {
+        self.sweep_outcomes_with(w, cells, threads, |_| {})
+    }
+
+    /// [`Sweeper::sweep_outcomes`] with a progress callback, invoked from
+    /// worker threads once per freshly-simulated cell (memo hits are not
+    /// reported) — the hook checkpointing uses to persist results as they
+    /// land, so a killed sweep can resume.
+    pub fn sweep_outcomes_with(
+        &mut self,
+        w: &Workloads,
+        cells: &[Cell],
+        threads: usize,
+        on_cell: impl Fn(&CellOutcome) + Sync,
+    ) -> Vec<CellOutcome> {
         assert!(threads > 0);
         // Unique not-yet-memoized cells, in first-seen order.
         let mut todo: Vec<Cell> = Vec::new();
@@ -322,25 +533,29 @@ impl Sweeper {
         let workers = threads.min(todo.len().max(1));
         self.ensure_slots(workers);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<RunResult>>> =
+        let slots: Vec<std::sync::Mutex<Option<CellOutcome>>> =
             (0..todo.len()).map(|_| std::sync::Mutex::new(None)).collect();
         let machines = &self.machines;
         let todo_ref = &todo;
+        let cfg = self.cfg;
+        let on_cell = &on_cell;
         std::thread::scope(|s| {
             for machine in machines.iter().take(workers) {
                 let slots = &slots;
                 let next = &next;
                 s.spawn(move || {
-                    // Each worker owns one pooled machine for the whole grid.
+                    // Each worker owns one pooled machine for the whole
+                    // grid. Cells run inside a panic-isolation boundary, so
+                    // one diseased cell cannot take the grid down with it.
                     let mut guard = machine.lock().unwrap();
-                    let m = guard.get_or_insert_with(|| SdvMachine::new(w.heap));
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= todo_ref.len() {
                             break;
                         }
-                        let r = run_on(m, w, todo_ref[i], TimingConfig::default());
-                        *slots[i].lock().unwrap() = Some(r);
+                        let out = run_guarded(&mut guard, w, todo_ref[i], cfg);
+                        on_cell(&out);
+                        *slots[i].lock().unwrap() = Some(out);
                     }
                 });
             }

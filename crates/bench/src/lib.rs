@@ -13,11 +13,14 @@
 //! * binaries `fig3_latency`, `fig4_slowdown`, `fig5_bandwidth` print the
 //!   paper's figures; `ablation_*` cover the design-choice studies.
 
+pub mod checkpoint;
+pub mod cli;
 pub mod harness;
 pub mod plot;
 pub mod table;
 
+pub use checkpoint::Checkpoint;
 pub use harness::{
-    run, run_spmv_variant, run_with_config, sweep, Cell, ImplKind, KernelKind, RunResult,
-    SpmvVariant, Sweeper, Workloads,
+    run, run_spmv_variant, run_with_config, sweep, try_run_with_config, Cell, CellOutcome,
+    ImplKind, KernelKind, RunResult, SpmvVariant, Sweeper, Workloads,
 };

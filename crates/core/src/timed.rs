@@ -88,6 +88,18 @@ impl SdvMachine {
         self.timing.finish()
     }
 
+    /// Finish the program, surfacing any failure the watchdog latched during
+    /// the run and then running the end-of-run invariant audits. `Ok` carries
+    /// the final cycle count; `Err` means the cycle numbers are meaningless.
+    pub fn try_finish(&mut self) -> Result<Cycle, sdv_engine::SimError> {
+        self.timing.try_finish()
+    }
+
+    /// The first structured failure latched by the watchdog, if any.
+    pub fn fault(&self) -> Option<&sdv_engine::SimError> {
+        self.timing.fault()
+    }
+
     /// Merged statistics from every modelled component.
     pub fn stats(&self) -> Stats {
         self.timing.stats()
@@ -336,6 +348,39 @@ mod tests {
         assert!(d.contains("4 banks"), "{d}");
         assert!(d.contains("MAXVL CSR cap = 64"), "{d}");
         assert!(d.contains("+128"), "{d}");
+    }
+
+    #[test]
+    fn try_finish_surfaces_injected_faults_and_passes_clean_runs() {
+        use sdv_engine::{FaultKind, FaultPlan, SimError};
+        use sdv_uarch::WatchdogConfig;
+        let program = |m: &mut SdvMachine| {
+            let n = 8192u64;
+            let a = m.alloc((n * 8) as usize, 64);
+            m.setvl(256, Sew::E64, Lmul::M1);
+            let mut off = 0;
+            while off < n {
+                m.vle(1, a + off * 8);
+                off += 256;
+            }
+            m.try_finish()
+        };
+        let mut clean = SdvMachine::with_config(
+            1 << 22,
+            TimingConfig { watchdog: WatchdogConfig::default_on(), ..TimingConfig::default() },
+        );
+        program(&mut clean).expect("clean run passes");
+        let mut faulty = SdvMachine::with_config(
+            1 << 22,
+            TimingConfig {
+                watchdog: WatchdogConfig::default_on(),
+                fault: FaultPlan::new(FaultKind::StallBank, 6),
+                ..TimingConfig::default()
+            },
+        );
+        let e = program(&mut faulty).expect_err("the stalled bank must surface");
+        assert!(matches!(e, SimError::Deadlock { .. }), "{e}");
+        assert!(faulty.fault().is_some());
     }
 
     #[test]

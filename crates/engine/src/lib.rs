@@ -15,19 +15,27 @@
 //! * [`Stats`] / [`Counter`] / [`Histogram`] — a lightweight statistics
 //!   registry every component reports into,
 //! * [`Rng`] — a small, seedable xoshiro256** generator so workload
-//!   generation does not depend on external crates in the runtime path.
+//!   generation does not depend on external crates in the runtime path,
+//! * [`SimError`] — structured, recoverable failure values returned by the
+//!   model run loops instead of panics,
+//! * [`FaultPlan`] — seeded deterministic fault injection (off by default)
+//!   used to prove the watchdog and invariant auditors actually fire.
 
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod error;
 pub mod events;
+pub mod fault;
 pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use clock::Cycle;
+pub use error::SimError;
 pub use events::EventQueue;
+pub use fault::{ArmedFault, FaultKind, FaultPlan, WEDGE};
 pub use hash::{FastMap, FastSet, FxHasher};
 pub use queue::BoundedQueue;
 pub use rng::Rng;

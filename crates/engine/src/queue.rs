@@ -215,4 +215,69 @@ mod tests {
     fn zero_capacity_panics() {
         let _ = BoundedQueue::<u8>::new(0);
     }
+
+    #[test]
+    fn rejected_push_returns_the_item_and_mutates_nothing() {
+        let mut q = BoundedQueue::new(2);
+        q.push(String::from("a")).unwrap();
+        q.push(String::from("b")).unwrap();
+        // The rejected value comes back intact (no drop, no clone), and the
+        // queue is untouched: same occupancy, same contents, same order.
+        let back = q.push(String::from("c")).unwrap_err();
+        assert_eq!(back, "c");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.free(), 0);
+        assert_eq!(q.iter().cloned().collect::<Vec<_>>(), vec!["a", "b"]);
+        // Overflow is not sticky: the queue keeps rejecting while full and
+        // accepts again as soon as a slot frees up.
+        assert!(q.push(String::from("d")).is_err());
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        q.push(String::from("e")).unwrap();
+        assert_eq!(q.iter().cloned().collect::<Vec<_>>(), vec!["b", "e"]);
+    }
+
+    #[test]
+    fn overflow_respects_live_count_not_physical_slots() {
+        // Tombstones occupy physical VecDeque slots but must not eat
+        // capacity: after out-of-order removals a full-looking ring still
+        // accepts exactly `free()` pushes.
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        q.remove_first(|&x| x == 1).unwrap();
+        q.remove_first(|&x| x == 3).unwrap();
+        assert_eq!(q.free(), 2);
+        q.push(10).unwrap();
+        q.push(11).unwrap();
+        assert_eq!(q.push(12), Err(12), "live count is back at capacity");
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 2, 10, 11]);
+    }
+
+    #[test]
+    fn remove_then_push_rotation_never_overflows() {
+        // The steady-state pattern of MSHR-style users (and the
+        // perf_baseline micro): run full, retire one entry out of order,
+        // immediately insert its replacement. Each push is guaranteed a slot
+        // by the preceding successful removal.
+        let mut q: BoundedQueue<u64> = BoundedQueue::new(8);
+        let mut next = 0u64;
+        while !q.is_full() {
+            q.push(next).unwrap();
+            next += 1;
+        }
+        for step in 0..1000u64 {
+            let victim = step.wrapping_mul(0x9E37_79B9) % next;
+            if q.remove_first(|&v| v == victim).is_some() {
+                assert!(!q.is_full(), "a successful removal leaves a free slot");
+                q.push(next).expect("slot freed by remove_first");
+                next += 1;
+            } else {
+                assert!(q.is_full(), "nothing removed, so still at capacity");
+                assert!(q.push(next).is_err(), "full queue must reject");
+            }
+            assert_eq!(q.len(), 8);
+        }
+    }
 }

@@ -180,6 +180,28 @@ impl Directory {
         }
     }
 
+    /// Number of lines currently holding directory state (Uncached lines
+    /// are represented by absence, so this counts lines with live sharers
+    /// or an exclusive owner).
+    pub fn lines_tracked(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Visit every tracked line with its holder bitmask (bit `r` set means
+    /// requestor `r` holds a copy; an exclusive owner is a one-bit mask).
+    /// Iteration order is unspecified — use only for order-independent
+    /// audits and summary counts, never for timing decisions.
+    pub fn for_each_holder(&self, mut f: impl FnMut(u64, u8)) {
+        for (&line, &st) in self.lines.iter() {
+            let mask = match st {
+                DirState::Uncached => 0,
+                DirState::Shared(m) => m,
+                DirState::Exclusive(o) => 1 << o,
+            };
+            f(line, mask);
+        }
+    }
+
     /// Total owner recalls performed (coherence telemetry).
     pub fn recalls(&self) -> u64 {
         self.recalls
@@ -300,6 +322,21 @@ mod tests {
         assert!(d.held_by_others(0x200, L1), "requestor 2 still holds it");
         d.evicted(0x200, 2);
         assert!(!d.held_by_others(0x200, L1));
+    }
+
+    #[test]
+    fn holder_walk_reports_tracked_lines() {
+        let mut d = Directory::new();
+        d.caching_write(0x40, L1); // Exclusive(L1)
+        d.caching_read(0x80, L1);
+        d.caching_read(0x80, 2); // Shared{L1, 2}
+        assert_eq!(d.lines_tracked(), 2);
+        let mut seen = Vec::new();
+        d.for_each_holder(|line, mask| seen.push((line, mask)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0x40, 1 << L1), (0x80, (1 << L1) | (1 << 2))]);
+        d.evicted(0x40, L1);
+        assert_eq!(d.lines_tracked(), 1, "eviction drops the tracked entry");
     }
 
     #[test]

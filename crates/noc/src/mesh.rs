@@ -163,6 +163,18 @@ impl Mesh {
         s
     }
 
+    /// Latest cycle at which any directed link is still reserved — the NoC
+    /// half of a watchdog diagnostic (a wedged link shows up here).
+    pub fn busiest_link_free(&self) -> Cycle {
+        self.link_free.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of directed links still reserved past `now` (credit state:
+    /// how much of the fabric is committed to in-flight traffic).
+    pub fn links_busy_at(&self, now: Cycle) -> usize {
+        self.link_free.iter().filter(|&&f| f > now).count()
+    }
+
     /// Forget link occupancy and statistics (between experiment runs).
     pub fn reset(&mut self) {
         self.link_free.fill(0);
@@ -256,6 +268,17 @@ mod tests {
         assert_eq!(m.stats().get("noc.packets"), 2);
         assert_eq!(m.stats().get("noc.hops"), 4);
         assert_eq!(m.stats().get("noc.flits"), 3);
+    }
+
+    #[test]
+    fn link_occupancy_probes_reflect_traffic() {
+        let mut m = mesh2x2();
+        assert_eq!(m.busiest_link_free(), 0);
+        assert_eq!(m.links_busy_at(0), 0);
+        m.send(0, 3, 6400, 0); // 100 flits over two links
+        assert!(m.busiest_link_free() > 0);
+        assert!(m.links_busy_at(0) >= 2, "both route links reserved");
+        assert_eq!(m.links_busy_at(m.busiest_link_free()), 0, "all free afterwards");
     }
 
     #[test]

@@ -325,7 +325,7 @@ fn compare(sew: Sew, kind: CmpKind, a: u64, b: u64) -> bool {
                 CmpKind::Flt => x < y,
                 CmpKind::Fle => x <= y,
                 CmpKind::Fgt => x > y,
-                _ => unreachable!(),
+                _ => unreachable!("outer arm matched only the FP compare kinds"),
             }
         }
     }
@@ -797,7 +797,7 @@ fn gather_elems<M: VMemory>(
         2 => gather_w::<M, 2>(mem, addrs, vals, list),
         4 => gather_w::<M, 4>(mem, addrs, vals, list),
         8 => gather_w::<M, 8>(mem, addrs, vals, list),
-        _ => unreachable!("unsupported element width {width}"),
+        _ => unreachable!("element width {width} impossible: Sew::bits()/8 is 1, 2, 4, or 8"),
     }
 }
 
@@ -838,7 +838,7 @@ fn scatter_elems<M: VMemory>(
         2 => scatter_w::<M, 2>(mem, addrs, vals, list),
         4 => scatter_w::<M, 4>(mem, addrs, vals, list),
         8 => scatter_w::<M, 8>(mem, addrs, vals, list),
-        _ => unreachable!("unsupported element width {width}"),
+        _ => unreachable!("element width {width} impossible: Sew::bits()/8 is 1, 2, 4, or 8"),
     }
 }
 
@@ -1891,7 +1891,7 @@ pub(crate) mod reference {
                                     RedKind::Fsum => (a + b).to_bits(),
                                     RedKind::Fmax => a.max(b).to_bits(),
                                     RedKind::Fmin => a.min(b).to_bits(),
-                                    _ => unreachable!(),
+                                    _ => unreachable!("is_fp admits only Fsum/Fmax/Fmin"),
                                 }
                             }
                             Sew::E32 => {
@@ -1900,7 +1900,7 @@ pub(crate) mod reference {
                                     RedKind::Fsum => a + b,
                                     RedKind::Fmax => a.max(b),
                                     RedKind::Fmin => a.min(b),
-                                    _ => unreachable!(),
+                                    _ => unreachable!("is_fp admits only Fsum/Fmax/Fmin"),
                                 })
                                 .to_bits() as u64
                             }
@@ -1924,7 +1924,7 @@ pub(crate) mod reference {
                                 }
                             }
                             RedKind::Maxu => (r & sew.value_mask()).max(v & sew.value_mask()),
-                            _ => unreachable!(),
+                            _ => unreachable!("FP kinds are routed to the is_fp branch"),
                         }
                     };
                 }

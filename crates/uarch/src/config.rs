@@ -6,7 +6,7 @@
 //! small single-digit range typical of a modest superscalar while the VPU
 //! can keep tens of line requests in flight.
 
-use sdv_engine::Cycle;
+use sdv_engine::{Cycle, FaultPlan};
 use sdv_memsys::{CacheConfig, DramConfig};
 use sdv_noc::MeshConfig;
 
@@ -139,6 +139,36 @@ impl Default for VpuConfig {
     }
 }
 
+/// Forward-progress watchdog configuration. Both knobs default to 0 (off):
+/// the watchdog is a pure observer and never changes cycle arithmetic, but
+/// keeping it off by default guarantees the golden runs stay bit-identical
+/// by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Abort with `SimError::CycleBudgetExceeded` once the cycle counter
+    /// passes this value. 0 = unlimited.
+    pub cycle_budget: Cycle,
+    /// Abort with `SimError::Deadlock` when a single operation's completion
+    /// jumps more than this many cycles past its issue point — no real
+    /// configuration stalls one op for billions of cycles, so a jump this
+    /// large means a resource is wedged and will never free. 0 = off.
+    pub progress_window: Cycle,
+}
+
+impl WatchdogConfig {
+    /// Whether either check is armed.
+    pub fn armed(&self) -> bool {
+        self.cycle_budget != 0 || self.progress_window != 0
+    }
+
+    /// A production preset for long sweeps: progress window of 2^32 cycles
+    /// (far above any legitimate stall — the paper's worst cells run ~10^8
+    /// cycles *total* — far below the `WEDGE` sentinel) and no cycle budget.
+    pub fn default_on() -> Self {
+        Self { cycle_budget: 0, progress_window: 1 << 32 }
+    }
+}
+
 /// The complete timing configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TimingConfig {
@@ -148,6 +178,10 @@ pub struct TimingConfig {
     pub scalar: ScalarConfig,
     /// Vector unit.
     pub vpu: VpuConfig,
+    /// Forward-progress watchdog (off by default).
+    pub watchdog: WatchdogConfig,
+    /// Deterministic fault injection (off by default).
+    pub fault: FaultPlan,
 }
 
 #[cfg(test)]
@@ -162,6 +196,18 @@ mod tests {
         assert_eq!(c.mem.mesh.nodes(), 4);
         assert!(c.scalar.max_outstanding_loads < c.vpu.vmem_outstanding,
             "the VPU must out-MLP the scalar core or the paper's effect disappears");
+    }
+
+    #[test]
+    fn hardening_knobs_default_off() {
+        let c = TimingConfig::default();
+        assert!(!c.watchdog.armed(), "watchdog must be off unless asked for");
+        assert!(!c.fault.is_active(), "no fault injection by default");
+        assert!(WatchdogConfig::default_on().armed());
+        assert!(
+            WatchdogConfig::default_on().progress_window < sdv_engine::WEDGE,
+            "the preset window must always catch a wedged resource"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod op;
 pub mod scalar;
 pub mod vpu;
 
-pub use config::{MemHierConfig, ScalarConfig, TimingConfig, VpuConfig};
+pub use config::{MemHierConfig, ScalarConfig, TimingConfig, VpuConfig, WatchdogConfig};
 pub use energy::{estimate as estimate_energy, EnergyConfig, EnergyReport};
 pub use machine::SdvTiming;
 pub use memhier::MemHierarchy;

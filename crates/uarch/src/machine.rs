@@ -1,28 +1,51 @@
 //! The top-level timing consumer: scalar core + VPU + memory hierarchy.
 
-use crate::config::TimingConfig;
+use crate::config::{TimingConfig, WatchdogConfig};
 use crate::memhier::MemHierarchy;
 use crate::op::{Op, VClass};
 use crate::scalar::ScalarCore;
 use crate::vpu::VpuTiming;
-use sdv_engine::{Cycle, Stats};
+use sdv_engine::{Cycle, FaultKind, SimError, Stats};
 
 /// The assembled timing model. Feed it the dynamic [`Op`] stream a kernel
 /// produces; read back cycles (the paper's hardware cycle counter) and
 /// component statistics.
+///
+/// ## Failure handling
+///
+/// The model never returns `Result` from the per-op hot path. Instead the
+/// forward-progress watchdog (when armed; see [`WatchdogConfig`]) *latches*
+/// the first structured [`SimError`] it observes: from that point on
+/// [`SdvTiming::issue`] is a no-op and [`SdvTiming::try_finish`] surfaces
+/// the error with a full diagnostic dump. Kernels drive the op stream from
+/// functional state only, so they always run to completion; the latched
+/// error then tells the caller the cycle numbers are meaningless.
 pub struct SdvTiming {
     scalar: ScalarCore,
     vpu: VpuTiming,
     hier: MemHierarchy,
+    watchdog: WatchdogConfig,
+    /// First failure observed; once set, `issue` short-circuits.
+    fault: Option<Box<SimError>>,
 }
 
 impl SdvTiming {
-    /// Build from configuration.
+    /// Build from configuration, arming the watchdog and any fault plan.
     pub fn new(cfg: TimingConfig) -> Self {
+        let mut vpu = VpuTiming::new(cfg.vpu);
+        let mut hier = MemHierarchy::new(cfg.mem);
+        if cfg.fault.is_active() {
+            match cfg.fault.kind {
+                FaultKind::WedgeCredit => vpu.arm_wedge_credit(cfg.fault.arm(1)),
+                _ => hier.arm_fault(cfg.fault),
+            }
+        }
         Self {
             scalar: ScalarCore::new(cfg.scalar),
-            vpu: VpuTiming::new(cfg.vpu),
-            hier: MemHierarchy::new(cfg.mem),
+            vpu,
+            hier,
+            watchdog: cfg.watchdog,
+            fault: None,
         }
     }
 
@@ -41,8 +64,14 @@ impl SdvTiming {
         self.hier.set_bandwidth_fraction(num, den);
     }
 
-    /// Consume one trace operation.
+    /// Consume one trace operation. Once a failure is latched this is a
+    /// no-op: the kernel's remaining ops are accepted and discarded so the
+    /// (functionally driven) program runs to completion cheaply.
     pub fn issue(&mut self, op: &Op) {
+        if self.fault.is_some() {
+            return;
+        }
+        let before = self.scalar.now();
         match op {
             Op::IntOps(n) => self.scalar.int_ops(*n),
             Op::FpOps(n) => self.scalar.fp_ops(*n),
@@ -57,6 +86,16 @@ impl SdvTiming {
                     return;
                 }
                 let d = self.vpu.dispatch(vop, self.scalar.now(), &mut self.hier);
+                // Check the dispatch itself before advancing the scalar
+                // core: a wedged resource shows up as this op's acceptance
+                // or completion jumping an impossible distance past issue,
+                // and latching here keeps the scalar clock at a sane value
+                // for the diagnostic.
+                let window = self.watchdog.progress_window;
+                if window != 0 && d.completion.saturating_sub(before) > window {
+                    self.latch_deadlock(before);
+                    return;
+                }
                 if d.accepted_at > self.scalar.now() {
                     self.scalar.advance_to(d.accepted_at);
                 }
@@ -70,14 +109,80 @@ impl SdvTiming {
                 self.scalar.advance_to(self.vpu.all_done());
             }
         }
+        self.watchdog_post(before);
+    }
+
+    /// Post-op watchdog checks: a forward-progress jump on the scalar clock
+    /// (a wedged bank eventually stalls the scalar core this way) and the
+    /// cycle budget. Free when the watchdog is off.
+    fn watchdog_post(&mut self, before: Cycle) {
+        if !self.watchdog.armed() || self.fault.is_some() {
+            return;
+        }
+        let window = self.watchdog.progress_window;
+        if window != 0 && self.scalar.now().saturating_sub(before) > window {
+            self.latch_deadlock(before);
+            return;
+        }
+        let budget = self.watchdog.cycle_budget;
+        if budget != 0 && self.scalar.now() > budget {
+            let diagnostic = self.diagnostic();
+            self.fault = Some(Box::new(SimError::CycleBudgetExceeded {
+                budget,
+                cycle: self.scalar.now(),
+                diagnostic,
+            }));
+        }
+    }
+
+    fn latch_deadlock(&mut self, cycle: Cycle) {
+        let diagnostic = self.diagnostic();
+        self.fault = Some(Box::new(SimError::Deadlock { cycle, diagnostic }));
+    }
+
+    /// The first structured failure latched by the watchdog, if any.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_deref()
+    }
+
+    /// Machine-state dump attached to watchdog reports: VPU queue/credit
+    /// state, per-bank reservations, directory summary, in-flight fills,
+    /// DRAM horizon and mesh link credits.
+    pub fn diagnostic(&self) -> String {
+        let now = self.scalar.now();
+        format!("{}\n{}", self.vpu.diagnostic(), self.hier.diagnostic(now))
     }
 
     /// Finish the program: drain everything and return the final cycle count
-    /// (what the paper's hardware cycle counter would read).
+    /// (what the paper's hardware cycle counter would read). With a latched
+    /// failure the drain is skipped (it would advance the clock to the wedge
+    /// sentinel) — use [`SdvTiming::try_finish`] to observe the failure.
     pub fn finish(&mut self) -> Cycle {
-        self.scalar.advance_to(self.vpu.all_done());
-        self.scalar.drain();
+        if self.fault.is_none() {
+            let before = self.scalar.now();
+            self.scalar.advance_to(self.vpu.all_done());
+            self.scalar.drain();
+            self.watchdog_post(before);
+        }
         self.scalar.now()
+    }
+
+    /// Finish the program, surfacing any latched watchdog failure and then
+    /// running the end-of-run invariant audits (VPU credit accounting, MESI
+    /// coherence). `Ok` carries the final cycle count.
+    pub fn try_finish(&mut self) -> Result<Cycle, SimError> {
+        let t = self.finish();
+        if let Some(e) = self.fault.as_deref() {
+            return Err(e.clone());
+        }
+        self.audit(t)?;
+        Ok(t)
+    }
+
+    /// End-of-run invariant audits (read-only; never changes timing state).
+    pub fn audit(&self, now: Cycle) -> Result<(), SimError> {
+        self.vpu.audit(now)?;
+        self.hier.audit_coherence(now)
     }
 
     /// Current scalar-core cycle (advances as ops are issued).
@@ -291,5 +396,118 @@ mod tests {
             m.finish()
         };
         assert_eq!(run(), run());
+    }
+
+    fn mixed_program(m: &mut SdvTiming) -> Result<u64, sdv_engine::SimError> {
+        for i in 0..40u64 {
+            m.issue(&Op::Load { addr: (i * 937) % 65536, size: 8 });
+            m.issue(&gather(256, (0..64).map(|l| (i * 64 + l) * 4096).collect()));
+            m.issue(&Op::IntOps(8));
+        }
+        m.try_finish()
+    }
+
+    #[test]
+    fn armed_watchdog_is_a_pure_observer() {
+        // Same program with the watchdog off vs armed: bit-identical cycles.
+        let mut plain = machine();
+        let t_plain = mixed_program(&mut plain).expect("clean run");
+        let cfg = TimingConfig {
+            watchdog: crate::config::WatchdogConfig::default_on(),
+            ..TimingConfig::default()
+        };
+        let mut watched = SdvTiming::new(cfg);
+        let t_watched = mixed_program(&mut watched).expect("clean run under watchdog");
+        assert_eq!(t_plain, t_watched, "the watchdog must never change timing");
+    }
+
+    #[test]
+    fn wedge_credit_fault_trips_the_watchdog() {
+        use sdv_engine::{FaultKind, FaultPlan, SimError};
+        let cfg = TimingConfig {
+            watchdog: crate::config::WatchdogConfig::default_on(),
+            fault: FaultPlan::new(FaultKind::WedgeCredit, 9),
+            ..TimingConfig::default()
+        };
+        let mut m = SdvTiming::new(cfg);
+        let e = mixed_program(&mut m).expect_err("the wedge must be caught");
+        assert!(matches!(e, SimError::Deadlock { .. }), "{e}");
+        let msg = e.to_string();
+        assert!(msg.contains("vpu:"), "diagnostic has VPU state: {msg}");
+        assert!(msg.contains("bank0:"), "diagnostic has bank state: {msg}");
+        assert!(msg.contains("mesh:"), "diagnostic has NoC state: {msg}");
+        // Latched: the machine keeps reporting the same failure.
+        assert!(m.fault().is_some());
+    }
+
+    #[test]
+    fn stall_bank_fault_trips_the_watchdog() {
+        use sdv_engine::{FaultKind, FaultPlan, SimError};
+        let cfg = TimingConfig {
+            watchdog: crate::config::WatchdogConfig::default_on(),
+            fault: FaultPlan::new(FaultKind::StallBank, 4),
+            ..TimingConfig::default()
+        };
+        let mut m = SdvTiming::new(cfg);
+        let e = mixed_program(&mut m).expect_err("the stalled bank must be caught");
+        assert!(matches!(e, SimError::Deadlock { .. }), "{e}");
+        assert!(e.to_string().contains("(WEDGED)"), "the victim bank is called out: {e}");
+    }
+
+    #[test]
+    fn drop_response_fault_trips_the_watchdog() {
+        use sdv_engine::{FaultKind, FaultPlan, SimError};
+        let cfg = TimingConfig {
+            watchdog: crate::config::WatchdogConfig::default_on(),
+            fault: FaultPlan::new(FaultKind::DropResponse, 21),
+            ..TimingConfig::default()
+        };
+        let mut m = SdvTiming::new(cfg);
+        let e = mixed_program(&mut m).expect_err("the lost response must be caught");
+        assert!(matches!(e, SimError::Deadlock { .. }), "{e}");
+    }
+
+    #[test]
+    fn cycle_budget_aborts_long_runs() {
+        use sdv_engine::SimError;
+        let cfg = TimingConfig {
+            watchdog: crate::config::WatchdogConfig { cycle_budget: 500, progress_window: 0 },
+            ..TimingConfig::default()
+        };
+        let mut m = SdvTiming::new(cfg);
+        let e = mixed_program(&mut m).expect_err("the program runs well past 500 cycles");
+        match e {
+            SimError::CycleBudgetExceeded { budget, cycle, .. } => {
+                assert_eq!(budget, 500);
+                assert!(cycle > 500);
+            }
+            other => panic!("expected a budget error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn credit_leak_audit_fires_even_with_the_watchdog_off() {
+        use sdv_engine::{FaultKind, FaultPlan, SimError};
+        // A window deep enough that the wedge never stalls issue: nothing
+        // for the watchdog to see, so only the end-of-run audit can catch
+        // the leak.
+        use crate::config::VpuConfig;
+        let cfg = TimingConfig {
+            vpu: VpuConfig { vmem_outstanding: 1 << 20, ..VpuConfig::default() },
+            fault: FaultPlan::new(FaultKind::WedgeCredit, 3),
+            ..TimingConfig::default()
+        };
+        let mut m = SdvTiming::new(cfg);
+        let e = mixed_program(&mut m).expect_err("the audit must catch the leak");
+        assert!(matches!(e, SimError::InvariantViolation { .. }), "{e}");
+        assert!(e.to_string().contains("credit leak"), "{e}");
+    }
+
+    #[test]
+    fn clean_runs_pass_try_finish() {
+        let mut m = machine();
+        let t = mixed_program(&mut m).expect("clean run");
+        assert!(t > 0);
+        assert!(m.fault().is_none());
     }
 }

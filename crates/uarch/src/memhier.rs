@@ -13,7 +13,7 @@
 //!   bypasses the L1 and is kept coherent by the home node) — id 1.
 
 use crate::config::MemHierConfig;
-use sdv_engine::{Cycle, FastMap, Stats};
+use sdv_engine::{ArmedFault, Cycle, FastMap, FaultKind, FaultPlan, SimError, Stats, WEDGE};
 use sdv_memsys::{AccessKind, AddressMap, Cache, Directory, DramChannel};
 use sdv_noc::Mesh;
 
@@ -40,6 +40,9 @@ pub struct MemHierarchy {
     l1_inflight: FastMap<u64, Cycle>,
     /// In-flight L2 fills: line -> ready-at-bank time.
     l2_inflight: FastMap<u64, Cycle>,
+    /// Armed fault-injection state for the hierarchy's fault kinds
+    /// (stall-bank, drop-response, inject-panic). `None` when off.
+    fault: Option<ArmedFault>,
     ctr: HierCounters,
 }
 
@@ -85,8 +88,21 @@ impl MemHierarchy {
             dram: DramChannel::new(cfg.dram),
             l1_inflight: FastMap::default(),
             l2_inflight: FastMap::default(),
+            fault: None,
             ctr: HierCounters::default(),
         }
+    }
+
+    /// Arm the hierarchy's share of a fault plan. Only the kinds that live
+    /// in the memory system (stall a bank, drop a VPU load response, panic
+    /// in a bank pipeline) are armed here; other kinds leave the hook cold.
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.fault = match plan.kind {
+            FaultKind::StallBank | FaultKind::DropResponse | FaultKind::InjectPanic => {
+                Some(plan.arm(self.cfg.num_banks))
+            }
+            _ => None,
+        };
     }
 
     /// The configuration.
@@ -120,6 +136,24 @@ impl MemHierarchy {
 
     /// Claim the bank pipeline: requests serialize at `l2_bank_occupancy`.
     fn claim_bank(&mut self, bank: usize, t: Cycle) -> Cycle {
+        if let Some(f) = self.fault.as_mut() {
+            let kind = f.kind;
+            if matches!(kind, FaultKind::StallBank | FaultKind::InjectPanic) && f.fire_once() {
+                match kind {
+                    FaultKind::StallBank => {
+                        // The victim bank's pipeline seizes: its reservation
+                        // is pushed to WEDGE, so every later request homed
+                        // there waits forever (until the watchdog notices).
+                        self.banks[f.target].next_free = WEDGE;
+                    }
+                    _ => panic!(
+                        "fault injection: deliberate panic in L2 bank {bank} \
+                         (inject-panic, trigger ordinal {})",
+                        f.trigger
+                    ),
+                }
+            }
+        }
         let b = &mut self.banks[bank];
         let start = t.max(b.next_free);
         b.next_free = start + self.cfg.l2_bank_occupancy;
@@ -353,7 +387,16 @@ impl MemHierarchy {
             // Store ack: small message; data already travelled with the request.
             self.mesh.send(node, self.cfg.core_node, 8, t_data)
         } else {
-            self.mesh.send(node, self.cfg.core_node, self.line_bytes(), t_data)
+            let t_resp = self.mesh.send(node, self.cfg.core_node, self.line_bytes(), t_data);
+            if let Some(f) = self.fault.as_mut() {
+                if f.kind == FaultKind::DropResponse && f.fire_once() {
+                    // The response is lost in the fabric: the request was
+                    // consumed (bank, DRAM and mesh state all advanced) but
+                    // the data never reaches the VPU.
+                    return WEDGE;
+                }
+            }
+            t_resp
         }
     }
 
@@ -392,6 +435,76 @@ impl MemHierarchy {
     /// Latest cycle at which the DRAM channel is still busy.
     pub fn dram_busy_until(&self) -> Cycle {
         self.dram.busy_until()
+    }
+
+    /// Multi-line diagnostic dump for watchdog reports: per-bank pipeline
+    /// reservations (a wedged bank is called out), MESI directory occupancy,
+    /// in-flight fill sets, DRAM busy horizon, and mesh link credit state.
+    pub fn diagnostic(&self, now: Cycle) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, b) in self.banks.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "bank{i}: next_free={}{}, dir lines={}, recalls={}, invalidations={}",
+                b.next_free,
+                if b.next_free >= WEDGE { " (WEDGED)" } else { "" },
+                b.dir.lines_tracked(),
+                b.dir.recalls(),
+                b.dir.invalidations(),
+            );
+        }
+        let _ = writeln!(
+            s,
+            "fills in flight: l1={}, l2={}; dram busy until {}",
+            self.l1_inflight.len(),
+            self.l2_inflight.len(),
+            self.dram_busy_until(),
+        );
+        let _ = write!(
+            s,
+            "mesh: busiest link free at {}, {} links busy at cycle {now}",
+            self.mesh.busiest_link_free(),
+            self.mesh.links_busy_at(now),
+        );
+        s
+    }
+
+    /// MESI coherence audit. Verifies the directory invariants this
+    /// single-core system must maintain: every tracked line is tracked by
+    /// the bank that homes its address, the non-caching VPU is never
+    /// registered as a holder, and every line the directories believe the
+    /// L1 holds is actually present in the L1.
+    pub fn audit_coherence(&self, now: Cycle) -> Result<(), SimError> {
+        for (i, b) in self.banks.iter().enumerate() {
+            let mut bad: Option<String> = None;
+            b.dir.for_each_holder(|line, holders| {
+                if bad.is_some() {
+                    return;
+                }
+                let home = self.amap.bank_of(line);
+                if home != i {
+                    bad = Some(format!(
+                        "line {line:#x} tracked by bank {i} but homed at bank {home}"
+                    ));
+                } else if holders & (1 << REQ_VPU) != 0 {
+                    bad = Some(format!(
+                        "non-caching VPU registered as holder of line {line:#x} at bank {i}"
+                    ));
+                } else if holders & (1 << REQ_L1) != 0 && !self.l1.contains(line) {
+                    bad = Some(format!(
+                        "bank {i} believes the L1 holds line {line:#x} but the L1 does not"
+                    ));
+                }
+            });
+            if let Some(what) = bad {
+                return Err(SimError::InvariantViolation {
+                    cycle: now,
+                    what: format!("coherence: {what}"),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -563,6 +676,86 @@ mod tests {
         }
         assert_eq!(h.stats().get("l1.prefetch"), 0);
         assert_eq!(h.stats().get("l1.miss"), 8);
+    }
+
+    #[test]
+    fn clean_traffic_passes_the_coherence_audit() {
+        let mut h = hier();
+        let mut t = 0;
+        for i in 0..300u64 {
+            t = h.core_access((i * 937) % 65536, i % 3 == 0, t);
+            if i % 5 == 0 {
+                h.vpu_access((i * 641) % 65536, i % 2 == 0, t);
+            }
+        }
+        assert_eq!(h.audit_coherence(t), Ok(()));
+    }
+
+    #[test]
+    fn coherence_audit_catches_a_foreign_line() {
+        let mut h = hier();
+        let line = 64; // homed at bank 1 under line interleaving
+        assert_ne!(h.amap.bank_of(line), 0);
+        h.banks[0].dir.caching_read(line, REQ_L1);
+        let e = h.audit_coherence(10).unwrap_err();
+        assert!(matches!(e, SimError::InvariantViolation { cycle: 10, .. }), "{e}");
+        assert!(e.to_string().contains("homed at bank"), "{e}");
+    }
+
+    #[test]
+    fn coherence_audit_catches_a_phantom_l1_holder() {
+        let mut h = hier();
+        // The directory believes the L1 holds line 0, but it was never filled.
+        h.banks[0].dir.caching_read(0, REQ_L1);
+        let e = h.audit_coherence(0).unwrap_err();
+        assert!(e.to_string().contains("but the L1 does not"), "{e}");
+    }
+
+    #[test]
+    fn stall_bank_fault_wedges_the_victim_bank() {
+        let mut h = hier();
+        h.arm_fault(FaultPlan::new(FaultKind::StallBank, 11));
+        let mut wedged = false;
+        for i in 0..400u64 {
+            if h.vpu_access(i * 64, false, 0) >= WEDGE {
+                wedged = true;
+                break;
+            }
+        }
+        assert!(wedged, "a request to the stalled bank must never complete");
+        assert!(h.diagnostic(0).contains("(WEDGED)"), "{}", h.diagnostic(0));
+    }
+
+    #[test]
+    fn drop_response_fault_loses_exactly_one_load() {
+        let mut h = hier();
+        h.arm_fault(FaultPlan::new(FaultKind::DropResponse, 5));
+        let dropped = (0..400u64).filter(|&i| h.vpu_access(i * 64, false, 0) >= WEDGE).count();
+        assert_eq!(dropped, 1, "drop-response is a one-shot fault");
+    }
+
+    #[test]
+    fn inject_panic_fires_at_its_trigger() {
+        let mut h = hier();
+        h.arm_fault(FaultPlan::new(FaultKind::InjectPanic, 2));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..400u64 {
+                h.vpu_access(i * 64, false, 0);
+            }
+        }));
+        let payload = r.expect_err("the injected panic must fire within 400 accesses");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("fault injection"), "{msg}");
+    }
+
+    #[test]
+    fn faults_off_by_default_and_diagnostic_is_cheaply_available() {
+        let mut h = hier();
+        let t = h.core_access(0x1000, false, 0);
+        let d = h.diagnostic(t);
+        assert!(d.contains("bank0:"), "{d}");
+        assert!(d.contains("dram busy until"), "{d}");
+        assert!(!d.contains("WEDGED"), "{d}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::config::VpuConfig;
 use crate::memhier::MemHierarchy;
 use crate::op::{VClass, VectorOp};
-use sdv_engine::{Cycle, Stats};
+use sdv_engine::{ArmedFault, Cycle, SimError, Stats, WEDGE};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -45,6 +45,9 @@ pub struct VpuTiming {
     outstanding: BinaryHeap<Reverse<Cycle>>,
     /// In-order completion horizon.
     last_completion: Cycle,
+    /// Armed wedge-credit fault (`None` when injection is off: the hot loop
+    /// pays one never-taken branch).
+    credit_fault: Option<ArmedFault>,
     ctr: VpuCounters,
 }
 
@@ -77,8 +80,15 @@ impl VpuTiming {
             vmem_free: 0,
             outstanding: BinaryHeap::new(),
             last_completion: 0,
+            credit_fault: None,
             ctr: VpuCounters::default(),
         }
+    }
+
+    /// Arm the wedge-credit fault: from the armed trigger point on, issued
+    /// line credits are never returned to the outstanding window.
+    pub fn arm_wedge_credit(&mut self, fault: ArmedFault) {
+        self.credit_fault = Some(fault);
     }
 
     /// Cycles the datapath is occupied by `vl` elements.
@@ -219,7 +229,20 @@ impl VpuTiming {
                 }
             }
             let done = hier.vpu_access(line, !mem.is_load, t);
-            self.outstanding.push(Reverse(done));
+            // Injected wedge: the credit for this line is never returned —
+            // the entry sits in the window at `WEDGE` forever. Data still
+            // arrives (`done` is unchanged); only the credit counter wedges.
+            let credit_done = match self.credit_fault.as_mut() {
+                Some(f) => {
+                    if f.fire_sticky() {
+                        WEDGE
+                    } else {
+                        done
+                    }
+                }
+                None => done,
+            };
+            self.outstanding.push(Reverse(credit_done));
             last_issue = t;
             data_done = data_done.max(done);
         }
@@ -237,6 +260,62 @@ impl VpuTiming {
     /// Completion time of the last instruction dispatched so far.
     pub fn all_done(&self) -> Cycle {
         self.last_completion
+    }
+
+    /// Instructions currently in the decoupling-queue window.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Line credits currently held in the outstanding window (includes
+    /// lazily-unpruned returned credits; see `memory_op`).
+    pub fn outstanding_lines(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// One-line state dump for watchdog diagnostics.
+    pub fn diagnostic(&self) -> String {
+        format!(
+            "vpu: queue {}/{}, line credits {}/{}, exec_free={}, vmem_free={}, last_completion={}",
+            self.queue.len(),
+            self.cfg.queue_depth,
+            self.outstanding.len(),
+            self.cfg.vmem_outstanding,
+            self.exec_free,
+            self.vmem_free,
+            self.last_completion
+        )
+    }
+
+    /// Credit-leak audit, run at program end (`now` = final cycle). Every
+    /// legitimately issued line credit completes no later than the in-order
+    /// completion horizon, so any credit still pending past it was leaked —
+    /// exactly what the wedge-credit fault produces. Also cross-checks the
+    /// window accounting against its configured capacity.
+    pub fn audit(&self, now: Cycle) -> Result<(), SimError> {
+        if self.outstanding.len() > self.cfg.vmem_outstanding {
+            return Err(SimError::InvariantViolation {
+                cycle: now,
+                what: format!(
+                    "vmem credit accounting: {} credits held, window capacity is {}",
+                    self.outstanding.len(),
+                    self.cfg.vmem_outstanding
+                ),
+            });
+        }
+        let horizon = self.last_completion;
+        let leaked = self.outstanding.iter().filter(|Reverse(c)| *c > horizon).count();
+        if leaked > 0 {
+            let stuck = self.outstanding.iter().map(|&Reverse(c)| c).max().unwrap_or(0);
+            return Err(SimError::InvariantViolation {
+                cycle: now,
+                what: format!(
+                    "vmem credit leak: {leaked} line credits never returned \
+                     (stuck until cycle {stuck}, last completion {horizon})"
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Latency for the scalar core to read back a scalar result.
@@ -393,6 +472,33 @@ mod tests {
         let (mut v2, mut h2) = parts();
         let a = v2.dispatch(&arith(256), 0, &mut h2);
         assert_eq!(d.completion - a.completion, VpuConfig::default().reduction_overhead);
+    }
+
+    #[test]
+    fn clean_run_passes_credit_audit() {
+        let (mut v, mut h) = parts();
+        let d = v.dispatch(&load_op(256, (0..64).map(|i| i * 4096).collect(), false), 0, &mut h);
+        assert_eq!(v.audit(d.completion), Ok(()));
+        assert!(v.diagnostic().contains("line credits"), "{}", v.diagnostic());
+    }
+
+    #[test]
+    fn wedged_credit_is_caught_by_the_audit() {
+        use sdv_engine::{FaultKind, FaultPlan};
+        // Window deep enough that the wedge never stalls issue within this
+        // program — the subtle leak the audit (not the watchdog) must catch.
+        let cfg = VpuConfig { vmem_outstanding: 1024, ..VpuConfig::default() };
+        let mut v = VpuTiming::new(cfg);
+        let mut h = MemHierarchy::new(MemHierConfig::default());
+        v.arm_wedge_credit(FaultPlan::new(FaultKind::WedgeCredit, 3).arm(1));
+        // 512 lines: past any trigger ordinal in [16, 272).
+        for blk in 0..4u64 {
+            let lines: Vec<u64> = (0..128).map(|i| (blk * 128 + i) * 4096).collect();
+            v.dispatch(&load_op(256, lines, false), blk, &mut h);
+        }
+        let e = v.audit(v.all_done()).unwrap_err();
+        assert!(matches!(e, SimError::InvariantViolation { .. }), "{e}");
+        assert!(e.to_string().contains("credit leak"), "{e}");
     }
 
     #[test]

@@ -22,9 +22,34 @@ echo "== perf smoke =="
 
 echo "== golden CSV diff (small fig3, must be bit-identical) =="
 tmp_csv="$(mktemp /tmp/fig3_small.XXXXXX.csv)"
-trap 'rm -f "$tmp_csv"' EXIT
+tmp_csv2="$(mktemp /tmp/fig3_small2.XXXXXX.csv)"
+trap 'rm -f "$tmp_csv" "$tmp_csv2"' EXIT
 ./target/release/fig3_latency --small --csv "$tmp_csv" >/dev/null
 diff -u results/golden/fig3_small.csv "$tmp_csv"
 echo "golden CSV matches"
+
+echo "== determinism (two fig3 runs, different thread counts, same CSV) =="
+./target/release/fig3_latency --small --threads 1 --csv "$tmp_csv2" >/dev/null
+diff -u "$tmp_csv" "$tmp_csv2"
+echo "runs are bit-identical"
+
+echo "== fault-injection smoke (wedged credit must die cleanly, exit 4) =="
+# A wedged VPU line credit must be caught by the forward-progress watchdog
+# as a structured Deadlock diagnostic — not a hang, not a bare panic.
+set +e
+chaos_out="$(./target/release/chaos_smoke --fault wedge-credit 2>&1)"
+chaos_rc=$?
+set -e
+if [ "$chaos_rc" -ne 4 ]; then
+    echo "chaos_smoke: expected exit 4, got $chaos_rc" >&2
+    echo "$chaos_out" >&2
+    exit 1
+fi
+if ! grep -q "Deadlock at cycle" <<<"$chaos_out"; then
+    echo "chaos_smoke: no Deadlock diagnostic in output:" >&2
+    echo "$chaos_out" >&2
+    exit 1
+fi
+echo "fault caught: $(grep -m1 'Deadlock at cycle' <<<"$chaos_out")"
 
 echo "== check.sh: all gates passed =="
