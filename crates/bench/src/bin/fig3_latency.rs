@@ -3,8 +3,13 @@
 //! vector implementation at MAXVL ∈ {8,16,32,64,128,256}.
 //!
 //! Usage: `fig3_latency [--small] [--threads N] [--csv PATH]
+//! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
+//!
+//! `--metrics-json` exports the per-cell stall breakdown; `--trace` writes a
+//! Chrome `trace_event` timeline of the highest-latency vl=256 cell (another
+//! kernel via `--trace-kernel`). Neither flag changes the sweep's cycles.
 //!
 //! With `--checkpoint`, every completed cell is persisted (atomic
 //! tmp+rename) as it lands; `--resume` preloads those cells so a killed
@@ -151,6 +156,19 @@ fn main() {
         }
         println!("wrote {path}");
     }
+    sdv_bench::metrics::write_metrics_if_requested(BIN, &args, &outcomes);
+    sdv_bench::metrics::write_trace_if_requested(
+        BIN,
+        &args,
+        &w,
+        cfg,
+        Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl: 256 },
+            extra_latency: *latencies.last().unwrap(),
+            bandwidth: 64,
+        },
+    );
     cli::report_failures_and_exit(BIN, &outcomes);
 }
 

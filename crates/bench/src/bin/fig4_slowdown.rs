@@ -9,6 +9,7 @@
 //! Also prints the paper's §4.1 anchor comparison (SpMV at +32 and +1024).
 //!
 //! Usage: `fig4_slowdown [--small] [--threads N] [--csv PATH]
+//! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
 //!
@@ -157,5 +158,18 @@ fn main() {
         }
         println!("wrote {path}");
     }
+    sdv_bench::metrics::write_metrics_if_requested(BIN, &args, &outcomes);
+    sdv_bench::metrics::write_trace_if_requested(
+        BIN,
+        &args,
+        &w,
+        cfg,
+        Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl: 256 },
+            extra_latency: *latencies.last().unwrap(),
+            bandwidth: 64,
+        },
+    );
     cli::report_failures_and_exit(BIN, &outcomes);
 }

@@ -5,6 +5,7 @@
 //! bandwidth from a single core.
 //!
 //! Usage: `fig5_bandwidth [--small] [--threads N] [--csv PATH]
+//! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
 //!
@@ -158,5 +159,18 @@ fn main() {
         }
         println!("wrote {path}");
     }
+    sdv_bench::metrics::write_metrics_if_requested(BIN, &args, &outcomes);
+    sdv_bench::metrics::write_trace_if_requested(
+        BIN,
+        &args,
+        &w,
+        cfg,
+        Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl: 256 },
+            extra_latency: 0,
+            bandwidth: *bandwidths.first().unwrap(),
+        },
+    );
     cli::report_failures_and_exit(BIN, &outcomes);
 }

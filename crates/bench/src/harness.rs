@@ -351,6 +351,20 @@ pub fn run(w: &Workloads, cell: Cell) -> RunResult {
     run_with_config(w, cell, TimingConfig::default())
 }
 
+/// Run one cell on a fresh machine with timeline tracing enabled, returning
+/// the result together with the Chrome `trace_event` JSON. Probes are pure
+/// observers, so the cycles match an untraced run of the same cell exactly.
+pub fn try_run_traced(
+    w: &Workloads,
+    cell: Cell,
+    mut cfg: TimingConfig,
+) -> Result<(RunResult, String), SimError> {
+    cfg.probe.trace = true;
+    let mut m = SdvMachine::with_config(w.heap, cfg);
+    let r = try_run_on(&mut m, w, cell, cfg)?;
+    Ok((r, m.trace_json()))
+}
+
 /// SpMV vectorization strategy (for the ABL1 format ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpmvVariant {

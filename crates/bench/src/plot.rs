@@ -39,7 +39,10 @@ pub fn line_chart(
         lo -= 1.0;
     }
     let marks: &[u8] = b"*o+x#@%&";
-    let col_width = 8usize;
+    // Columns size to the widest x label (plus breathing room) instead of a
+    // fixed 8 chars: a long label previously overflowed its column and pushed
+    // every later label out of alignment with its data points.
+    let col_width = x_labels.iter().map(|l| l.len() + 2).max().unwrap_or(0).max(8);
     let width = x_labels.len() * col_width;
     let mut grid = vec![vec![b' '; width]; height];
     for (si, s) in series.iter().enumerate() {
@@ -70,23 +73,28 @@ pub fn line_chart(
     let fmt_y = |v: f64| {
         let raw = if log_y { 10f64.powf(v) } else { v };
         if raw >= 1e6 {
-            format!("{:>9.2e}", raw)
+            format!("{raw:.2e}")
         } else {
-            format!("{raw:>9.2}")
+            format!("{raw:.2}")
         }
     };
-    for (r, row) in grid.iter().enumerate() {
-        let y = hi - (hi - lo) * r as f64 / (height - 1) as f64;
-        out.push_str(&fmt_y(y));
+    // The y gutter sizes to the widest label (a negative or 6-digit value
+    // previously overflowed the fixed 9 chars and bent the axis).
+    let y_labels: Vec<String> = (0..height)
+        .map(|r| fmt_y(hi - (hi - lo) * r as f64 / (height - 1) as f64))
+        .collect();
+    let gutter = y_labels.iter().map(|l| l.len()).max().unwrap_or(0).max(9);
+    for (label, row) in y_labels.iter().zip(&grid) {
+        out.push_str(&format!("{label:>gutter$}"));
         out.push_str(" |");
         out.push_str(std::str::from_utf8(row).expect("ascii"));
         out.push('\n');
     }
-    out.push_str(&" ".repeat(9));
+    out.push_str(&" ".repeat(gutter));
     out.push_str(" +");
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&" ".repeat(11));
+    out.push_str(&" ".repeat(gutter + 2));
     for l in x_labels {
         out.push_str(&format!("{l:^col_width$}"));
     }
@@ -140,6 +148,27 @@ mod tests {
     fn mismatched_series_rejected() {
         let s = vec![Series { label: "x".into(), ys: vec![1.0] }];
         line_chart("t", &xs(3), &s, 5, false);
+    }
+
+    #[test]
+    fn long_labels_and_wide_values_stay_aligned() {
+        // A 16-char x label and a negative 6-digit y value: both overflowed
+        // the old fixed-width gutters.
+        let labels = vec!["bw=1B/cy".to_string(), "bw=64B/cy (peak)".to_string()];
+        let s = vec![Series { label: "a".into(), ys: vec![-123456.7, 400000.0] }];
+        let out = line_chart("t", &labels, &s, 6, false);
+        let lines: Vec<&str> = out.lines().collect();
+        let bar_col = lines[1].find('|').expect("axis bar");
+        for l in &lines[1..=6] {
+            assert_eq!(l.find('|'), Some(bar_col), "axis bars align:\n{out}");
+        }
+        assert_eq!(lines[7].find('+'), Some(bar_col), "corner under the bars:\n{out}");
+        assert!(lines[8].contains("bw=64B/cy (peak)"), "long label intact:\n{out}");
+        // Each label is centered in its own column: the second column starts
+        // after the first, so the long label begins past column one.
+        let col_width = labels.iter().map(|l| l.len() + 2).max().unwrap().max(8);
+        let second = lines[8].find("bw=64B/cy (peak)").unwrap();
+        assert!(second >= bar_col + 2 + col_width, "second label in second column:\n{out}");
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! Plain-text table / series rendering for the figure regenerators.
 
 /// Render a table: `row_label` column followed by one column per header.
+///
+/// # Panics
+/// Panics when a row carries more cells than there are column headers — the
+/// extra cells have no column (and previously indexed past the width table).
 pub fn render(title: &str, row_header: &str, col_headers: &[String], rows: &[(String, Vec<String>)]) -> String {
+    for (label, cells) in rows {
+        assert!(
+            cells.len() <= col_headers.len(),
+            "table '{title}': row '{label}' has {} cells but only {} column headers",
+            cells.len(),
+            col_headers.len(),
+        );
+    }
     let mut widths: Vec<usize> = Vec::new();
     widths.push(row_header.len().max(rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0)));
     for (i, h) in col_headers.iter().enumerate() {
@@ -65,6 +77,28 @@ mod tests {
         assert!(lines.len() >= 5);
         // Header and data lines are equally long (alignment).
         assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_render_with_trailing_columns_empty() {
+        let t = render(
+            "T",
+            "lat",
+            &["a".into(), "b".into(), "c".into()],
+            &[("0".into(), vec!["1.00".into()])],
+        );
+        assert!(t.contains("1.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "has 3 cells but only 2 column headers")]
+    fn oversized_row_is_rejected_with_a_clear_message() {
+        render(
+            "T",
+            "lat",
+            &["a".into(), "b".into()],
+            &[("0".into(), vec!["1".into(), "2".into(), "3".into()])],
+        );
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! End-to-end checks of the observability layer: the Chrome `trace_event`
+//! timeline and the `sdv-metrics-v1` stall-breakdown export must be valid
+//! JSON with the documented shape, and the headline result they exist to
+//! show — memory-stall fraction falling as MAXVL grows under added latency —
+//! must hold on a real sweep.
+//!
+//! The JSON validation uses a deliberately small recursive-descent parser
+//! (below) rather than a serde dependency: the crate has none, and the
+//! parser doubles as an executable spec of what "valid JSON" means here.
+
+use sdv_bench::metrics::{metrics_json, StallBreakdown};
+use sdv_bench::{try_run_traced, Cell, CellOutcome, ImplKind, KernelKind, Sweeper, Workloads};
+use sdv_engine::ProbeConfig;
+use sdv_uarch::TimingConfig;
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. `Num` keeps the raw text — the tests only need to
+/// compare a handful of integers and check that numbers lex correctly.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser { s: text.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.i;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > from
+        };
+        if !digits(self) {
+            return Err(format!("bad number at offset {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at offset {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at offset {start}"));
+            }
+        }
+        Ok(Json::Num(String::from_utf8_lossy(&self.s[start..self.i]).into_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control byte {c:#x} in string"));
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unsplit.
+                    let ch_len = {
+                        let rest = std::str::from_utf8(&self.s[self.i..])
+                            .map_err(|e| e.to_string())?;
+                        rest.chars().next().unwrap().len_utf8()
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&self.s[self.i..self.i + ch_len]).unwrap(),
+                    );
+                    self.i += ch_len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+fn traced_cell() -> Cell {
+    Cell {
+        kernel: KernelKind::Spmv,
+        imp: ImplKind::Vector { maxvl: 256 },
+        extra_latency: 1024,
+        bandwidth: 64,
+    }
+}
+
+#[test]
+fn trace_export_is_valid_trace_event_json() {
+    let w = Workloads::small();
+    let (r, json) = try_run_traced(&w, traced_cell(), TimingConfig::default()).unwrap();
+    assert!(r.cycles > 0);
+
+    let doc = Parser::parse(&json).expect("trace must parse as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("top-level traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("every event has ph");
+        match ph {
+            "X" => {
+                spans += 1;
+                let ts = ev.get("ts").and_then(Json::as_f64).expect("X has ts");
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("X has dur");
+                assert!(ts >= 0.0 && dur > 0.0, "span times: ts={ts} dur={dur}");
+                assert!(
+                    ts + dur <= r.cycles as f64,
+                    "span ends inside the run: ts={ts} dur={dur} cycles={}",
+                    r.cycles
+                );
+                let vl = ev
+                    .get("args")
+                    .and_then(|a| a.get("vl"))
+                    .and_then(Json::as_f64)
+                    .expect("X carries args.vl");
+                assert!((1.0..=256.0).contains(&vl), "vl={vl}");
+            }
+            "C" => counters += 1,
+            "M" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(spans > 0, "vector instruction lifetimes must be present");
+    assert!(counters > 0, "DRAM queue-depth counters must be present");
+}
+
+#[test]
+fn metrics_export_is_valid_json_with_stall_breakdowns() {
+    let w = Workloads::small();
+    let cells = [
+        Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Scalar,
+            extra_latency: 1024,
+            bandwidth: 64,
+        },
+        traced_cell(),
+    ];
+    let cfg = TimingConfig { probe: ProbeConfig::sampling(), ..Default::default() };
+    let outcomes = Sweeper::with_config(cfg).sweep_outcomes(&w, &cells, 1);
+
+    let text = metrics_json("observability_test", &outcomes);
+    let doc = Parser::parse(&text).expect("metrics must parse as JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("sdv-metrics-v1"));
+    let parsed = doc.get("cells").and_then(Json::as_arr).expect("cells array");
+    assert_eq!(parsed.len(), 2);
+    for cell in parsed {
+        let stalls = cell.get("stalls").expect("stalls key present");
+        assert_ne!(*stalls, Json::Null, "live sweeps always carry stats");
+        let frac = stalls
+            .get("memory_stall_fraction")
+            .and_then(Json::as_f64)
+            .expect("fraction present");
+        assert!((0.0..=1.0).contains(&frac), "fraction in [0,1]: {frac}");
+        // At +1024 both cells are memory-crushed.
+        assert!(frac > 0.9, "fraction={frac}");
+    }
+    let scalar = &parsed[0];
+    assert_eq!(scalar.get("impl").and_then(Json::as_str), Some("scalar"));
+    assert_eq!(
+        scalar.get("stalls").and_then(|s| s.get("vpu_queue")).and_then(Json::as_f64),
+        Some(0.0),
+        "the scalar implementation never waits on the VPU"
+    );
+}
+
+#[test]
+fn memory_stall_fraction_falls_as_maxvl_grows() {
+    let w = Workloads::small();
+    let maxvls = [8usize, 16, 32, 64, 128, 256];
+    let cells: Vec<Cell> = maxvls
+        .iter()
+        .map(|&maxvl| Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Vector { maxvl },
+            extra_latency: 1024,
+            bandwidth: 64,
+        })
+        .collect();
+    let outcomes = Sweeper::new().sweep_outcomes(&w, &cells, 1);
+    let fractions: Vec<f64> = outcomes
+        .iter()
+        .map(|o| match o {
+            CellOutcome::Done(r) => {
+                StallBreakdown::from_stats(r.cycles, &r.stats).unwrap().memory_stall_fraction()
+            }
+            CellOutcome::Failed { error, .. } => panic!("cell failed: {error}"),
+        })
+        .collect();
+    // Same saturation tolerance as the fig_stalls --check gate: adjacent
+    // small-MAXVL fractions are ties near 1.0 that jitter in the 4th
+    // decimal; a real rise would far exceed 0.2%.
+    for (w, (&vl_lo, &vl_hi)) in
+        fractions.windows(2).zip(maxvls.iter().zip(maxvls.iter().skip(1)))
+    {
+        assert!(
+            w[1] <= w[0] + 2e-3,
+            "memory-stall fraction must not rise with MAXVL: \
+             vl{vl_lo}={:.6} -> vl{vl_hi}={:.6}",
+            w[0],
+            w[1]
+        );
+    }
+    // And the fall must be real end-to-end, not all ties.
+    assert!(
+        fractions[maxvls.len() - 1] < fractions[0] || fractions[0] >= 1.0 - 1e-9,
+        "expected a strict fall (or full saturation at vl=8): {fractions:?}"
+    );
+}

@@ -105,6 +105,12 @@ impl SdvMachine {
         self.timing.stats()
     }
 
+    /// The collected timeline as Chrome `trace_event` JSON (empty unless the
+    /// config's probe enables tracing).
+    pub fn trace_json(&self) -> String {
+        self.timing.trace_json()
+    }
+
     /// A human-readable description of the instantiated platform — the
     /// textual equivalent of the paper's Figures 1 and 2 block diagrams.
     pub fn describe(&self) -> String {

@@ -19,7 +19,9 @@
 //! * [`SimError`] — structured, recoverable failure values returned by the
 //!   model run loops instead of panics,
 //! * [`FaultPlan`] — seeded deterministic fault injection (off by default)
-//!   used to prove the watchdog and invariant auditors actually fire.
+//!   used to prove the watchdog and invariant auditors actually fire,
+//! * [`Probe`] — zero-cost-when-off observability sink (occupancy
+//!   histograms + Chrome `trace_event` timelines).
 
 #![warn(missing_docs)]
 
@@ -28,6 +30,7 @@ pub mod error;
 pub mod events;
 pub mod fault;
 pub mod hash;
+pub mod probe;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -37,6 +40,7 @@ pub use error::SimError;
 pub use events::EventQueue;
 pub use fault::{ArmedFault, FaultKind, FaultPlan, WEDGE};
 pub use hash::{FastMap, FastSet, FxHasher};
+pub use probe::{chrome_trace_json, Probe, ProbeConfig, TraceEvent};
 pub use queue::BoundedQueue;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Stats};

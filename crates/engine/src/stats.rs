@@ -52,6 +52,10 @@ pub struct Histogram {
     max: u64,
 }
 
+/// Default histogram bounds: one bucket per power of two, uniform in log2.
+pub const DEFAULT_POW2_BOUNDS: [u64; 15] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+
 impl Histogram {
     /// A histogram with the given inclusive upper bounds, which must be
     /// strictly increasing.
@@ -64,6 +68,12 @@ impl Histogram {
             sum: 0,
             max: 0,
         }
+    }
+
+    /// A histogram over [`DEFAULT_POW2_BOUNDS`] (the ladder
+    /// [`Stats::record`] uses for histograms it creates on first sample).
+    pub fn default_pow2() -> Self {
+        Self::new(&DEFAULT_POW2_BOUNDS)
     }
 
     /// Record one sample.
@@ -102,6 +112,27 @@ impl Histogram {
     /// Number of buckets including overflow.
     pub fn num_buckets(&self) -> usize {
         self.counts.len()
+    }
+
+    /// The inclusive upper bounds this histogram buckets into.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Fold another histogram's samples into this one. Both histograms must
+    /// have identical bounds — merging differently-shaped histograms would
+    /// silently misbucket, so that is a caller bug.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.samples += other.samples;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -149,16 +180,26 @@ impl Stats {
         self.counters.get(key).copied().unwrap_or(0)
     }
 
-    /// Record a histogram sample, creating the histogram with default
-    /// power-of-two bounds on first use.
+    /// Record a histogram sample, creating the histogram with the
+    /// [`DEFAULT_POW2_BOUNDS`] ladder on first use.
     pub fn record(&mut self, key: &str, v: u64) {
         if let Some(h) = self.histograms.get_mut(key) {
             h.record(v);
         } else {
-            let mut h =
-                Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384]);
+            let mut h = Histogram::default_pow2();
             h.record(v);
             self.histograms.insert(key.to_string(), h);
+        }
+    }
+
+    /// Install (or merge into) a histogram under `key`. Used by components
+    /// that accumulate their own [`Histogram`] off the string-keyed path and
+    /// publish it when a report is assembled.
+    pub fn put_histogram(&mut self, key: &str, h: &Histogram) {
+        if let Some(mine) = self.histograms.get_mut(key) {
+            mine.merge(h);
+        } else {
+            self.histograms.insert(key.to_string(), h.clone());
         }
     }
 
@@ -175,14 +216,18 @@ impl Stats {
         entries.into_iter()
     }
 
-    /// Merge another registry into this one (counters add, histograms are
-    /// kept from `self` if duplicated — merging histograms is not needed).
+    /// Merge another registry into this one: counters add, and histograms
+    /// that exist on both sides are merged sample-for-sample (they must have
+    /// identical bounds). Sweeper shards absorb into one registry, so
+    /// dropping either side's samples would silently lose data.
     pub fn absorb(&mut self, other: &Stats) {
         for (k, &v) in other.counters.iter() {
             self.add(k, v);
         }
         for (k, h) in other.histograms.iter() {
-            if !self.histograms.contains_key(k) {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
                 self.histograms.insert(k.clone(), h.clone());
             }
         }
@@ -272,6 +317,55 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.get("x"), 3);
         assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn default_ladder_is_uniform_in_log2() {
+        let mut s = Stats::new();
+        s.record("lat", 3);
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(
+            h.bounds(),
+            &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384],
+            "default ladder must have one bucket per power of two"
+        );
+        assert!(h.bounds().windows(2).all(|w| w[1] == 2 * w[0]), "spacing uniform in log2");
+    }
+
+    #[test]
+    fn absorb_merges_duplicate_histograms() {
+        // Two sweeper shards record into the same key; the merged registry
+        // must hold every sample from both sides.
+        let mut a = Stats::new();
+        a.record("mem.occupancy", 4);
+        a.record("mem.occupancy", 100);
+        let mut b = Stats::new();
+        b.record("mem.occupancy", 4);
+        b.record("mem.occupancy", 9000);
+        a.absorb(&b);
+        let h = a.histogram("mem.occupancy").unwrap();
+        assert_eq!(h.samples(), 4, "absorb must not drop the other shard's samples");
+        assert_eq!(h.max(), 9000);
+        assert!((h.mean() - (4.0 + 100.0 + 4.0 + 9000.0) / 4.0).abs() < 1e-9);
+        let four = h.bounds().iter().position(|&b| b == 4).unwrap();
+        assert_eq!(h.bucket(four), 2, "per-bucket counts add");
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1, 2]);
+        a.merge(&Histogram::new(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn put_histogram_installs_and_merges() {
+        let mut s = Stats::new();
+        let mut h = Histogram::default_pow2();
+        h.record(7);
+        s.put_histogram("vpu.occ", &h);
+        s.put_histogram("vpu.occ", &h);
+        assert_eq!(s.histogram("vpu.occ").unwrap().samples(), 2);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use crate::bwlimit::BandwidthLimiter;
 use crate::latency::LatencyController;
-use sdv_engine::Cycle;
+use sdv_engine::{Cycle, Histogram};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// DRAM channel configuration.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +59,33 @@ pub struct DramChannel {
     requests: u64,
     row_hits: u64,
     busy_until: Cycle,
+    /// Queue-depth tracker, allocated only when observability asks for it
+    /// (`None` = one never-taken branch per submit). Pure observer: it reads
+    /// release times the channel already computed.
+    depth_probe: Option<Box<DepthProbe>>,
+}
+
+/// In-flight request bookkeeping behind the optional queue-depth probe.
+#[derive(Debug, Clone)]
+struct DepthProbe {
+    /// Release times of requests still in flight, min-first.
+    inflight: BinaryHeap<Reverse<Cycle>>,
+    hist: Histogram,
+    last_depth: u64,
+}
+
+impl DepthProbe {
+    /// Kept out of line so the probe-off `submit` hot path stays small
+    /// enough to inline.
+    #[inline(never)]
+    fn record(&mut self, now: Cycle, released: Cycle) {
+        while self.inflight.peek().is_some_and(|&Reverse(c)| c <= now) {
+            self.inflight.pop();
+        }
+        self.inflight.push(Reverse(released));
+        self.last_depth = self.inflight.len() as u64;
+        self.hist.record(self.last_depth);
+    }
 }
 
 impl DramChannel {
@@ -71,7 +100,29 @@ impl DramChannel {
             requests: 0,
             row_hits: 0,
             busy_until: 0,
+            depth_probe: None,
         }
+    }
+
+    /// Enable queue-depth observation: every submit then records how many
+    /// requests are in flight into a histogram. Off by default.
+    pub fn enable_depth_probe(&mut self) {
+        self.depth_probe = Some(Box::new(DepthProbe {
+            inflight: BinaryHeap::new(),
+            hist: Histogram::default_pow2(),
+            last_depth: 0,
+        }));
+    }
+
+    /// The queue-depth histogram (`None` unless the probe is enabled).
+    pub fn queue_depth_histogram(&self) -> Option<&Histogram> {
+        self.depth_probe.as_deref().map(|p| &p.hist)
+    }
+
+    /// In-flight request count as of the last submit (0 unless the probe is
+    /// enabled).
+    pub fn last_queue_depth(&self) -> u64 {
+        self.depth_probe.as_deref().map_or(0, |p| p.last_depth)
     }
 
     /// The paper's experiment knob: add `extra` cycles to every access.
@@ -113,12 +164,30 @@ impl DramChannel {
 
     /// Submit one line request for `addr` that arrives at the channel at
     /// `now`. Returns the cycle its data is available.
+    ///
+    /// Deliberately knows nothing about the depth probe: keeping even a
+    /// never-taken probe branch out of this function is worth ~3 ns/call in
+    /// tight loops (the call site to the out-of-line recorder forces spills
+    /// around an otherwise fully-register-resident body). Callers that want
+    /// depth observation use [`DramChannel::submit_probed`].
+    #[inline]
     pub fn submit(&mut self, addr: u64, now: Cycle) -> Cycle {
         self.requests += 1;
         let admitted = self.limiter.admit(now);
         let completed = admitted + self.service_latency_for(addr);
         let released = self.latency_ctrl.release_time(completed);
         self.busy_until = self.busy_until.max(released);
+        released
+    }
+
+    /// [`DramChannel::submit`], plus queue-depth recording when the probe is
+    /// enabled. Timing-identical to `submit` (the probe is a pure observer).
+    #[inline]
+    pub fn submit_probed(&mut self, addr: u64, now: Cycle) -> Cycle {
+        let released = self.submit(addr, now);
+        if let Some(p) = self.depth_probe.as_deref_mut() {
+            p.record(now, released);
+        }
         released
     }
 
@@ -197,6 +266,37 @@ mod tests {
         for w in times.windows(2) {
             assert_eq!(w[1] - w[0], 1);
         }
+    }
+
+    #[test]
+    fn depth_probe_tracks_inflight_requests() {
+        let mut d = DramChannel::default();
+        assert!(d.queue_depth_histogram().is_none(), "probe off by default");
+        d.enable_depth_probe();
+        d.set_extra_latency(1000); // requests stay in flight a long time
+        for i in 0..8u64 {
+            d.submit_probed(i * 64, i);
+        }
+        assert_eq!(d.last_queue_depth(), 8, "all eight still in flight");
+        let h = d.queue_depth_histogram().unwrap();
+        assert_eq!(h.samples(), 8);
+        assert_eq!(h.max(), 8);
+        // Long after everything drained, depth returns to 1 (just the new one).
+        d.submit_probed(0, 1_000_000);
+        assert_eq!(d.last_queue_depth(), 1);
+    }
+
+    #[test]
+    fn depth_probe_does_not_change_timing() {
+        let run = |probe: bool| {
+            let mut d = DramChannel::default();
+            if probe {
+                d.enable_depth_probe();
+            }
+            d.set_extra_latency(100);
+            (0..32u64).map(|i| d.submit_probed(i * 64, i / 2)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "the probe is a pure observer");
     }
 
     #[test]

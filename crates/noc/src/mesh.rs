@@ -47,6 +47,10 @@ pub struct Mesh {
     /// per-send coordinate div/mod walk is done once at construction.
     route_links: Vec<u32>,
     route_offsets: Vec<u32>,
+    /// Cycles each directed link spent occupied by flits, indexed like
+    /// `link_free`. Always on (one add per hop, colocated with the
+    /// reservation update) so per-link utilization is visible in any run.
+    link_busy: Vec<u64>,
     ctr: MeshCounters,
 }
 
@@ -93,6 +97,7 @@ impl Mesh {
             link_free: vec![0; nodes * nodes],
             route_links,
             route_offsets,
+            link_busy: vec![0; nodes * nodes],
             ctr: MeshCounters::default(),
         }
     }
@@ -138,6 +143,7 @@ impl Mesh {
             let free = self.link_free[link];
             let depart = head.max(free);
             self.ctr.link_wait_cycles += depart - head;
+            self.link_busy[link] += flits;
             self.link_free[link] = depart + flits;
             head = depart + self.cfg.link_latency + self.cfg.router_latency;
         }
@@ -160,7 +166,18 @@ impl Mesh {
         s.set("noc.flits", self.ctr.flits);
         s.set("noc.hops", self.ctr.hops);
         s.set("noc.link_wait_cycles", self.ctr.link_wait_cycles);
+        let nodes = self.cfg.nodes();
+        for (link, &busy) in self.link_busy.iter().enumerate() {
+            if busy > 0 {
+                s.set(&format!("noc.link{}_{}.busy_cycles", link / nodes, link % nodes), busy);
+            }
+        }
         s
+    }
+
+    /// Cycles the directed link `from -> to` spent occupied by flits.
+    pub fn link_busy_cycles(&self, from: NodeId, to: NodeId) -> u64 {
+        self.link_busy[from * self.cfg.nodes() + to]
     }
 
     /// Latest cycle at which any directed link is still reserved — the NoC
@@ -178,6 +195,7 @@ impl Mesh {
     /// Forget link occupancy and statistics (between experiment runs).
     pub fn reset(&mut self) {
         self.link_free.fill(0);
+        self.link_busy.fill(0);
         self.ctr = MeshCounters::default();
     }
 }
@@ -279,6 +297,21 @@ mod tests {
         assert!(m.busiest_link_free() > 0);
         assert!(m.links_busy_at(0) >= 2, "both route links reserved");
         assert_eq!(m.links_busy_at(m.busiest_link_free()), 0, "all free afterwards");
+    }
+
+    #[test]
+    fn per_link_utilization_follows_routes() {
+        let mut m = mesh2x2();
+        // 0 -> 3 routes X-first through node 1: links 0->1 and 1->3.
+        m.send(0, 3, 256, 0); // 4 flits
+        assert_eq!(m.link_busy_cycles(0, 1), 4);
+        assert_eq!(m.link_busy_cycles(1, 3), 4);
+        assert_eq!(m.link_busy_cycles(0, 2), 0, "Y-first link never used");
+        let s = m.stats();
+        assert_eq!(s.get("noc.link0_1.busy_cycles"), 4);
+        assert_eq!(s.get("noc.link0_2.busy_cycles"), 0, "idle links not exported");
+        m.reset();
+        assert_eq!(m.link_busy_cycles(0, 1), 0, "reset clears utilization");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! small single-digit range typical of a modest superscalar while the VPU
 //! can keep tens of line requests in flight.
 
-use sdv_engine::{Cycle, FaultPlan};
+use sdv_engine::{Cycle, FaultPlan, ProbeConfig};
 use sdv_memsys::{CacheConfig, DramConfig};
 use sdv_noc::MeshConfig;
 
@@ -182,6 +182,9 @@ pub struct TimingConfig {
     pub watchdog: WatchdogConfig,
     /// Deterministic fault injection (off by default).
     pub fault: FaultPlan,
+    /// Observability probes: occupancy sampling + timeline tracing (off by
+    /// default; pure observers, cycle counts are identical either way).
+    pub probe: ProbeConfig,
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use crate::memhier::MemHierarchy;
 use crate::op::{Op, VClass};
 use crate::scalar::ScalarCore;
 use crate::vpu::VpuTiming;
-use sdv_engine::{Cycle, FaultKind, SimError, Stats};
+use sdv_engine::{chrome_trace_json, Cycle, FaultKind, Probe, SimError, Stats, TraceEvent};
 
 /// The assembled timing model. Feed it the dynamic [`Op`] stream a kernel
 /// produces; read back cycles (the paper's hardware cycle counter) and
@@ -39,6 +39,10 @@ impl SdvTiming {
                 FaultKind::WedgeCredit => vpu.arm_wedge_credit(cfg.fault.arm(1)),
                 _ => hier.arm_fault(cfg.fault),
             }
+        }
+        if cfg.probe.any() {
+            vpu.set_probe(Probe::new(cfg.probe));
+            hier.set_probe(Probe::new(cfg.probe));
         }
         Self {
             scalar: ScalarCore::new(cfg.scalar),
@@ -96,17 +100,16 @@ impl SdvTiming {
                     self.latch_deadlock(before);
                     return;
                 }
-                if d.accepted_at > self.scalar.now() {
-                    self.scalar.advance_to(d.accepted_at);
-                }
+                self.scalar.wait_for_vpu_queue(d.accepted_at);
                 if vop.produces_scalar {
                     // The scalar core consumes the result immediately: a
                     // hard scalar<->vector synchronization.
-                    self.scalar.advance_to(d.completion + self.vpu.scalar_read_latency());
+                    self.scalar.wait_for_vpu_sync(d.completion + self.vpu.scalar_read_latency());
                 }
             }
             Op::Sync => {
-                self.scalar.advance_to(self.vpu.all_done());
+                let done = self.vpu.all_done();
+                self.scalar.wait_for_vpu_sync(done);
             }
         }
         self.watchdog_post(before);
@@ -160,7 +163,8 @@ impl SdvTiming {
     pub fn finish(&mut self) -> Cycle {
         if self.fault.is_none() {
             let before = self.scalar.now();
-            self.scalar.advance_to(self.vpu.all_done());
+            let done = self.vpu.all_done();
+            self.scalar.wait_for_vpu_sync(done);
             self.scalar.drain();
             self.watchdog_post(before);
         }
@@ -197,6 +201,20 @@ impl SdvTiming {
         s.absorb(&self.vpu.stats());
         s.absorb(&self.hier.stats());
         s
+    }
+
+    /// Timeline events from every probed component (empty unless the
+    /// config's probe enables tracing).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut ev = self.vpu.trace_events().to_vec();
+        ev.extend_from_slice(self.hier.trace_events());
+        ev
+    }
+
+    /// The collected timeline as Chrome `trace_event` JSON — the format
+    /// `chrome://tracing` and Perfetto load directly (1 trace µs = 1 cycle).
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(&self.trace_events(), &[(1, "VPU instructions")])
     }
 }
 
@@ -501,6 +519,59 @@ mod tests {
         let e = mixed_program(&mut m).expect_err("the audit must catch the leak");
         assert!(matches!(e, SimError::InvariantViolation { .. }), "{e}");
         assert!(e.to_string().contains("credit leak"), "{e}");
+    }
+
+    #[test]
+    fn probes_are_pure_observers() {
+        use sdv_engine::ProbeConfig;
+        // Same program with probes off vs fully on: bit-identical cycles.
+        let mut plain = machine();
+        let t_plain = mixed_program(&mut plain).expect("clean run");
+        let cfg = TimingConfig {
+            probe: ProbeConfig { sample: true, trace: true },
+            ..TimingConfig::default()
+        };
+        let mut probed = SdvTiming::new(cfg);
+        let t_probed = mixed_program(&mut probed).expect("clean run under probes");
+        assert_eq!(t_plain, t_probed, "probes must never change timing");
+        // And the probed run actually collected something.
+        assert!(!probed.trace_events().is_empty());
+        assert!(probed.stats().histogram("vpu.vmem_occupancy").is_some());
+        assert!(probed.stats().histogram("memsys.dram_queue_depth").is_some());
+    }
+
+    #[test]
+    fn stall_attribution_sums_decompose_wall_time() {
+        // Every stall cycle the machine reports must be attributed to
+        // exactly one cause: the per-cause counters sum to the total.
+        let mut m = machine();
+        mixed_program(&mut m).expect("clean run");
+        let s = m.stats();
+        let total = s.get("scalar.stall_cycles");
+        let parts = s.get("scalar.stall.window_cycles")
+            + s.get("scalar.stall.mshr_cycles")
+            + s.get("scalar.stall.store_buffer_cycles")
+            + s.get("scalar.stall.drain_cycles")
+            + s.get("scalar.stall.vpu_queue_cycles")
+            + s.get("scalar.stall.vpu_sync_cycles");
+        assert_eq!(parts, total, "stall causes must partition the total");
+        assert!(s.get("scalar.stall.vpu_sync_cycles") > 0, "syncs happened");
+    }
+
+    #[test]
+    fn trace_json_is_emitted_for_traced_runs() {
+        use sdv_engine::ProbeConfig;
+        let cfg = TimingConfig { probe: ProbeConfig::tracing(), ..TimingConfig::default() };
+        let mut m = SdvTiming::new(cfg);
+        mixed_program(&mut m).expect("clean run");
+        let json = m.trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "complete events present");
+        assert!(json.contains("\"ph\":\"C\""), "counter events present");
+        assert!(json.contains("vload"), "vector loads named");
+        // Untraced machines emit only metadata — no span/counter events.
+        let empty = machine().trace_json();
+        assert!(!empty.contains("\"ph\":\"X\"") && !empty.contains("\"ph\":\"C\""), "{empty}");
     }
 
     #[test]

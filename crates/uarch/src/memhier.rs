@@ -13,9 +13,13 @@
 //!   bypasses the L1 and is kept coherent by the home node) — id 1.
 
 use crate::config::MemHierConfig;
-use sdv_engine::{ArmedFault, Cycle, FastMap, FaultKind, FaultPlan, SimError, Stats, WEDGE};
+use sdv_engine::{
+    ArmedFault, Cycle, FastMap, FaultKind, FaultPlan, Probe, SimError, Stats, TraceEvent, WEDGE,
+};
 use sdv_memsys::{AccessKind, AddressMap, Cache, Directory, DramChannel};
 use sdv_noc::Mesh;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Coherence requestor id of the core's L1D.
 pub const REQ_L1: u8 = 0;
@@ -43,6 +47,13 @@ pub struct MemHierarchy {
     /// Armed fault-injection state for the hierarchy's fault kinds
     /// (stall-bank, drop-response, inject-panic). `None` when off.
     fault: Option<ArmedFault>,
+    /// Observability sink (off by default — one never-taken branch per site).
+    probe: Probe,
+    /// Completion times of in-flight L1 fills, min-first. Maintained only
+    /// while the probe is sampling (MSHR-occupancy histograms).
+    l1_fill_times: BinaryHeap<Reverse<Cycle>>,
+    /// Completion times of in-flight L2 fills, min-first (sampling only).
+    l2_fill_times: BinaryHeap<Reverse<Cycle>>,
     ctr: HierCounters,
 }
 
@@ -89,8 +100,25 @@ impl MemHierarchy {
             l1_inflight: FastMap::default(),
             l2_inflight: FastMap::default(),
             fault: None,
+            probe: Probe::off(),
+            l1_fill_times: BinaryHeap::new(),
+            l2_fill_times: BinaryHeap::new(),
             ctr: HierCounters::default(),
         }
+    }
+
+    /// Attach an observability probe. A pure observer: every timing the
+    /// hierarchy returns is identical with the probe attached or not.
+    pub fn set_probe(&mut self, probe: Probe) {
+        if probe.sampling() || probe.tracing() {
+            self.dram.enable_depth_probe();
+        }
+        self.probe = probe;
+    }
+
+    /// Timeline events collected by the probe (empty unless tracing).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.probe.events()
     }
 
     /// Arm the hierarchy's share of a fault plan. Only the kinds that live
@@ -184,7 +212,17 @@ impl MemHierarchy {
         }
         self.ctr.l2_miss += 1;
         let submit = t + self.cfg.dram_path_latency;
-        let done = self.dram.submit(line, submit) + self.cfg.dram_path_latency;
+        let done = self.dram.submit_probed(line, submit) + self.cfg.dram_path_latency;
+        if self.probe.tracing() {
+            self.probe.counter("dram_queue_depth", submit, self.dram.last_queue_depth());
+        }
+        if self.probe.sampling() {
+            while self.l2_fill_times.peek().is_some_and(|&Reverse(c)| c <= t) {
+                self.l2_fill_times.pop();
+            }
+            self.l2_fill_times.push(Reverse(done));
+            self.probe.sample("memsys.l2_mshr_occupancy", self.l2_fill_times.len() as u64);
+        }
         if let Some(victim) = self.banks[bank].cache.fill(line, false) {
             if victim.dirty {
                 // Dirty L2 victim: the writeback leaves the bank alongside
@@ -192,7 +230,7 @@ impl MemHierarchy {
                 // never at the fill's (latency-delayed) completion, which
                 // would push the admission window into the future.
                 self.ctr.l2_writeback += 1;
-                self.dram.submit(victim.addr, submit);
+                self.dram.submit_probed(victim.addr, submit);
             }
         }
         self.l2_inflight.insert(line, done);
@@ -278,10 +316,17 @@ impl MemHierarchy {
                 if let Some(v2) = self.banks[vbank].cache.fill(victim.addr, true) {
                     if v2.dirty {
                         self.ctr.l2_writeback += 1;
-                        self.dram.submit(v2.addr, t_wb);
+                        self.dram.submit_probed(v2.addr, t_wb);
                     }
                 }
             }
+        }
+        if self.probe.sampling() {
+            while self.l1_fill_times.peek().is_some_and(|&Reverse(c)| c <= now) {
+                self.l1_fill_times.pop();
+            }
+            self.l1_fill_times.push(Reverse(t_resp));
+            self.probe.sample("memsys.l1_mshr_occupancy", self.l1_fill_times.len() as u64);
         }
         self.l1_inflight.insert(line, t_resp);
         for d in 1..=self.cfg.l1_prefetch_depth as u64 {
@@ -320,7 +365,7 @@ impl MemHierarchy {
                 if let Some(v2) = self.banks[vbank].cache.fill(victim.addr, true) {
                     if v2.dirty {
                         self.ctr.l2_writeback += 1;
-                        self.dram.submit(v2.addr, t_wb);
+                        self.dram.submit_probed(v2.addr, t_wb);
                     }
                 }
             }
@@ -376,7 +421,11 @@ impl MemHierarchy {
             // DRAM (consumes an admission slot; completes when admitted).
             self.ctr.l2_store_through += 1;
             let submit = t_bank + self.cfg.l2_hit_latency + self.cfg.dram_path_latency;
-            self.dram.submit(line, submit)
+            let done = self.dram.submit_probed(line, submit);
+            if self.probe.tracing() {
+                self.probe.counter("dram_queue_depth", submit, self.dram.last_queue_depth());
+            }
+            done
         } else {
             let t_miss = t_bank + self.cfg.l2_hit_latency;
             let done = self.l2_fill(bank, line, t_miss);
@@ -428,6 +477,10 @@ impl MemHierarchy {
             s.set(&format!("l2.bank{i}.hits"), b.cache.hits());
             s.set(&format!("l2.bank{i}.misses"), b.cache.misses());
             s.set(&format!("l2.bank{i}.recalls"), b.dir.recalls());
+        }
+        self.probe.export(&mut s);
+        if let Some(h) = self.dram.queue_depth_histogram() {
+            s.put_histogram("memsys.dram_queue_depth", h);
         }
         s
     }
@@ -756,6 +809,44 @@ mod tests {
         assert!(d.contains("bank0:"), "{d}");
         assert!(d.contains("dram busy until"), "{d}");
         assert!(!d.contains("WEDGED"), "{d}");
+    }
+
+    #[test]
+    fn probe_samples_mshr_and_dram_occupancy() {
+        use sdv_engine::ProbeConfig;
+        let mut h = hier();
+        h.set_probe(Probe::new(ProbeConfig::sampling()));
+        h.set_extra_latency(1024); // keep many fills in flight
+        for i in 0..16u64 {
+            h.core_access(i * 4096, false, i); // distinct lines, near-simultaneous
+            h.vpu_access(i * 64 + 0x100000, false, i);
+        }
+        let s = h.stats();
+        let l1 = s.histogram("memsys.l1_mshr_occupancy").expect("l1 occupancy sampled");
+        assert_eq!(l1.samples(), 16);
+        assert!(l1.max() > 1, "overlapping fills must be visible: max={}", l1.max());
+        assert!(s.histogram("memsys.l2_mshr_occupancy").is_some());
+        let dq = s.histogram("memsys.dram_queue_depth").expect("dram queue sampled");
+        assert!(dq.max() > 1, "dram queue must back up under +1024: max={}", dq.max());
+    }
+
+    #[test]
+    fn probe_is_a_pure_observer() {
+        use sdv_engine::ProbeConfig;
+        let run = |probed: bool| {
+            let mut h = hier();
+            if probed {
+                h.set_probe(Probe::new(ProbeConfig { sample: true, trace: true }));
+            }
+            h.set_extra_latency(256);
+            let mut times = Vec::new();
+            for i in 0..64u64 {
+                times.push(h.core_access((i * 937) % 65536, i % 3 == 0, i));
+                times.push(h.vpu_access((i * 641) % 65536, i % 2 == 0, i));
+            }
+            times
+        };
+        assert_eq!(run(false), run(true), "probes must never change timing");
     }
 
     #[test]

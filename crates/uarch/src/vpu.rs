@@ -15,7 +15,7 @@
 use crate::config::VpuConfig;
 use crate::memhier::MemHierarchy;
 use crate::op::{VClass, VectorOp};
-use sdv_engine::{ArmedFault, Cycle, SimError, Stats, WEDGE};
+use sdv_engine::{ArmedFault, Cycle, Probe, SimError, Stats, TraceEvent, WEDGE};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -48,6 +48,8 @@ pub struct VpuTiming {
     /// Armed wedge-credit fault (`None` when injection is off: the hot loop
     /// pays one never-taken branch).
     credit_fault: Option<ArmedFault>,
+    /// Observability sink (off by default — same cost model as the fault).
+    probe: Probe,
     ctr: VpuCounters,
 }
 
@@ -65,6 +67,11 @@ struct VpuCounters {
     vmem_lines: u64,
     vmem_elems: u64,
     vmem_window_stall_cycles: u64,
+    /// Cycles the in-order completion horizon advanced past the point a
+    /// zero-latency memory system would have allowed: the VPU's exposed
+    /// (non-overlapped) memory wait. Window throttling shows up here too —
+    /// it only happens because line credits are still out to memory.
+    mem_wait_cycles: u64,
 }
 
 impl VpuTiming {
@@ -81,6 +88,7 @@ impl VpuTiming {
             outstanding: BinaryHeap::new(),
             last_completion: 0,
             credit_fault: None,
+            probe: Probe::off(),
             ctr: VpuCounters::default(),
         }
     }
@@ -89,6 +97,16 @@ impl VpuTiming {
     /// line credits are never returned to the outstanding window.
     pub fn arm_wedge_credit(&mut self, fault: ArmedFault) {
         self.credit_fault = Some(fault);
+    }
+
+    /// Install an observability probe (replaces the default disabled one).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// Timeline events recorded by this unit's probe (empty unless tracing).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.probe.events()
     }
 
     /// Cycles the datapath is occupied by `vl` elements.
@@ -114,6 +132,10 @@ impl VpuTiming {
             self.queue.pop_front();
         }
 
+        // For memory ops, the completion a zero-latency memory system would
+        // have produced — the baseline the exposed memory wait is measured
+        // against.
+        let mut mem_issue_bound = None;
         let completion = match vop.class {
             VClass::SetVl => accepted_at + 1,
             VClass::Arith | VClass::ArithLong | VClass::Reduction | VClass::Permute => {
@@ -133,11 +155,39 @@ impl VpuTiming {
                 self.ctr.exec_cycles += occupancy;
                 start + self.cfg.startup + occupancy + extra
             }
-            VClass::Memory => self.memory_op(vop, accepted_at, hier),
+            VClass::Memory => {
+                let (done, bound) = self.memory_op(vop, accepted_at, hier);
+                mem_issue_bound = Some(bound);
+                done
+            }
         };
         // In-order completion.
+        let prev_horizon = self.last_completion;
         let completion = completion.max(self.last_completion);
+        if let Some(bound) = mem_issue_bound {
+            // Whatever this instruction added to the completion horizon
+            // beyond its issue-rate bound (and beyond where the horizon
+            // already stood) is non-overlapped memory latency.
+            self.ctr.mem_wait_cycles += completion.saturating_sub(bound.max(prev_horizon));
+        }
         self.last_completion = completion;
+        if self.probe.tracing() {
+            let name = match vop.class {
+                VClass::SetVl => "vsetvl",
+                VClass::Arith => "varith",
+                VClass::ArithLong => "varith.long",
+                VClass::Reduction => "vreduce",
+                VClass::Permute => "vpermute",
+                VClass::Memory => {
+                    if vop.mem.as_ref().is_some_and(|m| m.is_load) {
+                        "vload"
+                    } else {
+                        "vstore"
+                    }
+                }
+            };
+            self.probe.span("vpu", name, 1, accepted_at, completion - accepted_at, vop.vl as u64);
+        }
         self.queue.push_back(completion);
         self.ctr.instrs += 1;
         self.ctr.elements += vop.active as u64;
@@ -151,12 +201,20 @@ impl VpuTiming {
 
     /// Cost a vector load/store: stream line requests into the hierarchy at
     /// the unit's issue rate, bounded by the outstanding-request window.
-    fn memory_op(&mut self, vop: &VectorOp, accepted_at: Cycle, hier: &mut MemHierarchy) -> Cycle {
+    /// Returns `(completion, issue_bound)` where `issue_bound` is the
+    /// completion a zero-latency memory system would have produced (address
+    /// generation + write-back only).
+    fn memory_op(
+        &mut self,
+        vop: &VectorOp,
+        accepted_at: Cycle,
+        hier: &mut MemHierarchy,
+    ) -> (Cycle, Cycle) {
         let mem = vop.mem.as_ref().expect("Memory class op without footprint");
         let start = accepted_at.max(self.vmem_free) + self.cfg.startup;
         if mem.lines.is_empty() {
             self.vmem_free = start;
-            return start;
+            return (start, start);
         }
         if mem.is_load {
             self.ctr.vloads += 1;
@@ -186,6 +244,7 @@ impl VpuTiming {
 
         let mut last_issue = start;
         let mut data_done = start;
+        let mut last_spacing = 0u64;
         for (k, &line) in mem.lines.iter().enumerate() {
             let spacing = if mem.unit_stride {
                 // The default burst engine issues one line per cycle; skip
@@ -201,6 +260,7 @@ impl VpuTiming {
                 }
                 s
             };
+            last_spacing = spacing;
             let mut t = start + spacing;
             if t < last_issue {
                 t = last_issue;
@@ -247,14 +307,19 @@ impl VpuTiming {
             data_done = data_done.max(done);
         }
         self.vmem_free = last_issue + 1;
-        if mem.is_load {
+        self.probe.sample("vpu.vmem_occupancy", self.outstanding.len() as u64);
+        self.probe.counter("vmem_outstanding_lines", last_issue, self.outstanding.len() as u64);
+        let write_back = if mem.is_load { self.element_cycles(vop.vl) } else { 0 };
+        let issue_bound = start + last_spacing + write_back;
+        let completion = if mem.is_load {
             // Register write-back of the gathered elements.
-            data_done + self.element_cycles(vop.vl)
+            data_done + write_back
         } else {
             // Stores complete (for dependence purposes) once issued and
             // globally ordered.
             data_done
-        }
+        };
+        (completion, issue_bound)
     }
 
     /// Completion time of the last instruction dispatched so far.
@@ -336,6 +401,8 @@ impl VpuTiming {
         s.set("vpu.vmem_lines", self.ctr.vmem_lines);
         s.set("vpu.vmem_elems", self.ctr.vmem_elems);
         s.set("vpu.vmem_window_stall_cycles", self.ctr.vmem_window_stall_cycles);
+        s.set("vpu.mem_wait_cycles", self.ctr.mem_wait_cycles);
+        self.probe.export(&mut s);
         s
     }
 }
@@ -499,6 +566,44 @@ mod tests {
         let e = v.audit(v.all_done()).unwrap_err();
         assert!(matches!(e, SimError::InvariantViolation { .. }), "{e}");
         assert!(e.to_string().contains("credit leak"), "{e}");
+    }
+
+    #[test]
+    fn mem_wait_attribution_tracks_exposed_latency() {
+        // The exposed-memory-wait counter must grow with added DRAM latency
+        // and stay well below the naive per-line sum (the window overlaps).
+        let run = |extra: u64| {
+            let (mut v, mut h) = parts();
+            h.set_extra_latency(extra);
+            let lines: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+            let d = v.dispatch(&load_op(256, lines, false), 0, &mut h);
+            (v.stats().get("vpu.mem_wait_cycles"), d.completion)
+        };
+        let (w0, _) = run(0);
+        let (w1024, completion) = run(1024);
+        assert!(w0 > 0, "even unloaded DRAM exposes some latency");
+        // The 256-deep window covers all 64 lines, so added latency is
+        // exposed exactly once (at the critical line), never per line.
+        assert_eq!(w1024, w0 + 1024, "window covers the stream: latency exposed once");
+        assert!(w1024 < 64 * 1024, "amortized, not serialized per line");
+        assert!(w1024 <= completion, "attribution cannot exceed wall time");
+    }
+
+    #[test]
+    fn probe_records_spans_and_counters() {
+        use sdv_engine::ProbeConfig;
+        let (mut v, mut h) = parts();
+        v.set_probe(Probe::new(ProbeConfig::tracing()));
+        v.dispatch(&arith(256), 0, &mut h);
+        v.dispatch(&load_op(256, (0..32).map(|i| i * 4096).collect(), false), 0, &mut h);
+        let names: Vec<&str> = v.trace_events().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"varith"), "{names:?}");
+        assert!(names.contains(&"vload"), "{names:?}");
+        assert!(
+            v.trace_events().iter().any(|e| e.dur.is_none() && e.name == "vmem_outstanding_lines"),
+            "memory ops emit an outstanding-lines counter sample"
+        );
+        assert!(v.stats().histogram("vpu.vmem_occupancy").is_some());
     }
 
     #[test]

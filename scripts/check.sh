@@ -20,6 +20,30 @@ echo "== perf smoke =="
 # simulated-cycle mismatch against the recorded baseline still fails.
 ./target/release/perf_baseline --smoke --label check_smoke --against after_pr1 --threshold 1000
 
+echo "== observability zero-cost gate (cycles identical to pre-probe baseline) =="
+# The probe layer must be a pure observer: simulated cycles recorded before
+# the observability layer existed (after_pr3) must still match exactly. As
+# above, the huge threshold neutralizes wall-clock noise; only a
+# simulated-cycle mismatch can fail this.
+./target/release/perf_baseline --smoke --label check_obs --against after_pr3 --threshold 1000
+
+echo "== fig_stalls smoke (stall attribution + monotone memory-stall fraction) =="
+tmp_metrics="$(mktemp /tmp/fig_stalls.XXXXXX.json)"
+# --check exits nonzero unless the memory-stall fraction at +1024 falls
+# monotonically as MAXVL grows, for every kernel — the paper's claim as a CI
+# gate. The exported metrics JSON must also be machine-readable.
+./target/release/fig_stalls --small --check --metrics-json "$tmp_metrics" >/dev/null
+python3 - "$tmp_metrics" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "sdv-metrics-v1", doc["schema"]
+cells = doc["cells"]
+assert cells, "metrics export has no cells"
+assert all("stalls" in c and "cycles" in c for c in cells)
+print(f"metrics JSON valid: {len(cells)} cells")
+PYEOF
+rm -f "$tmp_metrics"
+
 echo "== golden CSV diff (small fig3, must be bit-identical) =="
 tmp_csv="$(mktemp /tmp/fig3_small.XXXXXX.csv)"
 tmp_csv2="$(mktemp /tmp/fig3_small2.XXXXXX.csv)"
