@@ -2,7 +2,7 @@
 //! function of added memory latency, for the scalar implementation and the
 //! vector implementation at MAXVL ∈ {8,16,32,64,128,256}.
 //!
-//! Usage: `fig3_latency [--small] [--threads N] [--csv PATH]
+//! Usage: `fig3_latency [--small] [--threads N] [--csv PATH] [--backend scalar|simd]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
@@ -35,6 +35,7 @@ fn main() {
     };
     let csv = cli::arg_value(&args, "--csv").map(str::to_string);
     let cfg = cli::hardening_config(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    let backend = cli::parse_backend(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
     let checkpoint = cli::open_checkpoint(BIN, &args);
 
     let w = if small { Workloads::small() } else { Workloads::paper() };
@@ -44,6 +45,7 @@ fn main() {
     // One runner for the whole figure: machines are reset and reused across
     // kernels instead of reallocated, and repeated cells are memoized.
     let mut sweeper = Sweeper::with_config(cfg);
+    sweeper.set_backend(backend);
     if let Some(ck) = &checkpoint {
         for (cell, cycles) in ck.entries() {
             sweeper.preload(cell, cycles);

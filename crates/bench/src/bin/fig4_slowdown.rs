@@ -8,7 +8,7 @@
 //!
 //! Also prints the paper's §4.1 anchor comparison (SpMV at +32 and +1024).
 //!
-//! Usage: `fig4_slowdown [--small] [--threads N] [--csv PATH]
+//! Usage: `fig4_slowdown [--small] [--threads N] [--csv PATH] [--backend scalar|simd]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
@@ -34,6 +34,7 @@ fn main() {
     };
     let csv = cli::arg_value(&args, "--csv").map(str::to_string);
     let cfg = cli::hardening_config(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    let backend = cli::parse_backend(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
     let checkpoint = cli::open_checkpoint(BIN, &args);
 
     let w = if small { Workloads::small() } else { Workloads::paper() };
@@ -44,6 +45,7 @@ fn main() {
     // kernels (fig4's grid is identical to fig3's, so a combined driver could
     // share a Sweeper across both and pay for each cell once).
     let mut sweeper = Sweeper::with_config(cfg);
+    sweeper.set_backend(backend);
     if let Some(ck) = &checkpoint {
         for (cell, cycles) in ck.entries() {
             sweeper.preload(cell, cycles);

@@ -4,7 +4,7 @@
 //! keeps dropping at high caps is an implementation that can exploit more
 //! bandwidth from a single core.
 //!
-//! Usage: `fig5_bandwidth [--small] [--threads N] [--csv PATH]
+//! Usage: `fig5_bandwidth [--small] [--threads N] [--csv PATH] [--backend scalar|simd]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
@@ -30,6 +30,7 @@ fn main() {
     };
     let csv = cli::arg_value(&args, "--csv").map(str::to_string);
     let cfg = cli::hardening_config(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    let backend = cli::parse_backend(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
     let checkpoint = cli::open_checkpoint(BIN, &args);
 
     let w = if small { Workloads::small() } else { Workloads::paper() };
@@ -39,6 +40,7 @@ fn main() {
     // One runner for the whole figure: machines reset and reused across
     // kernels, repeated cells memoized.
     let mut sweeper = Sweeper::with_config(cfg);
+    sweeper.set_backend(backend);
     if let Some(ck) = &checkpoint {
         for (cell, cycles) in ck.entries() {
             sweeper.preload(cell, cycles);

@@ -8,10 +8,12 @@
 //! trajectory.
 //!
 //! Usage: `perf_baseline [--smoke] [--threads N] [--label NAME] [--out PATH]
-//!                       [--against LABEL] [--threshold X]`
+//!                       [--against LABEL] [--threshold X] [--backend B]`
 //!
 //! * `--smoke`  — tiny subset (one cell per kernel, reduced micro iters);
 //!   used by `scripts/check.sh` as a fast end-to-end sanity pass.
+//! * `--backend`— vector execution backend (`scalar` or `simd`). Simulated
+//!   cycles are identical either way; only host wall-clock changes.
 //! * `--threads`— worker threads for the pooled-sweep pass. Defaults to the
 //!   host's available parallelism.
 //! * `--label`  — name recorded in the JSON and used for the default output
@@ -30,7 +32,8 @@ use sdv_engine::BoundedQueue;
 use sdv_memsys::{AccessKind, Cache, CacheConfig, DramChannel};
 use sdv_noc::Mesh;
 use sdv_rvv::{
-    exec_into, ArithKind, ExecInfo, ExecScratch, FmaKind, Lmul, MemAddr, Sew, VInst, VOp, VState,
+    exec_into, exec_into_backend, ArithKind, Backend, ExecInfo, ExecScratch, FmaKind, Lmul,
+    MemAddr, Sew, VInst, VOp, VState,
 };
 use std::time::Instant;
 
@@ -78,6 +81,8 @@ fn main() {
     };
     let out = cli::arg_value(&args, "--out")
         .map_or_else(|| format!("results/perf/{label}.json"), str::to_string);
+    let backend = cli::parse_backend(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    println!("backend: {}", backend.describe());
 
     let w = Workloads::small();
     let cells = suite(smoke);
@@ -87,6 +92,7 @@ fn main() {
     // steady-state cost per cell; every cell in the suite is distinct, so
     // memoization never shortcuts the measurement.
     let mut pool = Sweeper::new();
+    pool.set_backend(backend);
     let mut reports = Vec::with_capacity(cells.len());
     let t_suite = Instant::now();
     for &cell in &cells {
@@ -100,7 +106,9 @@ fn main() {
     // The same suite through the sweep entry point, on a FRESH runner so its
     // empty memo forces every cell to be simulated again.
     let t_sweep = Instant::now();
-    let swept = Sweeper::new().sweep(&w, &cells, threads);
+    let mut sweep_pool = Sweeper::new();
+    sweep_pool.set_backend(backend);
+    let swept = sweep_pool.sweep(&w, &cells, threads);
     let sweep_ms = t_sweep.elapsed().as_secs_f64() * 1e3;
     for (seq, sw) in reports.iter().zip(&swept) {
         assert_eq!(seq.cycles, sw.cycles, "sweep must reproduce sequential cycles");
@@ -112,7 +120,8 @@ fn main() {
     let cps = sim_cycles as f64 / (sequential_ms / 1e3);
     print_human(&reports, &micro, sequential_ms, sweep_ms, cps);
 
-    let json = render_json(&label, smoke, threads, &reports, &micro, sequential_ms, sweep_ms);
+    let json =
+        render_json(&label, smoke, threads, backend, &reports, &micro, sequential_ms, sweep_ms);
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }
@@ -207,14 +216,16 @@ fn compare(
     threshold: f64,
 ) -> bool {
     let mut ok = true;
+    // "speedup" is base/now throughout: >1.00x means this run is faster
+    // than the baseline; a regression is a speedup below 1/threshold.
     println!("\ncomparison vs '{base_label}' (threshold {threshold:.2}x)");
-    println!("{:<28} {:>12} {:>12} {:>8}", "micro", "base ns", "now ns", "ratio");
+    println!("{:<28} {:>12} {:>12} {:>8}", "micro", "base ns", "now ns", "speedup");
     for m in micro {
         let Some((_, base_ns)) = base.micro.iter().find(|(n, _)| n == m.name) else {
             continue;
         };
-        let ratio = m.ns_per_iter / base_ns;
-        let flag = if ratio > threshold {
+        let speedup = base_ns / m.ns_per_iter;
+        let flag = if m.ns_per_iter / base_ns > threshold {
             ok = false;
             "  REGRESSED"
         } else {
@@ -222,10 +233,13 @@ fn compare(
         };
         println!(
             "{:<28} {:>12.1} {:>12.1} {:>7.2}x{flag}",
-            m.name, base_ns, m.ns_per_iter, ratio
+            m.name, base_ns, m.ns_per_iter, speedup
         );
     }
-    println!("{:<28} {:>12} {:>12} {:>8}", "cell", "base ms", "now ms", "ratio");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "cell", "base ms", "now ms", "base Mc/s", "now Mc/s", "speedup"
+    );
     for r in reports {
         let imp = r.cell.imp.to_string();
         let Some(&(_, _, _, base_cycles, base_ms)) = base.cells.iter().find(|(k, i, lat, _, _)| {
@@ -243,32 +257,36 @@ fn compare(
             );
             continue;
         }
-        let ratio = r.wall_ms / base_ms;
-        let flag = if ratio > threshold {
+        let speedup = base_ms / r.wall_ms;
+        let flag = if r.wall_ms / base_ms > threshold {
             ok = false;
             "  REGRESSED"
         } else {
             ""
         };
         println!(
-            "{:<28} {:>12.2} {:>12.2} {:>7.2}x{flag}",
+            "{:<28} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.2}x{flag}",
             format!("{}/{}/+{}", r.cell.kernel.name(), imp, r.cell.extra_latency),
             base_ms,
             r.wall_ms,
-            ratio
+            base_cycles as f64 / base_ms / 1e3,
+            r.cycles as f64 / r.wall_ms / 1e3,
+            speedup
         );
     }
     // The suite total is only comparable when both runs measured the same
     // cell set (a smoke run against a full baseline would be meaningless).
     if let Some(base_seq) = base.sequential_ms.filter(|_| base.cells.len() == reports.len()) {
-        let ratio = sequential_ms / base_seq;
-        let flag = if ratio > threshold {
+        let speedup = base_seq / sequential_ms;
+        let flag = if sequential_ms / base_seq > threshold {
             ok = false;
             "  REGRESSED"
         } else {
             ""
         };
-        println!("suite sequential: {base_seq:.1} ms -> {sequential_ms:.1} ms ({ratio:.2}x){flag}");
+        println!(
+            "suite sequential: {base_seq:.1} ms -> {sequential_ms:.1} ms ({speedup:.2}x speedup){flag}"
+        );
     }
     if !ok {
         println!("comparison FAILED vs '{base_label}'");
@@ -336,6 +354,29 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
     let vfmacc = VInst::new(VOp::FmaVV { kind: FmaKind::Macc, vd: 1, x: 2, y: 3 });
     out.push(time_micro("exec_vfmacc_vl256", 40_000 * scale, || {
         exec_into(std::hint::black_box(&vfmacc), &mut st, &mut mem, &mut scratch, &mut info);
+    }));
+    // The same two ops through the host-SIMD backend: measures the
+    // dispatch-level win of the chunked/AVX2 kernels over the scalar batch
+    // loops (architectural results and cycles are identical either way).
+    out.push(time_micro("exec_vadd_simd_vl256", 40_000 * scale, || {
+        exec_into_backend(
+            std::hint::black_box(&vadd),
+            &mut st,
+            &mut mem,
+            &mut scratch,
+            &mut info,
+            Backend::Simd,
+        );
+    }));
+    out.push(time_micro("exec_vfmacc_simd_vl256", 40_000 * scale, || {
+        exec_into_backend(
+            std::hint::black_box(&vfmacc),
+            &mut st,
+            &mut mem,
+            &mut scratch,
+            &mut info,
+            Backend::Simd,
+        );
     }));
     let vle = VInst::new(VOp::Load { vd: 1, addr: MemAddr::Unit { base: 0 } });
     out.push(time_micro("exec_vle_vl256", 40_000 * scale, || {
@@ -431,10 +472,12 @@ fn print_human(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     label: &str,
     smoke: bool,
     threads: usize,
+    backend: sdv_rvv::Backend,
     reports: &[CellReport],
     micro: &[MicroReport],
     sequential_ms: f64,
@@ -452,6 +495,7 @@ fn render_json(
     s.push_str(&format!("  \"timestamp_unix\": {unix_secs},\n"));
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"backend\": \"{backend}\",\n"));
     s.push_str("  \"workload\": \"small\",\n");
     s.push_str("  \"cells\": [\n");
     for (i, r) in reports.iter().enumerate() {

@@ -11,6 +11,7 @@
 
 use crate::{CellOutcome, Checkpoint};
 use sdv_engine::{FaultKind, FaultPlan, SimError};
+use sdv_rvv::Backend;
 use sdv_uarch::{TimingConfig, WatchdogConfig};
 
 /// Exit code for a malformed command line.
@@ -90,6 +91,24 @@ pub fn hardening_config(args: &[String]) -> Result<TimingConfig, String> {
         }
     }
     Ok(cfg)
+}
+
+/// Parse the shared `--backend scalar|simd` flag. Defaults to `scalar`
+/// (the reference interpreter) when absent. Backend selection only changes
+/// host wall-clock: simulated cycles and every figure/CSV byte are
+/// identical either way (enforced by `scripts/check.sh`).
+pub fn parse_backend(args: &[String]) -> Result<Backend, String> {
+    match arg_value(args, "--backend") {
+        None => {
+            if args.iter().any(|a| a == "--backend") {
+                Err("--backend needs a value ('scalar' or 'simd')".into())
+            } else {
+                Ok(Backend::default())
+            }
+        }
+        Some(v) => Backend::parse(v)
+            .ok_or_else(|| format!("--backend: bad value '{v}' (expected 'scalar' or 'simd')")),
+    }
 }
 
 /// Open `--checkpoint PATH` if given. Without `--resume` an existing file is
@@ -183,6 +202,17 @@ mod tests {
         assert_eq!(exit_code_for(&SimError::Panic { what: "x".into() }), EXIT_SIM_FAULT);
         assert_ne!(EXIT_USAGE, EXIT_BAD_INPUT);
         assert_ne!(EXIT_BAD_INPUT, EXIT_SIM_FAULT);
+    }
+
+    #[test]
+    fn backend_flag_parses() {
+        assert_eq!(parse_backend(&args(&["fig3"])).unwrap(), Backend::Scalar);
+        assert_eq!(
+            parse_backend(&args(&["fig3", "--backend", "simd"])).unwrap(),
+            Backend::Simd
+        );
+        assert!(parse_backend(&args(&["fig3", "--backend", "avx"])).is_err());
+        assert!(parse_backend(&args(&["fig3", "--backend"])).is_err());
     }
 
     #[test]

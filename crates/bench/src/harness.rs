@@ -2,6 +2,7 @@
 
 use sdv_core::{SdvMachine, Vm};
 use sdv_engine::{SimError, Stats};
+use sdv_rvv::Backend;
 use sdv_kernels::fft::{self, Complexes};
 use sdv_kernels::{bfs, pagerank, spmv, CsrMatrix, Graph, SellCS};
 use sdv_uarch::TimingConfig;
@@ -235,7 +236,7 @@ impl CellOutcome {
 /// Run one cell on a fresh machine with the given timing configuration.
 pub fn run_with_config(w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
     let mut m = SdvMachine::with_config(w.heap, cfg);
-    run_on(&mut m, w, cell, cfg)
+    run_on(&mut m, w, cell, cfg, Backend::default())
 }
 
 /// Fallible variant of [`run_with_config`]: surfaces watchdog and audit
@@ -246,14 +247,20 @@ pub fn try_run_with_config(
     cfg: TimingConfig,
 ) -> Result<RunResult, SimError> {
     let mut m = SdvMachine::with_config(w.heap, cfg);
-    try_run_on(&mut m, w, cell, cfg)
+    try_run_on(&mut m, w, cell, cfg, Backend::default())
 }
 
 /// Run one cell on a pooled machine: rewinds it to the fresh state (keeping
 /// its allocations), then runs the kernel. Cycle counts are bit-identical to
 /// [`run_with_config`] on a brand-new machine.
-fn run_on(m: &mut SdvMachine, w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
-    try_run_on(m, w, cell, cfg).unwrap_or_else(|e| {
+fn run_on(
+    m: &mut SdvMachine,
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+    backend: Backend,
+) -> RunResult {
+    try_run_on(m, w, cell, cfg, backend).unwrap_or_else(|e| {
         panic!("cell {}/{} failed: {e}", cell.kernel.name(), cell.imp)
     })
 }
@@ -266,8 +273,10 @@ fn try_run_on(
     w: &Workloads,
     cell: Cell,
     cfg: TimingConfig,
+    backend: Backend,
 ) -> Result<RunResult, SimError> {
     m.reset_with_config(cfg);
+    m.set_backend(backend);
     m.set_extra_latency(cell.extra_latency);
     m.set_bandwidth_limit(cell.bandwidth);
     if let ImplKind::Vector { maxvl } = cell.imp {
@@ -331,9 +340,12 @@ fn run_guarded(
     w: &Workloads,
     cell: Cell,
     cfg: TimingConfig,
+    backend: Backend,
 ) -> CellOutcome {
     let m = slot.get_or_insert_with(|| SdvMachine::new(w.heap));
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| try_run_on(m, w, cell, cfg))) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        try_run_on(m, w, cell, cfg, backend)
+    })) {
         Ok(Ok(r)) => CellOutcome::Done(r),
         Ok(Err(error)) => CellOutcome::Failed { cell, error },
         Err(payload) => {
@@ -361,7 +373,7 @@ pub fn try_run_traced(
 ) -> Result<(RunResult, String), SimError> {
     cfg.probe.trace = true;
     let mut m = SdvMachine::with_config(w.heap, cfg);
-    let r = try_run_on(&mut m, w, cell, cfg)?;
+    let r = try_run_on(&mut m, w, cell, cfg, Backend::default())?;
     Ok((r, m.trace_json()))
 }
 
@@ -417,6 +429,7 @@ pub struct Sweeper {
     machines: Vec<std::sync::Mutex<Option<SdvMachine>>>,
     memo: std::collections::HashMap<Cell, CellOutcome>,
     cfg: TimingConfig,
+    backend: Backend,
 }
 
 impl Default for Sweeper {
@@ -435,7 +448,20 @@ impl Sweeper {
     /// An empty runner whose cells run under `cfg` — how figure binaries
     /// arm the watchdog or a fault plan for every cell of a sweep.
     pub fn with_config(cfg: TimingConfig) -> Self {
-        Self { machines: Vec::new(), memo: std::collections::HashMap::new(), cfg }
+        Self {
+            machines: Vec::new(),
+            memo: std::collections::HashMap::new(),
+            cfg,
+            backend: Backend::default(),
+        }
+    }
+
+    /// Select the vector execution backend for every subsequent cell
+    /// (`--backend scalar|simd` on the figure binaries). Architectural
+    /// results and simulated cycles are bit-identical across backends —
+    /// only host wall-clock changes — so the memo never needs to key on it.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
     }
 
     /// Number of distinct cells simulated so far.
@@ -481,7 +507,7 @@ impl Sweeper {
         self.ensure_slots(1);
         let out = {
             let mut slot = self.machines[0].lock().unwrap();
-            run_guarded(&mut slot, w, cell, self.cfg)
+            run_guarded(&mut slot, w, cell, self.cfg, self.backend)
         };
         self.memo.insert(cell, out.clone());
         out
@@ -552,6 +578,7 @@ impl Sweeper {
         let machines = &self.machines;
         let todo_ref = &todo;
         let cfg = self.cfg;
+        let backend = self.backend;
         let on_cell = &on_cell;
         std::thread::scope(|s| {
             for machine in machines.iter().take(workers) {
@@ -567,7 +594,7 @@ impl Sweeper {
                         if i >= todo_ref.len() {
                             break;
                         }
-                        let out = run_guarded(&mut guard, w, todo_ref[i], cfg);
+                        let out = run_guarded(&mut guard, w, todo_ref[i], cfg, backend);
                         on_cell(&out);
                         *slots[i].lock().unwrap() = Some(out);
                     }
@@ -731,6 +758,22 @@ mod tests {
             assert_eq!(a.cycles, b.cycles, "1-thread vs 4-thread: {:?}", a.cell);
         }
         assert_eq!(one[0].cycles, one[cells.len() - 1].cycles, "duplicate cell agrees");
+    }
+
+    #[test]
+    fn simd_backend_is_cycle_identical_end_to_end_small() {
+        let w = Workloads::small();
+        let mut scalar = Sweeper::new();
+        let mut simd = Sweeper::new();
+        simd.set_backend(Backend::Simd);
+        for k in [KernelKind::Spmv, KernelKind::Fft] {
+            let c = cell(k, ImplKind::Vector { maxvl: 256 });
+            assert_eq!(
+                scalar.run_cell(&w, c).cycles,
+                simd.run_cell(&w, c).cycles,
+                "{k:?}: backend changed simulated cycles"
+            );
+        }
     }
 
     #[test]

@@ -45,13 +45,10 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
-}
+/// Sentinel tag for an invalid way. Tags are line indices
+/// (`addr >> line_shift`), so this value would require an address in the last
+/// line of the 64-bit space — unreachable for any simulated heap.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// An evicted line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,10 +60,23 @@ pub struct Victim {
 }
 
 /// The cache.
+///
+/// Way state is kept as flat structure-of-arrays slabs (`tags`, `dirty`,
+/// `last_use`), each indexed `set * ways + way`: the tag scan on every
+/// modelled access walks one contiguous run of `u64`s instead of chasing a
+/// per-set `Vec` allocation. This is host-side layout only — hit/miss, LRU
+/// and victim decisions are unchanged, so simulated cycles are bit-identical.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Tag per way (`INVALID_TAG` = empty way), flat `[set][way]`.
+    tags: Vec<u64>,
+    /// Dirty bit per way, flat `[set][way]`.
+    dirty: Vec<bool>,
+    /// LRU timestamp per way, flat `[set][way]`.
+    last_use: Vec<u64>,
+    ways: usize,
+    set_mask: usize,
     /// `log2(line_bytes)`: tag extraction is a shift, not a division (this
     /// runs on every modelled access).
     line_shift: u32,
@@ -86,10 +96,14 @@ impl Cache {
         let num_sets = cfg.num_sets();
         assert!(num_sets > 0, "geometry yields zero sets");
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
-        let empty = Line { tag: 0, valid: false, dirty: false, last_use: 0 };
+        let slots = num_sets * cfg.ways;
         Self {
             cfg,
-            sets: vec![vec![empty; cfg.ways]; num_sets],
+            tags: vec![INVALID_TAG; slots],
+            dirty: vec![false; slots],
+            last_use: vec![0; slots],
+            ways: cfg.ways,
+            set_mask: num_sets - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
             tick: 0,
             hits: 0,
@@ -102,17 +116,25 @@ impl Cache {
         &self.cfg
     }
 
+    /// Base slot of `addr`'s set and the tag to match.
     #[inline]
-    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+    fn base_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        let set = (line as usize) & (self.sets.len() - 1);
-        (set, line)
+        let set = (line as usize) & self.set_mask;
+        (set * self.ways, line)
+    }
+
+    /// Slot index of the way holding `tag`, scanning the set's contiguous
+    /// tag run.
+    #[inline]
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        self.tags[base..base + self.ways].iter().position(|&t| t == tag).map(|w| base + w)
     }
 
     /// Whether the line containing `addr` is present.
     pub fn contains(&self, addr: u64) -> bool {
-        let (s, tag) = self.set_and_tag(addr);
-        self.sets[s].iter().any(|l| l.valid && l.tag == tag)
+        let (base, tag) = self.base_and_tag(addr);
+        self.find(base, tag).is_some()
     }
 
     /// Access the line containing `addr`. On hit the LRU state is updated and
@@ -120,11 +142,11 @@ impl Cache {
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> bool {
         self.tick += 1;
         let tick = self.tick;
-        let (s, tag) = self.set_and_tag(addr);
-        if let Some(l) = self.sets[s].iter_mut().find(|l| l.valid && l.tag == tag) {
-            l.last_use = tick;
+        let (base, tag) = self.base_and_tag(addr);
+        if let Some(slot) = self.find(base, tag) {
+            self.last_use[slot] = tick;
             if kind == AccessKind::Write {
-                l.dirty = true;
+                self.dirty[slot] = true;
             }
             self.hits += 1;
             true
@@ -140,43 +162,50 @@ impl Cache {
     pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<Victim> {
         self.tick += 1;
         let tick = self.tick;
-        let (s, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[s];
-        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            l.last_use = tick;
-            l.dirty |= dirty;
+        let (base, tag) = self.base_and_tag(addr);
+        debug_assert!(tag != INVALID_TAG, "address collides with the empty-way sentinel");
+        if let Some(slot) = self.find(base, tag) {
+            self.last_use[slot] = tick;
+            self.dirty[slot] |= dirty;
             return None;
         }
         // Prefer an invalid way; otherwise evict the LRU.
-        let way = if let Some(w) = set.iter().position(|l| !l.valid) {
-            w
+        let set_tags = &self.tags[base..base + self.ways];
+        let slot = if let Some(w) = set_tags.iter().position(|&t| t == INVALID_TAG) {
+            base + w
         } else {
-            set.iter().enumerate().min_by_key(|(_, l)| l.last_use).map(|(w, _)| w).unwrap()
+            let lru = &self.last_use[base..base + self.ways];
+            base + lru.iter().enumerate().min_by_key(|(_, &t)| t).map(|(w, _)| w).unwrap()
         };
-        let victim = if set[way].valid {
-            Some(Victim { addr: set[way].tag * self.cfg.line_bytes, dirty: set[way].dirty })
+        let victim = if self.tags[slot] != INVALID_TAG {
+            Some(Victim {
+                addr: self.tags[slot] * self.cfg.line_bytes,
+                dirty: self.dirty[slot],
+            })
         } else {
             None
         };
-        set[way] = Line { tag, valid: true, dirty, last_use: tick };
+        self.tags[slot] = tag;
+        self.dirty[slot] = dirty;
+        self.last_use[slot] = tick;
         victim
     }
 
     /// Invalidate the line containing `addr` if present. Returns
     /// `Some(was_dirty)` when a line was dropped.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
-        let (s, tag) = self.set_and_tag(addr);
-        let l = self.sets[s].iter_mut().find(|l| l.valid && l.tag == tag)?;
-        l.valid = false;
-        Some(std::mem::replace(&mut l.dirty, false))
+        let (base, tag) = self.base_and_tag(addr);
+        let slot = self.find(base, tag)?;
+        self.tags[slot] = INVALID_TAG;
+        Some(std::mem::replace(&mut self.dirty[slot], false))
     }
 
     /// Clear the dirty bit of the line containing `addr` (after a recall
     /// writeback). Returns whether the line was present and dirty.
     pub fn clean(&mut self, addr: u64) -> bool {
-        let (s, tag) = self.set_and_tag(addr);
-        if let Some(l) = self.sets[s].iter_mut().find(|l| l.valid && l.tag == tag) {
-            std::mem::replace(&mut l.dirty, false)
+        let (base, tag) = self.base_and_tag(addr);
+        if let Some(slot) = self.find(base, tag) {
+            std::mem::replace(&mut self.dirty[slot], false)
         } else {
             false
         }
@@ -184,8 +213,8 @@ impl Cache {
 
     /// Whether the line containing `addr` is present *and* dirty.
     pub fn is_dirty(&self, addr: u64) -> bool {
-        let (s, tag) = self.set_and_tag(addr);
-        self.sets[s].iter().any(|l| l.valid && l.tag == tag && l.dirty)
+        let (base, tag) = self.base_and_tag(addr);
+        self.find(base, tag).is_some_and(|slot| self.dirty[slot])
     }
 
     /// Hit count since construction.
@@ -200,12 +229,8 @@ impl Cache {
 
     /// Drop every line (does not reset hit/miss counters).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for l in set {
-                l.valid = false;
-                l.dirty = false;
-            }
-        }
+        self.tags.fill(INVALID_TAG);
+        self.dirty.fill(false);
     }
 }
 

@@ -669,6 +669,15 @@ fn cvt_batch(sew: Sew, kind: CvtKind, xs: &[u64], out: &mut Vec<u64>) {
 
 /// Reductions over a snapshot with the kind dispatch hoisted; `active` is
 /// `None` on the all-lanes fast path.
+///
+/// **The fold order is pinned**: a strictly sequential left fold from the
+/// accumulator seed through element 0, 1, … VL−1, vfredosum-style. This is
+/// the *only* reduction implementation — the host-SIMD backend
+/// ([`crate::simd`]) deliberately does not intercept `VOp::Red`, because any
+/// reassociation (pairwise trees, per-lane partial sums) changes FP results
+/// under cancellation, ±0.0 signs, and NaN propagation. Do not add a
+/// tree-shaped or vectorized variant without preserving this exact order;
+/// `simd::tests::fp_reduction_order_is_pinned_across_backends` guards it.
 fn reduce_batch(sew: Sew, kind: RedKind, seed: u64, xs: &[u64], active: Option<&[bool]>) -> u64 {
     let mask = sew.value_mask();
     let sh = 64 - sew.bits() as u32;
@@ -854,6 +863,31 @@ pub fn exec<M: VMemory>(inst: &VInst, state: &mut VState, mem: &mut M) -> ExecIn
     let mut info = ExecInfo::default();
     exec_into(inst, state, mem, &mut scratch, &mut info);
     info
+}
+
+/// Execute one instruction under the selected backend. [`Backend::Simd`]
+/// intercepts the hot non-memory op families with host-SIMD batch kernels
+/// (see [`crate::simd`]); everything else — and every instruction under
+/// [`Backend::Scalar`] — runs through the reference interpreter
+/// [`exec_into`]. Results, `info`, and therefore simulated cycles are
+/// bit-identical across backends.
+///
+/// # Panics
+/// As [`exec_into`].
+pub fn exec_into_backend<M: VMemory>(
+    inst: &VInst,
+    state: &mut VState,
+    mem: &mut M,
+    scratch: &mut ExecScratch,
+    info: &mut ExecInfo,
+    backend: crate::simd::Backend,
+) {
+    if backend == crate::simd::Backend::Simd
+        && crate::simd::exec_simd(inst, state, scratch, info)
+    {
+        return;
+    }
+    exec_into(inst, state, mem, scratch, info);
 }
 
 /// Execute one instruction, reusing `scratch` buffers and writing the outcome

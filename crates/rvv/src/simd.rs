@@ -1,0 +1,985 @@
+//! Host-SIMD batch execution backend: simulate vector hardware *with*
+//! vector hardware.
+//!
+//! The default interpreter ([`crate::exec_into`]) executes each guest vector
+//! instruction with monomorphized scalar batch loops. This module adds a
+//! second, bit-identical backend for the hot non-memory op families
+//! (integer/FP arithmetic, FMA, compares, mask logic): fixed-width
+//! `[u64; LANES]` chunked inner loops with no per-element branching, shaped
+//! so the host compiler autovectorizes them — plus, behind the default-on
+//! `simd-intrinsics` cargo feature, hand-written AVX2 paths for the widest
+//! E64 families, selected at runtime with `is_x86_feature_detected!`.
+//!
+//! ## Bit-identity contract
+//!
+//! Backend selection must never change architectural results *or* simulated
+//! cycles. Three design rules enforce this:
+//!
+//! * Every lane computation is the exact expression the scalar backend
+//!   uses (same wrapping/masking for ints, same IEEE operations for FP).
+//!   Packed x86 FP add/sub/mul/FMA are correctly-rounded per lane exactly
+//!   like their scalar forms, so the AVX2 paths are safe; families where
+//!   x86 vector semantics diverge from RVV (`vfmin`/`vfmax` NaN and ±0
+//!   handling, `vfsgnj*`) stay on the portable chunked path.
+//! * Masked execution computes all lanes into staging and then performs a
+//!   branchless lane-granular select against a fresh `vd` snapshot; the
+//!   merged write-back is indistinguishable from the scalar backend's
+//!   masked-undisturbed element writes, including tail-undisturbed
+//!   behaviour and the reported active-lane count.
+//! * Order-sensitive families are *not* intercepted: FP reductions keep the
+//!   single pinned sequential fold in [`crate::exec`] (see `reduce_batch`),
+//!   and memory ops keep the interpreter's bulk/gather paths, so `ExecInfo`
+//!   (the timing bridge) is produced by exactly one implementation.
+//!
+//! Anything this module does not intercept falls through to the scalar
+//! interpreter, so the two backends can never disagree on coverage.
+
+use crate::exec::{ExecInfo, ExecScratch};
+use crate::instr::{ArithKind, CmpKind, FArithKind, FmaKind, FUnaryKind, MaskKind, VInst, VOp};
+use crate::state::VState;
+use crate::vtype::Sew;
+
+/// Which execution backend a machine uses for vector instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The reference interpreter: monomorphized scalar batch loops.
+    #[default]
+    Scalar,
+    /// Host-SIMD batch kernels (chunked autovectorized loops, plus AVX2
+    /// intrinsics when compiled in and detected at runtime). Bit-identical
+    /// to [`Backend::Scalar`] in both results and simulated cycles.
+    Simd,
+}
+
+impl Backend {
+    /// Parse a `--backend` command-line value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "scalar" => Some(Backend::Scalar),
+            "simd" => Some(Backend::Simd),
+            _ => None,
+        }
+    }
+
+    /// Human-readable description, including which SIMD path is live.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar (reference interpreter)",
+            Backend::Simd => {
+                if intrinsics_active() {
+                    "simd (chunked portable + avx2 intrinsics)"
+                } else {
+                    "simd (chunked portable)"
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        })
+    }
+}
+
+/// Whether the runtime-dispatched AVX2 paths are compiled in *and* the host
+/// supports them (AVX2 + FMA). `false` means [`Backend::Simd`] uses only the
+/// portable chunked loops.
+pub fn intrinsics_active() -> bool {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    {
+        intrin::available()
+    }
+    #[cfg(not(all(feature = "simd-intrinsics", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Lanes per chunk: 4 × u64 = 32 bytes, one AVX2 register.
+const LANES: usize = 4;
+
+/// Apply `f` lane-wise over two source slices into `out`, in fixed-width
+/// chunks with a scalar tail. No per-element branching in the chunk body.
+macro_rules! map2_chunked {
+    ($xs:expr, $ys:expr, $out:expr, $f:expr) => {{
+        let f = $f;
+        let xs: &[u64] = $xs;
+        let ys: &[u64] = $ys;
+        let n = xs.len();
+        $out.clear();
+        $out.resize(n, 0);
+        let out = &mut $out[..n];
+        let mut xi = xs.chunks_exact(LANES);
+        let mut yi = ys.chunks_exact(LANES);
+        let mut oi = out.chunks_exact_mut(LANES);
+        for ((xc, yc), oc) in (&mut xi).zip(&mut yi).zip(&mut oi) {
+            let mut r = [0u64; LANES];
+            for ((d, &a), &b) in r.iter_mut().zip(xc).zip(yc) {
+                *d = f(a, b);
+            }
+            oc.copy_from_slice(&r);
+        }
+        for ((d, &a), &b) in
+            oi.into_remainder().iter_mut().zip(xi.remainder()).zip(yi.remainder())
+        {
+            *d = f(a, b);
+        }
+    }};
+}
+
+/// Integer binary family, chunked. Lane expressions are identical to the
+/// scalar backend's `int_bin_batch`.
+fn int_bin(sew: Sew, kind: ArithKind, xs: &[u64], ys: &[u64], out: &mut Vec<u64>) {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    if sew == Sew::E64 && intrin::available() && intrin::int_bin_e64(kind, xs, ys, out) {
+        return;
+    }
+    let mask = sew.value_mask();
+    let sb = sew.bits() as u32;
+    let sh = 64 - sb;
+    match kind {
+        ArithKind::Add => map2_chunked!(xs, ys, out, |a: u64, b: u64| a.wrapping_add(b) & mask),
+        ArithKind::Sub => map2_chunked!(xs, ys, out, |a: u64, b: u64| a.wrapping_sub(b) & mask),
+        ArithKind::Rsub => map2_chunked!(xs, ys, out, |a: u64, b: u64| b.wrapping_sub(a) & mask),
+        ArithKind::And => map2_chunked!(xs, ys, out, |a: u64, b: u64| (a & b) & mask),
+        ArithKind::Or => map2_chunked!(xs, ys, out, |a: u64, b: u64| (a | b) & mask),
+        ArithKind::Xor => map2_chunked!(xs, ys, out, |a: u64, b: u64| (a ^ b) & mask),
+        ArithKind::Sll => {
+            map2_chunked!(xs, ys, out, |a: u64, b: u64| (a << ((b as u32) & (sb - 1))) & mask)
+        }
+        ArithKind::Srl => map2_chunked!(xs, ys, out, |a: u64, b: u64| ((a & mask)
+            >> ((b as u32) & (sb - 1)))
+            & mask),
+        ArithKind::Sra => map2_chunked!(xs, ys, out, |a: u64, b: u64| {
+            ((((a << sh) as i64 >> sh) >> ((b as u32) & (sb - 1))) as u64) & mask
+        }),
+        ArithKind::Mul => map2_chunked!(xs, ys, out, |a: u64, b: u64| a.wrapping_mul(b) & mask),
+        ArithKind::Min => map2_chunked!(xs, ys, out, |a: u64, b: u64| {
+            if ((a << sh) as i64 >> sh) <= ((b << sh) as i64 >> sh) {
+                a & mask
+            } else {
+                b & mask
+            }
+        }),
+        ArithKind::Max => map2_chunked!(xs, ys, out, |a: u64, b: u64| {
+            if ((a << sh) as i64 >> sh) >= ((b << sh) as i64 >> sh) {
+                a & mask
+            } else {
+                b & mask
+            }
+        }),
+        ArithKind::Minu => map2_chunked!(xs, ys, out, |a: u64, b: u64| (a & mask).min(b & mask)),
+        ArithKind::Maxu => map2_chunked!(xs, ys, out, |a: u64, b: u64| (a & mask).max(b & mask)),
+    }
+}
+
+/// FP binary family, chunked; same IEEE expressions as `fp_bin_batch`.
+fn fp_bin(sew: Sew, kind: FArithKind, xs: &[u64], ys: &[u64], out: &mut Vec<u64>) {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    if sew == Sew::E64 && intrin::available() && intrin::fp_bin_e64(kind, xs, ys, out) {
+        return;
+    }
+    macro_rules! fp {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => map2_chunked!(xs, ys, out, |a: u64, b: u64| ($f64e)(
+                    f64::from_bits(a),
+                    f64::from_bits(b)
+                )
+                .to_bits()),
+                Sew::E32 => map2_chunked!(xs, ys, out, |a: u64, b: u64| ($f32e)(
+                    f32::from_bits(a as u32),
+                    f32::from_bits(b as u32)
+                )
+                .to_bits() as u64),
+                _ => panic!("FP ops require SEW of 32 or 64 bits, got {sew:?}"),
+            }
+        };
+    }
+    match kind {
+        FArithKind::Fadd => fp!(|x: f64, y: f64| x + y, |x: f32, y: f32| x + y),
+        FArithKind::Fsub => fp!(|x: f64, y: f64| x - y, |x: f32, y: f32| x - y),
+        FArithKind::Frsub => fp!(|x: f64, y: f64| y - x, |x: f32, y: f32| y - x),
+        FArithKind::Fmul => fp!(|x: f64, y: f64| x * y, |x: f32, y: f32| x * y),
+        FArithKind::Fdiv => fp!(|x: f64, y: f64| x / y, |x: f32, y: f32| x / y),
+        FArithKind::Fmin => fp!(|x: f64, y: f64| x.min(y), |x: f32, y: f32| x.min(y)),
+        FArithKind::Fmax => fp!(|x: f64, y: f64| x.max(y), |x: f32, y: f32| x.max(y)),
+        FArithKind::Fsgnj => {
+            fp!(|x: f64, y: f64| x.abs().copysign(y), |x: f32, y: f32| x.abs().copysign(y))
+        }
+        FArithKind::Fsgnjn => {
+            fp!(|x: f64, y: f64| x.abs().copysign(-y), |x: f32, y: f32| x.abs().copysign(-y))
+        }
+    }
+}
+
+/// FP FMA family, accumulating in place over the `vd` snapshot; same
+/// `mul_add` expressions as `fp_fma_batch`.
+fn fp_fma(sew: Sew, kind: FmaKind, acc: &mut [u64], xs: &[u64], ys: &[u64]) {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    if sew == Sew::E64 && intrin::available() {
+        intrin::fp_fma_e64(kind, acc, xs, ys);
+        return;
+    }
+    macro_rules! fp {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => {
+                    for ((d, &a), &b) in acc.iter_mut().zip(xs).zip(ys) {
+                        *d = ($f64e)(f64::from_bits(*d), f64::from_bits(a), f64::from_bits(b))
+                            .to_bits();
+                    }
+                }
+                Sew::E32 => {
+                    for ((d, &a), &b) in acc.iter_mut().zip(xs).zip(ys) {
+                        *d = ($f32e)(
+                            f32::from_bits(*d as u32),
+                            f32::from_bits(a as u32),
+                            f32::from_bits(b as u32),
+                        )
+                        .to_bits() as u64;
+                    }
+                }
+                _ => panic!("FMA requires SEW of 32 or 64 bits, got {sew:?}"),
+            }
+        };
+    }
+    match kind {
+        FmaKind::Macc => fp!(
+            |d: f64, x: f64, y: f64| x.mul_add(y, d),
+            |d: f32, x: f32, y: f32| x.mul_add(y, d)
+        ),
+        FmaKind::Nmsac => fp!(
+            |d: f64, x: f64, y: f64| (-x).mul_add(y, d),
+            |d: f32, x: f32, y: f32| (-x).mul_add(y, d)
+        ),
+        FmaKind::Madd => fp!(
+            |d: f64, x: f64, y: f64| x.mul_add(d, y),
+            |d: f32, x: f32, y: f32| x.mul_add(d, y)
+        ),
+    }
+}
+
+/// FP unary family, chunked; same expressions as `fp_unary_batch`.
+fn fp_unary(sew: Sew, kind: FUnaryKind, xs: &[u64], out: &mut Vec<u64>) {
+    macro_rules! fp {
+        ($f64e:expr, $f32e:expr) => {
+            match sew {
+                Sew::E64 => {
+                    map2_chunked!(xs, xs, out, |a: u64, _b: u64| ($f64e)(f64::from_bits(a))
+                        .to_bits())
+                }
+                Sew::E32 => {
+                    map2_chunked!(xs, xs, out, |a: u64, _b: u64| ($f32e)(f32::from_bits(a as u32))
+                        .to_bits() as u64)
+                }
+                _ => panic!("FP unary requires SEW of 32 or 64 bits"),
+            }
+        };
+    }
+    match kind {
+        FUnaryKind::Fsqrt => fp!(|v: f64| v.sqrt(), |v: f32| v.sqrt()),
+        FUnaryKind::Fneg => fp!(|v: f64| -v, |v: f32| -v),
+        FUnaryKind::Fabs => fp!(|v: f64| v.abs(), |v: f32| v.abs()),
+    }
+}
+
+/// Compare family, chunked, producing mask bools; same expressions as
+/// `compare_batch`.
+fn cmp(sew: Sew, kind: CmpKind, xs: &[u64], ys: &[u64], out: &mut Vec<bool>) {
+    let mask = sew.value_mask();
+    let sh = 64 - sew.bits() as u32;
+    macro_rules! go {
+        ($f:expr) => {{
+            let f = $f;
+            out.clear();
+            out.extend(xs.iter().zip(ys).map(|(&a, &b)| f(a, b)));
+        }};
+    }
+    macro_rules! gof {
+        ($f:expr) => {
+            match sew {
+                Sew::E64 => go!(|a: u64, b: u64| ($f)(f64::from_bits(a), f64::from_bits(b))),
+                Sew::E32 => go!(|a: u64, b: u64| ($f)(
+                    f32::from_bits(a as u32) as f64,
+                    f32::from_bits(b as u32) as f64
+                )),
+                _ => panic!("FP compare requires SEW of 32 or 64 bits"),
+            }
+        };
+    }
+    match kind {
+        CmpKind::Eq => go!(|a: u64, b: u64| a & mask == b & mask),
+        CmpKind::Ne => go!(|a: u64, b: u64| a & mask != b & mask),
+        CmpKind::Lt => go!(|a: u64, b: u64| ((a << sh) as i64 >> sh) < ((b << sh) as i64 >> sh)),
+        CmpKind::Ltu => go!(|a: u64, b: u64| (a & mask) < (b & mask)),
+        CmpKind::Le => go!(|a: u64, b: u64| ((a << sh) as i64 >> sh) <= ((b << sh) as i64 >> sh)),
+        CmpKind::Leu => go!(|a: u64, b: u64| (a & mask) <= (b & mask)),
+        CmpKind::Gt => go!(|a: u64, b: u64| ((a << sh) as i64 >> sh) > ((b << sh) as i64 >> sh)),
+        CmpKind::Gtu => go!(|a: u64, b: u64| (a & mask) > (b & mask)),
+        CmpKind::Feq => gof!(|x: f64, y: f64| x == y),
+        CmpKind::Fne => gof!(|x: f64, y: f64| x != y),
+        CmpKind::Flt => gof!(|x: f64, y: f64| x < y),
+        CmpKind::Fle => gof!(|x: f64, y: f64| x <= y),
+        CmpKind::Fgt => gof!(|x: f64, y: f64| x > y),
+    }
+}
+
+/// Mask-register logic with the kind dispatch hoisted out of the lane loop
+/// (the scalar backend re-matches per element).
+fn mask_logic(kind: MaskKind, a: &mut [bool], b: &[bool]) {
+    match kind {
+        MaskKind::And => {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x &= y;
+            }
+        }
+        MaskKind::Or => {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x |= y;
+            }
+        }
+        MaskKind::Xor => {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x ^= y;
+            }
+        }
+        MaskKind::AndNot => {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x &= !y;
+            }
+        }
+        MaskKind::Nand => {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = !(*x & y);
+            }
+        }
+        MaskKind::Nor => {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = !(*x | y);
+            }
+        }
+    }
+}
+
+/// Write staged lanes to `vd`. Unmasked: bulk write, exactly like the scalar
+/// backend. Masked: branchless lane-granular select of the staged values
+/// into a fresh `vd` snapshot, then one bulk write of the merged lanes —
+/// observably identical to the scalar backend's per-element
+/// masked-undisturbed writes (same bytes, same tail behaviour, same active
+/// count).
+fn write_back(
+    state: &mut VState,
+    masked: bool,
+    vd: u8,
+    sew: Sew,
+    vals: &[u64],
+    tmp: &mut Vec<u64>,
+    act: &mut Vec<bool>,
+) -> usize {
+    if !masked {
+        state.regs.write_elems(vd, sew, vals);
+        return vals.len();
+    }
+    state.regs.read_mask_bits_into(0, vals.len(), act);
+    state.regs.read_elems_into(vd, sew, vals.len(), tmp);
+    let mut active = 0usize;
+    for ((d, &v), &b) in tmp.iter_mut().zip(vals).zip(act.iter()) {
+        let m = 0u64.wrapping_sub(b as u64);
+        *d = (v & m) | (*d & !m);
+        active += b as usize;
+    }
+    state.regs.write_elems(vd, sew, tmp);
+    active
+}
+
+/// Execute `inst` with the host-SIMD backend if its op family is
+/// intercepted. Returns `false` (leaving `state` and `info` untouched) when
+/// the instruction must fall through to the scalar interpreter.
+pub(crate) fn exec_simd(
+    inst: &VInst,
+    state: &mut VState,
+    scratch: &mut ExecScratch,
+    info: &mut ExecInfo,
+) -> bool {
+    let sew = state.vtype.sew;
+    let vl = state.vl;
+    let masked = inst.masked;
+    let ExecScratch { xs, ys, zs, bs, bs2, .. } = scratch;
+    match &inst.op {
+        VOp::ArithVV { kind, vd, x, y } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
+            int_bin(sew, *kind, xs, ys, zs);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::ArithVX { kind, vd, x, scalar } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            ys.clear();
+            ys.resize(vl, *scalar);
+            int_bin(sew, *kind, xs, ys, zs);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::FArithVV { kind, vd, x, y } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
+            fp_bin(sew, *kind, xs, ys, zs);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::FArithVF { kind, vd, x, scalar } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            ys.clear();
+            ys.resize(vl, *scalar);
+            fp_bin(sew, *kind, xs, ys, zs);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::FUnary { kind, vd, x } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            fp_unary(sew, *kind, xs, zs);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::FmaVV { kind, vd, x, y } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
+            state.regs.read_elems_into(*vd, sew, vl, zs);
+            fp_fma(sew, *kind, zs, xs, ys);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::FmaVF { kind, vd, scalar, y } => {
+            info.reset(vl);
+            // `vf` FMA pairs are (scalar, y_i): broadcast into the first
+            // source slot, exactly like the scalar backend's element stream.
+            xs.clear();
+            xs.resize(vl, *scalar);
+            state.regs.read_elems_into(*y, sew, vl, ys);
+            state.regs.read_elems_into(*vd, sew, vl, zs);
+            fp_fma(sew, *kind, zs, xs, ys);
+            info.active = write_back(state, masked, *vd, sew, zs, xs, bs);
+            true
+        }
+        VOp::CmpVV { kind, md, x, y } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            state.regs.read_elems_into(*y, sew, vl, ys);
+            // Must snapshot activity before writing: md may be v0 itself.
+            state.snapshot_active(masked, vl, bs2);
+            cmp(sew, *kind, xs, ys, bs);
+            state.regs.write_mask_bits_where(*md, bs, bs2);
+            info.active = bs2.iter().filter(|&&a| a).count();
+            true
+        }
+        VOp::CmpVX { kind, md, x, scalar } => {
+            info.reset(vl);
+            state.regs.read_elems_into(*x, sew, vl, xs);
+            ys.clear();
+            ys.resize(vl, *scalar);
+            state.snapshot_active(masked, vl, bs2);
+            cmp(sew, *kind, xs, ys, bs);
+            state.regs.write_mask_bits_where(*md, bs, bs2);
+            info.active = bs2.iter().filter(|&&a| a).count();
+            true
+        }
+        VOp::MaskOp { kind, md, m1, m2 } => {
+            info.reset(vl);
+            state.regs.read_mask_bits_into(*m1, vl, bs);
+            state.regs.read_mask_bits_into(*m2, vl, bs2);
+            mask_logic(*kind, bs, bs2);
+            state.regs.write_mask_bits(*md, bs);
+            info.active = vl;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Hand-written AVX2 paths for the E64 families where packed x86 semantics
+/// are bit-identical to the scalar expressions: integer add/sub/logic
+/// (exact), FP add/sub/mul (correctly rounded per lane), and FMA
+/// (`vfmadd`/`vfnmadd` compute the same correctly-rounded fused result as
+/// `f64::mul_add`). Families with diverging vector semantics (min/max NaN
+/// handling, sign-injection) never reach this module.
+#[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+mod intrin {
+    use super::LANES;
+    use crate::instr::{ArithKind, FArithKind, FmaKind};
+    use core::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Runtime capability check, done once: the intrinsic paths need AVX2
+    /// and FMA.
+    pub(super) fn available() -> bool {
+        static CAP: OnceLock<bool> = OnceLock::new();
+        *CAP.get_or_init(|| {
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        })
+    }
+
+    pub(super) fn int_bin_e64(
+        kind: ArithKind,
+        xs: &[u64],
+        ys: &[u64],
+        out: &mut Vec<u64>,
+    ) -> bool {
+        if !matches!(
+            kind,
+            ArithKind::Add
+                | ArithKind::Sub
+                | ArithKind::Rsub
+                | ArithKind::And
+                | ArithKind::Or
+                | ArithKind::Xor
+        ) {
+            return false;
+        }
+        out.clear();
+        out.resize(xs.len(), 0);
+        // SAFETY: `available()` was checked by the caller.
+        unsafe { int_bin_e64_avx2(kind, xs, ys, out) };
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn int_bin_e64_avx2(kind: ArithKind, xs: &[u64], ys: &[u64], out: &mut [u64]) {
+        let n = xs.len();
+        macro_rules! go {
+            ($v:expr, $s:expr) => {{
+                let mut i = 0;
+                while i + LANES <= n {
+                    let a = _mm256_loadu_si256(xs.as_ptr().add(i).cast());
+                    let b = _mm256_loadu_si256(ys.as_ptr().add(i).cast());
+                    _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), $v(a, b));
+                    i += LANES;
+                }
+                while i < n {
+                    out[i] = $s(xs[i], ys[i]);
+                    i += 1;
+                }
+            }};
+        }
+        match kind {
+            ArithKind::Add => go!(
+                |a, b| _mm256_add_epi64(a, b),
+                |a: u64, b: u64| a.wrapping_add(b)
+            ),
+            ArithKind::Sub => go!(
+                |a, b| _mm256_sub_epi64(a, b),
+                |a: u64, b: u64| a.wrapping_sub(b)
+            ),
+            ArithKind::Rsub => go!(
+                |a, b| _mm256_sub_epi64(b, a),
+                |a: u64, b: u64| b.wrapping_sub(a)
+            ),
+            ArithKind::And => go!(|a, b| _mm256_and_si256(a, b), |a: u64, b: u64| a & b),
+            ArithKind::Or => go!(|a, b| _mm256_or_si256(a, b), |a: u64, b: u64| a | b),
+            ArithKind::Xor => go!(|a, b| _mm256_xor_si256(a, b), |a: u64, b: u64| a ^ b),
+            _ => unreachable!("gated by int_bin_e64"),
+        }
+    }
+
+    pub(super) fn fp_bin_e64(
+        kind: FArithKind,
+        xs: &[u64],
+        ys: &[u64],
+        out: &mut Vec<u64>,
+    ) -> bool {
+        if !matches!(
+            kind,
+            FArithKind::Fadd | FArithKind::Fsub | FArithKind::Frsub | FArithKind::Fmul
+        ) {
+            return false;
+        }
+        out.clear();
+        out.resize(xs.len(), 0);
+        // SAFETY: `available()` was checked by the caller.
+        unsafe { fp_bin_e64_avx2(kind, xs, ys, out) };
+        true
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn fp_bin_e64_avx2(kind: FArithKind, xs: &[u64], ys: &[u64], out: &mut [u64]) {
+        let n = xs.len();
+        macro_rules! go {
+            ($v:expr, $s:expr) => {{
+                let mut i = 0;
+                while i + LANES <= n {
+                    let a = _mm256_loadu_pd(xs.as_ptr().add(i).cast());
+                    let b = _mm256_loadu_pd(ys.as_ptr().add(i).cast());
+                    _mm256_storeu_pd(out.as_mut_ptr().add(i).cast(), $v(a, b));
+                    i += LANES;
+                }
+                while i < n {
+                    let (x, y) = (f64::from_bits(xs[i]), f64::from_bits(ys[i]));
+                    out[i] = ($s(x, y) as f64).to_bits();
+                    i += 1;
+                }
+            }};
+        }
+        match kind {
+            FArithKind::Fadd => go!(|a, b| _mm256_add_pd(a, b), |x: f64, y: f64| x + y),
+            FArithKind::Fsub => go!(|a, b| _mm256_sub_pd(a, b), |x: f64, y: f64| x - y),
+            FArithKind::Frsub => go!(|a, b| _mm256_sub_pd(b, a), |x: f64, y: f64| y - x),
+            FArithKind::Fmul => go!(|a, b| _mm256_mul_pd(a, b), |x: f64, y: f64| x * y),
+            _ => unreachable!("gated by fp_bin_e64"),
+        }
+    }
+
+    pub(super) fn fp_fma_e64(kind: FmaKind, acc: &mut [u64], xs: &[u64], ys: &[u64]) {
+        // SAFETY: `available()` was checked by the caller.
+        unsafe { fp_fma_e64_avx2(kind, acc, xs, ys) };
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fp_fma_e64_avx2(kind: FmaKind, acc: &mut [u64], xs: &[u64], ys: &[u64]) {
+        let n = acc.len();
+        macro_rules! go {
+            ($v:expr, $s:expr) => {{
+                let mut i = 0;
+                while i + LANES <= n {
+                    let d = _mm256_loadu_pd(acc.as_ptr().add(i).cast());
+                    let a = _mm256_loadu_pd(xs.as_ptr().add(i).cast());
+                    let b = _mm256_loadu_pd(ys.as_ptr().add(i).cast());
+                    _mm256_storeu_pd(acc.as_mut_ptr().add(i).cast(), $v(d, a, b));
+                    i += LANES;
+                }
+                while i < n {
+                    let (d, x, y) =
+                        (f64::from_bits(acc[i]), f64::from_bits(xs[i]), f64::from_bits(ys[i]));
+                    acc[i] = ($s(d, x, y) as f64).to_bits();
+                    i += 1;
+                }
+            }};
+        }
+        match kind {
+            // d = x*y + d, fused.
+            FmaKind::Macc => go!(
+                |d, a, b| _mm256_fmadd_pd(a, b, d),
+                |d: f64, x: f64, y: f64| x.mul_add(y, d)
+            ),
+            // d = -(x*y) + d, fused (identical to `(-x).mul_add(y, d)`:
+            // negation is an exact sign flip of the infinitely-precise
+            // product).
+            FmaKind::Nmsac => go!(
+                |d, a, b| _mm256_fnmadd_pd(a, b, d),
+                |d: f64, x: f64, y: f64| (-x).mul_add(y, d)
+            ),
+            // d = x*d + y, fused.
+            FmaKind::Madd => go!(
+                |d, a, b| _mm256_fmadd_pd(a, d, b),
+                |d: f64, x: f64, y: f64| x.mul_add(d, y)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{exec_into, exec_into_backend};
+    use crate::instr::{RedKind, VInst, VOp};
+    use crate::mem::{FlatMemory, VMemory};
+    use crate::vtype::Lmul;
+    use sdv_engine::Rng;
+
+    const VLEN: usize = 2048; // 32 × e64 per register: small enough to sweep fast
+
+    fn fresh() -> (VState, FlatMemory, ExecScratch, ExecInfo) {
+        (VState::new(VLEN), FlatMemory::new(1 << 16), ExecScratch::default(), ExecInfo::default())
+    }
+
+    /// Fill `buf` with random bits; `finite` constrains each `width`-byte
+    /// lane to a finite float so FP families see well-defined inputs.
+    fn fill_random(rng: &mut Rng, buf: &mut [u8], finite: Option<usize>) {
+        match finite {
+            None => {
+                for c in buf.chunks_mut(8) {
+                    let b = rng.next_u64().to_le_bytes();
+                    c.copy_from_slice(&b[..c.len()]);
+                }
+            }
+            Some(8) => {
+                for c in buf.chunks_mut(8) {
+                    let v = loop {
+                        let v = rng.next_u64();
+                        if v & 0x7ff0_0000_0000_0000 != 0x7ff0_0000_0000_0000 {
+                            break v;
+                        }
+                    };
+                    c.copy_from_slice(&v.to_le_bytes()[..c.len()]);
+                }
+            }
+            Some(4) => {
+                for c in buf.chunks_mut(4) {
+                    let v = loop {
+                        let v = rng.next_u64() as u32;
+                        if v & 0x7f80_0000 != 0x7f80_0000 {
+                            break v;
+                        }
+                    };
+                    c.copy_from_slice(&v.to_le_bytes()[..c.len()]);
+                }
+            }
+            Some(w) => unreachable!("unsupported lane width {w}"),
+        }
+    }
+
+    fn assert_states_match(a: &VState, b: &VState, what: &str) {
+        for r in 0..32u8 {
+            assert_eq!(
+                a.regs.reg_bytes(r),
+                b.regs.reg_bytes(r),
+                "v{r} differs between backends after {what}"
+            );
+        }
+    }
+
+    /// Every intercepted op family, every kind, as (op, is_fp_width) pairs.
+    /// Register choices exercise LMUL-4-aligned groups and `vd == x`
+    /// aliasing (the FMA accumulator aliases by construction).
+    fn intercepted_ops() -> Vec<VOp> {
+        use crate::instr::{ArithKind::*, CmpKind::*, FArithKind::*, FmaKind::*, FUnaryKind::*};
+        use crate::instr::MaskKind::{AndNot, Nand, Nor};
+        let mut ops = Vec::new();
+        for k in [Add, Sub, Rsub, And, Or, Xor, Sll, Srl, Sra, Mul, Min, Max, Minu, Maxu] {
+            ops.push(VOp::ArithVV { kind: k, vd: 12, x: 4, y: 8 });
+            ops.push(VOp::ArithVX { kind: k, vd: 12, x: 4, scalar: 0x0123_4567_89ab_cdef });
+            ops.push(VOp::ArithVV { kind: k, vd: 4, x: 4, y: 8 }); // vd aliases x
+        }
+        for k in [Fadd, Fsub, Frsub, Fmul, Fdiv, Fmin, Fmax, Fsgnj, Fsgnjn] {
+            ops.push(VOp::FArithVV { kind: k, vd: 12, x: 4, y: 8 });
+            ops.push(VOp::FArithVF { kind: k, vd: 12, x: 4, scalar: 2.5f64.to_bits() });
+            ops.push(VOp::FArithVV { kind: k, vd: 8, x: 4, y: 8 }); // vd aliases y
+        }
+        for k in [Fsqrt, Fneg, Fabs] {
+            ops.push(VOp::FUnary { kind: k, vd: 12, x: 4 });
+        }
+        for k in [Macc, Nmsac, Madd] {
+            ops.push(VOp::FmaVV { kind: k, vd: 12, x: 4, y: 8 });
+            ops.push(VOp::FmaVF { kind: k, vd: 12, scalar: (-1.25f64).to_bits(), y: 8 });
+        }
+        for k in [Eq, Ne, Lt, Ltu, Le, Leu, Gt, Gtu, Feq, Fne, Flt, Fle, Fgt] {
+            ops.push(VOp::CmpVV { kind: k, md: 16, x: 4, y: 8 });
+            ops.push(VOp::CmpVX { kind: k, md: 16, x: 4, scalar: 77 });
+            ops.push(VOp::CmpVV { kind: k, md: 0, x: 4, y: 8 }); // md is v0 itself
+        }
+        for k in [MaskKind::And, MaskKind::Or, MaskKind::Xor, AndNot, Nand, Nor] {
+            ops.push(VOp::MaskOp { kind: k, md: 16, m1: 17, m2: 18 });
+        }
+        ops
+    }
+
+    fn op_is_fp(op: &VOp) -> bool {
+        use crate::instr::CmpKind;
+        match op {
+            VOp::FArithVV { .. }
+            | VOp::FArithVF { .. }
+            | VOp::FUnary { .. }
+            | VOp::FmaVV { .. }
+            | VOp::FmaVF { .. } => true,
+            VOp::CmpVV { kind, .. } | VOp::CmpVX { kind, .. } => matches!(
+                kind,
+                CmpKind::Feq | CmpKind::Fne | CmpKind::Flt | CmpKind::Fle | CmpKind::Fgt
+            ),
+            _ => false,
+        }
+    }
+
+    /// The full differential matrix: op × SEW × LMUL × mask × edge-VL, both
+    /// backends, asserting bit-identical architectural state *and* identical
+    /// `ExecInfo` (the functional-to-timing bridge, so identical info means
+    /// identical simulated cycles).
+    #[test]
+    fn differential_matrix_is_bit_identical() {
+        let mut rng = Rng::new(0x5d5_0006);
+        let (mut sa, mut ma, mut scra, mut ia) = fresh();
+        let (mut sb, mut mb, mut scrb, mut ib) = fresh();
+        let mut image = vec![0u8; 32 * VLEN / 8];
+        let mut cases = 0usize;
+        for op in intercepted_ops() {
+            let fp = op_is_fp(&op);
+            for sew in [Sew::E8, Sew::E16, Sew::E32, Sew::E64] {
+                if fp && sew.bits() < 32 {
+                    continue;
+                }
+                let lane = if fp { Some(sew.bytes()) } else { None };
+                for lmul in [Lmul::M1, Lmul::M4] {
+                    fill_random(&mut rng, &mut image, lane);
+                    let vlmax = (VLEN / sew.bits()) * lmul.factor();
+                    for vl in [0, 1, vlmax - 1, vlmax] {
+                        for masked in [false, true] {
+                            sa.regs.group_bytes_mut(0, image.len()).copy_from_slice(&image);
+                            sb.regs.group_bytes_mut(0, image.len()).copy_from_slice(&image);
+                            assert_eq!(sa.set_vl(vl, sew, lmul), vl);
+                            assert_eq!(sb.set_vl(vl, sew, lmul), vl);
+                            let inst = if masked {
+                                VInst::masked(op.clone())
+                            } else {
+                                VInst::new(op.clone())
+                            };
+                            exec_into(&inst, &mut sa, &mut ma, &mut scra, &mut ia);
+                            exec_into_backend(
+                                &inst,
+                                &mut sb,
+                                &mut mb,
+                                &mut scrb,
+                                &mut ib,
+                                Backend::Simd,
+                            );
+                            let what = format!(
+                                "{op:?} sew={sew:?} lmul={lmul:?} vl={vl} masked={masked}"
+                            );
+                            assert_eq!(ia, ib, "ExecInfo differs after {what}");
+                            assert_states_match(&sa, &sb, &what);
+                            cases += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(cases > 4000, "matrix should be dense, ran {cases}");
+    }
+
+    /// Randomized long-program sweep, seeded from `sdv_engine::Rng`: mixes
+    /// intercepted families with fall-through ops (loads, stores,
+    /// reductions) so cross-instruction state (mask registers, aliased
+    /// groups, memory) flows through both backends identically.
+    #[test]
+    fn randomized_sweep_is_bit_identical() {
+        use crate::instr::MemAddr;
+        let mut rng = Rng::new(0xf1e1d);
+        let (mut sa, mut ma, mut scra, mut ia) = fresh();
+        let (mut sb, mut mb, mut scrb, mut ib) = fresh();
+        let mut image = vec![0u8; 32 * VLEN / 8];
+        // Finite doubles everywhere: every family (int and FP) reads them.
+        fill_random(&mut rng, &mut image, Some(8));
+        sa.regs.group_bytes_mut(0, image.len()).copy_from_slice(&image);
+        sb.regs.group_bytes_mut(0, image.len()).copy_from_slice(&image);
+        for c in 0..(1 << 14) {
+            ma.write_bytes(c * 4, &(rng.next_u64() as u32).to_le_bytes());
+        }
+        for c in 0..(1 << 14) {
+            let mut buf = [0u8; 4];
+            ma.read_bytes(c * 4, &mut buf);
+            mb.write_bytes(c * 4, &buf);
+        }
+        let pool = intercepted_ops();
+        for step in 0..600 {
+            let sew = [Sew::E32, Sew::E64][rng.index(2)];
+            let lmul = [Lmul::M1, Lmul::M2, Lmul::M4][rng.index(3)];
+            let vlmax = (VLEN / sew.bits()) * lmul.factor();
+            let vl = rng.index(vlmax + 1);
+            sa.set_vl(vl, sew, lmul);
+            sb.set_vl(vl, sew, lmul);
+            let op = match rng.index(10) {
+                0 => VOp::Load { vd: 4, addr: MemAddr::Unit { base: 64 } },
+                1 => VOp::Store { vs: 8, addr: MemAddr::Unit { base: 4096 } },
+                2 => VOp::Red {
+                    kind: [RedKind::Fsum, RedKind::Sum, RedKind::Maxu][rng.index(3)],
+                    vd: 20,
+                    x: 4,
+                    acc: 8,
+                },
+                _ => pool[rng.index(pool.len())].clone(),
+            };
+            let inst = if rng.chance(0.4) { VInst::masked(op) } else { VInst::new(op) };
+            exec_into(&inst, &mut sa, &mut ma, &mut scra, &mut ia);
+            exec_into_backend(&inst, &mut sb, &mut mb, &mut scrb, &mut ib, Backend::Simd);
+            assert_eq!(ia, ib, "ExecInfo differs at step {step} ({:?})", inst.op);
+            assert_states_match(&sa, &sb, &format!("step {step} ({:?})", inst.op));
+        }
+        let mut abuf = vec![0u8; 1 << 16];
+        let mut bbuf = vec![0u8; 1 << 16];
+        ma.read_bytes(0, &mut abuf);
+        mb.read_bytes(0, &mut bbuf);
+        assert_eq!(abuf, bbuf, "memory diverged between backends");
+    }
+
+    /// The FP reduction order is *pinned*: a strictly sequential left fold
+    /// from the accumulator seed (vfredosum-style), independent of backend.
+    /// Inputs chosen so any reassociation (pairwise tree, SIMD partial
+    /// sums) changes the answer: catastrophic cancellation, -0.0 sign
+    /// preservation, and NaN propagation.
+    #[test]
+    fn fp_reduction_order_is_pinned_across_backends() {
+        let run = |backend: Backend, lanes: &[f64], seed: f64| -> u64 {
+            let (mut s, mut m, mut scr, mut info) = fresh();
+            s.set_vl(lanes.len(), Sew::E64, Lmul::M1);
+            for (i, &v) in lanes.iter().enumerate() {
+                s.regs.set(4, Sew::E64, i, v.to_bits());
+            }
+            s.regs.set(8, Sew::E64, 0, seed.to_bits());
+            let inst = VInst::new(VOp::Red { kind: RedKind::Fsum, vd: 20, x: 4, acc: 8 });
+            exec_into_backend(&inst, &mut s, &mut m, &mut scr, &mut info, backend);
+            s.regs.get(20, Sew::E64, 0)
+        };
+        // Catastrophic cancellation: 1e16 + 1.0 rounds 1.0 away, then the
+        // -1e16 cancels to exactly 0.0. Any reordering yields 1.0 instead.
+        let cancel = [1.0f64, -1e16, 2.0];
+        let pinned = (((1e16_f64 + 1.0) + -1e16) + 2.0).to_bits();
+        assert_eq!(pinned, 2.0f64.to_bits(), "the inputs must be order-sensitive");
+        for backend in [Backend::Scalar, Backend::Simd] {
+            assert_eq!(run(backend, &cancel, 1e16), pinned, "{backend}: fold order changed");
+        }
+        // -0.0: (-0.0) + (-0.0) keeps the sign; a +0.0-identity partial sum
+        // would lose it.
+        for backend in [Backend::Scalar, Backend::Simd] {
+            let r = run(backend, &[-0.0, -0.0], -0.0);
+            assert_eq!(r, (-0.0f64).to_bits(), "{backend}: -0.0 sign lost");
+        }
+        // NaN propagates through the pinned fold identically.
+        let nan = f64::NAN;
+        let a = run(Backend::Scalar, &[1.0, nan, 3.0], 0.0);
+        let b = run(Backend::Simd, &[1.0, nan, 3.0], 0.0);
+        assert_eq!(a, b, "NaN propagation differs across backends");
+        assert!(f64::from_bits(a).is_nan());
+    }
+
+    /// Masked FMA with `vd == x` aliasing and edge VLs — the sharpest
+    /// corner of the staging + branchless-select write-back.
+    #[test]
+    fn masked_fma_aliasing_matches_scalar() {
+        use crate::instr::FmaKind;
+        let mut rng = Rng::new(0xacc);
+        let (mut sa, mut ma, mut scra, mut ia) = fresh();
+        let (mut sb, mut mb, mut scrb, mut ib) = fresh();
+        let mut image = vec![0u8; 32 * VLEN / 8];
+        fill_random(&mut rng, &mut image, Some(8));
+        for vl in [0usize, 1, 31, 32] {
+            sa.regs.group_bytes_mut(0, image.len()).copy_from_slice(&image);
+            sb.regs.group_bytes_mut(0, image.len()).copy_from_slice(&image);
+            sa.set_vl(vl, Sew::E64, Lmul::M1);
+            sb.set_vl(vl, Sew::E64, Lmul::M1);
+            let inst = VInst::masked(VOp::FmaVV { kind: FmaKind::Macc, vd: 4, x: 4, y: 8 });
+            exec_into(&inst, &mut sa, &mut ma, &mut scra, &mut ia);
+            exec_into_backend(&inst, &mut sb, &mut mb, &mut scrb, &mut ib, Backend::Simd);
+            assert_eq!(ia, ib);
+            assert_states_match(&sa, &sb, &format!("aliased masked vfmacc vl={vl}"));
+        }
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!(Backend::parse("scalar"), Some(Backend::Scalar));
+        assert_eq!(Backend::parse("simd"), Some(Backend::Simd));
+        assert_eq!(Backend::parse("avx512"), None);
+        assert_eq!(Backend::Simd.to_string(), "simd");
+        // describe() never panics and reflects the detected capability.
+        let _ = Backend::Simd.describe();
+        let _ = Backend::Scalar.describe();
+    }
+}

@@ -256,12 +256,15 @@ impl MemHierarchy {
                 }
             }
             // Tags are installed at request time; if the fill data is still
-            // in flight this "hit" completes with it.
-            if let Some(&ready) = self.l1_inflight.get(&line) {
-                if ready > now {
-                    return ready.max(t_l1);
+            // in flight this "hit" completes with it. The emptiness guard
+            // skips the hash probe when nothing is in flight (host-time only).
+            if !self.l1_inflight.is_empty() {
+                if let Some(&ready) = self.l1_inflight.get(&line) {
+                    if ready > now {
+                        return ready.max(t_l1);
+                    }
+                    self.l1_inflight.remove(&line);
                 }
-                self.l1_inflight.remove(&line);
             }
             return t_l1;
         }

@@ -116,14 +116,26 @@ pub fn coalesce_lines_into(
     lines.clear();
     let mask = !(line_bytes - 1);
     let mut last: Option<u64> = None;
+    // High-water mark: a line above every line pushed so far cannot be a
+    // duplicate, so the unit-stride dedup scan is skipped entirely for
+    // monotonically increasing bursts (the common case — within a run lines
+    // strictly climb, so only a backwards jump between runs can force a scan).
+    let mut max_seen: Option<u64> = None;
     for r in accesses.runs() {
         debug_assert!(r.size as u64 <= line_bytes, "element larger than a line");
         let first = r.addr & mask;
         let end = (r.addr + r.size as u64 * (r.count as u64 - 1)) & mask;
         let mut l = first;
         loop {
-            if last != Some(l) && (!unit_stride || !lines.contains(&l)) {
+            if last != Some(l)
+                && (!unit_stride
+                    || max_seen.is_none_or(|m| l > m)
+                    || !lines.contains(&l))
+            {
                 lines.push(l);
+                if max_seen.is_none_or(|m| l > m) {
+                    max_seen = Some(l);
+                }
             }
             last = Some(l);
             if l == end {

@@ -232,14 +232,19 @@ impl ScalarCore {
         // stale map entry (fill already returned) is NOT merged with — the
         // line re-fetches through the hierarchy, exactly as a retired entry
         // would have behaved.
-        if let Some(&completion) = self.inflight_lines.get(&line_addr) {
-            if completion > self.cycle {
-                self.pending.push_back(PendingLoad { completion, op_idx: self.op_idx });
-                self.issue_slots(1);
-                self.ctr.loads += 1;
-                return;
+        // The emptiness guard skips the hash probe entirely on workloads with
+        // no scalar-load overlap (host-time only; the merge decision is
+        // unchanged).
+        if !self.inflight_lines.is_empty() {
+            if let Some(&completion) = self.inflight_lines.get(&line_addr) {
+                if completion > self.cycle {
+                    self.pending.push_back(PendingLoad { completion, op_idx: self.op_idx });
+                    self.issue_slots(1);
+                    self.ctr.loads += 1;
+                    return;
+                }
+                self.inflight_lines.remove(&line_addr);
             }
-            self.inflight_lines.remove(&line_addr);
         }
         // MSHR cap: stall until the earliest-finishing primary completes.
         // Draining leaves only future completions, so each iteration
