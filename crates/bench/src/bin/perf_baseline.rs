@@ -8,7 +8,9 @@
 //! trajectory.
 //!
 //! Usage: `perf_baseline [--smoke] [--threads N] [--label NAME] [--out PATH]
-//!                       [--against LABEL] [--threshold X] [--backend B]`
+//!                       [--against LABEL] [--threshold X]
+//!                       [--suite-threshold X] [--backend B] [--breakdown]
+//!                       [--repeat N]`
 //!
 //! * `--smoke`  — tiny subset (one cell per kernel, reduced micro iters);
 //!   used by `scripts/check.sh` as a fast end-to-end sanity pass.
@@ -25,6 +27,18 @@
 //!   (a ratio, default 1.5 — generous because shared hosts are noisy).
 //!   A simulated-cycle mismatch on any common cell is always an error:
 //!   wall time may drift, cycles must not.
+//! * `--suite-threshold` — a separate, tighter gate on the *suite total*
+//!   only (the Mcycles/s headline): the sum of 24 cells averages away the
+//!   per-cell noise that makes tight per-cell gates flaky, so check.sh can
+//!   gate the suite at 1.05 (>5% throughput regression fails) while the
+//!   per-cell threshold stays generous.
+//! * `--breakdown` — after the suite, replay every cell with the timing
+//!   model bypassed (ops accepted and discarded; kernels are driven by
+//!   functional state only, so the program is identical) and print the
+//!   per-kernel timing-model vs functional-execution wall-time split.
+//! * `--repeat`   — run the sequential pass N times (fresh pool each pass)
+//!   and keep each cell's minimum wall time. Noise on a shared host only
+//!   adds time, so min-of-N is the low-variance estimate gating needs.
 
 use sdv_bench::cli;
 use sdv_bench::{Cell, ImplKind, KernelKind, Sweeper, Workloads};
@@ -79,6 +93,16 @@ fn main() {
         Ok(v) => v.unwrap_or(1.5),
         Err(e) => cli::die_usage(BIN, &e),
     };
+    let suite_threshold: Option<f64> = match cli::parse_arg::<f64>(&args, "--suite-threshold") {
+        Ok(v) => v,
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let breakdown = args.iter().any(|a| a == "--breakdown");
+    let repeat: usize = match cli::parse_arg::<usize>(&args, "--repeat") {
+        Ok(Some(0)) => cli::die_usage(BIN, "--repeat must be positive"),
+        Ok(v) => v.unwrap_or(1),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
     let out = cli::arg_value(&args, "--out")
         .map_or_else(|| format!("results/perf/{label}.json"), str::to_string);
     let backend = cli::parse_backend(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
@@ -91,17 +115,31 @@ fn main() {
     // pooled runner is what fig3/fig4/fig5 use, so this measures the real
     // steady-state cost per cell; every cell in the suite is distinct, so
     // memoization never shortcuts the measurement.
-    let mut pool = Sweeper::new();
-    pool.set_backend(backend);
-    let mut reports = Vec::with_capacity(cells.len());
-    let t_suite = Instant::now();
-    for &cell in &cells {
-        let t = Instant::now();
-        let r = pool.run_cell(&w, cell);
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        reports.push(CellReport { cell, cycles: r.cycles, wall_ms });
+    // With `--repeat N`, the whole sequential pass runs N times and each
+    // cell keeps its *minimum* wall time: host noise (scheduler preemption,
+    // frequency excursions, neighbors) only ever adds time, so the per-cell
+    // minimum is the best estimate of the true cost — and what makes a tight
+    // regression gate feasible on a shared machine.
+    let mut reports: Vec<CellReport> = Vec::with_capacity(cells.len());
+    for pass in 0..repeat {
+        // Fresh pool per pass: the memo would otherwise shortcut repeats.
+        let mut pool = Sweeper::new();
+        pool.set_backend(backend);
+        for (i, &cell) in cells.iter().enumerate() {
+            let t = Instant::now();
+            let r = pool.run_cell(&w, cell);
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            if pass == 0 {
+                reports.push(CellReport { cell, cycles: r.cycles, wall_ms });
+            } else {
+                assert_eq!(reports[i].cycles, r.cycles, "repeat must reproduce cycles");
+                if wall_ms < reports[i].wall_ms {
+                    reports[i].wall_ms = wall_ms;
+                }
+            }
+        }
     }
-    let sequential_ms = t_suite.elapsed().as_secs_f64() * 1e3;
+    let sequential_ms: f64 = reports.iter().map(|r| r.wall_ms).sum();
 
     // The same suite through the sweep entry point, on a FRESH runner so its
     // empty memo forces every cell to be simulated again.
@@ -114,11 +152,25 @@ fn main() {
         assert_eq!(seq.cycles, sw.cycles, "sweep must reproduce sequential cycles");
     }
 
-    let micro = micro_suite(if smoke { 1 } else { 8 });
+    // Micros get the same min-of-N treatment as cells: one pass sampled
+    // during a host slow phase would otherwise poison a recorded baseline.
+    let mut micro = micro_suite(if smoke { 1 } else { 8 });
+    for _ in 1..repeat.min(5) {
+        for (m, again) in micro.iter_mut().zip(micro_suite(if smoke { 1 } else { 8 })) {
+            debug_assert_eq!(m.name, again.name);
+            if again.ns_per_iter < m.ns_per_iter {
+                m.ns_per_iter = again.ns_per_iter;
+            }
+        }
+    }
 
     let sim_cycles: u64 = reports.iter().map(|r| r.cycles).sum();
     let cps = sim_cycles as f64 / (sequential_ms / 1e3);
     print_human(&reports, &micro, sequential_ms, sweep_ms, cps);
+
+    if breakdown {
+        print_breakdown(&w, &reports, backend);
+    }
 
     let json =
         render_json(&label, smoke, threads, backend, &reports, &micro, sequential_ms, sweep_ms);
@@ -131,10 +183,66 @@ fn main() {
     if let Some(base_label) = against {
         let path = format!("results/perf/{base_label}.json");
         let base = Baseline::load(&path).unwrap_or_else(|e| cli::die_bad_input(BIN, &e));
-        if !compare(&base, &base_label, &reports, &micro, sequential_ms, threshold) {
+        if !compare(&base, &base_label, &reports, &micro, sequential_ms, threshold, suite_threshold)
+        {
             std::process::exit(1);
         }
     }
+}
+
+/// The satellite measurement behind every "the timing model is the long
+/// pole" claim: replay each suite cell with the timing model bypassed and
+/// charge the difference to the timing model. Kernels drive their op stream
+/// from functional state only, so the bypassed replay executes the exact
+/// same program — its wall clock is the functional share (RVV exec + kernel
+/// driver + simulated memory), and `timed - functional` is the timing model
+/// (scalar core, VPU, NoC, L2HN, DRAM bookkeeping).
+fn print_breakdown(w: &Workloads, reports: &[CellReport], backend: Backend) {
+    use sdv_uarch::TimingConfig;
+    let mut m = sdv_core::SdvMachine::new(w.heap);
+    // Warm the machine (heap pages, allocator high-water) so the measured
+    // pass sees the same steady state the pooled timed runs saw.
+    for r in reports {
+        sdv_bench::run_functional_only(&mut m, w, r.cell, TimingConfig::default(), backend);
+    }
+    let mut per: Vec<(KernelKind, f64, f64)> =
+        KernelKind::all().iter().map(|&k| (k, 0.0, 0.0)).collect();
+    for r in reports {
+        let t = Instant::now();
+        sdv_bench::run_functional_only(&mut m, w, r.cell, TimingConfig::default(), backend);
+        let f_ms = t.elapsed().as_secs_f64() * 1e3;
+        let e = per.iter_mut().find(|(k, ..)| *k == r.cell.kernel).expect("kernel in all()");
+        e.1 += r.wall_ms;
+        e.2 += f_ms;
+    }
+    println!("\nper-kernel host-time breakdown (timed suite vs functional-only replay)");
+    println!(
+        "{:<8} {:>10} {:>15} {:>11} {:>13}",
+        "kernel", "timed ms", "functional ms", "timing ms", "timing share"
+    );
+    let (mut tw, mut tf) = (0.0, 0.0);
+    for &(k, w_ms, f_ms) in &per {
+        let timing = (w_ms - f_ms).max(0.0);
+        println!(
+            "{:<8} {:>10.2} {:>15.2} {:>11.2} {:>12.1}%",
+            k.name(),
+            w_ms,
+            f_ms,
+            timing,
+            100.0 * timing / w_ms
+        );
+        tw += w_ms;
+        tf += f_ms;
+    }
+    let timing = (tw - tf).max(0.0);
+    println!(
+        "{:<8} {:>10.2} {:>15.2} {:>11.2} {:>12.1}%",
+        "total",
+        tw,
+        tf,
+        timing,
+        100.0 * timing / tw
+    );
 }
 
 /// A previously recorded perf_baseline JSON, re-read with a line-oriented
@@ -205,8 +313,10 @@ fn json_num(line: &str, key: &str) -> Option<f64> {
 
 /// Print per-micro and per-cell deltas against `base`. Returns false when the
 /// run regressed: any common cell's wall time or any micro slowed past
-/// `threshold`, the suite total slowed past `threshold`, or any common
-/// cell's simulated cycles changed at all.
+/// `threshold`, the suite total slowed past `threshold` (or past the
+/// tighter `suite_threshold` when one is given), or any common cell's
+/// simulated cycles changed at all.
+#[allow(clippy::too_many_arguments)]
 fn compare(
     base: &Baseline,
     base_label: &str,
@@ -214,6 +324,7 @@ fn compare(
     micro: &[MicroReport],
     sequential_ms: f64,
     threshold: f64,
+    suite_threshold: Option<f64>,
 ) -> bool {
     let mut ok = true;
     // "speedup" is base/now throughout: >1.00x means this run is faster
@@ -278,14 +389,24 @@ fn compare(
     // cell set (a smoke run against a full baseline would be meaningless).
     if let Some(base_seq) = base.sequential_ms.filter(|_| base.cells.len() == reports.len()) {
         let speedup = base_seq / sequential_ms;
-        let flag = if sequential_ms / base_seq > threshold {
+        // With identical cycles (gated above), suite Mcycles/s regresses
+        // exactly when suite wall time regresses — so the tighter
+        // suite-level gate is a wall-ratio check on the sequential total.
+        let gate = suite_threshold.map_or(threshold, |s| s.min(threshold));
+        let flag = if sequential_ms / base_seq > gate {
             ok = false;
             "  REGRESSED"
         } else {
             ""
         };
         println!(
-            "suite sequential: {base_seq:.1} ms -> {sequential_ms:.1} ms ({speedup:.2}x speedup){flag}"
+            "suite sequential: {base_seq:.1} ms -> {sequential_ms:.1} ms ({speedup:.2}x speedup, gate {gate:.2}x){flag}"
+        );
+    } else if suite_threshold.is_some() {
+        println!(
+            "suite gate skipped: baseline has {} cells vs {} measured (totals not comparable)",
+            base.cells.len(),
+            reports.len()
         );
     }
     if !ok {
@@ -433,6 +554,23 @@ fn micro_suite(scale: u64) -> Vec<MicroReport> {
             // One element was just removed, so the queue has exactly one slot.
             q.push(k).expect("a successful remove_first frees a slot for this push");
             k += 1;
+        }
+    }));
+
+    // The calendar-wheel event queue in its steady production pattern:
+    // schedule one completion at a mixed near/far latency, advance the
+    // clock, drain everything due. Latencies up to 600 cycles force regular
+    // traffic through both the wheel window and the overflow migration.
+    let mut evq: sdv_engine::EventQueue<u32> = sdv_engine::EventQueue::new();
+    let mut now = 0u64;
+    let mut n = 0u64;
+    out.push(time_micro("events_schedule_pop", 200_000 * scale, || {
+        now += 3;
+        let latency = 10 + (n.wrapping_mul(0x9E37_79B9)) % 600;
+        evq.schedule(now + latency, n as u32);
+        n += 1;
+        while let Some(due) = evq.pop_due(now) {
+            std::hint::black_box(due);
         }
     }));
 

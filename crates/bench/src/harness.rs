@@ -282,6 +282,13 @@ fn try_run_on(
     if let ImplKind::Vector { maxvl } = cell.imp {
         m.set_maxvl_cap(maxvl);
     }
+    drive_kernel(m, w, cell);
+    let cycles = m.try_finish()?;
+    Ok(RunResult { cell, cycles, stats: m.stats() })
+}
+
+/// Dispatch one cell's kernel onto a configured machine.
+fn drive_kernel(m: &mut SdvMachine, w: &Workloads, cell: Cell) {
     match (cell.kernel, cell.imp) {
         (KernelKind::Spmv, ImplKind::Scalar) => {
             let dev = spmv::setup_spmv(m, &w.mat, &w.sell);
@@ -316,8 +323,29 @@ fn try_run_on(
             fft::fft_vector(m, &dev);
         }
     }
-    let cycles = m.try_finish()?;
-    Ok(RunResult { cell, cycles, stats: m.stats() })
+}
+
+/// Replay one cell with the timing model bypassed: the kernel executes
+/// functionally (its control flow depends only on functional state) while
+/// every timing op is accepted and discarded. The wall clock of this call
+/// is therefore the functional/exec share of a timed run of the same cell;
+/// the difference is the timing model's share. Used by
+/// `perf_baseline --breakdown`; cycle counts are meaningless here, so none
+/// are returned.
+pub fn run_functional_only(
+    m: &mut SdvMachine,
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+    backend: Backend,
+) {
+    m.reset_with_config(cfg);
+    m.set_timing_bypass(true);
+    m.set_backend(backend);
+    if let ImplKind::Vector { maxvl } = cell.imp {
+        m.set_maxvl_cap(maxvl);
+    }
+    drive_kernel(m, w, cell);
 }
 
 /// Render a caught panic payload for a [`SimError::Panic`].

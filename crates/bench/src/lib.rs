@@ -22,7 +22,8 @@ pub mod table;
 
 pub use checkpoint::Checkpoint;
 pub use harness::{
-    run, run_spmv_variant, run_with_config, sweep, try_run_traced, try_run_with_config, Cell,
-    CellOutcome, ImplKind, KernelKind, RunResult, SpmvVariant, Sweeper, Workloads,
+    run, run_functional_only, run_spmv_variant, run_with_config, sweep, try_run_traced,
+    try_run_with_config, Cell, CellOutcome, ImplKind, KernelKind, RunResult, SpmvVariant, Sweeper,
+    Workloads,
 };
 pub use metrics::StallBreakdown;

@@ -68,6 +68,16 @@ impl SdvMachine {
         &self.cfg
     }
 
+    /// Attribution measurement mode: when on, every timing op is accepted
+    /// and discarded, so the run's wall clock measures only the functional
+    /// (exec + kernel driver) half of the machine. Cycle counts of a
+    /// bypassed run are meaningless — `perf_baseline --breakdown` subtracts
+    /// its wall time from a timed run's to attribute the difference to the
+    /// timing model.
+    pub fn set_timing_bypass(&mut self, on: bool) {
+        self.timing.set_bypass(on);
+    }
+
     /// Rewind this machine to the state `with_config(heap, cfg)` would build,
     /// reusing the large allocations (register file, simulated heap, exec
     /// scratch). Timing state is rebuilt from scratch — cycle counts of a

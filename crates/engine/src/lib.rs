@@ -9,7 +9,10 @@
 //! deliberately contains no concurrency. It provides:
 //!
 //! * [`Cycle`] — the global time unit (one emulated clock cycle),
-//! * [`EventQueue`] — a stable (FIFO-on-tie) future-event list,
+//! * [`EventQueue`] — a stable (FIFO-on-tie) future-event list implemented
+//!   as a calendar wheel over free-listed arena slots (plus
+//!   [`HeapEventQueue`], the retained `BinaryHeap` reference model the
+//!   randomized differential tests drive),
 //! * [`BoundedQueue`] — a fixed-capacity FIFO used to model hardware queues
 //!   with backpressure (NoC ports, MSHR files, instruction queues),
 //! * [`Stats`] / [`Counter`] / [`Histogram`] — a lightweight statistics
@@ -32,15 +35,17 @@ pub mod fault;
 pub mod hash;
 pub mod probe;
 pub mod queue;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 
 pub use clock::Cycle;
 pub use error::SimError;
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
 pub use fault::{ArmedFault, FaultKind, FaultPlan, WEDGE};
 pub use hash::{FastMap, FastSet, FxHasher};
 pub use probe::{chrome_trace_json, Probe, ProbeConfig, TraceEvent};
 pub use queue::BoundedQueue;
+pub use ring::{MonotoneRing, Ring};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Stats};

@@ -109,6 +109,14 @@ impl<T> BoundedQueue<T> {
         while matches!(self.items.front(), Some(None)) {
             self.items.pop_front();
         }
+        // Compact once tombstones outnumber live items: under sustained
+        // out-of-order completion the physical ring would otherwise stay
+        // tombstone-heavy until the matching pops arrive, making every
+        // front/remove_first scan walk dead slots. The sweep is O(physical)
+        // but needs at least len/2 removals to re-arm — amortized O(1).
+        if self.live * 2 < self.items.len() {
+            self.items.retain(Option::is_some);
+        }
         item
     }
 }
@@ -253,6 +261,40 @@ mod tests {
         assert_eq!(q.push(12), Err(12), "live count is back at capacity");
         let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(drained, vec![0, 2, 10, 11]);
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones_and_keeps_capacity_accounting() {
+        // Drive the live/physical ratio below 1/2 with mid-queue removals:
+        // the sweep must drop the dead slots while occupancy, free-slot
+        // accounting, order, and backpressure all stay exact.
+        let mut q = BoundedQueue::new(8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        // Remove five entries from the middle/back; the front stays live so
+        // eager head-reclaim can't help — only compaction can shrink.
+        for victim in [1, 3, 5, 6, 7] {
+            assert_eq!(q.remove_first(|&x| x == victim), Some(victim));
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.free(), 5);
+        assert!(
+            q.items.len() == q.len(),
+            "live/physical fell below 1/2, so the sweep must have dropped \
+             every tombstone (physical {} vs live {})",
+            q.items.len(),
+            q.len()
+        );
+        assert!(q.items.iter().all(Option::is_some));
+        // Order of survivors and capacity behaviour are unchanged.
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![0, 2, 4]);
+        for i in 8..13 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99), "exactly free() pushes fit after compaction");
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 2, 4, 8, 9, 10, 11, 12]);
     }
 
     #[test]

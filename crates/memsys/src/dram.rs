@@ -15,9 +15,7 @@
 
 use crate::bwlimit::BandwidthLimiter;
 use crate::latency::LatencyController;
-use sdv_engine::{Cycle, Histogram};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use sdv_engine::{Cycle, Histogram, MonotoneRing};
 
 /// DRAM channel configuration.
 #[derive(Debug, Clone, Copy)]
@@ -68,8 +66,10 @@ pub struct DramChannel {
 /// In-flight request bookkeeping behind the optional queue-depth probe.
 #[derive(Debug, Clone)]
 struct DepthProbe {
-    /// Release times of requests still in flight, min-first.
-    inflight: BinaryHeap<Reverse<Cycle>>,
+    /// Release times of requests still in flight, min-first (a sorted ring:
+    /// admission is monotone so releases arrive near-sorted, making the
+    /// push a tail append and the pruning an O(1) head pop).
+    inflight: MonotoneRing<Cycle>,
     hist: Histogram,
     last_depth: u64,
 }
@@ -79,10 +79,10 @@ impl DepthProbe {
     /// enough to inline.
     #[inline(never)]
     fn record(&mut self, now: Cycle, released: Cycle) {
-        while self.inflight.peek().is_some_and(|&Reverse(c)| c <= now) {
-            self.inflight.pop();
+        while self.inflight.front().is_some_and(|c| c <= now) {
+            self.inflight.pop_front();
         }
-        self.inflight.push(Reverse(released));
+        self.inflight.insert(released);
         self.last_depth = self.inflight.len() as u64;
         self.hist.record(self.last_depth);
     }
@@ -108,7 +108,7 @@ impl DramChannel {
     /// requests are in flight into a histogram. Off by default.
     pub fn enable_depth_probe(&mut self) {
         self.depth_probe = Some(Box::new(DepthProbe {
-            inflight: BinaryHeap::new(),
+            inflight: MonotoneRing::with_capacity(32),
             hist: Histogram::default_pow2(),
             last_depth: 0,
         }));

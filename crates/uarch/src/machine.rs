@@ -27,6 +27,10 @@ pub struct SdvTiming {
     watchdog: WatchdogConfig,
     /// First failure observed; once set, `issue` short-circuits.
     fault: Option<Box<SimError>>,
+    /// Measurement mode: accept and discard every op. Used by
+    /// `perf_baseline --breakdown` to time the functional half of a run in
+    /// isolation; cycle counts of a bypassed run are meaningless.
+    bypass: bool,
 }
 
 impl SdvTiming {
@@ -50,7 +54,14 @@ impl SdvTiming {
             hier,
             watchdog: cfg.watchdog,
             fault: None,
+            bypass: false,
         }
+    }
+
+    /// Discard all subsequent ops (attribution measurement mode): the wall
+    /// clock of a bypassed run is the functional/exec share of a timed one.
+    pub fn set_bypass(&mut self, on: bool) {
+        self.bypass = on;
     }
 
     /// The §2.2 knob: extra DRAM latency in cycles.
@@ -72,7 +83,7 @@ impl SdvTiming {
     /// no-op: the kernel's remaining ops are accepted and discarded so the
     /// (functionally driven) program runs to completion cheaply.
     pub fn issue(&mut self, op: &Op) {
-        if self.fault.is_some() {
+        if self.fault.is_some() || self.bypass {
             return;
         }
         let before = self.scalar.now();

@@ -14,12 +14,11 @@
 
 use crate::config::MemHierConfig;
 use sdv_engine::{
-    ArmedFault, Cycle, FastMap, FaultKind, FaultPlan, Probe, SimError, Stats, TraceEvent, WEDGE,
+    ArmedFault, Cycle, FastMap, FaultKind, FaultPlan, MonotoneRing, Probe, SimError, Stats,
+    TraceEvent, WEDGE,
 };
 use sdv_memsys::{AccessKind, AddressMap, Cache, Directory, DramChannel};
 use sdv_noc::Mesh;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Coherence requestor id of the core's L1D.
 pub const REQ_L1: u8 = 0;
@@ -30,6 +29,20 @@ struct Bank {
     cache: Cache,
     dir: Directory,
     next_free: Cycle,
+}
+
+/// In-flight map size that triggers a dead-entry sweep. Live entries are
+/// bounded by actual memory-level parallelism (a few hundred at most), so a
+/// map this large is almost entirely completed fills nobody re-touched.
+const INFLIGHT_PRUNE_AT: usize = 1024;
+
+/// Drop entries whose ready time is at or below `low` (a proven lower bound
+/// on every future lookup's `now`). Pure host-time optimization: lookups
+/// treat `ready <= now` entries exactly like absent ones, so the sweep is
+/// invisible to simulated timing. Returns the next trigger size.
+fn prune_inflight(map: &mut FastMap<u64, Cycle>, low: Cycle) -> usize {
+    map.retain(|_, &mut ready| ready > low);
+    (map.len() * 2).max(INFLIGHT_PRUNE_AT)
 }
 
 /// The assembled hierarchy.
@@ -44,16 +57,33 @@ pub struct MemHierarchy {
     l1_inflight: FastMap<u64, Cycle>,
     /// In-flight L2 fills: line -> ready-at-bank time.
     l2_inflight: FastMap<u64, Cycle>,
+    /// Monotone floor of `now` across core-side accesses. Each requestor
+    /// issues with nondecreasing `now` (the scalar core at its cycle, the
+    /// VPU at its issue clock), so entries whose ready time is at or below
+    /// the floor can never influence a future lookup — the lookup logic
+    /// already treats `ready <= now` as absent. That lets the in-flight maps
+    /// be swept (host-time only; see `prune_inflight`) instead of growing by
+    /// one dead entry per miss for the life of the run.
+    core_now: Cycle,
+    /// Monotone floor of `now` across VPU-side accesses.
+    vpu_now: Cycle,
+    /// Sweep `l1_inflight` when it reaches this size (doubles if a sweep
+    /// fails to reclaim, so sweeping stays amortized O(1) per insert).
+    l1_prune_at: usize,
+    /// Sweep `l2_inflight` when it reaches this size.
+    l2_prune_at: usize,
     /// Armed fault-injection state for the hierarchy's fault kinds
     /// (stall-bank, drop-response, inject-panic). `None` when off.
     fault: Option<ArmedFault>,
     /// Observability sink (off by default — one never-taken branch per site).
     probe: Probe,
-    /// Completion times of in-flight L1 fills, min-first. Maintained only
-    /// while the probe is sampling (MSHR-occupancy histograms).
-    l1_fill_times: BinaryHeap<Reverse<Cycle>>,
+    /// Completion times of in-flight L1 fills, min-first (a sorted ring:
+    /// fills complete near-monotone, so pushes are tail appends and pruning
+    /// is a head pop). Maintained only while the probe is sampling
+    /// (MSHR-occupancy histograms).
+    l1_fill_times: MonotoneRing<Cycle>,
     /// Completion times of in-flight L2 fills, min-first (sampling only).
-    l2_fill_times: BinaryHeap<Reverse<Cycle>>,
+    l2_fill_times: MonotoneRing<Cycle>,
     ctr: HierCounters,
 }
 
@@ -99,10 +129,14 @@ impl MemHierarchy {
             dram: DramChannel::new(cfg.dram),
             l1_inflight: FastMap::default(),
             l2_inflight: FastMap::default(),
+            core_now: 0,
+            vpu_now: 0,
+            l1_prune_at: INFLIGHT_PRUNE_AT,
+            l2_prune_at: INFLIGHT_PRUNE_AT,
             fault: None,
             probe: Probe::off(),
-            l1_fill_times: BinaryHeap::new(),
-            l2_fill_times: BinaryHeap::new(),
+            l1_fill_times: MonotoneRing::with_capacity(16),
+            l2_fill_times: MonotoneRing::with_capacity(16),
             ctr: HierCounters::default(),
         }
     }
@@ -217,10 +251,10 @@ impl MemHierarchy {
             self.probe.counter("dram_queue_depth", submit, self.dram.last_queue_depth());
         }
         if self.probe.sampling() {
-            while self.l2_fill_times.peek().is_some_and(|&Reverse(c)| c <= t) {
-                self.l2_fill_times.pop();
+            while self.l2_fill_times.front().is_some_and(|c| c <= t) {
+                self.l2_fill_times.pop_front();
             }
-            self.l2_fill_times.push(Reverse(done));
+            self.l2_fill_times.insert(done);
             self.probe.sample("memsys.l2_mshr_occupancy", self.l2_fill_times.len() as u64);
         }
         if let Some(victim) = self.banks[bank].cache.fill(line, false) {
@@ -233,12 +267,20 @@ impl MemHierarchy {
                 self.dram.submit_probed(victim.addr, submit);
             }
         }
+        if self.l2_inflight.len() >= self.l2_prune_at {
+            // The L2 map serves both requestors: only entries dead to *both*
+            // clocks can go.
+            self.l2_prune_at =
+                prune_inflight(&mut self.l2_inflight, self.core_now.min(self.vpu_now));
+        }
         self.l2_inflight.insert(line, done);
         done
     }
 
     /// A scalar-core access (through L1). Returns the data-ready cycle.
     pub fn core_access(&mut self, addr: u64, is_write: bool, now: Cycle) -> Cycle {
+        debug_assert!(now >= self.core_now, "core accesses must be issued in cycle order");
+        self.core_now = now;
         let line = self.amap.line_of(addr);
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
         if is_write {
@@ -325,11 +367,14 @@ impl MemHierarchy {
             }
         }
         if self.probe.sampling() {
-            while self.l1_fill_times.peek().is_some_and(|&Reverse(c)| c <= now) {
-                self.l1_fill_times.pop();
+            while self.l1_fill_times.front().is_some_and(|c| c <= now) {
+                self.l1_fill_times.pop_front();
             }
-            self.l1_fill_times.push(Reverse(t_resp));
+            self.l1_fill_times.insert(t_resp);
             self.probe.sample("memsys.l1_mshr_occupancy", self.l1_fill_times.len() as u64);
+        }
+        if self.l1_inflight.len() >= self.l1_prune_at {
+            self.l1_prune_at = prune_inflight(&mut self.l1_inflight, self.core_now);
         }
         self.l1_inflight.insert(line, t_resp);
         for d in 1..=self.cfg.l1_prefetch_depth as u64 {
@@ -373,6 +418,9 @@ impl MemHierarchy {
                 }
             }
         }
+        if self.l1_inflight.len() >= self.l1_prune_at {
+            self.l1_prune_at = prune_inflight(&mut self.l1_inflight, self.core_now);
+        }
         self.l1_inflight.insert(line, t_resp);
     }
 
@@ -380,6 +428,8 @@ impl MemHierarchy {
     /// Returns the data-ready cycle (loads) or globally-ordered cycle
     /// (stores).
     pub fn vpu_access(&mut self, line_addr: u64, is_write: bool, now: Cycle) -> Cycle {
+        debug_assert!(now >= self.vpu_now, "VPU accesses must be issued in cycle order");
+        self.vpu_now = now;
         let line = self.amap.line_of(line_addr);
         if is_write {
             self.ctr.vpu_store_line += 1;

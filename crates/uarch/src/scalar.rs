@@ -12,11 +12,9 @@
 
 use crate::config::ScalarConfig;
 use crate::memhier::MemHierarchy;
-use sdv_engine::{Cycle, FastMap, Stats};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use sdv_engine::{Cycle, FastMap, Ring, Stats};
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy)]
 struct PendingLoad {
     completion: Cycle,
     op_idx: u64,
@@ -57,17 +55,28 @@ pub struct ScalarCore {
     /// Loads in program order (`op_idx` strictly increases), completed
     /// entries popped lazily from the front — only the front matters for the
     /// run-ahead window, so retirement is amortized O(1) per load instead of
-    /// an O(window) scan on every op.
-    pending: VecDeque<PendingLoad>,
+    /// an O(window) scan on every op. Bounded by the run-ahead window (each
+    /// pending load consumes one op slot in it), so the ring is pre-sized at
+    /// construction and never grows.
+    pending: Ring<PendingLoad>,
     /// In-flight line -> completion for miss merging. Entries go stale once
     /// their completion passes; they are dropped lazily on lookup, so the
     /// merge check is one hash probe instead of a scan over `pending`.
+    /// Swept wholesale when `inflight_prune_at` is reached (the core's cycle
+    /// is monotone, so passed completions can never affect a later merge
+    /// decision) — otherwise the map grows by one dead entry per missed line
+    /// and every load probes an ever-larger, host-cache-hostile table.
     inflight_lines: FastMap<u64, Cycle>,
-    /// Completion times of primary (MSHR-holding) loads, min-first. Drained
-    /// of passed completions before each MSHR-cap check; its length is then
-    /// exactly the number of occupied MSHRs.
-    primaries: BinaryHeap<Reverse<Cycle>>,
-    stores: VecDeque<Cycle>,
+    /// Sweep trigger for `inflight_lines`; doubles if a sweep reclaims
+    /// nothing so the amortized cost per load stays O(1).
+    inflight_prune_at: usize,
+    /// Completion times of primary (MSHR-holding) loads. At most
+    /// `max_outstanding_loads` (4 by default) entries, so an unordered array
+    /// with a linear min-scan beats any heap: push is a bounds-checked store
+    /// and the scan is a handful of straight-line compares.
+    primaries: Vec<Cycle>,
+    /// Store-buffer retirement times, FIFO. Bounded by `store_buffer`.
+    stores: Ring<Cycle>,
     ctr: ScalarCounters,
 }
 
@@ -81,10 +90,11 @@ impl ScalarCore {
             cycle: 0,
             slot: 0,
             op_idx: 0,
-            pending: VecDeque::new(),
+            pending: Ring::with_capacity(cfg.runahead_window + 2),
             inflight_lines: FastMap::default(),
-            primaries: BinaryHeap::new(),
-            stores: VecDeque::new(),
+            inflight_prune_at: 1024,
+            primaries: Vec::with_capacity(cfg.max_outstanding_loads),
+            stores: Ring::with_capacity(cfg.store_buffer),
             ctr: ScalarCounters::default(),
         }
     }
@@ -151,16 +161,16 @@ impl ScalarCore {
         while self.pending.front().is_some_and(|p| p.completion <= cycle) {
             self.pending.pop_front();
         }
-        while self.stores.front().is_some_and(|&f| f <= cycle) {
+        while self.stores.front().is_some_and(|f| f <= cycle) {
             self.stores.pop_front();
         }
     }
 
-    /// Release MSHRs whose fills have completed by the current cycle.
+    /// Release MSHRs whose fills have completed by the current cycle. A
+    /// swap-retain over at most `max_outstanding_loads` entries.
     fn drain_primaries(&mut self) {
-        while self.primaries.peek().is_some_and(|&Reverse(c)| c <= self.cycle) {
-            self.primaries.pop();
-        }
+        let cycle = self.cycle;
+        self.primaries.retain(|&c| c > cycle);
     }
 
     /// Enforce the run-ahead window before issuing the next op.
@@ -169,7 +179,7 @@ impl ScalarCore {
         // The oldest incomplete load bounds how far ahead we may issue.
         // `pending` is pushed in program order (op_idx strictly increases
         // between pushes), so the oldest entry is simply the front.
-        while let Some(oldest) = self.pending.front().copied() {
+        while let Some(oldest) = self.pending.front() {
             if self.op_idx.saturating_sub(oldest.op_idx) >= self.cfg.runahead_window as u64 {
                 self.ctr.window_stalls += 1;
                 let d = self.advance_counting(oldest.completion);
@@ -251,7 +261,8 @@ impl ScalarCore {
         // strictly advances time.
         self.drain_primaries();
         while self.primaries.len() >= self.cfg.max_outstanding_loads {
-            let Reverse(next) = *self.primaries.peek().expect("cap > 0 implies non-empty");
+            let next =
+                self.primaries.iter().copied().min().expect("cap > 0 implies non-empty");
             debug_assert!(next > self.cycle, "drain left a completed primary behind");
             self.ctr.mshr_stalls += 1;
             let d = self.advance_counting(next);
@@ -261,8 +272,13 @@ impl ScalarCore {
         }
         let completion = hier.core_access(addr, false, self.cycle);
         self.pending.push_back(PendingLoad { completion, op_idx: self.op_idx });
+        if self.inflight_lines.len() >= self.inflight_prune_at {
+            let cycle = self.cycle;
+            self.inflight_lines.retain(|_, &mut c| c > cycle);
+            self.inflight_prune_at = (self.inflight_lines.len() * 2).max(1024);
+        }
         self.inflight_lines.insert(line_addr, completion);
-        self.primaries.push(Reverse(completion));
+        self.primaries.push(completion);
         self.issue_slots(1);
         self.ctr.loads += 1;
     }
@@ -271,7 +287,7 @@ impl ScalarCore {
     pub fn store(&mut self, hier: &mut MemHierarchy, addr: u64) {
         self.window_stall();
         while self.stores.len() >= self.cfg.store_buffer {
-            let f = self.stores[0];
+            let f = self.stores.front().expect("store_buffer > 0 implies non-empty");
             self.ctr.store_buffer_stalls += 1;
             let d = self.advance_counting(f);
             self.ctr.store_buffer_stall_cycles += d;
@@ -289,7 +305,7 @@ impl ScalarCore {
             .pending
             .iter()
             .map(|p| p.completion)
-            .chain(self.stores.iter().copied())
+            .chain(self.stores.iter())
             .max()
             .unwrap_or(0);
         let d = self.advance_counting(last);

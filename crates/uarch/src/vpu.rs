@@ -15,9 +15,9 @@
 use crate::config::VpuConfig;
 use crate::memhier::MemHierarchy;
 use crate::op::{VClass, VectorOp};
-use sdv_engine::{ArmedFault, Cycle, Probe, SimError, Stats, TraceEvent, WEDGE};
+use sdv_engine::{ArmedFault, Cycle, Probe, Ring, SimError, Stats, TraceEvent, WEDGE};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// Result of dispatching one vector instruction.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +33,8 @@ pub struct Dispatched {
 pub struct VpuTiming {
     cfg: VpuConfig,
     /// Completion times of instructions still in the decoupled queue window.
-    queue: VecDeque<Cycle>,
+    /// Bounded by `queue_depth`, so the ring is pre-sized and never grows.
+    queue: Ring<Cycle>,
     /// When the arithmetic datapath frees.
     exec_free: Cycle,
     /// When the memory unit can start its next request stream.
@@ -41,7 +42,14 @@ pub struct VpuTiming {
     /// In-flight line-request completions — shared across instructions:
     /// this is the hardware request window, so total vector MLP is
     /// `min(queue_depth × lines-per-instruction, vmem_outstanding)` — short
-    /// VLs are queue-bound, long VLs window-bound.
+    /// VLs are queue-bound, long VLs window-bound. Deliberately still a
+    /// binary heap: completions mix latency classes (L2 hits tens of cycles
+    /// out, DRAM misses hundreds), so the stream is *not* near-monotone —
+    /// measured on PR/vl=256/+512, a sorted ring shifts 44 elements per
+    /// insert on average re-sorting that bimodal interleave (and a
+    /// run-decomposed variant fared no better), while the heap inserts a
+    /// late completion at a leaf in O(1) and pays `O(log window)` only on
+    /// pop. See EXPERIMENTS.md ("scheduler engine") for the numbers.
     outstanding: BinaryHeap<Reverse<Cycle>>,
     /// In-order completion horizon.
     last_completion: Cycle,
@@ -82,10 +90,10 @@ impl VpuTiming {
         assert!(cfg.vmem_outstanding > 0, "memory unit needs outstanding slots");
         Self {
             cfg,
-            queue: VecDeque::new(),
+            queue: Ring::with_capacity(cfg.queue_depth),
             exec_free: 0,
             vmem_free: 0,
-            outstanding: BinaryHeap::new(),
+            outstanding: BinaryHeap::with_capacity(cfg.vmem_outstanding + 1),
             last_completion: 0,
             credit_fault: None,
             probe: Probe::off(),
@@ -128,7 +136,7 @@ impl VpuTiming {
         // Completions enter the queue in nondecreasing order (in-order
         // completion below), so draining instructions that finished by
         // `accepted_at` is a prefix pop — no O(depth) shift like `retain`.
-        while self.queue.front().is_some_and(|&c| c <= accepted_at) {
+        while self.queue.front().is_some_and(|c| c <= accepted_at) {
             self.queue.pop_front();
         }
 
@@ -369,9 +377,9 @@ impl VpuTiming {
             });
         }
         let horizon = self.last_completion;
-        let leaked = self.outstanding.iter().filter(|Reverse(c)| *c > horizon).count();
+        let leaked = self.outstanding.iter().filter(|r| r.0 > horizon).count();
         if leaked > 0 {
-            let stuck = self.outstanding.iter().map(|&Reverse(c)| c).max().unwrap_or(0);
+            let stuck = self.outstanding.iter().map(|r| r.0).max().unwrap_or(0);
             return Err(SimError::InvariantViolation {
                 cycle: now,
                 what: format!(

@@ -20,6 +20,18 @@ echo "== perf smoke =="
 # simulated-cycle mismatch against the recorded baseline still fails.
 ./target/release/perf_baseline --smoke --label check_smoke --against after_pr1 --threshold 1000
 
+echo "== perf gate (full suite vs recorded after_pr7 baseline) =="
+# Simulated cycles must match the recorded baseline bit-for-bit (any drift
+# fails regardless of thresholds). Wall-clock throughput is gated too, but
+# loosely by default: the shared single-vCPU host has hypervisor-level slow
+# phases measured at 1.3-4x on identical binaries (see EXPERIMENTS.md,
+# "scheduler engine"), so a tight gate would flap. --repeat takes the
+# per-cell minimum over that many passes to ride out the phases. On a quiet
+# dedicated host, tighten to the intended 5% with SDV_SUITE_GATE=1.05.
+./target/release/perf_baseline --repeat "${SDV_PERF_REPEAT:-20}" \
+    --label check_perf --against after_pr7 --threshold 1000 \
+    --suite-threshold "${SDV_SUITE_GATE:-1.5}"
+
 echo "== observability zero-cost gate (cycles identical to pre-probe baseline) =="
 # The probe layer must be a pure observer: simulated cycles recorded before
 # the observability layer existed (after_pr3) must still match exactly. As
