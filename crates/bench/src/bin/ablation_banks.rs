@@ -6,10 +6,10 @@
 //! L2's aggregate request throughput, which long vectors — firing many
 //! concurrent line requests — feel far more than the scalar core does.
 //!
-//! Usage: `ablation_banks [--small]`
+//! Usage: `ablation_banks [--small] [--cache | --cache-dir DIR]`
 
 use sdv_bench::table::render;
-use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
 use sdv_noc::MeshConfig;
 use sdv_uarch::TimingConfig;
 
@@ -24,8 +24,10 @@ fn config_with_banks(width: usize, height: usize) -> TimingConfig {
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("ablation_banks", &args, &w);
     let meshes = [(1usize, 1usize), (2, 2), (4, 4)];
 
     for kernel in [KernelKind::Spmv, KernelKind::Pr] {
@@ -36,7 +38,7 @@ fn main() {
                 .map(|&(mw, mh)| {
                     let cfg = config_with_banks(mw, mh);
                     let cell = Cell { kernel, imp, extra_latency: 0, bandwidth: 64 };
-                    format!("{}", run_with_config(&w, cell, cfg).cycles)
+                    format!("{}", run_with_config_cached(&w, cell, cfg, ctx.as_ref()).cycles)
                 })
                 .collect();
             rows.push((imp.to_string(), cells));

@@ -7,21 +7,23 @@
 //! slowdown each configuration yields — demonstrating that the headline
 //! result is produced by MLP, not by incidental parameters.
 //!
-//! Usage: `ablation_mlp [--small]`
+//! Usage: `ablation_mlp [--small] [--cache | --cache-dir DIR]`
 
 use sdv_bench::table::{render, slowdown_cell};
-use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, CacheContext, Cell, ImplKind, KernelKind, Workloads};
 use sdv_uarch::TimingConfig;
 
-fn slowdown(w: &Workloads, imp: ImplKind, cfg: TimingConfig) -> f64 {
+fn slowdown(w: &Workloads, imp: ImplKind, cfg: TimingConfig, ctx: Option<&CacheContext>) -> f64 {
     let mk = |extra_latency| Cell { kernel: KernelKind::Spmv, imp, extra_latency, bandwidth: 64 };
-    let base = run_with_config(w, mk(0), cfg).cycles as f64;
-    run_with_config(w, mk(1024), cfg).cycles as f64 / base
+    let base = run_with_config_cached(w, mk(0), cfg, ctx).cycles as f64;
+    run_with_config_cached(w, mk(1024), cfg, ctx).cycles as f64 / base
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("ablation_mlp", &args, &w);
 
     // Scalar: MSHRs x run-ahead window.
     let mut rows = Vec::new();
@@ -33,7 +35,7 @@ fn main() {
                 let mut cfg = TimingConfig::default();
                 cfg.scalar.max_outstanding_loads = mshrs;
                 cfg.scalar.runahead_window = win;
-                slowdown_cell(slowdown(&w, ImplKind::Scalar, cfg))
+                slowdown_cell(slowdown(&w, ImplKind::Scalar, cfg, ctx.as_ref()))
             })
             .collect();
         rows.push((format!("{mshrs} MSHRs"), cells));
@@ -58,7 +60,7 @@ fn main() {
                 let mut cfg = TimingConfig::default();
                 cfg.vpu.queue_depth = depth;
                 cfg.vpu.vmem_outstanding = out;
-                slowdown_cell(slowdown(&w, ImplKind::Vector { maxvl: 256 }, cfg))
+                slowdown_cell(slowdown(&w, ImplKind::Vector { maxvl: 256 }, cfg, ctx.as_ref()))
             })
             .collect();
         rows.push((format!("queue={depth}"), cells));

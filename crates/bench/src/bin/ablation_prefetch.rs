@@ -7,10 +7,11 @@
 //! sharpening the paper's point that the *vector* way of expressing
 //! gathers is what tolerates latency, not just "more prefetch".
 //!
-//! Usage: `ablation_prefetch [--small]`
+//! Usage: `ablation_prefetch [--small] [--cache | --cache-dir DIR]`
 
+use sdv_bench::cache::{cached_cycles, CacheContext};
 use sdv_bench::table::render;
-use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
 use sdv_core::SdvMachine;
 use sdv_kernels::dense;
 use sdv_uarch::TimingConfig;
@@ -21,22 +22,35 @@ fn cfg(depth: usize) -> TimingConfig {
     c
 }
 
-fn kernel_cycles(w: &Workloads, kernel: KernelKind, depth: usize, lat: u64) -> u64 {
+fn kernel_cycles(
+    w: &Workloads,
+    kernel: KernelKind,
+    depth: usize,
+    lat: u64,
+    ctx: Option<&CacheContext>,
+) -> u64 {
     let cell = Cell { kernel, imp: ImplKind::Scalar, extra_latency: lat, bandwidth: 64 };
-    run_with_config(w, cell, cfg(depth)).cycles
+    run_with_config_cached(w, cell, cfg(depth), ctx).cycles
 }
 
-fn triad_cycles(n: usize, depth: usize, lat: u64) -> u64 {
-    let mut m = SdvMachine::with_config(64 << 20, cfg(depth));
-    m.set_extra_latency(lat);
-    let dev = dense::setup_triad(&mut m, n, 3.0, 1);
-    dense::triad_scalar(&mut m, &dev);
-    m.finish()
+// The TRIAD input is generated from (n, 3.0, 1), so the cache key's knobs
+// carry n (the scale/seed are fixed); lat rides in the knobs too since it
+// is a machine setting, not part of the timing config.
+fn triad_cycles(n: usize, depth: usize, lat: u64, ctx: Option<&CacheContext>) -> u64 {
+    cached_cycles(ctx, "TRIAD/scalar", &format!("n={n} lat={lat}"), &cfg(depth), || {
+        let mut m = SdvMachine::with_config(64 << 20, cfg(depth));
+        m.set_extra_latency(lat);
+        let dev = dense::setup_triad(&mut m, n, 3.0, 1);
+        dense::triad_scalar(&mut m, &dev);
+        m.finish()
+    })
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("ablation_prefetch", &args, &w);
     let triad_n = if small { 1 << 14 } else { 1 << 16 };
 
     let depths = [0usize, 1, 4, 16];
@@ -46,12 +60,18 @@ fn main() {
         let mut rows = Vec::new();
         rows.push((
             "TRIAD (stream)".to_string(),
-            depths.iter().map(|&d| format!("{}", triad_cycles(triad_n, d, lat))).collect(),
+            depths
+                .iter()
+                .map(|&d| format!("{}", triad_cycles(triad_n, d, lat, ctx.as_ref())))
+                .collect(),
         ));
         for kernel in [KernelKind::Fft, KernelKind::Spmv, KernelKind::Pr] {
             rows.push((
                 format!("{} (scalar)", kernel.name()),
-                depths.iter().map(|&d| format!("{}", kernel_cycles(&w, kernel, d, lat))).collect(),
+                depths
+                    .iter()
+                    .map(|&d| format!("{}", kernel_cycles(&w, kernel, d, lat, ctx.as_ref())))
+                    .collect(),
             ));
         }
         println!(

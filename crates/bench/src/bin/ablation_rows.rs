@@ -7,10 +7,10 @@
 //! confirming the paper's latency knob, which shifts *all* accesses equally,
 //! is a clean instrument on top of either DRAM model.
 //!
-//! Usage: `ablation_rows [--small]`
+//! Usage: `ablation_rows [--small] [--cache | --cache-dir DIR]`
 
 use sdv_bench::table::render;
-use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
 use sdv_uarch::TimingConfig;
 
 fn cfg(rows: bool) -> TimingConfig {
@@ -24,16 +24,18 @@ fn cfg(rows: bool) -> TimingConfig {
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("ablation_rows", &args, &w);
     let headers: Vec<String> =
         ["flat DRAM", "open-row DRAM", "row hit rate"].iter().map(|s| s.to_string()).collect();
     let mut rows = Vec::new();
     for kernel in KernelKind::all() {
         for imp in [ImplKind::Scalar, ImplKind::Vector { maxvl: 256 }] {
             let cell = Cell { kernel, imp, extra_latency: 0, bandwidth: 64 };
-            let flat = run_with_config(&w, cell, cfg(false));
-            let open = run_with_config(&w, cell, cfg(true));
+            let flat = run_with_config_cached(&w, cell, cfg(false), ctx.as_ref());
+            let open = run_with_config_cached(&w, cell, cfg(true), ctx.as_ref());
             let hits = open.stats.get("dram.row_hits") as f64;
             let reqs = open.stats.get("dram.requests").max(1) as f64;
             rows.push((

@@ -7,25 +7,41 @@
 //! SpMV inherits this trade-off from Gómez et al.; this ablation shows why
 //! each side of the trade-off is measurable on a cage-like matrix.
 //!
-//! Usage: `ablation_sigma [--small]`
+//! Usage: `ablation_sigma [--small] [--cache | --cache-dir DIR]`
 
+use sdv_bench::cache::{cached_cycles, CacheContext};
 use sdv_bench::table::render;
+use sdv_bench::cli;
 use sdv_core::SdvMachine;
 use sdv_kernels::{spmv, CsrMatrix, SellCS};
+use sdv_uarch::TimingConfig;
 
-fn run(mat: &CsrMatrix, sell: &SellCS, lat: u64) -> u64 {
-    let mut m = SdvMachine::new(256 << 20);
-    m.set_extra_latency(lat);
-    let dev = spmv::setup_spmv(&mut m, mat, sell);
-    spmv::spmv_vector_sell(&mut m, &dev);
-    m.finish()
+// The matrix is generated from (n, seed) and sliced by (C, σ) — all four
+// land in the cache key's knobs, so the fixed input tag is sound.
+fn run(
+    mat: &CsrMatrix,
+    sell: &SellCS,
+    lat: u64,
+    knobs: &str,
+    ctx: Option<&CacheContext>,
+) -> u64 {
+    cached_cycles(ctx, "SPMV-Sell-sigma", &format!("{knobs} lat={lat}"), &TimingConfig::default(), || {
+        let mut m = SdvMachine::new(256 << 20);
+        m.set_extra_latency(lat);
+        let dev = spmv::setup_spmv(&mut m, mat, sell);
+        spmv::spmv_vector_sell(&mut m, &dev);
+        m.finish()
+    })
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let n = if small { 1200 } else { 11397 };
-    let mat = CsrMatrix::cage_like(n, 0xCA6E);
+    let seed = 0xCA6E;
+    let mat = CsrMatrix::cage_like(n, seed);
     let c = 256;
+    let ctx = cli::open_cache_context_tagged("ablation_sigma", &args, "cage_like");
     let sigmas = [("sigma=1 (none)", 1usize), ("sigma=C (local)", c), ("sigma=n (global)", n)];
 
     let headers: Vec<String> =
@@ -34,12 +50,13 @@ fn main() {
         .iter()
         .map(|&(label, sigma)| {
             let sell = SellCS::from_csr(&mat, c, sigma);
+            let knobs = format!("n={n} seed={seed} c={c} sigma={sigma}");
             (
                 label.to_string(),
                 vec![
                     format!("{:.2}x", sell.fill_ratio(mat.nnz())),
-                    format!("{}", run(&mat, &sell, 0)),
-                    format!("{}", run(&mat, &sell, 1024)),
+                    format!("{}", run(&mat, &sell, 0, &knobs, ctx.as_ref())),
+                    format!("{}", run(&mat, &sell, 1024, &knobs, ctx.as_ref())),
                 ],
             )
         })

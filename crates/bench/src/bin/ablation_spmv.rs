@@ -7,14 +7,18 @@
 //! gains almost nothing from longer vectors and tolerates latency far
 //! worse.
 //!
-//! Usage: `ablation_spmv [--small]`
+//! Usage: `ablation_spmv [--small] [--cache | --cache-dir DIR]`
 
+use sdv_bench::cache::cached_cycles;
 use sdv_bench::table::render;
-use sdv_bench::{run_spmv_variant, SpmvVariant, Workloads};
+use sdv_bench::{cli, run_spmv_variant, SpmvVariant, Workloads};
+use sdv_uarch::TimingConfig;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("ablation_spmv", &args, &w);
     let latencies: &[u64] = &[0, 64, 256, 1024];
     let maxvls: &[usize] = &[8, 64, 256];
 
@@ -22,9 +26,21 @@ fn main() {
     let mut rows = Vec::new();
     for &variant in &[SpmvVariant::Sell, SpmvVariant::CsrGather] {
         for &maxvl in maxvls {
+            // The program tag separates Sell from CsrGather — both run on
+            // the standard matrix, so the cell-grid key space cannot tell
+            // them apart; the knobs carry the remaining machine settings.
             let cells: Vec<String> = latencies
                 .iter()
-                .map(|&lat| format!("{}", run_spmv_variant(&w, variant, maxvl, lat, 64)))
+                .map(|&lat| {
+                    let cycles = cached_cycles(
+                        ctx.as_ref(),
+                        &format!("SPMV-{variant:?}/vl={maxvl}"),
+                        &format!("lat={lat} bw=64"),
+                        &TimingConfig::default(),
+                        || run_spmv_variant(&w, variant, maxvl, lat, 64),
+                    );
+                    format!("{cycles}")
+                })
                 .collect();
             rows.push((format!("{variant:?} vl={maxvl}"), cells));
         }

@@ -1,14 +1,17 @@
 //! Calibration smoke: run a reduced grid and print cycles plus key stats,
 //! for checking simulation speed and the qualitative shape before full
-//! figure sweeps. `--paper` uses the full-size workloads.
+//! figure sweeps. `--paper` uses the full-size workloads. With `--cache` /
+//! `--cache-dir DIR` cells hit the persistent result cache (wall times then
+//! measure the cache, not the simulator — the cycles column is unchanged).
 
-use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
+use sdv_uarch::TimingConfig;
 use std::time::Instant;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
+    let args: Vec<String> = std::env::args().collect();
     let kernels: Vec<KernelKind> = {
-        let args: Vec<String> = std::env::args().collect();
         let named: Vec<KernelKind> = KernelKind::all()
             .into_iter()
             .filter(|k| args.iter().any(|a| a.eq_ignore_ascii_case(k.name())))
@@ -20,6 +23,7 @@ fn main() {
         }
     };
     let w = if paper { Workloads::paper() } else { Workloads::small() };
+    let ctx = cli::open_cache_context("calibrate", &args, &w);
     println!(
         "workloads: {} (matrix n={} nnz={}, graph n={} edges={}, fft n={})",
         if paper { "paper" } else { "small" },
@@ -38,7 +42,12 @@ fn main() {
         ] {
             for (lat, bw) in [(0u64, 64u64), (1024, 64), (0, 1)] {
                 let t0 = Instant::now();
-                let r = run(&w, Cell { kernel, imp, extra_latency: lat, bandwidth: bw });
+                let r = run_with_config_cached(
+                    &w,
+                    Cell { kernel, imp, extra_latency: lat, bandwidth: bw },
+                    TimingConfig::default(),
+                    ctx.as_ref(),
+                );
                 let wall = t0.elapsed();
                 println!(
                     "{:<5} {:<8} lat={:<5} bw={:<3} cycles={:<12} dram_lines={:<9} wall={:?}",

@@ -21,6 +21,12 @@ const BIN: &str = "chaos_smoke";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cli::reject_sweep_acceleration(
+        BIN,
+        &args,
+        "chaos_smoke must exercise the live fault-injection path; failed \
+         cells are never cached, so a cache or server can only mask the test",
+    );
     let cfg = cli::hardening_config(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
 
     let w = Workloads::small();

@@ -7,11 +7,14 @@
 //! (as everyone expects), and the four non-dense codes keep most of that
 //! benefit (the paper's contribution).
 //!
-//! Usage: `dense_contrast [--small]`
+//! Usage: `dense_contrast [--small] [--cache | --cache-dir DIR]`
 
+use sdv_bench::cache::{cached_cycles, CacheContext};
 use sdv_bench::table::{render, slowdown_cell};
+use sdv_bench::cli;
 use sdv_core::{SdvMachine, Vm};
 use sdv_kernels::dense;
+use sdv_uarch::TimingConfig;
 
 #[derive(Clone, Copy, PartialEq)]
 enum K {
@@ -19,7 +22,24 @@ enum K {
     Gemm,
 }
 
-fn run(kernel: K, n: usize, maxvl: usize, lat: u64, bw: u64) -> u64 {
+// Inputs are generated from (n, seed) with fixed seeds, so program + knobs
+// (kernel, vl, n, lat, bw) fully determine the cell.
+fn run(kernel: K, n: usize, maxvl: usize, lat: u64, bw: u64, ctx: Option<&CacheContext>) -> u64 {
+    let name = match kernel {
+        K::Triad => "TRIAD",
+        K::Gemm => "DGEMM",
+    };
+    let imp = if maxvl == 0 { "scalar".to_string() } else { format!("vl={maxvl}") };
+    cached_cycles(
+        ctx,
+        &format!("{name}/{imp}"),
+        &format!("n={n} lat={lat} bw={bw}"),
+        &TimingConfig::default(),
+        || run_uncached(kernel, n, maxvl, lat, bw),
+    )
+}
+
+fn run_uncached(kernel: K, n: usize, maxvl: usize, lat: u64, bw: u64) -> u64 {
     let mut m = SdvMachine::new(128 << 20);
     if maxvl > 0 {
         m.set_maxvl_cap(maxvl);
@@ -48,7 +68,9 @@ fn run(kernel: K, n: usize, maxvl: usize, lat: u64, bw: u64) -> u64 {
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let ctx = cli::open_cache_context_tagged("dense_contrast", &args, "dense");
     let (triad_n, gemm_n) = if small { (1 << 14, 48) } else { (1 << 17, 128) };
     let impls: &[(&str, usize)] = &[("scalar", 0), ("vl=8", 8), ("vl=64", 64), ("vl=256", 256)];
     let headers: Vec<String> = impls.iter().map(|(l, _)| l.to_string()).collect();
@@ -61,8 +83,8 @@ fn main() {
                 let cells = impls
                     .iter()
                     .map(|&(_, vl)| {
-                        let base = run(kernel, n, vl, 0, 64) as f64;
-                        slowdown_cell(run(kernel, n, vl, lat, 64) as f64 / base)
+                        let base = run(kernel, n, vl, 0, 64, ctx.as_ref()) as f64;
+                        slowdown_cell(run(kernel, n, vl, lat, 64, ctx.as_ref()) as f64 / base)
                     })
                     .collect();
                 (format!("+{lat}"), cells)
@@ -80,8 +102,8 @@ fn main() {
                 let cells = impls
                     .iter()
                     .map(|&(_, vl)| {
-                        let base = run(kernel, n, vl, 0, 1) as f64;
-                        format!("{:.3}", run(kernel, n, vl, 0, bw) as f64 / base)
+                        let base = run(kernel, n, vl, 0, 1, ctx.as_ref()) as f64;
+                        format!("{:.3}", run(kernel, n, vl, 0, bw, ctx.as_ref()) as f64 / base)
                     })
                     .collect();
                 (format!("{bw} B/cy"), cells)

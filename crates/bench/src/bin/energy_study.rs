@@ -6,15 +6,17 @@
 //! means less static energy, and fewer instructions mean less control
 //! overhead, while DRAM energy stays roughly constant (same data moved).
 //!
-//! Usage: `energy_study [--small]`
+//! Usage: `energy_study [--small] [--cache | --cache-dir DIR]`
 
 use sdv_bench::table::render;
-use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
-use sdv_uarch::{estimate_energy, EnergyConfig};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
+use sdv_uarch::{estimate_energy, EnergyConfig, TimingConfig};
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("energy_study", &args, &w);
     let cfg = EnergyConfig::default();
     let impls = [
         ImplKind::Scalar,
@@ -32,9 +34,11 @@ fn main() {
         let rows: Vec<(String, Vec<String>)> = impls
             .iter()
             .map(|&imp| {
-                let r = run(
+                let r = run_with_config_cached(
                     &w,
                     Cell { kernel: KernelKind::Spmv, imp, extra_latency: lat, bandwidth: 64 },
+                    TimingConfig::default(),
+                    ctx.as_ref(),
                 );
                 let e = estimate_energy(&cfg, &r.stats, r.cycles);
                 (

@@ -3,6 +3,7 @@
 //! vector implementation at MAXVL ∈ {8,16,32,64,128,256}.
 //!
 //! Usage: `fig3_latency [--small] [--threads N] [--csv PATH] [--backend scalar|simd]
+//! [--cache | --cache-dir DIR] [--server ADDR]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
@@ -10,6 +11,11 @@
 //! `--metrics-json` exports the per-cell stall breakdown; `--trace` writes a
 //! Chrome `trace_event` timeline of the highest-latency vl=256 cell (another
 //! kernel via `--trace-kernel`). Neither flag changes the sweep's cycles.
+//!
+//! `--cache` consults (and fills) the persistent result cache under
+//! `results/cache/` before simulating — a warm rerun regenerates this
+//! figure's CSV byte-identically without simulating anything. `--server`
+//! ships the grid to a running `sweepd` instead of simulating locally.
 //!
 //! With `--checkpoint`, every completed cell is persisted (atomic
 //! tmp+rename) as it lands; `--resume` preloads those cells so a killed
@@ -46,6 +52,7 @@ fn main() {
     // kernels instead of reallocated, and repeated cells are memoized.
     let mut sweeper = Sweeper::with_config(cfg);
     sweeper.set_backend(backend);
+    cli::configure_sweeper(BIN, &args, &mut sweeper, if small { "small" } else { "paper" });
     if let Some(ck) = &checkpoint {
         for (cell, cycles) in ck.entries() {
             sweeper.preload(cell, cycles);

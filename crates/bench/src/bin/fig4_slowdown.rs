@@ -9,6 +9,7 @@
 //! Also prints the paper's §4.1 anchor comparison (SpMV at +32 and +1024).
 //!
 //! Usage: `fig4_slowdown [--small] [--threads N] [--csv PATH] [--backend scalar|simd]
+//! [--cache | --cache-dir DIR] [--server ADDR]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
@@ -46,6 +47,7 @@ fn main() {
     // share a Sweeper across both and pay for each cell once).
     let mut sweeper = Sweeper::with_config(cfg);
     sweeper.set_backend(backend);
+    cli::configure_sweeper(BIN, &args, &mut sweeper, if small { "small" } else { "paper" });
     if let Some(ck) = &checkpoint {
         for (cell, cycles) in ck.entries() {
             sweeper.preload(cell, cycles);

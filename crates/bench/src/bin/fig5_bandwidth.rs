@@ -5,6 +5,7 @@
 //! bandwidth from a single core.
 //!
 //! Usage: `fig5_bandwidth [--small] [--threads N] [--csv PATH] [--backend scalar|simd]
+//! [--cache | --cache-dir DIR] [--server ADDR]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]]
 //! [--checkpoint PATH [--resume]] [--watchdog] [--cycle-budget N]
 //! [--fault KIND [--fault-seed N]]`
@@ -41,6 +42,7 @@ fn main() {
     // kernels, repeated cells memoized.
     let mut sweeper = Sweeper::with_config(cfg);
     sweeper.set_backend(backend);
+    cli::configure_sweeper(BIN, &args, &mut sweeper, if small { "small" } else { "paper" });
     if let Some(ck) = &checkpoint {
         for (cell, cycles) in ck.entries() {
             sweeper.preload(cell, cycles);

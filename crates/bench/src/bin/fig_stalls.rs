@@ -11,12 +11,16 @@
 //! monotone sequence per kernel.
 //!
 //! Usage: `fig_stalls [--small] [--threads N] [--latency N] [--check]
+//! [--csv PATH] [--cache | --cache-dir DIR] [--server ADDR]
 //! [--metrics-json PATH] [--trace PATH [--trace-kernel K]] [--watchdog]
 //! [--cycle-budget N] [--fault KIND [--fault-seed N]]`
 //!
 //! `--latency` sets the stressed point (default +1024 cycles). `--check`
 //! exits nonzero unless every kernel's memory-stall fraction is monotone
-//! nonincreasing in MAXVL at the stressed point — the CI gate.
+//! nonincreasing in MAXVL at the stressed point — the CI gate. `--csv`
+//! exports the raw breakdown (one row per cell, counters not percentages).
+//! Note: `--server` requires the server to run with `--probe-sampling`,
+//! since this binary's sweep samples occupancy.
 //!
 //! The sweep runs with occupancy sampling enabled (probes are pure
 //! observers: cycles are bit-identical to the other figure binaries), so
@@ -54,6 +58,7 @@ fn main() {
         Err(e) => cli::die_usage(BIN, &e),
     };
     let check = args.iter().any(|a| a == "--check");
+    let csv = cli::arg_value(&args, "--csv").map(str::to_string);
     let mut cfg = cli::hardening_config(&args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
     cfg.probe = ProbeConfig::sampling();
 
@@ -62,6 +67,7 @@ fn main() {
     let impls = ImplKind::paper_set();
 
     let mut sweeper = Sweeper::with_config(cfg);
+    cli::configure_sweeper(BIN, &args, &mut sweeper, if small { "small" } else { "paper" });
     let cells: Vec<Cell> = KernelKind::all()
         .into_iter()
         .flat_map(|kernel| {
@@ -169,6 +175,42 @@ fn main() {
         }
     }
 
+    if let Some(path) = csv {
+        let mut out = String::from(
+            "kernel,impl,extra_latency,cycles,mem_stall,vpu_queue,vpu_sync,branch\n",
+        );
+        for (ki, kernel) in KernelKind::all().into_iter().enumerate() {
+            for (ii, imp) in impls.iter().enumerate() {
+                for (li, &lat) in latencies.iter().enumerate() {
+                    use std::fmt::Write as _;
+                    match at(ki, ii, li) {
+                        CellOutcome::Done(r) => {
+                            let b = StallBreakdown::from_stats(r.cycles, &r.stats)
+                                .expect("sweep cells always carry stats");
+                            writeln!(
+                                out,
+                                "{},{imp},{lat},{},{},{},{},{}",
+                                kernel.name(),
+                                r.cycles,
+                                b.memory_cycles(),
+                                b.vpu_queue,
+                                b.vpu_sync,
+                                b.branch
+                            )
+                            .unwrap();
+                        }
+                        CellOutcome::Failed { .. } => {
+                            writeln!(out, "{},{imp},{lat},FAILED,,,,", kernel.name()).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            cli::die_bad_input(BIN, &format!("cannot write {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
     sdv_bench::metrics::write_metrics_if_requested(BIN, &args, &outcomes);
     sdv_bench::metrics::write_trace_if_requested(
         BIN,

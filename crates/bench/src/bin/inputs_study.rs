@@ -7,51 +7,74 @@
 //! graphs — showing the latency-tolerance conclusion is not an artifact of
 //! one input.
 //!
-//! Usage: `inputs_study [--small]`
+//! Usage: `inputs_study [--small] [--cache | --cache-dir DIR]`
 
+use sdv_bench::cache::{cached_cycles, CacheContext};
 use sdv_bench::table::{render, slowdown_cell};
+use sdv_bench::cli;
 use sdv_core::{SdvMachine, Vm};
 use sdv_kernels::{bfs, spmv, CsrMatrix, Graph, SellCS};
+use sdv_uarch::TimingConfig;
 
-fn spmv_slowdown(mat: &CsrMatrix, maxvl: usize, lat: u64) -> f64 {
+// Every input family is generated from (family, size) with fixed seeds, so
+// the family label + sizes in the knobs fully determine each cell.
+fn spmv_slowdown(mat: &CsrMatrix, family: &str, maxvl: usize, lat: u64, ctx: Option<&CacheContext>) -> f64 {
     let sell = SellCS::from_csr(mat, 256, 256);
     let run = |extra: u64| {
-        let mut m = SdvMachine::new(256 << 20);
-        if maxvl > 0 {
-            m.set_maxvl_cap(maxvl);
-        }
-        m.set_extra_latency(extra);
-        let dev = spmv::setup_spmv(&mut m, mat, &sell);
-        if maxvl == 0 {
-            spmv::spmv_scalar(&mut m, &dev);
-        } else {
-            spmv::spmv_vector_sell(&mut m, &dev);
-        }
-        m.finish() as f64
+        cached_cycles(
+            ctx,
+            &format!("SPMV-inputs/vl={maxvl}"),
+            &format!("family={family} n={} lat={extra}", mat.nrows),
+            &TimingConfig::default(),
+            || {
+                let mut m = SdvMachine::new(256 << 20);
+                if maxvl > 0 {
+                    m.set_maxvl_cap(maxvl);
+                }
+                m.set_extra_latency(extra);
+                let dev = spmv::setup_spmv(&mut m, mat, &sell);
+                if maxvl == 0 {
+                    spmv::spmv_scalar(&mut m, &dev);
+                } else {
+                    spmv::spmv_vector_sell(&mut m, &dev);
+                }
+                m.finish()
+            },
+        ) as f64
     };
     run(lat) / run(0)
 }
 
-fn bfs_slowdown(g: &Graph, maxvl: usize, lat: u64) -> f64 {
+fn bfs_slowdown(g: &Graph, family: &str, maxvl: usize, lat: u64, ctx: Option<&CacheContext>) -> f64 {
     let run = |extra: u64| {
-        let mut m = SdvMachine::new(256 << 20);
-        if maxvl > 0 {
-            m.set_maxvl_cap(maxvl);
-        }
-        m.set_extra_latency(extra);
-        let dev = bfs::setup_bfs(&mut m, g, 256, 0);
-        if maxvl == 0 {
-            bfs::bfs_scalar(&mut m, &dev);
-        } else {
-            bfs::bfs_vector(&mut m, &dev);
-        }
-        m.finish() as f64
+        cached_cycles(
+            ctx,
+            &format!("BFS-inputs/vl={maxvl}"),
+            &format!("family={family} n={} lat={extra}", g.n),
+            &TimingConfig::default(),
+            || {
+                let mut m = SdvMachine::new(256 << 20);
+                if maxvl > 0 {
+                    m.set_maxvl_cap(maxvl);
+                }
+                m.set_extra_latency(extra);
+                let dev = bfs::setup_bfs(&mut m, g, 256, 0);
+                if maxvl == 0 {
+                    bfs::bfs_scalar(&mut m, &dev);
+                } else {
+                    bfs::bfs_vector(&mut m, &dev);
+                }
+                m.finish()
+            },
+        ) as f64
     };
     run(lat) / run(0)
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let ctx = cli::open_cache_context_tagged("inputs_study", &args, "families");
     let (n, gn, lat) = if small { (1200, 11, 512u64) } else { (11397, 15, 1024) };
 
     // SpMV across matrix families (maxvl == 0 encodes the scalar run).
@@ -67,7 +90,7 @@ fn main() {
         .map(|(name, mat)| {
             let cells = impls
                 .iter()
-                .map(|&(_, vl)| slowdown_cell(spmv_slowdown(mat, vl, lat)))
+                .map(|&(_, vl)| slowdown_cell(spmv_slowdown(mat, name, vl, lat, ctx.as_ref())))
                 .collect();
             (name.to_string(), cells)
         })
@@ -91,7 +114,10 @@ fn main() {
         .iter()
         .map(|(name, g)| {
             let cells =
-                impls.iter().map(|&(_, vl)| slowdown_cell(bfs_slowdown(g, vl, lat))).collect();
+                impls
+                    .iter()
+                    .map(|&(_, vl)| slowdown_cell(bfs_slowdown(g, name, vl, lat, ctx.as_ref())))
+                    .collect();
             (name.to_string(), cells)
         })
         .collect();

@@ -7,15 +7,17 @@
 //! (more lanes only shorten the arithmetic occupancy, which is not the
 //! bottleneck), so the FPGA-SDV's 8 lanes are a sensible design point.
 //!
-//! Usage: `lanes_study [--small]`
+//! Usage: `lanes_study [--small] [--cache | --cache-dir DIR]`
 
 use sdv_bench::table::render;
-use sdv_bench::{run_with_config, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
 use sdv_uarch::TimingConfig;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("lanes_study", &args, &w);
     let lane_counts = [2usize, 4, 8, 16, 32];
     let headers: Vec<String> = lane_counts.iter().map(|l| format!("{l} lanes")).collect();
 
@@ -33,7 +35,7 @@ fn main() {
                         extra_latency: 0,
                         bandwidth: 64,
                     };
-                    format!("{}", run_with_config(&w, cell, cfg).cycles)
+                    format!("{}", run_with_config_cached(&w, cell, cfg, ctx.as_ref()).cycles)
                 })
                 .collect();
             (kernel.name().to_string(), cells)

@@ -79,6 +79,12 @@ const BIN: &str = "perf_baseline";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    cli::reject_sweep_acceleration(
+        BIN,
+        &args,
+        "perf_baseline measures this process's wall-clock; replaying cached \
+         or remote results would report the cache's speed, not the simulator's",
+    );
     let smoke = args.iter().any(|a| a == "--smoke");
     let threads = match cli::parse_arg::<usize>(&args, "--threads") {
         Ok(Some(0)) => cli::die_usage(BIN, "--threads must be positive"),
@@ -610,6 +616,24 @@ fn print_human(
     }
 }
 
+/// The host this baseline was measured on: CPU model (from `/proc/cpuinfo`,
+/// `unknown` elsewhere) and logical core count. Wall-clock numbers are only
+/// comparable across runs on the same host — recording it makes a baseline
+/// self-describing instead of a trap.
+fn host_info() -> (String, usize) {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|s| s.trim().replace(['"', '\\'], " "))
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (cpu, cores)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     label: &str,
@@ -634,6 +658,9 @@ fn render_json(
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str(&format!("  \"backend\": \"{backend}\",\n"));
+    s.push_str(&format!("  \"build\": \"{}\",\n", sdv_engine::build_info()));
+    let (cpu, cores) = host_info();
+    s.push_str(&format!("  \"host\": {{\"cpu\": \"{cpu}\", \"cores\": {cores}}},\n"));
     s.push_str("  \"workload\": \"small\",\n");
     s.push_str("  \"cells\": [\n");
     for (i, r) in reports.iter().enumerate() {

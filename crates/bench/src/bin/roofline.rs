@@ -8,10 +8,11 @@
 //! kernels sit on or near the memory roof — they are exactly the workloads
 //! where the bandwidth/latency knobs matter.
 //!
-//! Usage: `roofline [--small] [--bw N]`
+//! Usage: `roofline [--small] [--bw N] [--cache | --cache-dir DIR]`
 
 use sdv_bench::table::render;
-use sdv_bench::{run, Cell, ImplKind, KernelKind, Workloads};
+use sdv_bench::{cli, run_with_config_cached, Cell, ImplKind, KernelKind, Workloads};
+use sdv_uarch::TimingConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +23,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map_or(64, |v| v.parse().expect("--bw N"));
     let w = if small { Workloads::small() } else { Workloads::paper() };
+    let ctx = cli::open_cache_context("roofline", &args, &w);
 
     let lanes_peak = 8.0; // FLOP/cycle at SEW=64 (8 lanes, 1 op each)
     println!("machine roofs: compute {lanes_peak:.0} FLOP/cy, memory {bw} B/cy\n");
@@ -33,7 +35,12 @@ fn main() {
         let rows: Vec<(String, Vec<String>)> = KernelKind::all()
             .into_iter()
             .map(|kernel| {
-                let r = run(&w, Cell { kernel, imp, extra_latency: 0, bandwidth: bw });
+                let r = run_with_config_cached(
+                    &w,
+                    Cell { kernel, imp, extra_latency: 0, bandwidth: bw },
+                    TimingConfig::default(),
+                    ctx.as_ref(),
+                );
                 // Scalar fp ops are mostly FMAs (2 FLOPs); vector fp element
                 // ops likewise. Factor 2 is the roofline convention.
                 let flops = 2.0

@@ -1,0 +1,213 @@
+//! SWEEPD — the long-running sweep job server (and its control client).
+//!
+//! Usage:
+//!
+//! * `sweepd serve [--addr A] [--small] [--threads N] [--cache|--cache-dir D]
+//!   [--backend scalar|simd] [--probe-sampling] [--watchdog] [--cycle-budget N]`
+//!   — run the server until a `shutdown` request. Holds the workload arrays,
+//!   pooled machines, and result memo resident; every unique cell is
+//!   simulated at most once for the server's lifetime.
+//! * `sweepd submit [--addr A] [--small] [--backend B] [--probe-sampling]
+//!   [--watchdog] [--cycle-budget N] --cells "SPMV,scalar,0,64;FFT,vl=256,128,64"`
+//!   — submit a grid and stream results to stdout as
+//!   `kernel,impl,extra_latency,bandwidth,cycles` lines (completion order).
+//!   The submitted workload/config identity must match the server's.
+//! * `sweepd ping|stats|shutdown [--addr A]` — control ops.
+//! * `sweepd gc [--cache-dir D] --max-bytes N` — evict least-recently-used
+//!   cache entries until the cache fits the budget; corrupt entries are
+//!   always deleted.
+//!
+//! The wire protocol is line-delimited JSON; see EXPERIMENTS.md.
+
+use sdv_bench::json::Json;
+use sdv_bench::{cli, server, Cell, CellOutcome, ResultCache, Workloads};
+use sdv_uarch::TimingConfig;
+
+const BIN: &str = "sweepd";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1).map(String::as_str) else {
+        cli::die_usage(BIN, "usage: sweepd serve|submit|ping|stats|shutdown|gc [flags]");
+    };
+    let addr = match cli::parse_arg::<String>(&args, "--addr") {
+        Ok(v) => v.unwrap_or_else(|| server::DEFAULT_ADDR.to_string()),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    match cmd {
+        "serve" => serve(&args, &addr),
+        "submit" => submit(&args, &addr),
+        "ping" | "stats" => control(cmd, &addr),
+        "shutdown" => control("shutdown", &addr),
+        "gc" => gc(&args),
+        other => cli::die_usage(BIN, &format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// The timing configuration shared by `serve` and `submit` — both sides
+/// must derive it from the same flags or the server will (correctly)
+/// reject the sweep.
+fn timing_config(args: &[String]) -> TimingConfig {
+    let mut cfg = cli::hardening_config(args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    if args.iter().any(|a| a == "--probe-sampling") {
+        cfg.probe = sdv_engine::ProbeConfig::sampling();
+    }
+    cfg
+}
+
+fn serve(args: &[String], addr: &str) {
+    let small = args.iter().any(|a| a == "--small");
+    let threads = match cli::parse_arg::<usize>(args, "--threads") {
+        Ok(Some(0)) => cli::die_usage(BIN, "--threads must be positive"),
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let cache = cli::cache_dir(BIN, args).map(|dir| match ResultCache::open(&dir) {
+        Ok(c) => c,
+        Err(e) => cli::die_bad_input(BIN, &e.to_string()),
+    });
+    let sc = server::ServerConfig {
+        workload: if small { "small" } else { "paper" }.to_string(),
+        cfg: timing_config(args),
+        backend: cli::parse_backend(args).unwrap_or_else(|e| cli::die_usage(BIN, &e)),
+        threads,
+        cache,
+    };
+    let listener = std::net::TcpListener::bind(addr)
+        .unwrap_or_else(|e| cli::die_bad_input(BIN, &format!("cannot bind {addr}: {e}")));
+    let local = listener.local_addr().map_or_else(|_| addr.to_string(), |a| a.to_string());
+    eprintln!(
+        "{BIN}: serving workload '{}' on {local} ({} threads, build {})",
+        sc.workload,
+        sc.threads,
+        sdv_engine::build_info()
+    );
+    if let Err(e) = server::serve(listener, sc) {
+        cli::die_bad_input(BIN, &format!("server failed: {e}"));
+    }
+    eprintln!("{BIN}: shut down cleanly");
+}
+
+fn submit(args: &[String], addr: &str) {
+    let small = args.iter().any(|a| a == "--small");
+    let cells_spec = match cli::parse_arg::<String>(args, "--cells") {
+        Ok(Some(s)) => s,
+        Ok(None) => cli::die_usage(BIN, "submit needs --cells \"KERNEL,impl,lat,bw;...\""),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let cells: Vec<Cell> = cells_spec
+        .split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(|spec| {
+            parse_cell(spec.trim())
+                .unwrap_or_else(|e| cli::die_usage(BIN, &format!("--cells: '{spec}': {e}")))
+        })
+        .collect();
+    if cells.is_empty() {
+        cli::die_usage(BIN, "--cells named no cells");
+    }
+    let backend = cli::parse_backend(args).unwrap_or_else(|e| cli::die_usage(BIN, &e));
+    let cfg = timing_config(args);
+    let w = if small { Workloads::small() } else { Workloads::paper() };
+    let mut failures = 0usize;
+    let summary = server::client_sweep(
+        addr,
+        if small { "small" } else { "paper" },
+        &w.fingerprint(),
+        &cfg.canonical(),
+        backend,
+        &cells,
+        |out| {
+            let c = out.cell();
+            match &out {
+                CellOutcome::Done(r) => println!(
+                    "{},{},{},{},{}",
+                    c.kernel.name(),
+                    c.imp,
+                    c.extra_latency,
+                    c.bandwidth,
+                    r.cycles
+                ),
+                CellOutcome::Failed { error, .. } => {
+                    failures += 1;
+                    eprintln!(
+                        "{BIN}: cell {}/{} (+{} latency, {} B/cy) FAILED: {error}",
+                        c.kernel.name(),
+                        c.imp,
+                        c.extra_latency,
+                        c.bandwidth
+                    );
+                }
+            }
+        },
+    );
+    match summary {
+        Ok(s) => {
+            eprintln!(
+                "{BIN}: {} unique cells; server lifetime: {} simulated, {} cache hits",
+                s.cells, s.simulated, s.cache_hits
+            );
+            if failures > 0 {
+                std::process::exit(cli::EXIT_SIM_FAULT);
+            }
+        }
+        Err(e) => {
+            eprintln!("{BIN}: {e}");
+            std::process::exit(cli::exit_code_for(&e));
+        }
+    }
+}
+
+/// `KERNEL,impl,extra_latency,bandwidth` — the checkpoint line format
+/// without the trailing cycles column.
+fn parse_cell(spec: &str) -> Result<Cell, String> {
+    let fields: Vec<&str> = spec.split(',').collect();
+    if fields.len() != 4 {
+        return Err(format!("expected 4 comma-separated fields, found {}", fields.len()));
+    }
+    Ok(Cell {
+        kernel: fields[0].parse()?,
+        imp: fields[1].parse()?,
+        extra_latency: fields[2]
+            .parse()
+            .map_err(|_| format!("bad extra_latency '{}'", fields[2]))?,
+        bandwidth: fields[3].parse().map_err(|_| format!("bad bandwidth '{}'", fields[3]))?,
+    })
+}
+
+fn control(op: &str, addr: &str) {
+    match server::client_request(addr, op) {
+        Ok(v) => {
+            if let Json::Obj(fields) = &v {
+                for (k, val) in fields {
+                    println!("{k:<12} {}", val.to_line().trim_matches('"'));
+                }
+            } else {
+                println!("{}", v.to_line());
+            }
+        }
+        Err(e) => {
+            eprintln!("{BIN}: {e}");
+            std::process::exit(cli::exit_code_for(&e));
+        }
+    }
+}
+
+fn gc(args: &[String]) {
+    let max_bytes = match cli::parse_arg::<u64>(args, "--max-bytes") {
+        Ok(Some(n)) => n,
+        Ok(None) => cli::die_usage(BIN, "gc needs --max-bytes N"),
+        Err(e) => cli::die_usage(BIN, &e),
+    };
+    let dir = cli::cache_dir(BIN, args).unwrap_or_else(|| cli::DEFAULT_CACHE_DIR.into());
+    let cache = ResultCache::open(&dir)
+        .unwrap_or_else(|e| cli::die_bad_input(BIN, &e.to_string()));
+    let s = cache.gc(max_bytes);
+    println!("cache gc: {}", dir.display());
+    println!("  {:<18} {}", "entries scanned", s.scanned);
+    println!("  {:<18} {}", "evicted (LRU)", s.evicted);
+    println!("  {:<18} {}", "corrupt deleted", s.corrupt);
+    println!("  {:<18} {}", "bytes before", s.bytes_before);
+    println!("  {:<18} {}", "bytes after", s.bytes_after);
+}

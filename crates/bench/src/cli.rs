@@ -9,7 +9,7 @@
 //! * exit [`EXIT_SIM_FAULT`] (4) — the simulation itself failed: watchdog
 //!   deadlock, cycle budget, invariant violation, or an isolated panic.
 
-use crate::{CellOutcome, Checkpoint};
+use crate::{CacheContext, CellOutcome, Checkpoint, ResultCache, Sweeper, Workloads};
 use sdv_engine::{FaultKind, FaultPlan, SimError};
 use sdv_rvv::Backend;
 use sdv_uarch::{TimingConfig, WatchdogConfig};
@@ -108,6 +108,81 @@ pub fn parse_backend(args: &[String]) -> Result<Backend, String> {
         }
         Some(v) => Backend::parse(v)
             .ok_or_else(|| format!("--backend: bad value '{v}' (expected 'scalar' or 'simd')")),
+    }
+}
+
+/// Default root of the persistent result cache.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// The cache directory selected by `--cache` / `--cache-dir DIR`, if any.
+/// `--cache` uses [`DEFAULT_CACHE_DIR`]; `--cache-dir` implies `--cache`.
+pub fn cache_dir(bin: &str, args: &[String]) -> Option<std::path::PathBuf> {
+    match parse_arg::<String>(args, "--cache-dir") {
+        Ok(Some(dir)) => Some(dir.into()),
+        Ok(None) => args.iter().any(|a| a == "--cache").then(|| DEFAULT_CACHE_DIR.into()),
+        Err(e) => die_usage(bin, &e),
+    }
+}
+
+/// Wire the shared sweep-acceleration flags into a [`Sweeper`]:
+///
+/// * `--cache` / `--cache-dir DIR` — consult (and fill) the persistent
+///   result cache before simulating,
+/// * `--server ADDR` — ship the grid to a running `sweepd` instead of
+///   simulating locally. `workload` is the standard-workload name
+///   (`small`/`paper`) the server must hold; binaries with custom inputs
+///   must not pass this helper a name their inputs don't match.
+///
+/// Both may be given; remote mode wins (the server has its own cache).
+pub fn configure_sweeper(bin: &str, args: &[String], sweeper: &mut Sweeper, workload: &str) {
+    if let Some(dir) = cache_dir(bin, args) {
+        match ResultCache::open(&dir) {
+            Ok(c) => sweeper.set_cache(c),
+            Err(e) => die_bad_input(bin, &e.to_string()),
+        }
+    }
+    match parse_arg::<String>(args, "--server") {
+        Ok(Some(addr)) => sweeper.set_remote(&addr, workload),
+        Ok(None) => {}
+        Err(e) => die_usage(bin, &e),
+    }
+}
+
+/// Open the `--cache`/`--cache-dir` flags into a [`CacheContext`] over the
+/// standard workloads — for binaries that drive
+/// [`run_with_config_cached`](crate::run_with_config_cached) directly
+/// instead of a [`Sweeper`]. Returns `None` when caching was not requested.
+pub fn open_cache_context(bin: &str, args: &[String], w: &Workloads) -> Option<CacheContext> {
+    cache_dir(bin, args).map(|dir| match ResultCache::open(&dir) {
+        Ok(c) => CacheContext::new(c, w),
+        Err(e) => die_bad_input(bin, &e.to_string()),
+    })
+}
+
+/// [`open_cache_context`] for binaries with custom (non-[`Workloads`])
+/// inputs: `input_fp` must determine the input content — a fixed tag is
+/// sound only if every generator parameter lands in the key's
+/// `program`/`knobs` strings (see [`CacheContext::with_fingerprint`]).
+pub fn open_cache_context_tagged(
+    bin: &str,
+    args: &[String],
+    input_fp: &str,
+) -> Option<CacheContext> {
+    cache_dir(bin, args).map(|dir| match ResultCache::open(&dir) {
+        Ok(c) => CacheContext::with_fingerprint(c, input_fp.to_string()),
+        Err(e) => die_bad_input(bin, &e.to_string()),
+    })
+}
+
+/// Exit with a usage error if the sweep-acceleration flags are present —
+/// for binaries where cached or remote results would be *wrong*:
+/// `perf_baseline` measures this process's wall-clock, `chaos_smoke`
+/// exercises fault injection (failures are never cached by design).
+pub fn reject_sweep_acceleration(bin: &str, args: &[String], why: &str) {
+    for flag in ["--cache", "--cache-dir", "--server"] {
+        if args.iter().any(|a| a == flag) {
+            die_usage(bin, &format!("{flag} is not supported: {why}"));
+        }
     }
 }
 

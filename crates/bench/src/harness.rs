@@ -1,7 +1,8 @@
 //! The experiment runner.
 
+use crate::cache::{CacheKey, ResultCache};
 use sdv_core::{SdvMachine, Vm};
-use sdv_engine::{SimError, Stats};
+use sdv_engine::{SimError, StableHash, Stats};
 use sdv_rvv::Backend;
 use sdv_kernels::fft::{self, Complexes};
 use sdv_kernels::{bfs, pagerank, spmv, CsrMatrix, Graph, SellCS};
@@ -160,6 +161,44 @@ impl Workloads {
             heap: 96 << 20,
         }
     }
+
+    /// A 32-hex content fingerprint of every input a cycle count depends on.
+    ///
+    /// This is the workload half of the persistent cache key, and what the
+    /// `sweepd` protocol compares to prove client and server built the same
+    /// inputs. It hashes the actual data — matrix structure and values,
+    /// SELL-C-σ layout, graph adjacency, FFT signal — not the generator
+    /// seeds, so any change to workload construction is key-visible. The
+    /// struct is exhaustively destructured: adding an input field without
+    /// fingerprinting it is a compile error.
+    pub fn fingerprint(&self) -> String {
+        let Workloads { mat, sell, graph, signal, bfs_src, pr_iters, heap } = self;
+        let mut h = StableHash::new();
+        let CsrMatrix { nrows, ncols, row_ptr, col_idx, vals } = mat;
+        h.u64(*nrows as u64);
+        h.u64(*ncols as u64);
+        h.u32s(row_ptr);
+        h.u32s(col_idx);
+        h.f64s(vals);
+        let SellCS { c, nrows, perm, slice_ptr, slice_width, cols, vals } = sell;
+        h.u64(*c as u64);
+        h.u64(*nrows as u64);
+        h.u32s(perm);
+        h.u64s(slice_ptr);
+        h.u32s(slice_width);
+        h.u32s(cols);
+        h.f64s(vals);
+        let Graph { n, row_ptr, adj } = graph;
+        h.u64(*n as u64);
+        h.u32s(row_ptr);
+        h.u32s(adj);
+        h.f64s(&signal.0);
+        h.f64s(&signal.1);
+        h.u64(*bfs_src as u64);
+        h.u64(*pr_iters as u64);
+        h.u64(*heap as u64);
+        h.finish_hex()
+    }
 }
 
 /// One grid cell: what to run and under which knob settings.
@@ -237,6 +276,26 @@ impl CellOutcome {
 pub fn run_with_config(w: &Workloads, cell: Cell, cfg: TimingConfig) -> RunResult {
     let mut m = SdvMachine::with_config(w.heap, cfg);
     run_on(&mut m, w, cell, cfg, Backend::default())
+}
+
+/// [`run_with_config`] through an optional result cache: consults the
+/// context first, simulates and stores on a miss, and passes straight
+/// through when no cache was requested. Failures (which panic here, as in
+/// [`run_with_config`]) are never cached.
+pub fn run_with_config_cached(
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+    ctx: Option<&crate::cache::CacheContext>,
+) -> RunResult {
+    let Some(ctx) = ctx else { return run_with_config(w, cell, cfg) };
+    let key = ctx.cell_key(cell, &cfg, Backend::default());
+    if let Some(hit) = ctx.cache().load(&key) {
+        return RunResult { cell, cycles: hit.cycles, stats: hit.stats };
+    }
+    let r = run_with_config(w, cell, cfg);
+    ctx.cache().store(&key, r.cycles, &r.stats);
+    r
 }
 
 /// Fallible variant of [`run_with_config`]: surfaces watchdog and audit
@@ -363,7 +422,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// the pooled machine in an unknown state, so the slot is cleared and the
 /// next cell on this worker rebuilds it; the panic becomes a structured
 /// [`SimError::Panic`] outcome instead of tearing down the whole grid.
-fn run_guarded(
+pub(crate) fn run_guarded(
     slot: &mut Option<SdvMachine>,
     w: &Workloads,
     cell: Cell,
@@ -458,6 +517,20 @@ pub struct Sweeper {
     memo: std::collections::HashMap<Cell, CellOutcome>,
     cfg: TimingConfig,
     backend: Backend,
+    cache: Option<ResultCache>,
+    remote: Option<RemoteSweep>,
+    input_fp: Option<String>,
+    fresh_simulations: std::sync::atomic::AtomicUsize,
+}
+
+/// Where a remote-mode sweep sends its cells: a `sweepd` server address plus
+/// the workload name (`small` / `paper`) the server must be holding.
+#[derive(Debug, Clone)]
+pub struct RemoteSweep {
+    /// `host:port` of the `sweepd` server.
+    pub addr: String,
+    /// Workload name the server was started with.
+    pub workload: String,
 }
 
 impl Default for Sweeper {
@@ -481,7 +554,40 @@ impl Sweeper {
             memo: std::collections::HashMap::new(),
             cfg,
             backend: Backend::default(),
+            cache: None,
+            remote: None,
+            input_fp: None,
+            fresh_simulations: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Attach a persistent result cache: every cell is looked up before
+    /// simulating and stored after (completed cells only). Cache hits count
+    /// as simulated for [`Sweeper::cells_simulated`] purposes — they fill
+    /// the memo exactly like a run — but skip the actual simulation.
+    pub fn set_cache(&mut self, cache: ResultCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Route every sweep to a `sweepd` server instead of simulating locally.
+    /// The server must hold the same workload (name *and* content
+    /// fingerprint) and the same canonical timing configuration; mismatches
+    /// come back as [`SimError::Remote`] outcomes, never as wrong numbers.
+    pub fn set_remote(&mut self, addr: &str, workload: &str) {
+        self.remote = Some(RemoteSweep { addr: addr.to_string(), workload: workload.to_string() });
+    }
+
+    /// Cells actually simulated by this process (memo/cache/remote hits
+    /// excluded). The `sweepd` smoke test uses this to prove exactly-once
+    /// simulation under duplicate-heavy load.
+    pub fn fresh_simulations(&self) -> usize {
+        self.fresh_simulations.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The workload fingerprint used in cache keys, computed once per
+    /// sweeper (one `Sweeper` serves one [`Workloads`]).
+    fn input_fingerprint(&mut self, w: &Workloads) -> String {
+        self.input_fp.get_or_insert_with(|| w.fingerprint()).clone()
     }
 
     /// Select the vector execution backend for every subsequent cell
@@ -527,18 +633,13 @@ impl Sweeper {
     }
 
     /// Run one cell sequentially on the pooled machine, reporting failures
-    /// as a structured outcome instead of panicking.
+    /// as a structured outcome instead of panicking. Routes through the
+    /// attached cache or remote server like a sweep would.
     pub fn try_run_cell(&mut self, w: &Workloads, cell: Cell) -> CellOutcome {
         if let Some(r) = self.memo.get(&cell) {
             return r.clone();
         }
-        self.ensure_slots(1);
-        let out = {
-            let mut slot = self.machines[0].lock().unwrap();
-            run_guarded(&mut slot, w, cell, self.cfg, self.backend)
-        };
-        self.memo.insert(cell, out.clone());
-        out
+        self.sweep_outcomes_with(w, &[cell], 1, |_| {}).pop().expect("one cell in, one out")
     }
 
     /// Run a grid of cells across OS threads, reusing pooled machines and
@@ -592,6 +693,9 @@ impl Sweeper {
                 todo.push(*c);
             }
         }
+        if let Some(remote) = self.remote.clone() {
+            return self.sweep_remote(&remote, w, cells, todo, &on_cell);
+        }
         // Long-pole-first schedule: start the predicted-slowest cells first
         // so no worker is left simulating a multi-second cell alone at the
         // end of the grid (makespan, not throughput, bounds a sweep). The
@@ -600,6 +704,11 @@ impl Sweeper {
         todo.sort_by_key(|c| std::cmp::Reverse(predicted_cost(c)));
         let workers = threads.min(todo.len().max(1));
         self.ensure_slots(workers);
+        // Cache keys need the workload fingerprint and canonical config;
+        // compute them once, outside the workers (the fingerprint hashes
+        // every input array).
+        let key_ctx: Option<(String, String)> =
+            self.cache.is_some().then(|| (self.input_fingerprint(w), self.cfg.canonical()));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<Option<CellOutcome>>> =
             (0..todo.len()).map(|_| std::sync::Mutex::new(None)).collect();
@@ -608,6 +717,9 @@ impl Sweeper {
         let cfg = self.cfg;
         let backend = self.backend;
         let on_cell = &on_cell;
+        let cache = self.cache.as_ref();
+        let key_ctx = key_ctx.as_ref();
+        let fresh = &self.fresh_simulations;
         std::thread::scope(|s| {
             for machine in machines.iter().take(workers) {
                 let slots = &slots;
@@ -622,7 +734,15 @@ impl Sweeper {
                         if i >= todo_ref.len() {
                             break;
                         }
-                        let out = run_guarded(&mut guard, w, todo_ref[i], cfg, backend);
+                        let out = run_cached(
+                            cache.zip(key_ctx),
+                            &mut guard,
+                            w,
+                            todo_ref[i],
+                            cfg,
+                            backend,
+                            fresh,
+                        );
                         on_cell(&out);
                         *slots[i].lock().unwrap() = Some(out);
                     }
@@ -635,6 +755,77 @@ impl Sweeper {
         }
         cells.iter().map(|c| self.memo[c].clone()).collect()
     }
+
+    /// Remote-mode sweep: ship the deduplicated grid to the `sweepd` server
+    /// and absorb the streamed results. Cells the server never returned
+    /// (transport drop, server-side rejection) become structured
+    /// [`SimError::Remote`] failures — the grid never silently loses cells.
+    fn sweep_remote(
+        &mut self,
+        remote: &RemoteSweep,
+        w: &Workloads,
+        cells: &[Cell],
+        todo: Vec<Cell>,
+        on_cell: &(impl Fn(&CellOutcome) + Sync),
+    ) -> Vec<CellOutcome> {
+        let input_fp = self.input_fingerprint(w);
+        let cfg_text = self.cfg.canonical();
+        let mut got: std::collections::HashMap<Cell, CellOutcome> = std::collections::HashMap::new();
+        let transport = crate::server::client_sweep(
+            &remote.addr,
+            &remote.workload,
+            &input_fp,
+            &cfg_text,
+            self.backend,
+            &todo,
+            |out| {
+                on_cell(&out);
+                got.insert(out.cell(), out);
+            },
+        );
+        let why = transport.err().map(|e| e.to_string());
+        for c in todo {
+            let out = got.remove(&c).unwrap_or_else(|| CellOutcome::Failed {
+                cell: c,
+                error: SimError::Remote {
+                    what: why
+                        .clone()
+                        .unwrap_or_else(|| "server did not return this cell".to_string()),
+                },
+            });
+            self.memo.insert(c, out);
+        }
+        cells.iter().map(|c| self.memo[c].clone()).collect()
+    }
+}
+
+/// One worker-side cell execution: consult the cache (when attached), fall
+/// back to an isolated simulation, and persist completed results. Failures
+/// are never cached — a failing cell re-runs next time, keeping its
+/// diagnostic reproducible (the same policy the resume checkpoints use).
+fn run_cached(
+    cache: Option<(&ResultCache, &(String, String))>,
+    slot: &mut Option<SdvMachine>,
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+    backend: Backend,
+    fresh: &std::sync::atomic::AtomicUsize,
+) -> CellOutcome {
+    let key = cache.map(|(cache, (input_fp, cfg_text))| {
+        (cache, CacheKey::for_cell(cell, input_fp, cfg_text, backend))
+    });
+    if let Some((cache, key)) = &key {
+        if let Some(hit) = cache.load(key) {
+            return CellOutcome::Done(RunResult { cell, cycles: hit.cycles, stats: hit.stats });
+        }
+    }
+    let out = run_guarded(slot, w, cell, cfg, backend);
+    fresh.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if let (Some((cache, key)), CellOutcome::Done(r)) = (&key, &out) {
+        cache.store(key, r.cycles, &r.stats);
+    }
+    out
 }
 
 /// Relative host-cost estimate for scheduling (arbitrary units). Calibrated
@@ -642,7 +833,7 @@ impl Sweeper {
 /// (PageRank > BFS >> SpMV > FFT), short-vector and scalar implementations
 /// cost the most host work per cell, and extra DRAM latency grows the
 /// simulated cycle count without changing the host work much.
-fn predicted_cost(c: &Cell) -> u64 {
+pub(crate) fn predicted_cost(c: &Cell) -> u64 {
     let kernel: u64 = match c.kernel {
         KernelKind::Pr => 24,
         KernelKind::Bfs => 14,

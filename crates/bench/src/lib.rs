@@ -13,17 +13,22 @@
 //! * binaries `fig3_latency`, `fig4_slowdown`, `fig5_bandwidth` print the
 //!   paper's figures; `ablation_*` cover the design-choice studies.
 
+pub mod cache;
 pub mod checkpoint;
 pub mod cli;
 pub mod harness;
+pub mod json;
 pub mod metrics;
 pub mod plot;
+pub mod server;
 pub mod table;
 
+pub use cache::{cached_cycles, CacheContext, CacheKey, CachedResult, GcSummary, ResultCache};
 pub use checkpoint::Checkpoint;
 pub use harness::{
-    run, run_functional_only, run_spmv_variant, run_with_config, sweep, try_run_traced,
-    try_run_with_config, Cell, CellOutcome, ImplKind, KernelKind, RunResult, SpmvVariant, Sweeper,
-    Workloads,
+    run, run_functional_only, run_spmv_variant, run_with_config, run_with_config_cached, sweep,
+    try_run_traced, try_run_with_config, Cell, CellOutcome, ImplKind, KernelKind, RemoteSweep,
+    RunResult, SpmvVariant, Sweeper, Workloads,
 };
 pub use metrics::StallBreakdown;
+pub use server::{serve, ServerConfig, DEFAULT_ADDR};

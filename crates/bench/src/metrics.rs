@@ -80,7 +80,11 @@ impl StallBreakdown {
 /// Render cell outcomes as an `sdv-metrics-v1` JSON document.
 pub fn metrics_json(bin: &str, outcomes: &[CellOutcome]) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{{\"schema\":\"sdv-metrics-v1\",\"bin\":\"{bin}\",\"cells\":[");
+    let _ = write!(
+        out,
+        "{{\"schema\":\"sdv-metrics-v1\",\"bin\":\"{bin}\",\"build\":\"{}\",\"cells\":[",
+        sdv_engine::build_info()
+    );
     for (i, o) in outcomes.iter().enumerate() {
         if i > 0 {
             out.push(',');

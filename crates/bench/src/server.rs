@@ -1,0 +1,537 @@
+//! The `sweepd` sweep service: a long-running simulation job server.
+//!
+//! Figure regeneration is dominated by repeated, overlapping sweep grids —
+//! the ROADMAP names "the simulator as a long-running, sharded server" as
+//! the way to absorb that traffic at near-zero marginal cost. `sweepd`
+//! keeps the expensive state resident (workload arrays, pooled machines,
+//! warm memo) and serves cells over a local TCP socket:
+//!
+//! * **protocol** — line-delimited JSON (hand-rolled, [`crate::json`]); one
+//!   request object per line, one response object per line. Ops: `ping`,
+//!   `stats`, `sweep`, `shutdown`.
+//! * **dedup** — a cell is simulated at most once for the server's
+//!   lifetime: requests check the result memo, the in-flight set, and the
+//!   queue before enqueueing, so duplicate-heavy concurrent clients share
+//!   work instead of repeating it.
+//! * **scheduling** — workers always pick the queued cell with the highest
+//!   predicted host cost (the same long-pole-first policy the in-process
+//!   [`Sweeper`](crate::Sweeper) uses), bounding grid makespan.
+//! * **streaming** — sweep results are written back in completion order as
+//!   they land, followed by a `done` summary line.
+//! * **honesty** — a sweep request carries the client's workload name,
+//!   workload content fingerprint, and canonical config text; the server
+//!   verifies all three (and the backend) against its own and rejects
+//!   mismatches outright. A `sweepd` answer is either bit-identical to a
+//!   local simulation or an explicit error — never a silently-wrong number.
+//!
+//! Every cell outcome is also backed by the persistent
+//! [`ResultCache`](crate::ResultCache) when one is attached, so results
+//! survive server restarts.
+
+use crate::cache::{backend_name, CacheKey, ResultCache};
+use crate::harness::{predicted_cost, run_guarded, Cell, CellOutcome, RunResult, Workloads};
+use crate::json::Json;
+use sdv_core::SdvMachine;
+use sdv_engine::{SimError, Stats};
+use sdv_rvv::Backend;
+use sdv_uarch::TimingConfig;
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default listen address: loopback only — `sweepd` trusts its clients.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7745";
+
+/// Everything a server instance is configured with.
+pub struct ServerConfig {
+    /// Which standard workload the server holds (`"small"` or `"paper"`).
+    pub workload: String,
+    /// Timing configuration every cell runs under.
+    pub cfg: TimingConfig,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Worker threads (pooled machines).
+    pub threads: usize,
+    /// Optional persistent cache behind the in-memory memo.
+    pub cache: Option<ResultCache>,
+}
+
+struct Shared {
+    w: Workloads,
+    workload: String,
+    input_fp: String,
+    cfg: TimingConfig,
+    cfg_text: String,
+    backend: Backend,
+    cache: Option<ResultCache>,
+    state: Mutex<State>,
+    /// Workers sleep here waiting for queued cells.
+    work: Condvar,
+    /// Request handlers sleep here waiting for completed cells.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct State {
+    queue: Vec<Cell>,
+    inflight: HashSet<Cell>,
+    results: HashMap<Cell, CellOutcome>,
+    /// Cells this server actually simulated (the exactly-once counter).
+    simulated: u64,
+    /// Cells answered from the persistent cache.
+    cache_hits: u64,
+    /// Result lines streamed to clients (counts duplicates).
+    served: u64,
+    shutdown: bool,
+}
+
+/// Run the server until a `shutdown` request arrives. Blocks the calling
+/// thread; returns once every worker has drained. The listener is taken
+/// pre-bound so callers (and tests) can bind port 0 and read the real
+/// address first.
+pub fn serve(listener: TcpListener, sc: ServerConfig) -> std::io::Result<()> {
+    let w = match sc.workload.as_str() {
+        "small" => Workloads::small(),
+        "paper" => Workloads::paper(),
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unknown workload '{other}' (expected 'small' or 'paper')"),
+            ));
+        }
+    };
+    let shared = Arc::new(Shared {
+        input_fp: w.fingerprint(),
+        w,
+        workload: sc.workload,
+        cfg_text: sc.cfg.canonical(),
+        cfg: sc.cfg,
+        backend: sc.backend,
+        cache: sc.cache,
+        state: Mutex::new(State::default()),
+        work: Condvar::new(),
+        done: Condvar::new(),
+    });
+    let workers: Vec<_> = (0..sc.threads.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker(&shared))
+        })
+        .collect();
+    let local = listener.local_addr()?;
+    for conn in listener.incoming() {
+        if shared.state.lock().unwrap().shutdown {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sweepd: accept failed: {e}");
+                continue;
+            }
+        };
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            if let Err(e) = handle_connection(&shared, stream, local) {
+                // Client went away mid-stream: their problem, not ours.
+                eprintln!("sweepd: connection error: {e}");
+            }
+        });
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// One worker: owns one pooled machine, drains the queue long-pole-first.
+fn worker(shared: &Shared) {
+    let mut slot: Option<SdvMachine> = None;
+    loop {
+        let cell = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(i) = (0..st.queue.len()).max_by_key(|&i| predicted_cost(&st.queue[i]))
+                {
+                    let c = st.queue.swap_remove(i);
+                    st.inflight.insert(c);
+                    break c;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let key = shared
+            .cache
+            .as_ref()
+            .map(|c| (c, CacheKey::for_cell(cell, &shared.input_fp, &shared.cfg_text, shared.backend)));
+        let cached = key.as_ref().and_then(|(cache, key)| cache.load(key));
+        let from_cache = cached.is_some();
+        let out = match cached {
+            Some(hit) => {
+                CellOutcome::Done(RunResult { cell, cycles: hit.cycles, stats: hit.stats })
+            }
+            None => {
+                let out = run_guarded(&mut slot, &shared.w, cell, shared.cfg, shared.backend);
+                if let (Some((cache, key)), CellOutcome::Done(r)) = (&key, &out) {
+                    cache.store(key, r.cycles, &r.stats);
+                }
+                out
+            }
+        };
+        let mut st = shared.state.lock().unwrap();
+        st.inflight.remove(&cell);
+        if from_cache {
+            st.cache_hits += 1;
+        } else {
+            st.simulated += 1;
+        }
+        st.results.insert(cell, out);
+        shared.done.notify_all();
+    }
+}
+
+fn handle_connection(
+    shared: &Shared,
+    stream: TcpStream,
+    local: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed cleanly
+        }
+        let req = match Json::parse(line.trim_end()) {
+            Ok(v) => v,
+            Err(e) => {
+                respond(&mut writer, &error_line(&format!("bad request: {e}")))?;
+                continue;
+            }
+        };
+        match req.get("op").and_then(Json::as_str) {
+            Some("ping") => respond(
+                &mut writer,
+                &Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("build", Json::str(sdv_engine::build_info())),
+                    ("workload", Json::str(shared.workload.as_str())),
+                    ("workload_fp", Json::str(shared.input_fp.as_str())),
+                    ("backend", Json::str(backend_name(shared.backend))),
+                ]),
+            )?,
+            Some("stats") => {
+                let st = shared.state.lock().unwrap();
+                let msg = Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("simulated", Json::num(st.simulated)),
+                    ("cache_hits", Json::num(st.cache_hits)),
+                    ("served", Json::num(st.served)),
+                    ("memoized", Json::num(st.results.len() as u64)),
+                    ("inflight", Json::num(st.inflight.len() as u64)),
+                    ("queued", Json::num(st.queue.len() as u64)),
+                ]);
+                drop(st);
+                respond(&mut writer, &msg)?;
+            }
+            Some("shutdown") => {
+                respond(&mut writer, &Json::obj([("ok", Json::Bool(true))]))?;
+                let mut st = shared.state.lock().unwrap();
+                st.shutdown = true;
+                drop(st);
+                shared.work.notify_all();
+                shared.done.notify_all();
+                // Unblock the accept loop so `serve` can return.
+                let _ = TcpStream::connect(local);
+                return Ok(());
+            }
+            Some("sweep") => handle_sweep(shared, &req, &mut writer)?,
+            other => respond(
+                &mut writer,
+                &error_line(&format!("unknown op {:?}", other.unwrap_or("<missing>"))),
+            )?,
+        }
+    }
+}
+
+fn handle_sweep(
+    shared: &Shared,
+    req: &Json,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    // Identity checks: refuse to serve anything we cannot serve *exactly*.
+    let checks = [
+        ("workload", shared.workload.as_str()),
+        ("workload_fp", shared.input_fp.as_str()),
+        ("cfg", shared.cfg_text.as_str()),
+        ("backend", backend_name(shared.backend)),
+    ];
+    for (field, want) in checks {
+        let got = req.get(field).and_then(Json::as_str).unwrap_or("<missing>");
+        if got != want {
+            return respond(
+                writer,
+                &error_line(&format!("{field} mismatch: server has '{want}', request has '{got}'")),
+            );
+        }
+    }
+    let Some(cell_values) = req.get("cells").and_then(Json::as_arr) else {
+        return respond(writer, &error_line("sweep request needs a 'cells' array"));
+    };
+    let mut pending: Vec<Cell> = Vec::new();
+    for v in cell_values {
+        match cell_from_json(v) {
+            Ok(c) => {
+                if !pending.contains(&c) {
+                    pending.push(c);
+                }
+            }
+            Err(e) => return respond(writer, &error_line(&format!("bad cell: {e}"))),
+        }
+    }
+    let total = pending.len();
+    {
+        let mut st = shared.state.lock().unwrap();
+        for &c in &pending {
+            if !st.results.contains_key(&c) && !st.inflight.contains(&c) && !st.queue.contains(&c)
+            {
+                st.queue.push(c);
+            }
+        }
+        shared.work.notify_all();
+    }
+    // Stream results in completion order.
+    let mut pending: HashSet<Cell> = pending.into_iter().collect();
+    while !pending.is_empty() {
+        let ready: Vec<CellOutcome> = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                let ready: Vec<CellOutcome> = pending
+                    .iter()
+                    .filter_map(|c| st.results.get(c).cloned())
+                    .collect();
+                if !ready.is_empty() {
+                    st.served += ready.len() as u64;
+                    break ready;
+                }
+                if st.shutdown {
+                    drop(st);
+                    return respond(writer, &error_line("server shutting down"));
+                }
+                st = shared.done.wait(st).unwrap();
+            }
+        };
+        for out in ready {
+            pending.remove(&out.cell());
+            respond(writer, &outcome_to_json(&out))?;
+        }
+    }
+    let (simulated, cache_hits) = {
+        let st = shared.state.lock().unwrap();
+        (st.simulated, st.cache_hits)
+    };
+    respond(
+        writer,
+        &Json::obj([
+            ("done", Json::Bool(true)),
+            ("cells", Json::num(total as u64)),
+            ("simulated", Json::num(simulated)),
+            ("cache_hits", Json::num(cache_hits)),
+        ]),
+    )
+}
+
+fn respond(writer: &mut BufWriter<TcpStream>, msg: &Json) -> std::io::Result<()> {
+    writeln!(writer, "{}", msg.to_line())?;
+    writer.flush()
+}
+
+fn error_line(msg: &str) -> Json {
+    Json::obj([("error", Json::str(msg))])
+}
+
+/// The wire spelling of a cell: `{"kernel","imp","lat","bw"}`.
+fn cell_to_json(c: Cell) -> Json {
+    Json::obj([
+        ("kernel", Json::str(c.kernel.name())),
+        ("imp", Json::str(c.imp.to_string())),
+        ("lat", Json::num(c.extra_latency)),
+        ("bw", Json::num(c.bandwidth)),
+    ])
+}
+
+fn cell_from_json(v: &Json) -> Result<Cell, String> {
+    let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field '{k}'"));
+    Ok(Cell {
+        kernel: field("kernel")?.as_str().ok_or("kernel must be a string")?.parse()?,
+        imp: field("imp")?.as_str().ok_or("imp must be a string")?.parse()?,
+        extra_latency: field("lat")?.as_u64().ok_or("lat must be a u64")?,
+        bandwidth: field("bw")?.as_u64().ok_or("bw must be a u64")?,
+    })
+}
+
+fn outcome_to_json(out: &CellOutcome) -> Json {
+    let mut fields = match cell_to_json(out.cell()) {
+        Json::Obj(f) => f,
+        _ => unreachable!("cell_to_json returns an object"),
+    };
+    match out {
+        CellOutcome::Done(r) => {
+            fields.push(("cycles".to_string(), Json::num(r.cycles)));
+            let stats: Vec<(String, Json)> =
+                r.stats.iter().map(|(k, v)| (k.to_string(), Json::num(v))).collect();
+            fields.push(("stats".to_string(), Json::Obj(stats)));
+        }
+        CellOutcome::Failed { error, .. } => {
+            fields.push(("error".to_string(), Json::str(error.to_string())));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn outcome_from_json(v: &Json) -> Result<CellOutcome, String> {
+    let cell = cell_from_json(v)?;
+    if let Some(err) = v.get("error").and_then(Json::as_str) {
+        // The server's structured error crossed the wire as text; it comes
+        // back as a Remote failure so exit codes still classify correctly.
+        return Ok(CellOutcome::Failed { cell, error: SimError::Remote { what: err.to_string() } });
+    }
+    let cycles = v.get("cycles").and_then(Json::as_u64).ok_or("result needs cycles or error")?;
+    let mut stats = Stats::new();
+    if let Some(Json::Obj(fields)) = v.get("stats") {
+        for (k, val) in fields {
+            stats.set(k, val.as_u64().ok_or_else(|| format!("stat '{k}' must be a u64"))?);
+        }
+    }
+    Ok(CellOutcome::Done(RunResult { cell, cycles, stats }))
+}
+
+fn remote_err(what: impl std::fmt::Display) -> SimError {
+    SimError::Remote { what: what.to_string() }
+}
+
+/// Summary line of a completed remote sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepSummary {
+    /// Unique cells this request covered.
+    pub cells: u64,
+    /// Server-lifetime fresh simulations (exactly-once counter).
+    pub simulated: u64,
+    /// Server-lifetime persistent-cache hits.
+    pub cache_hits: u64,
+}
+
+/// Submit a sweep grid and stream outcomes through `on_result` as the
+/// server completes them. Errors — connect failure, protocol violation,
+/// server-side rejection — surface as [`SimError::Remote`].
+pub fn client_sweep(
+    addr: &str,
+    workload: &str,
+    input_fp: &str,
+    cfg_text: &str,
+    backend: Backend,
+    cells: &[Cell],
+    mut on_result: impl FnMut(CellOutcome),
+) -> Result<SweepSummary, SimError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| remote_err(format!("cannot connect to sweepd at {addr}: {e}")))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(remote_err)?);
+    let req = Json::obj([
+        ("op", Json::str("sweep")),
+        ("workload", Json::str(workload)),
+        ("workload_fp", Json::str(input_fp)),
+        ("cfg", Json::str(cfg_text)),
+        ("backend", Json::str(backend_name(backend))),
+        ("cells", Json::Arr(cells.iter().map(|&c| cell_to_json(c)).collect())),
+    ]);
+    writeln!(writer, "{}", req.to_line()).map_err(remote_err)?;
+    writer.flush().map_err(remote_err)?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(remote_err)?;
+        let v = Json::parse(&line).map_err(|e| remote_err(format!("bad response line: {e}")))?;
+        if let Some(msg) = v.get("error").and_then(Json::as_str) {
+            // Top-level rejection has no cell fields; per-cell errors do and
+            // parse as outcomes below.
+            if v.get("kernel").is_none() {
+                return Err(remote_err(format!("server rejected sweep: {msg}")));
+            }
+        }
+        if v.get("done").and_then(Json::as_bool) == Some(true) {
+            return Ok(SweepSummary {
+                cells: v.get("cells").and_then(Json::as_u64).unwrap_or(0),
+                simulated: v.get("simulated").and_then(Json::as_u64).unwrap_or(0),
+                cache_hits: v.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        on_result(outcome_from_json(&v).map_err(|e| remote_err(e.to_string()))?);
+    }
+    Err(remote_err("connection closed before the sweep finished"))
+}
+
+/// Send one single-shot op (`ping`, `stats`, `shutdown`) and return the
+/// response object.
+pub fn client_request(addr: &str, op: &str) -> Result<Json, SimError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| remote_err(format!("cannot connect to sweepd at {addr}: {e}")))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(remote_err)?);
+    writeln!(writer, "{}", Json::obj([("op", Json::str(op))]).to_line()).map_err(remote_err)?;
+    writer.flush().map_err(remote_err)?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(remote_err)?;
+    let v = Json::parse(line.trim_end()).map_err(|e| remote_err(format!("bad response: {e}")))?;
+    if let Some(msg) = v.get("error").and_then(Json::as_str) {
+        return Err(remote_err(format!("server rejected {op}: {msg}")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{ImplKind, KernelKind};
+
+    #[test]
+    fn cell_wire_format_round_trips() {
+        let c = Cell {
+            kernel: KernelKind::Pr,
+            imp: ImplKind::Vector { maxvl: 32 },
+            extra_latency: 256,
+            bandwidth: 8,
+        };
+        assert_eq!(cell_from_json(&cell_to_json(c)).unwrap(), c);
+        assert!(cell_from_json(&Json::obj([("kernel", Json::str("SPMV"))])).is_err());
+    }
+
+    #[test]
+    fn outcome_wire_format_round_trips() {
+        let cell = Cell {
+            kernel: KernelKind::Fft,
+            imp: ImplKind::Scalar,
+            extra_latency: 0,
+            bandwidth: 64,
+        };
+        let mut stats = Stats::new();
+        stats.set("l2.miss", 7);
+        let done = CellOutcome::Done(RunResult { cell, cycles: 12345, stats });
+        let back = outcome_from_json(&outcome_to_json(&done)).unwrap();
+        assert_eq!(back.cycles(), Some(12345));
+        match &back {
+            CellOutcome::Done(r) => assert_eq!(r.stats.get("l2.miss"), 7),
+            _ => panic!("expected Done"),
+        }
+        let failed = CellOutcome::Failed {
+            cell,
+            error: SimError::Deadlock { cycle: 9, diagnostic: "queue full".into() },
+        };
+        let back = outcome_from_json(&outcome_to_json(&failed)).unwrap();
+        let err = back.error().expect("failure must survive the wire");
+        assert!(matches!(err, SimError::Remote { .. }), "wire failures are Remote");
+        assert!(err.to_string().contains("Deadlock"), "original class text survives: {err}");
+    }
+}

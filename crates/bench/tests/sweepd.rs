@@ -1,0 +1,127 @@
+//! Integration tests for the sweep job server: real TCP, real workers,
+//! concurrent clients with overlapping grids.
+
+use sdv_bench::server::{client_request, client_sweep, SweepSummary};
+use sdv_bench::{serve, Cell, CellOutcome, ImplKind, KernelKind, ServerConfig, Workloads};
+use sdv_rvv::Backend;
+use sdv_uarch::TimingConfig;
+
+/// Bind port 0, serve the small workload, and return (addr, join handle).
+fn spawn_server(threads: usize) -> (String, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let sc = ServerConfig {
+        workload: "small".to_string(),
+        cfg: TimingConfig::default(),
+        backend: Backend::default(),
+        threads,
+        cache: None,
+    };
+    let handle = std::thread::spawn(move || serve(listener, sc).unwrap());
+    (addr, handle)
+}
+
+fn sweep_from(
+    addr: &str,
+    w: &Workloads,
+    cells: &[Cell],
+) -> (SweepSummary, Vec<CellOutcome>) {
+    let mut outcomes = Vec::new();
+    let summary = client_sweep(
+        addr,
+        "small",
+        &w.fingerprint(),
+        &TimingConfig::default().canonical(),
+        Backend::default(),
+        cells,
+        |o| outcomes.push(o),
+    )
+    .unwrap();
+    (summary, outcomes)
+}
+
+/// Two concurrent clients submit duplicate-heavy overlapping grids; every
+/// unique cell is simulated exactly once for the server's lifetime, both
+/// clients get full, agreeing results, and shutdown is clean.
+#[test]
+fn duplicate_heavy_concurrent_clients_simulate_each_cell_once() {
+    let (addr, handle) = spawn_server(2);
+    let w = Workloads::small();
+
+    let mk = |imp, extra_latency| Cell {
+        kernel: KernelKind::Spmv,
+        imp,
+        extra_latency,
+        bandwidth: 64,
+    };
+    // 3 unique cells; client A asks for two of them (one duplicated in the
+    // same request), client B overlaps on both of A's plus one of its own.
+    let a_cells =
+        vec![mk(ImplKind::Scalar, 0), mk(ImplKind::Vector { maxvl: 64 }, 0), mk(ImplKind::Scalar, 0)];
+    let b_cells = vec![
+        mk(ImplKind::Scalar, 0),
+        mk(ImplKind::Vector { maxvl: 64 }, 0),
+        mk(ImplKind::Vector { maxvl: 256 }, 0),
+    ];
+
+    let (a, b) = std::thread::scope(|s| {
+        let wa = &w;
+        let aa = addr.clone();
+        let ha = s.spawn(move || sweep_from(&aa, wa, &a_cells));
+        let ab = addr.clone();
+        let hb = s.spawn(move || sweep_from(&ab, wa, &b_cells));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+
+    assert_eq!(a.0.cells, 2, "client A's duplicate collapses to 2 unique cells");
+    assert_eq!(b.0.cells, 3);
+    // The `simulated` counter is server-lifetime; after both sweeps it must
+    // equal the number of unique cells across both grids.
+    let stats = client_request(&addr, "stats").unwrap();
+    assert_eq!(stats.get("simulated").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(stats.get("served").and_then(|v| v.as_u64()), Some(5));
+
+    // Overlapping cells agree across clients.
+    let cycles_of = |outcomes: &[CellOutcome], cell: Cell| {
+        outcomes
+            .iter()
+            .find(|o| o.cell() == cell)
+            .and_then(|o| o.cycles())
+            .expect("cell present and done")
+    };
+    for cell in [mk(ImplKind::Scalar, 0), mk(ImplKind::Vector { maxvl: 64 }, 0)] {
+        assert_eq!(cycles_of(&a.1, cell), cycles_of(&b.1, cell));
+    }
+
+    let ok = client_request(&addr, "shutdown").unwrap();
+    assert_eq!(ok.get("ok").and_then(|v| v.as_bool()), Some(true));
+    handle.join().unwrap();
+}
+
+/// A client whose identity (config) differs from the server's is rejected
+/// with a transport-level error, not wrong results.
+#[test]
+fn mismatched_identity_is_rejected() {
+    let (addr, handle) = spawn_server(1);
+    let w = Workloads::small();
+    let mut cfg = TimingConfig::default();
+    cfg.vpu.lanes = 4;
+    let err = client_sweep(
+        &addr,
+        "small",
+        &w.fingerprint(),
+        &cfg.canonical(),
+        Backend::default(),
+        &[Cell {
+            kernel: KernelKind::Spmv,
+            imp: ImplKind::Scalar,
+            extra_latency: 0,
+            bandwidth: 64,
+        }],
+        |_| {},
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("cfg"), "error names the mismatched field: {err}");
+    client_request(&addr, "shutdown").unwrap();
+    handle.join().unwrap();
+}

@@ -55,6 +55,13 @@ pub enum SimError {
         /// The panic payload, if it was a string.
         what: String,
     },
+    /// A failure reported by a remote `sweepd` server (or the transport to
+    /// it): the server-side error rendered as text, since the original
+    /// structured value does not cross the wire.
+    Remote {
+        /// The remote failure, as the server reported it.
+        what: String,
+    },
 }
 
 impl SimError {
@@ -67,6 +74,7 @@ impl SimError {
             SimError::InvariantViolation { .. } => "invariant-violation",
             SimError::BadInput { .. } => "bad-input",
             SimError::Panic { .. } => "panic",
+            SimError::Remote { .. } => "remote",
         }
     }
 }
@@ -88,6 +96,7 @@ impl std::fmt::Display for SimError {
             }
             SimError::BadInput { what } => write!(f, "BadInput: {what}"),
             SimError::Panic { what } => write!(f, "Panic: {what}"),
+            SimError::Remote { what } => write!(f, "Remote: {what}"),
         }
     }
 }
@@ -123,6 +132,7 @@ mod tests {
             SimError::InvariantViolation { cycle: 0, what: String::new() }.class(),
             SimError::BadInput { what: String::new() }.class(),
             SimError::Panic { what: String::new() }.class(),
+            SimError::Remote { what: String::new() }.class(),
         ];
         let mut dedup = all.to_vec();
         dedup.sort_unstable();

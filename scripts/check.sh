@@ -87,6 +87,67 @@ echo "== determinism (two fig3 runs, different thread counts, same CSV) =="
 diff -u "$tmp_csv" "$tmp_csv2"
 echo "runs are bit-identical"
 
+echo "== result-cache gate (warm rerun byte-identical at <25% of cold wall-clock) =="
+cache_dir="$(mktemp -d /tmp/sdv_cache.XXXXXX)"
+cache_cold="$(mktemp /tmp/fig3_cold.XXXXXX.csv)"
+cache_warm="$(mktemp /tmp/fig3_warm.XXXXXX.csv)"
+t0=$(date +%s%N)
+./target/release/fig3_latency --small --cache-dir "$cache_dir" --csv "$cache_cold" >/dev/null
+t1=$(date +%s%N)
+./target/release/fig3_latency --small --cache-dir "$cache_dir" --csv "$cache_warm" >/dev/null
+t2=$(date +%s%N)
+diff -u "$cache_cold" "$cache_warm"
+diff -u results/golden/fig3_small.csv "$cache_warm"
+cold_ms=$(( (t1 - t0) / 1000000 )); warm_ms=$(( (t2 - t1) / 1000000 ))
+echo "fig3 cold ${cold_ms} ms, warm ${warm_ms} ms"
+if (( warm_ms * 4 >= cold_ms )); then
+    echo "cache gate: warm run (${warm_ms} ms) not under 25% of cold (${cold_ms} ms)" >&2
+    exit 1
+fi
+# Warm identity for the other figure binaries through the same cache dir.
+for fig in fig4_slowdown fig5_bandwidth fig_stalls; do
+    f_cold="$(mktemp "/tmp/${fig}_cold.XXXXXX.csv")"
+    f_warm="$(mktemp "/tmp/${fig}_warm.XXXXXX.csv")"
+    ./target/release/"$fig" --small --cache-dir "$cache_dir" --csv "$f_cold" >/dev/null
+    ./target/release/"$fig" --small --cache-dir "$cache_dir" --csv "$f_warm" >/dev/null
+    diff -u "$f_cold" "$f_warm"
+    rm -f "$f_cold" "$f_warm"
+    echo "$fig warm rerun is byte-identical"
+done
+rm -f "$cache_cold" "$cache_warm"
+
+echo "== cache gc smoke (LRU eviction empties an over-budget cache) =="
+./target/release/sweepd gc --cache-dir "$cache_dir" --max-bytes 1
+if find "$cache_dir" -name '*.entry' | grep -q .; then
+    echo "gc --max-bytes 1 left entries behind" >&2
+    exit 1
+fi
+rm -rf "$cache_dir"
+
+echo "== sweepd smoke (serve, duplicate-heavy submit, stats, shutdown) =="
+sweepd_log="$(mktemp /tmp/sweepd.XXXXXX.log)"
+./target/release/sweepd serve --addr 127.0.0.1:0 --small --threads 2 2>"$sweepd_log" &
+sweepd_pid=$!
+sweepd_addr=""
+for _ in $(seq 1 50); do
+    sweepd_addr="$(sed -n 's/.*serving workload .* on \([0-9.:]*\) .*/\1/p' "$sweepd_log")"
+    [ -n "$sweepd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$sweepd_addr" ]; then
+    echo "sweepd did not come up:" >&2; cat "$sweepd_log" >&2; exit 1
+fi
+submit_err="$(./target/release/sweepd submit --addr "$sweepd_addr" --small \
+    --cells "SPMV,scalar,0,64;SPMV,vl=64,0,64;SPMV,scalar,0,64" 2>&1 >/dev/null)"
+if ! grep -q "2 unique cells; server lifetime: 2 simulated" <<<"$submit_err"; then
+    echo "sweepd submit: expected duplicate-collapsed summary, got: $submit_err" >&2
+    exit 1
+fi
+./target/release/sweepd shutdown --addr "$sweepd_addr" >/dev/null
+wait "$sweepd_pid"
+rm -f "$sweepd_log"
+echo "sweepd round trip ok ($submit_err)"
+
 echo "== fault-injection smoke (wedged credit must die cleanly, exit 4) =="
 # A wedged VPU line credit must be caught by the forward-progress watchdog
 # as a structured Deadlock diagnostic — not a hang, not a bare panic.

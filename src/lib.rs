@@ -7,6 +7,7 @@
 
 pub use sdv_core as core;
 pub use sdv_engine as engine;
+pub use sdv_engine::build_info;
 pub use sdv_kernels as kernels;
 pub use sdv_memsys as memsys;
 pub use sdv_noc as noc;
