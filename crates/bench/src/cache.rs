@@ -23,9 +23,13 @@
 //! (unique tmp file, `fsync`, `rename`), carry an internal checksum, and
 //! store the *full* key text: a load verifies both, so a torn write, a
 //! bit-flip, or even a hash collision can only ever produce a cache miss,
-//! never a wrong result. Corrupt entries are deleted on sight and re-made by
-//! the next run. Only completed cells are cached — failures re-run, exactly
-//! like the resume checkpoints.
+//! never a wrong result. Corrupt entries are quarantined on sight into the
+//! `corrupt/` subdirectory (preserved for post-mortem — a recurring torn
+//! write points at a dying disk, and the evidence should survive the
+//! self-heal) and re-made by the next run; [`ResultCache::fsck`] scans the
+//! whole cache proactively and `sweepd fsck` exposes it operationally. Only
+//! completed cells are cached — failures re-run, exactly like the resume
+//! checkpoints.
 
 use crate::harness::{Cell, Workloads};
 use sdv_engine::{SimError, StableHash, Stats};
@@ -117,12 +121,28 @@ pub struct GcSummary {
     pub scanned: usize,
     /// Valid entries evicted (oldest access first) to meet the budget.
     pub evicted: usize,
-    /// Corrupt or truncated entries deleted.
+    /// Corrupt or truncated entries quarantined to `corrupt/`.
     pub corrupt: usize,
     /// Total entry bytes before the pass.
     pub bytes_before: u64,
     /// Total entry bytes after the pass.
     pub bytes_after: u64,
+}
+
+/// Outcome of one [`ResultCache::fsck`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckSummary {
+    /// Entry and stray-tmp files examined this pass.
+    pub scanned: usize,
+    /// Entries whose checksum and structure verified.
+    pub valid: usize,
+    /// Corrupt/truncated entries and stray tmp files moved to `corrupt/`
+    /// this pass.
+    pub quarantined: usize,
+    /// Files already sitting in `corrupt/` from earlier self-heals.
+    pub previously_quarantined: usize,
+    /// Total bytes across valid entries.
+    pub valid_bytes: u64,
 }
 
 /// A persistent result cache rooted at one directory.
@@ -151,17 +171,44 @@ impl ResultCache {
         &self.dir
     }
 
-    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+    /// The on-disk file backing `key`'s entry. Public so service-layer chaos
+    /// can tamper with a just-stored entry and tests can inspect the
+    /// quarantine behavior; everything else should go through
+    /// [`load`](Self::load)/[`store`](Self::store).
+    pub fn entry_file(&self, key: &CacheKey) -> PathBuf {
         self.dir.join(format!("{}.entry", key.hex()))
+    }
+
+    /// The quarantine subdirectory for corrupt entries.
+    pub fn corrupt_dir(&self) -> PathBuf {
+        self.dir.join("corrupt")
+    }
+
+    /// Move a damaged file into `corrupt/`, preserving it for post-mortem.
+    /// Best-effort with a delete fallback: self-healing must never fail
+    /// louder than the corruption it is healing.
+    fn quarantine(&self, path: &Path) {
+        let qdir = self.corrupt_dir();
+        let moved = std::fs::create_dir_all(&qdir).is_ok() && {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            // Suffix with the pid so two processes quarantining the same
+            // entry (or successive corruptions of one key) never collide.
+            name.is_some_and(|n| {
+                std::fs::rename(path, qdir.join(format!("{n}.{}", std::process::id()))).is_ok()
+            })
+        };
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Look up `key`. Returns the stored result only when the entry's
     /// checksum verifies *and* its embedded key text matches `key` exactly;
-    /// a corrupt or truncated entry is deleted and reported as a miss. Hits
-    /// bump the entry's access time so `gc` evicts least-recently-used
-    /// entries first.
+    /// a corrupt or truncated entry is quarantined to `corrupt/` and
+    /// reported as a miss. Hits bump the entry's access time so `gc` evicts
+    /// least-recently-used entries first.
     pub fn load(&self, key: &CacheKey) -> Option<CachedResult> {
-        let path = self.entry_path(key);
+        let path = self.entry_file(key);
         let text = std::fs::read_to_string(&path).ok()?;
         match parse_entry(&text) {
             Ok((stored_key, result)) => {
@@ -175,9 +222,9 @@ impl ResultCache {
                 Some(result)
             }
             Err(_) => {
-                // Never trust a damaged entry — delete it; the cell simply
-                // re-simulates and the next store rewrites it whole.
-                let _ = std::fs::remove_file(&path);
+                // Never trust a damaged entry — quarantine it; the cell
+                // simply re-simulates and the next store rewrites it whole.
+                self.quarantine(&path);
                 None
             }
         }
@@ -187,7 +234,7 @@ impl ResultCache {
     /// never interrupt the sweep: the cache is an optimization, not a
     /// correctness requirement.
     pub fn store(&self, key: &CacheKey, cycles: u64, stats: &Stats) {
-        let path = self.entry_path(key);
+        let path = self.entry_file(key);
         if let Err(e) = self.store_inner(&path, key, cycles, stats) {
             eprintln!("warning: could not write cache entry {}: {e}", path.display());
         }
@@ -219,8 +266,9 @@ impl ResultCache {
     }
 
     /// Evict least-recently-used entries until the cache fits in
-    /// `max_bytes`. Corrupt entries are always deleted, never counted as
-    /// retained data.
+    /// `max_bytes`. Corrupt entries are always quarantined, never counted as
+    /// retained data; the `corrupt/` subdirectory itself is outside the
+    /// budget (operators empty it once the post-mortem is done).
     pub fn gc(&self, max_bytes: u64) -> GcSummary {
         let mut summary = GcSummary::default();
         let Ok(dir) = std::fs::read_dir(&self.dir) else { return summary };
@@ -229,6 +277,9 @@ impl ResultCache {
         let mut entries: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
         for de in dir.flatten() {
             let path = de.path();
+            if path.is_dir() {
+                continue; // the corrupt/ quarantine, most likely
+            }
             let name = de.file_name();
             let name = name.to_string_lossy();
             if !name.ends_with(".entry") && !name.contains(".tmp") {
@@ -243,7 +294,7 @@ impl ResultCache {
                     .ok()
                     .is_some_and(|text| parse_entry(&text).is_ok());
             if !valid {
-                let _ = std::fs::remove_file(&path);
+                self.quarantine(&path);
                 summary.corrupt += 1;
                 continue;
             }
@@ -264,6 +315,53 @@ impl ResultCache {
             i += 1;
         }
         summary
+    }
+
+    /// Verify every entry in the cache: valid entries are counted, corrupt
+    /// or truncated entries (and stray tmp files from killed writers) are
+    /// quarantined to `corrupt/`. The integrity half of [`gc`](Self::gc)
+    /// without the eviction half — what `sweepd fsck` runs.
+    pub fn fsck(&self) -> FsckSummary {
+        let mut summary = FsckSummary::default();
+        if let Ok(qdir) = std::fs::read_dir(self.corrupt_dir()) {
+            summary.previously_quarantined = qdir.flatten().count();
+        }
+        let Ok(dir) = std::fs::read_dir(&self.dir) else { return summary };
+        for de in dir.flatten() {
+            let path = de.path();
+            if path.is_dir() {
+                continue;
+            }
+            let name = de.file_name();
+            let name = name.to_string_lossy();
+            if !name.ends_with(".entry") && !name.contains(".tmp") {
+                continue;
+            }
+            summary.scanned += 1;
+            let valid = name.ends_with(".entry")
+                && std::fs::read_to_string(&path)
+                    .ok()
+                    .is_some_and(|text| parse_entry(&text).is_ok());
+            if valid {
+                summary.valid += 1;
+                summary.valid_bytes += de.metadata().map_or(0, |m| m.len());
+            } else {
+                self.quarantine(&path);
+                summary.quarantined += 1;
+            }
+        }
+        summary
+    }
+
+    /// Durably flush the cache directory itself: entries are individually
+    /// fsynced at store time, but the *rename* that publishes them is only
+    /// durable once the directory is synced. Called on graceful shutdown so
+    /// a power cut right after a drain cannot orphan freshly-stored results.
+    pub fn flush(&self) {
+        #[cfg(unix)]
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
     }
 }
 
@@ -451,19 +549,24 @@ mod tests {
         assert_ne!(k.hex(), CacheKey::for_cell(other, "feed", "cfg", Backend::Scalar).hex());
     }
 
+    fn quarantined_count(cache: &ResultCache) -> usize {
+        std::fs::read_dir(cache.corrupt_dir()).map_or(0, |d| d.flatten().count())
+    }
+
     #[test]
-    fn bit_flip_is_detected_and_entry_deleted() {
+    fn bit_flip_is_detected_and_entry_quarantined() {
         let cache = ResultCache::open(&tmpdir("bitflip")).unwrap();
         let k = key("FFT/scalar");
         cache.store(&k, 777, &Stats::new());
-        let path = cache.dir().join(format!("{}.entry", k.hex()));
+        let path = cache.entry_file(&k);
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip one bit of the cycles digit region.
         let pos = bytes.windows(3).position(|w| w == b"777").unwrap();
         bytes[pos] ^= 1;
         std::fs::write(&path, &bytes).unwrap();
         assert!(cache.load(&k).is_none(), "corrupt entry must be a miss, not a value");
-        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert!(!path.exists(), "corrupt entry must leave the live cache");
+        assert_eq!(quarantined_count(&cache), 1, "…into corrupt/ for post-mortem");
         // And the cell can be re-stored and served again.
         cache.store(&k, 777, &Stats::new());
         assert_eq!(cache.load(&k).unwrap().cycles, 777);
@@ -475,11 +578,12 @@ mod tests {
         let cache = ResultCache::open(&tmpdir("trunc")).unwrap();
         let k = key("BFS/scalar");
         cache.store(&k, 10, &Stats::new());
-        let path = cache.dir().join(format!("{}.entry", k.hex()));
+        let path = cache.entry_file(&k);
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() / 2]).unwrap();
         assert!(cache.load(&k).is_none());
         assert!(!path.exists());
+        assert_eq!(quarantined_count(&cache), 1);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -520,7 +624,89 @@ mod tests {
         let summary = cache.gc(u64::MAX);
         assert_eq!(summary.corrupt, 2);
         assert_eq!(summary.evicted, 0);
+        assert_eq!(quarantined_count(&cache), 2, "both strays quarantined, not deleted");
         assert!(cache.load(&k).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_of_empty_cache_dir_is_a_clean_noop() {
+        let cache = ResultCache::open(&tmpdir("gc_empty")).unwrap();
+        assert_eq!(cache.gc(0), GcSummary::default());
+        assert_eq!(cache.fsck(), FsckSummary::default());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_ignores_a_concurrent_writers_live_tmp_of_this_process() {
+        // A *racing* writer in this very process has a `.tmp<pid>` file mid
+        // write. gc treats any tmp as a stray and quarantines it — but the
+        // writer's store must still succeed end-to-end, because quarantining
+        // renames the tmp away and the writer's `rename` simply fails (the
+        // store is best-effort) or wins the race; either way the cache stays
+        // structurally valid and a later store of the same key heals it.
+        let cache = ResultCache::open(&tmpdir("gc_race")).unwrap();
+        let k = key("raced");
+        let tmp = cache.dir().join(format!("{}.tmp{}", k.hex(), std::process::id()));
+        std::fs::write(&tmp, "half-written body").unwrap();
+        let summary = cache.gc(u64::MAX);
+        assert_eq!(summary.corrupt, 1, "in-flight tmp is swept as a stray");
+        assert!(!tmp.exists());
+        // The interrupted writer retries (as a killed-and-restarted sweep
+        // would): the key must be storable and loadable afterwards.
+        cache.store(&k, 99, &Stats::new());
+        assert_eq!(cache.load(&k).unwrap().cycles, 99);
+        assert_eq!(cache.gc(u64::MAX).corrupt, 0, "cache is structurally clean again");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn zero_byte_entry_is_quarantined_by_gc_and_fsck() {
+        let cache = ResultCache::open(&tmpdir("gc_zero")).unwrap();
+        std::fs::write(cache.dir().join("aaaa.entry"), b"").unwrap();
+        let summary = cache.gc(u64::MAX);
+        assert_eq!((summary.scanned, summary.corrupt), (1, 1));
+        std::fs::write(cache.dir().join("bbbb.entry"), b"").unwrap();
+        let fsck = cache.fsck();
+        assert_eq!((fsck.scanned, fsck.quarantined), (1, 1));
+        assert_eq!(fsck.previously_quarantined, 1, "gc's earlier catch is reported");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fsck_quarantines_a_deliberately_corrupted_entry() {
+        let cache = ResultCache::open(&tmpdir("fsck")).unwrap();
+        let good = key("good");
+        let bad = key("bad");
+        cache.store(&good, 1, &Stats::new());
+        cache.store(&bad, 2, &Stats::new());
+        // Corrupt `bad` in place, the way chaos does: flip one byte.
+        let path = cache.entry_file(&bad);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let fsck = cache.fsck();
+        assert_eq!(fsck.scanned, 2);
+        assert_eq!(fsck.valid, 1);
+        assert_eq!(fsck.quarantined, 1);
+        assert!(fsck.valid_bytes > 0);
+        assert!(!path.exists(), "corrupted entry left the live cache");
+        assert_eq!(quarantined_count(&cache), 1);
+        assert!(cache.load(&good).is_some(), "valid entry untouched");
+        assert!(cache.load(&bad).is_none(), "corrupt entry is a miss");
+        // A second fsck finds a clean cache and reports the earlier catch.
+        let again = cache.fsck();
+        assert_eq!((again.quarantined, again.previously_quarantined), (0, 1));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn flush_is_safe_on_a_live_cache() {
+        let cache = ResultCache::open(&tmpdir("flush")).unwrap();
+        cache.store(&key("k"), 3, &Stats::new());
+        cache.flush();
+        assert_eq!(cache.load(&key("k")).unwrap().cycles, 3);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -7,7 +7,11 @@
 //! * exit [`EXIT_BAD_INPUT`] (3) — an input file (baseline, checkpoint)
 //!   exists but cannot be parsed,
 //! * exit [`EXIT_SIM_FAULT`] (4) — the simulation itself failed: watchdog
-//!   deadlock, cycle budget, invariant violation, or an isolated panic.
+//!   deadlock, cycle budget, invariant violation, or an isolated panic,
+//! * exit [`EXIT_UNAVAILABLE`] (5) — a service was not available: `sweepd`
+//!   unreachable past the retry budget, its queue full (`overloaded`), the
+//!   server draining for shutdown, or its port already bound. Transient by
+//!   nature — rerunning (or retrying harder) can succeed.
 
 use crate::{CacheContext, CellOutcome, Checkpoint, ResultCache, Sweeper, Workloads};
 use sdv_engine::{FaultKind, FaultPlan, SimError};
@@ -20,6 +24,9 @@ pub const EXIT_USAGE: i32 = 2;
 pub const EXIT_BAD_INPUT: i32 = 3;
 /// Exit code for a structured simulation failure.
 pub const EXIT_SIM_FAULT: i32 = 4;
+/// Exit code for a transient service failure (server unreachable,
+/// overloaded, draining, or its address already in use).
+pub const EXIT_UNAVAILABLE: i32 = 5;
 
 /// The value following `key`, if present.
 pub fn arg_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -58,12 +65,23 @@ pub fn die_bad_input(bin: &str, msg: &str) -> ! {
 }
 
 /// The exit code a [`SimError`] maps to: bad input files get
-/// [`EXIT_BAD_INPUT`], every runtime failure gets [`EXIT_SIM_FAULT`].
+/// [`EXIT_BAD_INPUT`], transient service failures get [`EXIT_UNAVAILABLE`]
+/// (scripts can retry on it), every other runtime failure gets
+/// [`EXIT_SIM_FAULT`].
 pub fn exit_code_for(e: &SimError) -> i32 {
     match e {
         SimError::BadInput { .. } => EXIT_BAD_INPUT,
+        SimError::Unavailable { .. } | SimError::Overloaded { .. } | SimError::Draining { .. } => {
+            EXIT_UNAVAILABLE
+        }
         _ => EXIT_SIM_FAULT,
     }
+}
+
+/// Report a transient service failure and exit with [`EXIT_UNAVAILABLE`].
+pub fn die_unavailable(bin: &str, msg: &str) -> ! {
+    eprintln!("{bin}: {msg}");
+    std::process::exit(EXIT_UNAVAILABLE);
 }
 
 /// Parse the shared hardening flags into a timing configuration:
@@ -124,6 +142,22 @@ pub fn cache_dir(bin: &str, args: &[String]) -> Option<std::path::PathBuf> {
     }
 }
 
+/// Parse the shared client-resilience flags into a
+/// [`RetryPolicy`](crate::RetryPolicy):
+///
+/// * `--retries N` — total attempts against a `sweepd` server (default 1,
+///   i.e. no retry),
+/// * `--retry-seed S` — seed for the deterministic backoff jitter
+///   (default 1): two runs of the same command retry on the same schedule.
+pub fn retry_policy(args: &[String]) -> Result<crate::RetryPolicy, String> {
+    let attempts = parse_arg::<u32>(args, "--retries")?;
+    let seed = parse_arg::<u64>(args, "--retry-seed")?.unwrap_or(1);
+    Ok(match attempts {
+        None | Some(0) | Some(1) => crate::RetryPolicy::none(),
+        Some(n) => crate::RetryPolicy::retries(n, seed),
+    })
+}
+
 /// Wire the shared sweep-acceleration flags into a [`Sweeper`]:
 ///
 /// * `--cache` / `--cache-dir DIR` — consult (and fill) the persistent
@@ -131,9 +165,15 @@ pub fn cache_dir(bin: &str, args: &[String]) -> Option<std::path::PathBuf> {
 /// * `--server ADDR` — ship the grid to a running `sweepd` instead of
 ///   simulating locally. `workload` is the standard-workload name
 ///   (`small`/`paper`) the server must hold; binaries with custom inputs
-///   must not pass this helper a name their inputs don't match.
+///   must not pass this helper a name their inputs don't match,
+/// * `--retries N` / `--retry-seed S` — retry transient server failures
+///   with seeded exponential backoff,
+/// * `--fallback-local` — if the server stays unreachable past the retry
+///   budget, simulate locally instead of failing the grid (results are
+///   bit-identical either way).
 ///
-/// Both may be given; remote mode wins (the server has its own cache).
+/// Both cache and server may be given; remote mode wins (the server has
+/// its own cache).
 pub fn configure_sweeper(bin: &str, args: &[String], sweeper: &mut Sweeper, workload: &str) {
     if let Some(dir) = cache_dir(bin, args) {
         match ResultCache::open(&dir) {
@@ -143,8 +183,21 @@ pub fn configure_sweeper(bin: &str, args: &[String], sweeper: &mut Sweeper, work
     }
     match parse_arg::<String>(args, "--server") {
         Ok(Some(addr)) => sweeper.set_remote(&addr, workload),
-        Ok(None) => {}
+        Ok(None) => {
+            for flag in ["--retries", "--fallback-local"] {
+                if args.iter().any(|a| a == flag) {
+                    die_usage(bin, &format!("{flag} only makes sense with --server ADDR"));
+                }
+            }
+        }
         Err(e) => die_usage(bin, &e),
+    }
+    match retry_policy(args) {
+        Ok(policy) => sweeper.set_retry_policy(policy),
+        Err(e) => die_usage(bin, &e),
+    }
+    if args.iter().any(|a| a == "--fallback-local") {
+        sweeper.set_fallback_local(true);
     }
 }
 
@@ -275,8 +328,33 @@ mod tests {
             EXIT_SIM_FAULT
         );
         assert_eq!(exit_code_for(&SimError::Panic { what: "x".into() }), EXIT_SIM_FAULT);
+        assert_eq!(
+            exit_code_for(&SimError::Unavailable { what: "x".into() }),
+            EXIT_UNAVAILABLE
+        );
+        assert_eq!(exit_code_for(&SimError::Overloaded { what: "x".into() }), EXIT_UNAVAILABLE);
+        assert_eq!(exit_code_for(&SimError::Draining { what: "x".into() }), EXIT_UNAVAILABLE);
+        assert_eq!(
+            exit_code_for(&SimError::DeadlineExceeded { limit_ms: 1, diagnostic: String::new() }),
+            EXIT_SIM_FAULT,
+            "a deadline blowout is the cell's fault, not the service's"
+        );
         assert_ne!(EXIT_USAGE, EXIT_BAD_INPUT);
         assert_ne!(EXIT_BAD_INPUT, EXIT_SIM_FAULT);
+        assert_ne!(EXIT_SIM_FAULT, EXIT_UNAVAILABLE);
+    }
+
+    #[test]
+    fn retry_flags_parse_into_a_policy() {
+        assert_eq!(retry_policy(&args(&["b"])).unwrap(), crate::RetryPolicy::none());
+        assert_eq!(
+            retry_policy(&args(&["b", "--retries", "1"])).unwrap(),
+            crate::RetryPolicy::none(),
+            "one attempt means no retry"
+        );
+        let p = retry_policy(&args(&["b", "--retries", "5", "--retry-seed", "9"])).unwrap();
+        assert_eq!((p.attempts, p.seed), (5, 9));
+        assert!(retry_policy(&args(&["b", "--retries", "many"])).is_err());
     }
 
     #[test]

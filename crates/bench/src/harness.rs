@@ -334,7 +334,26 @@ fn try_run_on(
     cfg: TimingConfig,
     backend: Backend,
 ) -> Result<RunResult, SimError> {
+    try_run_on_walled(m, w, cell, cfg, backend, None)
+}
+
+/// [`try_run_on`] with an optional wall-clock deadline armed for this cell.
+/// The deadline is host-speed dependent, so it lives outside [`TimingConfig`]
+/// (it must never reach a cache key or the client/server identity check);
+/// `sweepd` arms it per cell to convert runaway work into a structured
+/// [`SimError::DeadlineExceeded`] failure instead of a wedged worker.
+fn try_run_on_walled(
+    m: &mut SdvMachine,
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+    backend: Backend,
+    wall: Option<std::time::Duration>,
+) -> Result<RunResult, SimError> {
     m.reset_with_config(cfg);
+    if let Some(limit) = wall {
+        m.set_wall_deadline(limit);
+    }
     m.set_backend(backend);
     m.set_extra_latency(cell.extra_latency);
     m.set_bandwidth_limit(cell.bandwidth);
@@ -428,10 +447,11 @@ pub(crate) fn run_guarded(
     cell: Cell,
     cfg: TimingConfig,
     backend: Backend,
+    wall: Option<std::time::Duration>,
 ) -> CellOutcome {
     let m = slot.get_or_insert_with(|| SdvMachine::new(w.heap));
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        try_run_on(m, w, cell, cfg, backend)
+        try_run_on_walled(m, w, cell, cfg, backend, wall)
     })) {
         Ok(Ok(r)) => CellOutcome::Done(r),
         Ok(Err(error)) => CellOutcome::Failed { cell, error },
@@ -519,6 +539,8 @@ pub struct Sweeper {
     backend: Backend,
     cache: Option<ResultCache>,
     remote: Option<RemoteSweep>,
+    retry: crate::server::RetryPolicy,
+    fallback_local: bool,
     input_fp: Option<String>,
     fresh_simulations: std::sync::atomic::AtomicUsize,
 }
@@ -556,6 +578,8 @@ impl Sweeper {
             backend: Backend::default(),
             cache: None,
             remote: None,
+            retry: crate::server::RetryPolicy::none(),
+            fallback_local: false,
             input_fp: None,
             fresh_simulations: std::sync::atomic::AtomicUsize::new(0),
         }
@@ -575,6 +599,22 @@ impl Sweeper {
     /// come back as [`SimError::Remote`] outcomes, never as wrong numbers.
     pub fn set_remote(&mut self, addr: &str, workload: &str) {
         self.remote = Some(RemoteSweep { addr: addr.to_string(), workload: workload.to_string() });
+    }
+
+    /// Retry transient remote failures (connect refused, dropped
+    /// connection, `overloaded`, `draining`) per `policy`. Safe at any
+    /// count: sweep submission is idempotent thanks to the server's
+    /// exactly-once dedup, and each retry re-requests only missing cells.
+    pub fn set_retry_policy(&mut self, policy: crate::server::RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Degrade gracefully when the remote server stays unreachable after
+    /// the retry budget: fall back to local in-process simulation instead
+    /// of failing the grid (`--fallback-local` on the CLI). Results are
+    /// bit-identical either way — only wall-clock and placement change.
+    pub fn set_fallback_local(&mut self, enabled: bool) {
+        self.fallback_local = enabled;
     }
 
     /// Cells actually simulated by this process (memo/cache/remote hits
@@ -694,7 +734,34 @@ impl Sweeper {
             }
         }
         if let Some(remote) = self.remote.clone() {
-            return self.sweep_remote(&remote, w, cells, todo, &on_cell);
+            match self.sweep_remote(&remote, w, cells, todo.clone(), &on_cell) {
+                Ok(outcomes) => return outcomes,
+                Err(e) if self.fallback_local && e.transient() => {
+                    // Server gone past the retry budget: degrade to local
+                    // in-process simulation. Deterministic cycles make the
+                    // fallback bit-identical, just slower and on this host.
+                    eprintln!(
+                        "warning: sweepd at {} unavailable ({}); falling back to local simulation",
+                        remote.addr,
+                        e.class()
+                    );
+                }
+                Err(e) => {
+                    // No fallback: every missing cell fails with the
+                    // transport error, and the grid never silently loses
+                    // cells.
+                    for c in todo {
+                        self.memo.insert(
+                            c,
+                            CellOutcome::Failed { cell: c, error: e.clone() },
+                        );
+                    }
+                    return cells.iter().map(|c| self.memo[c].clone()).collect();
+                }
+            }
+            // Falling back: anything the server did stream before dying is
+            // memoized already — only simulate the remainder locally.
+            todo.retain(|c| !self.memo.contains_key(c));
         }
         // Long-pole-first schedule: start the predicted-slowest cells first
         // so no worker is left simulating a multi-second cell alone at the
@@ -757,9 +824,12 @@ impl Sweeper {
     }
 
     /// Remote-mode sweep: ship the deduplicated grid to the `sweepd` server
-    /// and absorb the streamed results. Cells the server never returned
-    /// (transport drop, server-side rejection) become structured
-    /// [`SimError::Remote`] failures — the grid never silently loses cells.
+    /// (with retries per the configured [`RetryPolicy`](crate::RetryPolicy))
+    /// and absorb the streamed results. A failure that outlives the retry
+    /// budget comes back as `Err` so the caller can decide between
+    /// per-cell structured failures and the local fallback; results already
+    /// streamed before the failure are kept in the memo either way — a
+    /// fallback only simulates what the server never delivered.
     fn sweep_remote(
         &mut self,
         remote: &RemoteSweep,
@@ -767,7 +837,7 @@ impl Sweeper {
         cells: &[Cell],
         todo: Vec<Cell>,
         on_cell: &(impl Fn(&CellOutcome) + Sync),
-    ) -> Vec<CellOutcome> {
+    ) -> Result<Vec<CellOutcome>, SimError> {
         let input_fp = self.input_fingerprint(w);
         let cfg_text = self.cfg.canonical();
         let mut got: std::collections::HashMap<Cell, CellOutcome> = std::collections::HashMap::new();
@@ -778,24 +848,27 @@ impl Sweeper {
             &cfg_text,
             self.backend,
             &todo,
+            &self.retry,
             |out| {
                 on_cell(&out);
                 got.insert(out.cell(), out);
             },
         );
-        let why = transport.err().map(|e| e.to_string());
-        for c in todo {
-            let out = got.remove(&c).unwrap_or_else(|| CellOutcome::Failed {
-                cell: c,
-                error: SimError::Remote {
-                    what: why
-                        .clone()
-                        .unwrap_or_else(|| "server did not return this cell".to_string()),
-                },
-            });
+        // Partial results are results: memoize everything that made it
+        // across before deciding what to do about the rest.
+        for (c, out) in got {
             self.memo.insert(c, out);
         }
-        cells.iter().map(|c| self.memo[c].clone()).collect()
+        transport?;
+        for c in todo {
+            // client_sweep only returns Ok once every requested cell
+            // streamed back; this is pure defense in depth.
+            self.memo.entry(c).or_insert_with(|| CellOutcome::Failed {
+                cell: c,
+                error: SimError::Remote { what: "server did not return this cell".to_string() },
+            });
+        }
+        Ok(cells.iter().map(|c| self.memo[c].clone()).collect())
     }
 }
 
@@ -820,7 +893,7 @@ fn run_cached(
             return CellOutcome::Done(RunResult { cell, cycles: hit.cycles, stats: hit.stats });
         }
     }
-    let out = run_guarded(slot, w, cell, cfg, backend);
+    let out = run_guarded(slot, w, cell, cfg, backend, None);
     fresh.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     if let (Some((cache, key)), CellOutcome::Done(r)) = (&key, &out) {
         cache.store(key, r.cycles, &r.stats);

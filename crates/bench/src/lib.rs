@@ -14,6 +14,7 @@
 //!   paper's figures; `ablation_*` cover the design-choice studies.
 
 pub mod cache;
+pub mod chaos;
 pub mod checkpoint;
 pub mod cli;
 pub mod harness;
@@ -23,7 +24,10 @@ pub mod plot;
 pub mod server;
 pub mod table;
 
-pub use cache::{cached_cycles, CacheContext, CacheKey, CachedResult, GcSummary, ResultCache};
+pub use cache::{
+    cached_cycles, CacheContext, CacheKey, CachedResult, FsckSummary, GcSummary, ResultCache,
+};
+pub use chaos::{ChaosKind, ChaosPlan, ServerChaos};
 pub use checkpoint::Checkpoint;
 pub use harness::{
     run, run_functional_only, run_spmv_variant, run_with_config, run_with_config_cached, sweep,
@@ -31,4 +35,7 @@ pub use harness::{
     RunResult, SpmvVariant, Sweeper, Workloads,
 };
 pub use metrics::StallBreakdown;
-pub use server::{serve, ServerConfig, DEFAULT_ADDR};
+pub use server::{
+    client_request, client_sweep, serve, RetryPolicy, ServerConfig, ShutdownSignal, SweepSummary,
+    DEFAULT_ADDR,
+};

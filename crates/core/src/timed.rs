@@ -78,6 +78,16 @@ impl SdvMachine {
         self.timing.set_bypass(on);
     }
 
+    /// Arm a wall-clock deadline for the current run: a cell still issuing
+    /// ops `limit` from now latches a structured
+    /// [`sdv_engine::SimError::DeadlineExceeded`] instead of running
+    /// unbounded. Cleared by [`SdvMachine::reset_with_config`] — arm it per
+    /// cell, after the reset. A deadline that does not fire never changes
+    /// simulated cycles.
+    pub fn set_wall_deadline(&mut self, limit: std::time::Duration) {
+        self.timing.set_wall_deadline(limit);
+    }
+
     /// Rewind this machine to the state `with_config(heap, cfg)` would build,
     /// reusing the large allocations (register file, simulated heap, exec
     /// scratch). Timing state is rebuilt from scratch — cycle counts of a

@@ -62,6 +62,38 @@ pub enum SimError {
         /// The remote failure, as the server reported it.
         what: String,
     },
+    /// A `sweepd` server could not be reached, or the connection to it was
+    /// lost mid-request: connect refused, socket timeout, stream closed.
+    /// Always transient — the request is idempotent (server-side dedup), so
+    /// clients retry it with backoff.
+    Unavailable {
+        /// What failed at the transport layer.
+        what: String,
+    },
+    /// A `sweepd` server refused new work because its bounded job queue is
+    /// full. Transient by design: backpressure instead of unbounded
+    /// acceptance — retry with backoff, or spread the grid across servers.
+    Overloaded {
+        /// The server's rejection message (queue depth and limit).
+        what: String,
+    },
+    /// A `sweepd` server is draining for shutdown and rejects new sweeps
+    /// while in-flight cells complete. Transient from the fleet's point of
+    /// view (another instance, or this one after restart, will serve it).
+    Draining {
+        /// The server's rejection message.
+        what: String,
+    },
+    /// The cell ran past its wall-clock deadline (the service-level guard
+    /// for runaway cells that *do* make forward progress, where the
+    /// deterministic cycle budget has not been configured tight enough).
+    /// Host-speed dependent, so deadline failures are never cached.
+    DeadlineExceeded {
+        /// The configured limit in milliseconds.
+        limit_ms: u64,
+        /// Machine-state dump at detection time.
+        diagnostic: String,
+    },
 }
 
 impl SimError {
@@ -75,7 +107,23 @@ impl SimError {
             SimError::BadInput { .. } => "bad-input",
             SimError::Panic { .. } => "panic",
             SimError::Remote { .. } => "remote",
+            SimError::Unavailable { .. } => "unavailable",
+            SimError::Overloaded { .. } => "overloaded",
+            SimError::Draining { .. } => "draining",
+            SimError::DeadlineExceeded { .. } => "deadline-exceeded",
         }
+    }
+
+    /// Whether a retry of the same request can reasonably succeed: transport
+    /// loss, backpressure, and shutdown drains are transient; everything
+    /// else (bad input, a simulator fault, a server-side rejection) is not.
+    /// `sweepd` requests are idempotent (server-side exactly-once dedup), so
+    /// retrying a transient failure can never duplicate work.
+    pub fn transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::Unavailable { .. } | SimError::Overloaded { .. } | SimError::Draining { .. }
+        )
     }
 }
 
@@ -97,6 +145,12 @@ impl std::fmt::Display for SimError {
             SimError::BadInput { what } => write!(f, "BadInput: {what}"),
             SimError::Panic { what } => write!(f, "Panic: {what}"),
             SimError::Remote { what } => write!(f, "Remote: {what}"),
+            SimError::Unavailable { what } => write!(f, "Unavailable: {what}"),
+            SimError::Overloaded { what } => write!(f, "Overloaded: {what}"),
+            SimError::Draining { what } => write!(f, "Draining: {what}"),
+            SimError::DeadlineExceeded { limit_ms, diagnostic } => {
+                write!(f, "DeadlineExceeded: cell ran past the {limit_ms} ms wall deadline\n{diagnostic}")
+            }
         }
     }
 }
@@ -133,10 +187,28 @@ mod tests {
             SimError::BadInput { what: String::new() }.class(),
             SimError::Panic { what: String::new() }.class(),
             SimError::Remote { what: String::new() }.class(),
+            SimError::Unavailable { what: String::new() }.class(),
+            SimError::Overloaded { what: String::new() }.class(),
+            SimError::Draining { what: String::new() }.class(),
+            SimError::DeadlineExceeded { limit_ms: 0, diagnostic: String::new() }.class(),
         ];
         let mut dedup = all.to_vec();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn only_service_level_failures_are_transient() {
+        assert!(SimError::Unavailable { what: String::new() }.transient());
+        assert!(SimError::Overloaded { what: String::new() }.transient());
+        assert!(SimError::Draining { what: String::new() }.transient());
+        assert!(!SimError::Remote { what: String::new() }.transient());
+        assert!(!SimError::BadInput { what: String::new() }.transient());
+        assert!(!SimError::Panic { what: String::new() }.transient());
+        assert!(
+            !SimError::DeadlineExceeded { limit_ms: 1, diagnostic: String::new() }.transient(),
+            "a cell that blew its deadline once will blow it again — do not retry"
+        );
     }
 }

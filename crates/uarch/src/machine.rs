@@ -27,11 +27,28 @@ pub struct SdvTiming {
     watchdog: WatchdogConfig,
     /// First failure observed; once set, `issue` short-circuits.
     fault: Option<Box<SimError>>,
+    /// Wall-clock deadline, when armed (the probes' single-branch
+    /// `Option<Box>` idiom: one never-taken branch per op when off).
+    wall: Option<Box<WallDeadline>>,
     /// Measurement mode: accept and discard every op. Used by
     /// `perf_baseline --breakdown` to time the functional half of a run in
     /// isolation; cycle counts of a bypassed run are meaningless.
     bypass: bool,
 }
+
+/// An armed wall-clock deadline. `Instant::now()` costs a vDSO call, far too
+/// much per op, so the clock is only consulted every [`WALL_STRIDE`] ops —
+/// deadline detection is approximate by design (it guards operators against
+/// runaway cells, it is not a timing result).
+struct WallDeadline {
+    deadline: std::time::Instant,
+    limit_ms: u64,
+    countdown: u32,
+}
+
+/// Ops between wall-clock checks. At the simulator's >100 M simulated
+/// cycles/s this re-checks the clock a few thousand times per second.
+const WALL_STRIDE: u32 = 1 << 14;
 
 impl SdvTiming {
     /// Build from configuration, arming the watchdog and any fault plan.
@@ -54,8 +71,24 @@ impl SdvTiming {
             hier,
             watchdog: cfg.watchdog,
             fault: None,
+            wall: None,
             bypass: false,
         }
+    }
+
+    /// Arm a wall-clock deadline for this run: if the op stream is still
+    /// being issued `limit` from now, the first op past the deadline latches
+    /// a structured [`SimError::DeadlineExceeded`] (checked every
+    /// [`WALL_STRIDE`] ops). Deliberately *not* part of [`TimingConfig`]:
+    /// host speed must never enter a cache key or the client/server config
+    /// identity, and a deadline that does not fire is invisible — simulated
+    /// cycles are bit-identical with or without it.
+    pub fn set_wall_deadline(&mut self, limit: std::time::Duration) {
+        self.wall = Some(Box::new(WallDeadline {
+            deadline: std::time::Instant::now() + limit,
+            limit_ms: limit.as_millis() as u64,
+            countdown: WALL_STRIDE,
+        }));
     }
 
     /// Discard all subsequent ops (attribution measurement mode): the wall
@@ -85,6 +118,19 @@ impl SdvTiming {
     pub fn issue(&mut self, op: &Op) {
         if self.fault.is_some() || self.bypass {
             return;
+        }
+        if let Some(wall) = &mut self.wall {
+            wall.countdown -= 1;
+            if wall.countdown == 0 {
+                wall.countdown = WALL_STRIDE;
+                if std::time::Instant::now() >= wall.deadline {
+                    let limit_ms = wall.limit_ms;
+                    let diagnostic = self.diagnostic();
+                    self.fault =
+                        Some(Box::new(SimError::DeadlineExceeded { limit_ms, diagnostic }));
+                    return;
+                }
+            }
         }
         let before = self.scalar.now();
         match op {
@@ -434,6 +480,38 @@ mod tests {
             m.issue(&Op::IntOps(8));
         }
         m.try_finish()
+    }
+
+    #[test]
+    fn unfired_wall_deadline_is_a_pure_observer() {
+        // A generous deadline must never change timing — same contract as
+        // the watchdog and probes.
+        let mut plain = machine();
+        let t_plain = mixed_program(&mut plain).expect("clean run");
+        let mut guarded = machine();
+        guarded.set_wall_deadline(std::time::Duration::from_secs(3600));
+        let t_guarded = mixed_program(&mut guarded).expect("clean run under deadline");
+        assert_eq!(t_plain, t_guarded, "an unfired deadline must never change timing");
+    }
+
+    #[test]
+    fn expired_wall_deadline_latches_structured_failure() {
+        use sdv_engine::SimError;
+        let mut m = machine();
+        m.set_wall_deadline(std::time::Duration::ZERO);
+        // Enough ops to cross the check stride at least once.
+        let mut latched = None;
+        for i in 0..200_000u64 {
+            m.issue(&Op::IntOps(1));
+            if i % 4096 == 0 && m.fault().is_some() {
+                latched = Some(i);
+                break;
+            }
+        }
+        assert!(latched.is_some(), "an expired deadline must latch within the stride");
+        let e = m.try_finish().expect_err("latched failure surfaces at finish");
+        assert!(matches!(e, SimError::DeadlineExceeded { .. }), "{e}");
+        assert!(e.to_string().contains("wall deadline"), "{e}");
     }
 
     #[test]

@@ -116,6 +116,27 @@ for fig in fig4_slowdown fig5_bandwidth fig_stalls; do
 done
 rm -f "$cache_cold" "$cache_warm"
 
+echo "== cache fsck smoke (corrupt entry quarantined; rerun re-simulates) =="
+victim="$(find "$cache_dir" -maxdepth 1 -name '*.entry' | head -1)"
+python3 - "$victim" <<'PYEOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, 'rb').read())
+data[len(data) // 2] ^= 1
+open(path, 'wb').write(data)
+PYEOF
+fsck_out="$(./target/release/sweepd fsck --cache-dir "$cache_dir")"
+if ! grep -qE 'quarantined now +1' <<<"$fsck_out"; then
+    echo "fsck did not quarantine the corrupted entry:" >&2
+    echo "$fsck_out" >&2
+    exit 1
+fi
+# A quarantined entry is a miss, never wrong data: the rerun re-simulates
+# that cell and still matches the golden CSV byte for byte.
+./target/release/fig3_latency --small --cache-dir "$cache_dir" --csv "$cache_warm" >/dev/null
+diff -u results/golden/fig3_small.csv "$cache_warm"
+echo "fsck quarantined the corrupt entry; rerun healed the cache"
+
 echo "== cache gc smoke (LRU eviction empties an over-budget cache) =="
 ./target/release/sweepd gc --cache-dir "$cache_dir" --max-bytes 1
 if find "$cache_dir" -name '*.entry' | grep -q .; then
@@ -124,9 +145,9 @@ if find "$cache_dir" -name '*.entry' | grep -q .; then
 fi
 rm -rf "$cache_dir"
 
-echo "== sweepd smoke (serve, duplicate-heavy submit, stats, shutdown) =="
+echo "== sweepd smoke (serve on --port 0, duplicate-heavy submit, status, shutdown) =="
 sweepd_log="$(mktemp /tmp/sweepd.XXXXXX.log)"
-./target/release/sweepd serve --addr 127.0.0.1:0 --small --threads 2 2>"$sweepd_log" &
+./target/release/sweepd serve --port 0 --small --threads 2 2>"$sweepd_log" &
 sweepd_pid=$!
 sweepd_addr=""
 for _ in $(seq 1 50); do
@@ -143,10 +164,91 @@ if ! grep -q "2 unique cells; server lifetime: 2 simulated" <<<"$submit_err"; th
     echo "sweepd submit: expected duplicate-collapsed summary, got: $submit_err" >&2
     exit 1
 fi
+status_out="$(./target/release/sweepd status --addr "$sweepd_addr")"
+if ! grep -q "workers" <<<"$status_out"; then
+    echo "sweepd status: no worker health in: $status_out" >&2
+    exit 1
+fi
 ./target/release/sweepd shutdown --addr "$sweepd_addr" >/dev/null
 wait "$sweepd_pid"
 rm -f "$sweepd_log"
 echo "sweepd round trip ok ($submit_err)"
+
+echo "== sweepd graceful shutdown (SIGTERM: drain in-flight submit, exit 0) =="
+sweepd_log="$(mktemp /tmp/sweepd_term.XXXXXX.log)"
+./target/release/sweepd serve --port 0 --small --threads 1 2>"$sweepd_log" &
+sweepd_pid=$!
+sweepd_addr=""
+for _ in $(seq 1 50); do
+    sweepd_addr="$(sed -n 's/.*serving workload .* on \([0-9.:]*\) .*/\1/p' "$sweepd_log")"
+    [ -n "$sweepd_addr" ] && break
+    sleep 0.1
+done
+[ -n "$sweepd_addr" ] || { echo "sweepd did not come up:" >&2; cat "$sweepd_log" >&2; exit 1; }
+drain_out="$(mktemp /tmp/sweepd_drain.XXXXXX.csv)"
+./target/release/sweepd submit --addr "$sweepd_addr" --small \
+    --cells "SPMV,scalar,0,64;SPMV,vl=64,0,64;SPMV,vl=256,0,64;BFS,scalar,0,64;PR,scalar,0,64;FFT,scalar,0,64" \
+    >"$drain_out" 2>/dev/null &
+submit_pid=$!
+# TERM the server as soon as the first result lands (sweep in flight).
+for _ in $(seq 1 100); do
+    [ -s "$drain_out" ] && break
+    sleep 0.1
+done
+[ -s "$drain_out" ] || { echo "submit streamed nothing before TERM" >&2; exit 1; }
+kill -TERM "$sweepd_pid"
+if ! wait "$submit_pid"; then
+    echo "in-flight submit failed during the drain" >&2
+    exit 1
+fi
+if ! wait "$sweepd_pid"; then
+    echo "sweepd did not exit 0 after SIGTERM" >&2; cat "$sweepd_log" >&2
+    exit 1
+fi
+if [ "$(wc -l <"$drain_out")" -ne 6 ]; then
+    echo "drained submit returned $(wc -l <"$drain_out") of 6 cells" >&2
+    exit 1
+fi
+grep -q "draining" "$sweepd_log" || { echo "no drain log line" >&2; cat "$sweepd_log" >&2; exit 1; }
+grep -q "shut down cleanly" "$sweepd_log" || { echo "no clean-shutdown line" >&2; exit 1; }
+rm -f "$sweepd_log" "$drain_out"
+echo "SIGTERM drained the in-flight sweep and exited 0"
+
+echo "== sweepd client retry (submit --retries outlives a late server start) =="
+retry_port="$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1])')"
+retry_log="$(mktemp /tmp/sweepd_retry.XXXXXX.log)"
+( sleep 0.7; exec ./target/release/sweepd serve --port "$retry_port" --small --threads 1 2>"$retry_log" ) &
+serve_job=$!
+# The first connect attempts hit a dead port; seeded backoff carries the
+# client across the server's startup window.
+retry_out="$(./target/release/sweepd submit --addr "127.0.0.1:$retry_port" --retries 10 \
+    --small --cells "SPMV,scalar,0,64" 2>&1 >/dev/null)" || {
+    echo "retrying submit failed: $retry_out" >&2
+    exit 1
+}
+grep -q "1 unique cells" <<<"$retry_out" || { echo "unexpected summary: $retry_out" >&2; exit 1; }
+
+echo "== sweepd bind conflict (second serve on a busy port exits 5) =="
+set +e
+dup_out="$(./target/release/sweepd serve --port "$retry_port" --small 2>&1)"
+dup_rc=$?
+set -e
+if [ "$dup_rc" -ne 5 ]; then
+    echo "expected exit 5 on EADDRINUSE, got $dup_rc: $dup_out" >&2
+    exit 1
+fi
+grep -q "address already in use" <<<"$dup_out" || { echo "unhelpful bind error: $dup_out" >&2; exit 1; }
+./target/release/sweepd shutdown --addr "127.0.0.1:$retry_port" >/dev/null
+wait "$serve_job"
+rm -f "$retry_log"
+echo "client retry + bind-conflict exit codes ok"
+
+echo "== chaos soak (20 seeded service-fault runs, bit-identical to baseline) =="
+# Every service fault kind armed per seed (dropped connections, delayed
+# responses, killed workers, corrupted cache entries), then a chaos-free
+# healing pass over the same cache: all results must match the fault-free
+# local baseline exactly. Determinism extends through the failure paths.
+./target/release/chaos_soak --runs 20 --threads 2
 
 echo "== fault-injection smoke (wedged credit must die cleanly, exit 4) =="
 # A wedged VPU line credit must be caught by the forward-progress watchdog
