@@ -4,15 +4,17 @@
 //!
 //! * `sweepd serve [--addr A | --port N] [--small] [--threads N]
 //!   [--cache|--cache-dir D] [--backend scalar|simd] [--probe-sampling]
-//!   [--watchdog] [--cycle-budget N] [--max-queue N] [--io-timeout-ms N]
-//!   [--cell-wall-ms N] [--chaos all|KIND [--chaos-seed S]]`
+//!   [--tiles N] [--mesh WxH] [--watchdog] [--cycle-budget N]
+//!   [--max-queue N] [--io-timeout-ms N] [--cell-wall-ms N]
+//!   [--chaos all|KIND [--chaos-seed S]]`
 //!   — run the server until a `shutdown` request or SIGTERM/SIGINT (both
 //!   drain in-flight work, flush the cache, and exit 0). Holds the workload
 //!   arrays, pooled machines, and result memo resident; every unique cell is
 //!   simulated at most once for the server's lifetime. `--port 0` binds an
 //!   ephemeral port; the bound address is printed on stderr either way.
 //! * `sweepd submit [--addr A] [--small] [--backend B] [--probe-sampling]
-//!   [--watchdog] [--cycle-budget N] [--retries N [--retry-seed S]]
+//!   [--tiles N] [--mesh WxH] [--watchdog] [--cycle-budget N]
+//!   [--retries N [--retry-seed S]]
 //!   --cells "SPMV,scalar,0,64;FFT,vl=256,128,64"`
 //!   — submit a grid and stream results to stdout as
 //!   `kernel,impl,extra_latency,bandwidth,cycles` lines (completion order).
@@ -62,6 +64,7 @@ fn timing_config(args: &[String]) -> TimingConfig {
     if args.iter().any(|a| a == "--probe-sampling") {
         cfg.probe = sdv_engine::ProbeConfig::sampling();
     }
+    cli::apply_topology(args, &mut cfg).unwrap_or_else(|e| cli::die_usage(BIN, &e));
     cfg
 }
 

@@ -111,6 +111,51 @@ pub fn hardening_config(args: &[String]) -> Result<TimingConfig, String> {
     Ok(cfg)
 }
 
+/// Apply the shared scale-out topology flags to a timing configuration:
+///
+/// * `--tiles N` — number of core+VPU tiles sharing the L2/directory/DRAM
+///   (default 1, the paper's machine). Tiles beyond 1 dispatch cells to the
+///   partitioned multi-tile drivers; scalar implementations and FFT have
+///   none and fail those cells with a structured bad-input error.
+/// * `--mesh WxH` — mesh geometry (default 2x2). The L2HN bank count
+///   follows the node count, one bank per node, so the home-node hash
+///   stays balanced. Without `--mesh`, `--tiles` picks the smallest of the
+///   study's square meshes (2×2, 4×4, 8×8) that seats every tile.
+///
+/// Both flags are cache-key visible (they land in [`TimingConfig`]'s
+/// canonical form), so cached and `sweepd` results can never alias across
+/// topologies.
+pub fn apply_topology(args: &[String], cfg: &mut TimingConfig) -> Result<(), String> {
+    if let Some(tiles) = parse_arg::<usize>(args, "--tiles")? {
+        if tiles == 0 {
+            return Err("--tiles must be positive".into());
+        }
+        cfg.mem.tiles = tiles;
+        cfg.mem.mesh = mesh_for_tiles(tiles);
+        cfg.mem.num_banks = cfg.mem.mesh.nodes();
+    }
+    if let Some(spec) = parse_arg::<String>(args, "--mesh")? {
+        let (w, h) = spec
+            .split_once('x')
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .ok_or_else(|| format!("--mesh: bad value '{spec}' (expected WxH, e.g. 4x4)"))?;
+        if w == 0 || h == 0 {
+            return Err(format!("--mesh: bad value '{spec}': dimensions must be positive"));
+        }
+        cfg.mem.mesh = sdv_noc::MeshConfig::grid(w, h);
+        cfg.mem.num_banks = w * h;
+    }
+    Ok(())
+}
+
+/// The smallest of the scaling study's square meshes (2×2, 4×4, 8×8) whose
+/// node count seats `tiles` tiles — the default geometry when `--tiles` is
+/// given without `--mesh`.
+pub fn mesh_for_tiles(tiles: usize) -> sdv_noc::MeshConfig {
+    let side = [2usize, 4, 8].into_iter().find(|s| s * s >= tiles).unwrap_or(8);
+    sdv_noc::MeshConfig::grid(side, side)
+}
+
 /// Parse the shared `--backend scalar|simd` flag. Defaults to `scalar`
 /// (the reference interpreter) when absent. Backend selection only changes
 /// host wall-clock: simulated cycles and every figure/CSV byte are

@@ -1,7 +1,7 @@
 //! The experiment runner.
 
 use crate::cache::{CacheKey, ResultCache};
-use sdv_core::{SdvMachine, Vm};
+use sdv_core::{SdvMachine, TiledMachine, Vm};
 use sdv_engine::{SimError, StableHash, Stats};
 use sdv_rvv::Backend;
 use sdv_kernels::fft::{self, Complexes};
@@ -305,6 +305,11 @@ pub fn try_run_with_config(
     cell: Cell,
     cfg: TimingConfig,
 ) -> Result<RunResult, SimError> {
+    if cfg.mem.tiles > 1 {
+        // Dispatch before building any machine: an over-capacity topology
+        // must come back as a structured error, not a constructor panic.
+        return try_run_tiled(w, cell, cfg, Backend::default(), None);
+    }
     let mut m = SdvMachine::with_config(w.heap, cfg);
     try_run_on(&mut m, w, cell, cfg, Backend::default())
 }
@@ -350,6 +355,9 @@ fn try_run_on_walled(
     backend: Backend,
     wall: Option<std::time::Duration>,
 ) -> Result<RunResult, SimError> {
+    if cfg.mem.tiles > 1 {
+        return try_run_tiled(w, cell, cfg, backend, wall);
+    }
     m.reset_with_config(cfg);
     if let Some(limit) = wall {
         m.set_wall_deadline(limit);
@@ -361,6 +369,67 @@ fn try_run_on_walled(
         m.set_maxvl_cap(maxvl);
     }
     drive_kernel(m, w, cell);
+    let cycles = m.try_finish()?;
+    Ok(RunResult { cell, cycles, stats: m.stats() })
+}
+
+/// Multi-tile variant of [`try_run_on_walled`]: runs the cell on a fresh
+/// [`TiledMachine`] partitioned across `cfg.mem.tiles` core+VPU tiles.
+///
+/// Tiled machines are not pooled: the capture/replay traces and per-tile
+/// architectural states make rewind-in-place subtle, and multi-tile sweeps
+/// are dominated by simulation time, not construction. A fresh machine per
+/// cell also guarantees cross-run bit-identity by construction.
+///
+/// Only the vector implementations of SpMV, BFS, and PageRank have
+/// partitioned drivers; scalar cells and FFT come back as structured
+/// [`SimError::BadInput`] failures rather than silently running one tile.
+fn try_run_tiled(
+    w: &Workloads,
+    cell: Cell,
+    cfg: TimingConfig,
+    backend: Backend,
+    wall: Option<std::time::Duration>,
+) -> Result<RunResult, SimError> {
+    // Validate the highest requestor id this topology will mint *before*
+    // MemHierarchy::new can panic on an oversized directory mask.
+    sdv_memsys::requestor_id(2 * cfg.mem.tiles - 1)?;
+    let maxvl = match (cell.kernel, cell.imp) {
+        (KernelKind::Fft, _) => {
+            return Err(SimError::BadInput {
+                what: format!("{} has no partitioned multi-tile driver", cell.kernel.name()),
+            });
+        }
+        (_, ImplKind::Scalar) => {
+            return Err(SimError::BadInput {
+                what: "scalar implementations have no partitioned multi-tile driver".to_string(),
+            });
+        }
+        (_, ImplKind::Vector { maxvl }) => maxvl,
+    };
+    let mut m = TiledMachine::with_config(w.heap, cfg);
+    if let Some(limit) = wall {
+        m.set_wall_deadline(limit);
+    }
+    m.set_backend(backend);
+    m.set_extra_latency(cell.extra_latency);
+    m.set_bandwidth_limit(cell.bandwidth);
+    m.set_maxvl_cap(maxvl);
+    match cell.kernel {
+        KernelKind::Spmv => {
+            let dev = spmv::setup_spmv(&mut m.vm(0), &w.mat, &w.sell);
+            sdv_kernels::spmv_vector_sell_tiled(&mut m, &dev);
+        }
+        KernelKind::Bfs => {
+            let dev = bfs::setup_bfs(&mut m.vm(0), &w.graph, 256, w.bfs_src);
+            sdv_kernels::bfs_vector_tiled(&mut m, &dev);
+        }
+        KernelKind::Pr => {
+            let dev = pagerank::setup_pagerank(&mut m.vm(0), &w.graph, 256, 0.85, w.pr_iters);
+            sdv_kernels::pagerank_vector_tiled(&mut m, &dev);
+        }
+        KernelKind::Fft => unreachable!("rejected above"),
+    }
     let cycles = m.try_finish()?;
     Ok(RunResult { cell, cycles, stats: m.stats() })
 }
@@ -926,6 +995,116 @@ mod tests {
 
     fn cell(kernel: KernelKind, imp: ImplKind) -> Cell {
         Cell { kernel, imp, extra_latency: 0, bandwidth: 64 }
+    }
+
+    #[test]
+    fn pooled_slot_recovers_after_deadline_failure() {
+        // A walled cell that blows its deadline latches a structured fault
+        // on the pooled machine; reset_with_config must clear it so the
+        // next cell on the same slot runs clean and bit-identical.
+        let w = Workloads::small();
+        let c = cell(KernelKind::Bfs, ImplKind::Scalar);
+        let cfg = TimingConfig::default();
+        let mut slot = None;
+        let clean = match run_guarded(&mut slot, &w, c, cfg, Backend::default(), None) {
+            CellOutcome::Done(r) => r.cycles,
+            other => panic!("clean run failed: {other:?}"),
+        };
+        match run_guarded(
+            &mut slot,
+            &w,
+            c,
+            cfg,
+            Backend::default(),
+            Some(std::time::Duration::ZERO),
+        ) {
+            CellOutcome::Failed { error: SimError::DeadlineExceeded { .. }, .. } => {}
+            other => panic!("zero deadline must fail the cell: {other:?}"),
+        }
+        assert!(slot.is_some(), "a structured failure keeps the pooled machine");
+        match run_guarded(&mut slot, &w, c, cfg, Backend::default(), None) {
+            CellOutcome::Done(r) => {
+                assert_eq!(r.cycles, clean, "post-failure run must be bit-identical")
+            }
+            other => panic!("post-failure run failed: {other:?}"),
+        }
+    }
+
+    /// A multi-tile configuration on the study's smallest scale-out step:
+    /// 4 tiles on the default 2×2 mesh.
+    fn tiled_cfg(tiles: usize) -> TimingConfig {
+        let mut cfg = TimingConfig::default();
+        cfg.mem.tiles = tiles;
+        cfg
+    }
+
+    #[test]
+    fn multi_tile_cells_dispatch_and_are_deterministic() {
+        let w = Workloads::small();
+        let c = cell(KernelKind::Spmv, ImplKind::Vector { maxvl: 256 });
+        let a = try_run_with_config(&w, c, tiled_cfg(4)).expect("tiled SpMV runs");
+        let b = try_run_with_config(&w, c, tiled_cfg(4)).expect("tiled SpMV reruns");
+        assert_eq!(a.cycles, b.cycles, "multi-tile cycles must be reproducible");
+        assert_eq!(
+            format!("{:?}", a.stats),
+            format!("{:?}", b.stats),
+            "multi-tile stats must be reproducible"
+        );
+        assert!(a.stats.get("tile3.scalar.ops") > 0, "all four tiles must do work");
+    }
+
+    #[test]
+    fn multi_tile_rejects_scalar_and_fft_with_structured_error() {
+        let w = Workloads::small();
+        let scalar = try_run_with_config(
+            &w,
+            cell(KernelKind::Spmv, ImplKind::Scalar),
+            tiled_cfg(4),
+        );
+        assert!(
+            matches!(scalar, Err(SimError::BadInput { .. })),
+            "scalar at tiles>1 must be a structured rejection: {scalar:?}"
+        );
+        let fft = try_run_with_config(
+            &w,
+            cell(KernelKind::Fft, ImplKind::Vector { maxvl: 256 }),
+            tiled_cfg(4),
+        );
+        assert!(
+            matches!(fft, Err(SimError::BadInput { .. })),
+            "FFT at tiles>1 must be a structured rejection: {fft:?}"
+        );
+        let too_many = try_run_with_config(
+            &w,
+            cell(KernelKind::Spmv, ImplKind::Vector { maxvl: 256 }),
+            tiled_cfg(1 << 10),
+        );
+        assert!(
+            matches!(too_many, Err(SimError::BadInput { .. })),
+            "a topology past directory capacity must be rejected, not panic: {too_many:?}"
+        );
+    }
+
+    #[test]
+    fn one_tile_on_a_4x4_mesh_matches_the_classic_machine() {
+        // The capture/replay machine with one tile must be bit-identical to
+        // the classic machine running the same kernel program — here on a
+        // non-default 4×4 mesh, so the equivalence covers scaled topologies
+        // too. (The *partitioned* drivers are a different op stream even on
+        // one tile: PageRank's adds a rank-mass merge phase.)
+        let w = Workloads::small();
+        let c = cell(KernelKind::Pr, ImplKind::Vector { maxvl: 64 });
+        let mut cfg = TimingConfig::default();
+        cfg.mem.mesh = sdv_noc::MeshConfig::grid(4, 4);
+        cfg.mem.num_banks = 16;
+        let classic = try_run_with_config(&w, c, cfg).expect("classic 4x4 run");
+
+        let mut m = sdv_core::TiledMachine::with_config(w.heap, cfg);
+        m.set_maxvl_cap(64);
+        let dev = pagerank::setup_pagerank(&mut m.vm(0), &w.graph, 256, 0.85, w.pr_iters);
+        pagerank::pagerank_vector(&mut m.vm(0), &dev);
+        let cycles = m.try_finish().expect("tiled 1-tile run");
+        assert_eq!(cycles, classic.cycles, "1 tile on 4x4 must match the classic machine");
     }
 
     #[test]

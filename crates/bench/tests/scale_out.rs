@@ -1,0 +1,80 @@
+//! Tile scale-out regression tests.
+//!
+//! Two bit-identity contracts anchor the multi-tile work:
+//!
+//! * **Single-tile is untouched** — the classic 24-cell small perf suite
+//!   must still sum to exactly 23,497,211 cycles (the pinned total in
+//!   `results/perf/` baselines and the `/verify` recipe). Any multi-tile
+//!   plumbing that shifts a single-tile cycle count fails here.
+//! * **Multi-tile is reproducible** — the same topology swept twice (and
+//!   across thread counts) returns byte-identical cycles and stats; the
+//!   replay interleaving is a pure function of the captured traces.
+//!
+//! If a deliberate model change moves the suite total, update the constant
+//! here, the recorded perf baselines, and the `/verify` skill note in the
+//! same commit, explaining why.
+
+use sdv_bench::{Cell, CellOutcome, ImplKind, KernelKind, Sweeper, Workloads};
+use sdv_uarch::TimingConfig;
+
+/// The classic small-workload perf-suite total: 4 kernels × {scalar, vl=8,
+/// vl=256} × {+0, +512} extra latency, summed.
+const SUITE_TOTAL: u64 = 23_497_211;
+
+fn suite_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for kernel in KernelKind::all() {
+        for imp in [ImplKind::Scalar, ImplKind::Vector { maxvl: 8 }, ImplKind::Vector { maxvl: 256 }]
+        {
+            for extra_latency in [0, 512] {
+                cells.push(Cell { kernel, imp, extra_latency, bandwidth: 64 });
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn classic_small_suite_total_is_pinned() {
+    let w = Workloads::small();
+    let cells = suite_cells();
+    assert_eq!(cells.len(), 24);
+    let mut sweeper = Sweeper::new();
+    let total: u64 = sweeper.sweep(&w, &cells, 2).iter().map(|r| r.cycles).sum();
+    assert_eq!(
+        total, SUITE_TOTAL,
+        "single-tile suite total moved — multi-tile plumbing must not disturb the classic machine"
+    );
+}
+
+#[test]
+fn multi_tile_sweep_is_reproducible_across_runs_and_threads() {
+    let w = Workloads::small();
+    let mut cfg = TimingConfig::default();
+    cfg.mem.tiles = 4;
+    let cells: Vec<Cell> = [KernelKind::Spmv, KernelKind::Bfs, KernelKind::Pr]
+        .into_iter()
+        .map(|kernel| Cell {
+            kernel,
+            imp: ImplKind::Vector { maxvl: 256 },
+            extra_latency: 0,
+            bandwidth: 64,
+        })
+        .collect();
+    let sweep = |threads: usize| -> Vec<(u64, String)> {
+        // A fresh sweeper per pass: no memo, every cell truly re-simulates.
+        let mut s = Sweeper::with_config(cfg);
+        s.sweep_outcomes(&w, &cells, threads)
+            .into_iter()
+            .map(|o| match o {
+                CellOutcome::Done(r) => (r.cycles, format!("{:?}", r.stats)),
+                CellOutcome::Failed { cell, error } => panic!("{cell:?} failed: {error}"),
+            })
+            .collect()
+    };
+    let a = sweep(1);
+    let b = sweep(1);
+    let c = sweep(3);
+    assert_eq!(a, b, "same-thread reruns must be bit-identical");
+    assert_eq!(a, c, "thread count must not leak into multi-tile results");
+}

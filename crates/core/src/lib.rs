@@ -31,12 +31,14 @@
 
 pub mod functional;
 pub mod memory;
+pub mod tiled;
 pub mod timed;
 pub mod trace;
 pub mod vm;
 
 pub use functional::FunctionalMachine;
 pub use memory::SimMemory;
+pub use tiled::{TileVm, TiledMachine};
 pub use timed::SdvMachine;
 pub use trace::{TraceEvent, TracingMachine};
 pub use vm::Vm;

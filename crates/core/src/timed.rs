@@ -92,6 +92,13 @@ impl SdvMachine {
     /// reusing the large allocations (register file, simulated heap, exec
     /// scratch). Timing state is rebuilt from scratch — cycle counts of a
     /// reset machine are bit-identical to those of a fresh one.
+    ///
+    /// "From scratch" includes the hardening state: a latched fault
+    /// (watchdog deadlock, cycle budget, wall-clock deadline) and any armed
+    /// wall deadline die with the replaced timing model, so a machine that
+    /// failed one cell simulates the next cleanly. The pooled-machine sweep
+    /// workers rely on this — only a *panicking* cell forces them to discard
+    /// a machine.
     pub fn reset_with_config(&mut self, cfg: TimingConfig) {
         self.state.reset();
         self.mem.reset();
@@ -428,6 +435,37 @@ mod tests {
         let e = program(&mut faulty).expect_err("the stalled bank must surface");
         assert!(matches!(e, SimError::Deadlock { .. }), "{e}");
         assert!(faulty.fault().is_some());
+    }
+
+    #[test]
+    fn reset_clears_latched_deadline_and_armed_wall() {
+        use sdv_engine::SimError;
+        let cfg = TimingConfig::default();
+        // Enough scalar ops to cross the deadline's check stride (2^14 ops)
+        // several times, so a zero deadline is guaranteed to latch.
+        let program = |m: &mut SdvMachine| {
+            let a = m.alloc(64, 64);
+            for _ in 0..100_000u64 {
+                m.load_f64(a);
+            }
+        };
+        let mut fresh = SdvMachine::with_config(1 << 22, cfg);
+        program(&mut fresh);
+        let clean = fresh.try_finish().expect("no deadline armed");
+
+        let mut m = SdvMachine::with_config(1 << 22, cfg);
+        m.set_wall_deadline(std::time::Duration::ZERO);
+        program(&mut m);
+        let e = m.try_finish().expect_err("a zero deadline fires on the first op");
+        assert!(matches!(e, SimError::DeadlineExceeded { .. }), "{e}");
+        assert!(m.fault().is_some());
+
+        // The reset must clear both the latched fault and the armed deadline:
+        // the next cell on this machine runs clean and bit-identical.
+        m.reset_with_config(cfg);
+        assert!(m.fault().is_none(), "reset must clear the latched fault");
+        program(&mut m);
+        assert_eq!(m.try_finish().expect("deadline must not survive reset"), clean);
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub mod graph;
 pub mod pagerank;
 pub mod sparse;
 pub mod spmv;
+pub mod tiled;
 
 pub use graph::{Graph, SlicedGraph};
+pub use tiled::{bfs_vector_tiled, pagerank_vector_tiled, spmv_vector_sell_tiled};
 pub use sparse::{CsrMatrix, SellCS};

@@ -138,7 +138,25 @@ pub fn spmv_vector_sell<V: Vm>(vm: &mut V, dev: &SpmvDevice) {
 /// iterative solvers (see `crate::cg`) apply the operator to arbitrary
 /// device vectors.
 pub fn spmv_vector_sell_at<V: Vm>(vm: &mut V, dev: &SpmvDevice, x: u64, y: u64) {
-    for s in 0..dev.num_slices as u64 {
+    spmv_vector_sell_range(vm, dev, x, y, 0, dev.num_slices)
+}
+
+/// SELL-C-σ SpMV over a contiguous slice range `[slice_lo, slice_hi)` — the
+/// tiled partition unit. Slices own disjoint output rows (the SELL
+/// permutation maps each slice's rows to distinct `y` entries), so tiles
+/// processing disjoint slice ranges never write the same line of `y`.
+/// `spmv_vector_sell_range(vm, dev, x, y, 0, dev.num_slices)` produces
+/// exactly the single-machine op stream.
+pub fn spmv_vector_sell_range<V: Vm>(
+    vm: &mut V,
+    dev: &SpmvDevice,
+    x: u64,
+    y: u64,
+    slice_lo: usize,
+    slice_hi: usize,
+) {
+    debug_assert!(slice_lo <= slice_hi && slice_hi <= dev.num_slices);
+    for s in slice_lo as u64..slice_hi as u64 {
         let base = vm.load_u64(dev.sell_slice_ptr + 8 * s);
         let w = vm.load_u32(dev.sell_width + 4 * s) as u64;
         let row0 = s * dev.sell_c as u64;
@@ -169,7 +187,7 @@ pub fn spmv_vector_sell_at<V: Vm>(vm: &mut V, dev: &SpmvDevice, x: u64, y: u64) 
             off += vl;
             vm.branch(off < h);
         }
-        vm.branch(s + 1 != dev.num_slices as u64);
+        vm.branch(s + 1 != slice_hi as u64);
     }
     vm.fence();
 }

@@ -1,0 +1,386 @@
+//! Tile-partitioned kernel drivers for the multi-tile machine.
+//!
+//! Each driver splits one of the paper's graph/sparse kernels across the
+//! tiles of a [`TiledMachine`], with barrier-delimited steps whose
+//! cross-tile writes are disjoint or idempotent — the property that makes
+//! capture order irrelevant and multi-tile cycle counts bit-reproducible
+//! (see `sdv_core::tiled`):
+//!
+//! * [`spmv_vector_sell_tiled`] — contiguous SELL slice ranges per tile;
+//!   slices own disjoint output rows, one barrier at the end.
+//! * [`bfs_vector_tiled`] — frontier-partitioned by slice range with a
+//!   barrier per level. Tiles scatter `level+1` into the shared `dist[]`
+//!   directly (same-value writes are idempotent); the update mask accepts
+//!   both `INF` and `level+1` so a vertex discovered by an earlier-captured
+//!   tile classifies identically in every capture order. Per-tile discovered
+//!   counts merge by sum for the termination decision.
+//! * [`pagerank_vector_tiled`] — per-chunk contribution and pull phases
+//!   (disjoint vertex and row ranges) plus a merge phase: per-tile partial
+//!   rank-mass reductions that tile 0 combines, a deliberate cross-tile
+//!   read of freshly written lines that exercises the MESI directory.
+
+use crate::bfs::{BfsDevice, INF};
+use crate::pagerank::PrDevice;
+use crate::spmv::{spmv_vector_sell_range, SpmvDevice};
+use sdv_core::{TiledMachine, Vm};
+use sdv_rvv::{Lmul, Reg, Sew};
+
+// Register conventions (shared across the tiled drivers).
+const V_DIST: Reg = 1;
+const V_NBR: Reg = 2;
+const V_NOFF: Reg = 3;
+const V_DN: Reg = 4;
+const M_FRONT: Reg = 5;
+const M_UPD: Reg = 6;
+const V_CNT: Reg = 7;
+const V_LVL: Reg = 8;
+const V_RED: Reg = 9;
+const M_NEW: Reg = 10;
+const V_PR: Reg = 11;
+const V_DEG: Reg = 12;
+const V_C: Reg = 13;
+const V_ACC: Reg = 14;
+
+/// The contiguous share of `total` units owned by tile `t` of `tiles`.
+fn tile_range(total: usize, tiles: usize, t: usize) -> (usize, usize) {
+    (total * t / tiles, total * (t + 1) / tiles)
+}
+
+/// Tiled SELL-C-σ SpMV: each tile processes a contiguous slice range
+/// (disjoint output rows through the SELL permutation), then one barrier.
+pub fn spmv_vector_sell_tiled(m: &mut TiledMachine, dev: &SpmvDevice) {
+    let tiles = m.tiles();
+    for &t in &m.capture_order().to_vec() {
+        let (lo, hi) = tile_range(dev.num_slices, tiles, t);
+        spmv_vector_sell_range(&mut m.vm(t), dev, dev.x, dev.y, lo, hi);
+    }
+    m.barrier();
+}
+
+/// Tiled level-synchronous BFS: slices partition across tiles, one barrier
+/// per level. Returns the number of levels run.
+pub fn bfs_vector_tiled(m: &mut TiledMachine, dev: &BfsDevice) -> u64 {
+    let tiles = m.tiles();
+    let order = m.capture_order().to_vec();
+    // Init: every tile fills its own vertex range with INF; the tile owning
+    // the source then seeds it (ownership, not tile 0 — a later-captured
+    // owner must not wipe the seed).
+    for &t in &order {
+        let (lo, hi) = tile_range(dev.n, tiles, t);
+        let mut vm = m.vm(t);
+        let maxvl = vm.maxvl(Sew::E64);
+        vm.setvl(maxvl, Sew::E64, Lmul::M1);
+        vm.vmv_vx(V_DIST, INF);
+        let mut v = lo as u64;
+        while (v as usize) < hi {
+            let vl = vm.setvl(hi - v as usize, Sew::E64, Lmul::M1) as u64;
+            vm.vse(V_DIST, dev.dist + 8 * v);
+            v += vl;
+            vm.int_ops(1);
+            vm.branch((v as usize) < hi);
+        }
+        if (lo..hi).contains(&dev.src) {
+            vm.store_u64(dev.dist + 8 * dev.src as u64, 0);
+        }
+    }
+    m.barrier();
+
+    let mut level = 0u64;
+    loop {
+        let mut updates = 0u64;
+        for &t in &order {
+            let (slo, shi) = tile_range(dev.num_slices, tiles, t);
+            updates += bfs_level_range(&mut m.vm(t), dev, level, slo, shi);
+        }
+        m.barrier();
+        level += 1;
+        // Termination depends only on the sum's zero-ness, which is
+        // capture-order invariant (every discovery is counted by at least
+        // one tile, and only discoveries are counted).
+        if updates == 0 || level as usize > dev.n {
+            break;
+        }
+    }
+    level
+}
+
+/// One tile's share of one BFS level: scan the frontier in `[slice_lo,
+/// slice_hi)`, scatter `level+1` to newly reached neighbours, and return
+/// this tile's update count (merged by sum in the driver).
+fn bfs_level_range<V: Vm>(
+    vm: &mut V,
+    dev: &BfsDevice,
+    level: u64,
+    slice_lo: usize,
+    slice_hi: usize,
+) -> u64 {
+    let maxvl = vm.maxvl(Sew::E64);
+    vm.setvl(maxvl, Sew::E64, Lmul::M1);
+    vm.vmv_vx(V_CNT, 0);
+    vm.vmv_vx(V_LVL, level + 1);
+    for s in slice_lo as u64..slice_hi as u64 {
+        let base = vm.load_u64(dev.slice_ptr + 8 * s);
+        let w = vm.load_u32(dev.slice_width + 4 * s) as u64;
+        let row0 = s * dev.c as u64;
+        let h = (dev.n as u64 - row0).min(dev.c as u64);
+        vm.int_ops(4);
+        let mut off = 0u64;
+        while off < h {
+            let vl = vm.setvl((h - off) as usize, Sew::E64, Lmul::M1) as u64;
+            vm.vle(V_DIST, dev.dist + 8 * (row0 + off));
+            vm.vmseq_vx(0, V_DIST, level); // v0 = frontier lanes
+            let front = vm.vpopc(0); // scalar<->vector sync
+            vm.branch(front == 0);
+            if front != 0 {
+                vm.vmand(M_FRONT, 0, 0); // save frontier mask
+                for j in 0..w {
+                    let eoff = base + j * h + off;
+                    vm.vmand(0, M_FRONT, M_FRONT); // v0 = frontier
+                    vm.vmv_vx(V_NBR, 0);
+                    vm.vlwu_m(V_NBR, dev.sadj + 4 * eoff);
+                    vm.vsll_vx(V_NOFF, V_NBR, 3);
+                    vm.vmv_vx(V_DN, 0);
+                    vm.vlxe_m(V_DN, dev.dist, V_NOFF); // gather dist[nbr]
+                    // A neighbour is an update if it is unvisited — or was
+                    // just reached this level by another tile (or another
+                    // lane): accepting `level+1` too keeps the mask, and
+                    // therefore the whole op stream, identical in every
+                    // capture order. The re-scatter writes the same value.
+                    vm.vmseq_vx(M_UPD, V_DN, INF);
+                    vm.vmseq_vx(M_NEW, V_DN, level + 1);
+                    vm.vmor(M_UPD, M_UPD, M_NEW);
+                    vm.vmand(0, M_UPD, M_FRONT); // v0 = updates
+                    vm.vsxe_m(V_LVL, dev.dist, V_NOFF); // scatter level+1
+                    vm.vadd_vx_m(V_CNT, V_CNT, 1); // count them
+                    vm.int_ops(3);
+                    vm.branch(j + 1 != w);
+                }
+            }
+            off += vl;
+            vm.branch(off < h);
+        }
+        vm.branch(s + 1 != slice_hi as u64);
+    }
+    // Per-tile reduction; the scalar read is this tile's partial count.
+    vm.setvl(maxvl, Sew::E64, Lmul::M1);
+    vm.vmv_sx(V_RED, 0);
+    vm.vredsum(V_RED, V_CNT, V_RED);
+    vm.vmv_xs(V_RED)
+}
+
+/// Tiled pull PageRank with a merge phase. Per iteration: a per-tile
+/// contribution chunk (disjoint vertex ranges), a barrier, a per-tile pull
+/// chunk (disjoint row ranges through the slice partition), a barrier.
+/// After the last iteration every tile reduces its chunk's rank mass into a
+/// per-tile slot and tile 0 merges the partials — the returned total is
+/// ~1.0 and doubles as a cross-tile coherence exercise.
+pub fn pagerank_vector_tiled(m: &mut TiledMachine, dev: &PrDevice) -> f64 {
+    let tiles = m.tiles();
+    let order = m.capture_order().to_vec();
+    let mass = m.vm(0).alloc(8 * tiles, 64);
+    let base_rank = (1.0 - dev.d) / dev.n as f64;
+    let (mut cur, mut next) = (dev.pr, dev.pr_new);
+    for _it in 0..dev.iters {
+        for &t in &order {
+            let (lo, hi) = tile_range(dev.n, tiles, t);
+            pagerank_contrib_range(&mut m.vm(t), dev, cur, lo, hi);
+        }
+        m.barrier();
+        for &t in &order {
+            let (slo, shi) = tile_range(dev.num_slices, tiles, t);
+            pagerank_pull_range(&mut m.vm(t), dev, next, base_rank, slo, shi);
+        }
+        m.barrier();
+        std::mem::swap(&mut cur, &mut next);
+    }
+    // Merge phase, step 1: per-tile partial rank mass.
+    for &t in &order {
+        let (lo, hi) = tile_range(dev.n, tiles, t);
+        pagerank_mass_range(&mut m.vm(t), cur, mass, t, lo, hi);
+    }
+    m.barrier();
+    // Merge phase, step 2: tile 0 combines the partials (scalar loads of
+    // lines the other tiles just wrote — real recall traffic).
+    let total = {
+        let mut vm = m.vm(0);
+        let mut acc = 0.0f64;
+        for t in 0..tiles as u64 {
+            acc += vm.load_f64(mass + 8 * t);
+            vm.fp_ops(1);
+            vm.branch(t + 1 != tiles as u64);
+        }
+        vm.store_f64(mass, acc);
+        acc
+    };
+    m.barrier();
+    total
+}
+
+/// One tile's contribution chunk: `contrib[v] = pr[v]/deg[v]` over
+/// `[lo, hi)` (unit-stride, disjoint writes).
+fn pagerank_contrib_range<V: Vm>(vm: &mut V, dev: &PrDevice, cur: u64, lo: usize, hi: usize) {
+    let mut v = lo as u64;
+    while (v as usize) < hi {
+        let vl = vm.setvl(hi - v as usize, Sew::E64, Lmul::M1) as u64;
+        vm.vle(V_PR, cur + 8 * v);
+        vm.vle(V_DEG, dev.deg + 8 * v);
+        vm.vfdiv_vv(V_C, V_PR, V_DEG);
+        vm.vse(V_C, dev.contrib + 8 * v);
+        vm.int_ops(2);
+        v += vl;
+        vm.branch((v as usize) < hi);
+    }
+}
+
+/// One tile's pull chunk: gather-accumulate contributions over the slice
+/// range `[slice_lo, slice_hi)` and write the owned rows of `next`.
+fn pagerank_pull_range<V: Vm>(
+    vm: &mut V,
+    dev: &PrDevice,
+    next: u64,
+    base_rank: f64,
+    slice_lo: usize,
+    slice_hi: usize,
+) {
+    for s in slice_lo as u64..slice_hi as u64 {
+        let base = vm.load_u64(dev.slice_ptr + 8 * s);
+        let w = vm.load_u32(dev.slice_width + 4 * s) as u64;
+        let row0 = s * dev.c as u64;
+        let h = (dev.n as u64 - row0).min(dev.c as u64);
+        vm.int_ops(4);
+        let mut off = 0u64;
+        while off < h {
+            let vl = vm.setvl((h - off) as usize, Sew::E64, Lmul::M1) as u64;
+            vm.vfmv_vf(V_ACC, 0.0);
+            for j in 0..w {
+                let eoff = base + j * h + off;
+                vm.vlwu(V_NBR, dev.sadj + 4 * eoff);
+                vm.vsll_vx(V_NOFF, V_NBR, 3);
+                vm.vlxe(V_C, dev.contrib, V_NOFF);
+                vm.vfadd_vv(V_ACC, V_ACC, V_C);
+                vm.int_ops(3);
+                vm.branch(j + 1 != w);
+            }
+            vm.vfmul_vf(V_ACC, V_ACC, dev.d);
+            vm.vfadd_vf(V_ACC, V_ACC, base_rank);
+            vm.vse(V_ACC, next + 8 * (row0 + off));
+            vm.int_ops(2);
+            off += vl;
+            vm.branch(off < h);
+        }
+        vm.branch(s + 1 != slice_hi as u64);
+    }
+}
+
+/// One tile's merge partial: rank mass of `[lo, hi)` into `mass[t]`.
+fn pagerank_mass_range<V: Vm>(vm: &mut V, cur: u64, mass: u64, t: usize, lo: usize, hi: usize) {
+    vm.vfmv_sf(V_RED, 0.0);
+    let mut v = lo as u64;
+    while (v as usize) < hi {
+        let vl = vm.setvl(hi - v as usize, Sew::E64, Lmul::M1) as u64;
+        vm.vle(V_PR, cur + 8 * v);
+        vm.vfredsum(V_RED, V_PR, V_RED);
+        vm.int_ops(1);
+        v += vl;
+        vm.branch((v as usize) < hi);
+    }
+    let part = vm.vfmv_fs(V_RED); // scalar<->vector sync
+    vm.store_f64(mass + 8 * t as u64, part);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{read_levels, setup_bfs};
+    use crate::graph::Graph;
+    use crate::pagerank::{read_pr, setup_pagerank};
+    use crate::spmv::{expected_y, read_y, setup_spmv};
+    use crate::sparse::{CsrMatrix, SellCS};
+    use sdv_uarch::TimingConfig;
+
+    fn machine(tiles: usize) -> TiledMachine {
+        let mut cfg = TimingConfig::default();
+        cfg.mem.tiles = tiles;
+        TiledMachine::with_config(512 << 20, cfg)
+    }
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn tiled_spmv_matches_reference_on_1_2_4_tiles() {
+        let mat = CsrMatrix::cage_like(500, 42);
+        let sell = SellCS::from_csr(&mat, 256, mat.nrows);
+        let want = expected_y(&mat);
+        for tiles in [1, 2, 4] {
+            let mut m = machine(tiles);
+            let dev = setup_spmv(&mut m.vm(0), &mat, &sell);
+            spmv_vector_sell_tiled(&mut m, &dev);
+            m.try_finish().expect("clean run");
+            let vm0 = m.vm(0);
+            let got = read_y(&vm0, &dev);
+            assert!(
+                close(&got, &want, 1e-9),
+                "tiled SpMV mismatch at {tiles} tiles"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_bfs_matches_reference_on_1_2_4_tiles() {
+        let g = Graph::uniform(700, 6, 3);
+        let want: Vec<u64> = g
+            .bfs_reference(0)
+            .iter()
+            .map(|&l| if l == u32::MAX { INF } else { l as u64 })
+            .collect();
+        for tiles in [1, 2, 4] {
+            let mut m = machine(tiles);
+            let dev = setup_bfs(&mut m.vm(0), &g, 256, 0);
+            bfs_vector_tiled(&mut m, &dev);
+            m.try_finish().expect("clean run");
+            let vm0 = m.vm(0);
+            assert_eq!(read_levels(&vm0, &dev), want, "tiled BFS mismatch at {tiles} tiles");
+        }
+    }
+
+    #[test]
+    fn tiled_pagerank_matches_reference_on_1_2_4_tiles() {
+        let g = Graph::uniform(400, 8, 3);
+        let want = g.pagerank_reference(0.85, 10);
+        for tiles in [1, 2, 4] {
+            let mut m = machine(tiles);
+            let dev = setup_pagerank(&mut m.vm(0), &g, 256, 0.85, 10);
+            let mass = pagerank_vector_tiled(&mut m, &dev);
+            m.try_finish().expect("clean run");
+            assert!((mass - 1.0).abs() < 0.2, "rank mass ~1, got {mass}");
+            let vm0 = m.vm(0);
+            let got = read_pr(&vm0, &dev);
+            assert!(
+                close(&got, &want, 1e-9),
+                "tiled PageRank mismatch at {tiles} tiles"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_are_deterministic_across_capture_orders() {
+        let g = Graph::uniform(600, 6, 9);
+        let run = |order: Option<Vec<usize>>| {
+            let mut m = machine(4);
+            if let Some(o) = order {
+                m.set_capture_order(o);
+            }
+            let dev = setup_bfs(&mut m.vm(0), &g, 256, 2);
+            bfs_vector_tiled(&mut m, &dev);
+            let cycles = m.try_finish().expect("clean run");
+            let vm0 = m.vm(0);
+            let levels = read_levels(&vm0, &dev);
+            (cycles, levels, format!("{:?}", m.stats()))
+        };
+        let a = run(None);
+        let b = run(Some(vec![2, 0, 3, 1]));
+        assert_eq!(a, b, "capture order must not change BFS cycles, levels, or stats");
+    }
+}

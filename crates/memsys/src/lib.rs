@@ -36,5 +36,5 @@ pub use bwlimit::BandwidthLimiter;
 pub use cache::{AccessKind, Cache, CacheConfig, Victim};
 pub use dram::{DramChannel, DramConfig};
 pub use latency::LatencyController;
-pub use mesi::{Directory, DirAction, Requestor};
+pub use mesi::{requestor_id, DirAction, Directory, Requestor, SharerMask, MAX_REQUESTORS};
 pub use mshr::{AllocOutcome, MshrFile};

@@ -7,15 +7,61 @@
 //! directory's job is to keep those coherent: a VPU read must observe data
 //! dirty in the L1, and a VPU write must invalidate a stale L1 copy.
 //!
-//! The implementation is a full N-requestor MESI directory so it is reusable
-//! (and testable) beyond the 2-requestor instantiation.
+//! With tiled machines every tile contributes two requestors (its L1D and
+//! its VPU), so the sharer set is a [`SharerMask`] wide enough for 64 tiles
+//! and requestor ids go through the checked [`requestor_id`] conversion
+//! instead of a bare cast.
+//!
+//! Coherence traffic is counted in three *disjoint* buckets so a directory
+//! traffic report can sum them exactly:
+//!
+//! * **downgrades** — a read hit a line held Exclusive/Modified elsewhere;
+//!   the owner writes back and *keeps* a Shared copy (read recall).
+//! * **recalls** — a write hit a line held Exclusive/Modified elsewhere;
+//!   the owner writes back and its copy is invalidated (recall-with-
+//!   invalidate). The accompanying invalidation is part of the recall and is
+//!   deliberately *not* double-counted under `invalidations`.
+//! * **invalidations** — clean Shared copies invalidated by a write; one
+//!   count per sharer.
 
-use sdv_engine::FastMap;
+use sdv_engine::{FastMap, SimError};
 
-/// A coherence requestor id (e.g. 0 = core L1D, 1 = VPU).
+/// A coherence requestor id (e.g. 0 = core L1D, 1 = VPU; tile `t`
+/// contributes requestors `2t` and `2t+1`).
 pub type Requestor = u8;
 
-const MAX_REQUESTORS: usize = 8;
+/// The sharer-set bitmask: one bit per requestor.
+pub type SharerMask = u128;
+
+/// Requestor ids must fit in the [`SharerMask`]: 64 tiles × (L1 + VPU).
+pub const MAX_REQUESTORS: usize = SharerMask::BITS as usize;
+
+/// Checked conversion from an arbitrary requestor index (e.g. derived from a
+/// tile id) to a [`Requestor`]. Fails with [`SimError::BadInput`] instead of
+/// silently wrapping the sharer-set shift.
+pub fn requestor_id(idx: usize) -> Result<Requestor, SimError> {
+    if idx < MAX_REQUESTORS {
+        Ok(idx as Requestor)
+    } else {
+        Err(SimError::BadInput {
+            what: format!(
+                "requestor id {idx} exceeds directory capacity ({MAX_REQUESTORS} requestors / {} tiles)",
+                MAX_REQUESTORS / 2
+            ),
+        })
+    }
+}
+
+/// The sharer bit for a requestor. All internal transitions funnel through
+/// here so an out-of-range id is caught (debug) instead of wrapping.
+#[inline]
+fn bit(who: Requestor) -> SharerMask {
+    debug_assert!(
+        (who as usize) < MAX_REQUESTORS,
+        "requestor {who} out of range; use requestor_id() at the boundary"
+    );
+    1 << who
+}
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +69,7 @@ enum DirState {
     /// No private copies exist.
     Uncached,
     /// Copies exist in the sharer set (bitmask), all clean.
-    Shared(u8),
+    Shared(SharerMask),
     /// One requestor holds the line exclusively (possibly dirty).
     Exclusive(Requestor),
 }
@@ -45,6 +91,7 @@ pub struct Directory {
     lines: FastMap<u64, DirState>,
     recalls: u64,
     invalidations: u64,
+    downgrades: u64,
 }
 
 impl Directory {
@@ -67,7 +114,7 @@ impl Directory {
                 DirAction { recall_from: None, invalidate: vec![], exclusive: true }
             }
             DirState::Shared(mask) => {
-                self.lines.insert(line, DirState::Shared(mask | (1 << who)));
+                self.lines.insert(line, DirState::Shared(mask | bit(who)));
                 DirAction { recall_from: None, invalidate: vec![], exclusive: false }
             }
             DirState::Exclusive(owner) if owner == who => {
@@ -75,8 +122,8 @@ impl Directory {
             }
             DirState::Exclusive(owner) => {
                 // Owner downgrades to shared; data may need writeback.
-                self.lines.insert(line, DirState::Shared((1 << owner) | (1 << who)));
-                self.recalls += 1;
+                self.lines.insert(line, DirState::Shared(bit(owner) | bit(who)));
+                self.downgrades += 1;
                 DirAction { recall_from: Some(owner), invalidate: vec![], exclusive: false }
             }
         }
@@ -89,7 +136,7 @@ impl Directory {
         let action = match self.state(line) {
             DirState::Uncached => DirAction { recall_from: None, invalidate: vec![], exclusive: true },
             DirState::Shared(mask) => {
-                let inv = sharers(mask & !(1 << who));
+                let inv = sharers(mask & !bit(who));
                 self.invalidations += inv.len() as u64;
                 DirAction { recall_from: None, invalidate: inv, exclusive: true }
             }
@@ -99,8 +146,10 @@ impl Directory {
                 return DirAction { recall_from: None, invalidate: vec![], exclusive: true };
             }
             DirState::Exclusive(owner) => {
+                // Recall-with-invalidate: one recall, and the implied
+                // invalidation of the owner's copy rides along with it
+                // (counted under `recalls` only).
                 self.recalls += 1;
-                self.invalidations += 1;
                 DirAction { recall_from: Some(owner), invalidate: vec![owner], exclusive: true }
             }
         };
@@ -114,8 +163,8 @@ impl Directory {
     pub fn noncaching_read(&mut self, line: u64, who: Requestor) -> DirAction {
         match self.state(line) {
             DirState::Exclusive(owner) if owner != who => {
-                self.lines.insert(line, DirState::Shared(1 << owner));
-                self.recalls += 1;
+                self.lines.insert(line, DirState::Shared(bit(owner)));
+                self.downgrades += 1;
                 DirAction { recall_from: Some(owner), invalidate: vec![], exclusive: false }
             }
             _ => DirAction { recall_from: None, invalidate: vec![], exclusive: false },
@@ -138,7 +187,7 @@ impl Directory {
         match state {
             DirState::Uncached => DirAction { recall_from: None, invalidate: vec![], exclusive: false },
             DirState::Shared(mask) => {
-                let inv = sharers(mask & !(1 << who));
+                let inv = sharers(mask & !bit(who));
                 self.invalidations += inv.len() as u64;
                 DirAction { recall_from: None, invalidate: inv, exclusive: false }
             }
@@ -146,8 +195,8 @@ impl Directory {
                 DirAction { recall_from: None, invalidate: vec![], exclusive: false }
             }
             DirState::Exclusive(owner) => {
+                // Recall-with-invalidate (see `caching_write`).
                 self.recalls += 1;
-                self.invalidations += 1;
                 DirAction { recall_from: Some(owner), invalidate: vec![owner], exclusive: false }
             }
         }
@@ -160,7 +209,7 @@ impl Directory {
                 self.lines.remove(&line);
             }
             DirState::Shared(mask) => {
-                let m = mask & !(1 << who);
+                let m = mask & !bit(who);
                 if m == 0 {
                     self.lines.remove(&line);
                 } else {
@@ -175,7 +224,7 @@ impl Directory {
     pub fn held_by_others(&self, line: u64, who: Requestor) -> bool {
         match self.state(line) {
             DirState::Uncached => false,
-            DirState::Shared(mask) => mask & !(1 << who) != 0,
+            DirState::Shared(mask) => mask & !bit(who) != 0,
             DirState::Exclusive(owner) => owner != who,
         }
     }
@@ -191,30 +240,40 @@ impl Directory {
     /// requestor `r` holds a copy; an exclusive owner is a one-bit mask).
     /// Iteration order is unspecified — use only for order-independent
     /// audits and summary counts, never for timing decisions.
-    pub fn for_each_holder(&self, mut f: impl FnMut(u64, u8)) {
+    pub fn for_each_holder(&self, mut f: impl FnMut(u64, SharerMask)) {
         for (&line, &st) in self.lines.iter() {
             let mask = match st {
                 DirState::Uncached => 0,
                 DirState::Shared(m) => m,
-                DirState::Exclusive(o) => 1 << o,
+                DirState::Exclusive(o) => bit(o),
             };
             f(line, mask);
         }
     }
 
-    /// Total owner recalls performed (coherence telemetry).
+    /// Total recall-with-invalidates performed (a write found the line
+    /// Exclusive/Modified elsewhere). Disjoint from [`Self::downgrades`] and
+    /// [`Self::invalidations`].
     pub fn recalls(&self) -> u64 {
         self.recalls
     }
 
-    /// Total invalidations sent (coherence telemetry).
+    /// Total clean-sharer invalidations sent (one per Shared copy killed by
+    /// a write). Does *not* include the owner copy killed by a recall —
+    /// that is counted once under [`Self::recalls`].
     pub fn invalidations(&self) -> u64 {
         self.invalidations
     }
+
+    /// Total read downgrades (owner recalled to Shared with writeback, copy
+    /// retained). Disjoint from [`Self::recalls`].
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
 }
 
-fn sharers(mask: u8) -> Vec<Requestor> {
-    (0..MAX_REQUESTORS as u8).filter(|r| mask & (1 << r) != 0).collect()
+fn sharers(mask: SharerMask) -> Vec<Requestor> {
+    (0..MAX_REQUESTORS as Requestor).filter(|&r| mask & bit(r) != 0).collect()
 }
 
 #[cfg(test)]
@@ -240,10 +299,12 @@ mod tests {
         let a = d.noncaching_read(0x40, VPU);
         assert_eq!(a.recall_from, Some(L1), "home node must recall M data");
         assert!(a.invalidate.is_empty(), "read recall downgrades, no invalidation");
-        assert_eq!(d.recalls(), 1);
+        assert_eq!(d.downgrades(), 1, "read recall is a downgrade, not a recall-with-invalidate");
+        assert_eq!(d.recalls(), 0);
         // Subsequent VPU reads need nothing.
         let a2 = d.noncaching_read(0x40, VPU);
         assert_eq!(a2.recall_from, None);
+        assert_eq!(d.downgrades(), 1);
     }
 
     #[test]
@@ -253,6 +314,8 @@ mod tests {
         let a = d.noncaching_write(0x80, VPU);
         assert_eq!(a.recall_from, Some(L1), "exclusive clean copy still recalled in MESI-E");
         assert_eq!(a.invalidate, vec![L1]);
+        assert_eq!(d.recalls(), 1);
+        assert_eq!(d.invalidations(), 0, "owner invalidation rides with the recall");
         // L1 re-reads later: fresh grant, no recall.
         let a2 = d.caching_read(0x80, L1);
         assert!(a2.recall_from.is_none());
@@ -262,10 +325,12 @@ mod tests {
     fn vpu_write_to_shared_line_invalidates_sharers() {
         let mut d = Directory::new();
         d.caching_read(0xC0, L1);
-        d.noncaching_read(0xC0, VPU); // downgrade path not triggered: E(L1) untouched by same test? (L1 is owner)
+        d.noncaching_read(0xC0, VPU); // downgrades E(L1) -> Shared{L1}
         // After the noncaching read, L1 retains a shared copy.
         let a = d.noncaching_write(0xC0, VPU);
         assert_eq!(a.invalidate, vec![L1]);
+        assert_eq!(d.invalidations(), 1);
+        assert_eq!(d.recalls(), 0, "clean shared invalidate is not a recall");
     }
 
     #[test]
@@ -286,6 +351,8 @@ mod tests {
         let a = d.caching_read(0x140, 2);
         assert_eq!(a.recall_from, Some(L1));
         assert!(!a.exclusive);
+        assert_eq!(d.downgrades(), 1);
+        assert_eq!(d.recalls(), 0);
         // Both now share: a third read needs nothing.
         let a2 = d.caching_read(0x140, 3);
         assert!(a2.recall_from.is_none());
@@ -347,5 +414,123 @@ mod tests {
         assert!(!d.held_by_others(0x240, L1));
         assert_eq!(d.recalls(), 0);
         assert_eq!(d.invalidations(), 0);
+        assert_eq!(d.downgrades(), 0);
+    }
+
+    #[test]
+    fn requestor_id_boundary() {
+        assert_eq!(requestor_id(0).unwrap(), 0);
+        assert_eq!(requestor_id(MAX_REQUESTORS - 1).unwrap(), 127);
+        let err = requestor_id(MAX_REQUESTORS).unwrap_err();
+        assert!(
+            matches!(err, SimError::BadInput { ref what } if what.contains("128")),
+            "overflow must be a structured BadInput, got {err:?}"
+        );
+        assert!(requestor_id(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn high_requestor_bits_survive_the_sharer_mask() {
+        // Regression for the old `1u8 << owner` wrap: requestor ids past bit
+        // 7 must land in distinct mask bits, not alias low sharers.
+        let hi: Requestor = (MAX_REQUESTORS - 1) as Requestor; // 127
+        let mut d = Directory::new();
+        d.caching_read(0x40, hi);
+        d.caching_read(0x40, 63);
+        d.caching_read(0x40, L1);
+        let mut seen = Vec::new();
+        d.for_each_holder(|line, mask| seen.push((line, mask)));
+        assert_eq!(seen, vec![(0x40, (1u128 << 127) | (1u128 << 63) | 1)]);
+        // A write by L1 invalidates exactly the two high sharers.
+        let a = d.caching_write(0x40, L1);
+        assert_eq!(a.invalidate, vec![63, hi]);
+        assert_eq!(d.invalidations(), 2);
+        assert!(!d.held_by_others(0x40, L1));
+    }
+
+    /// Exhaustive (state × requestor-relation × operation) matrix proving the
+    /// three counters are disjoint and sum exactly: every transition bumps at
+    /// most one bucket, and the bucket matches the action's shape (recall
+    /// with invalidate / recall without / pure invalidates).
+    #[test]
+    fn counter_matrix_is_disjoint_and_sums_exactly() {
+        #[derive(Clone, Copy, Debug)]
+        enum Seed {
+            Uncached,
+            SharedSelf,    // Shared{who}
+            SharedOther,   // Shared{other}
+            SharedBoth,    // Shared{who, other}
+            ExclusiveSelf, // Exclusive(who)
+            ExclusiveOther,
+        }
+        let who: Requestor = 2;
+        let other: Requestor = 5;
+        let seeds = [
+            Seed::Uncached,
+            Seed::SharedSelf,
+            Seed::SharedOther,
+            Seed::SharedBoth,
+            Seed::ExclusiveSelf,
+            Seed::ExclusiveOther,
+        ];
+        for &seed in &seeds {
+            for op in 0..4usize {
+                let mut d = Directory::new();
+                // Build the seed state at line 0x40 (counters from seeding
+                // are snapshotted and subtracted).
+                match seed {
+                    Seed::Uncached => {}
+                    Seed::SharedSelf => {
+                        d.caching_read(0x40, who);
+                        d.caching_read(0x40, other);
+                        d.evicted(0x40, other);
+                    }
+                    Seed::SharedOther => {
+                        d.caching_read(0x40, other);
+                        d.caching_read(0x40, who);
+                        d.evicted(0x40, who);
+                    }
+                    Seed::SharedBoth => {
+                        d.caching_read(0x40, who);
+                        d.caching_read(0x40, other);
+                    }
+                    Seed::ExclusiveSelf => {
+                        d.caching_write(0x40, who);
+                    }
+                    Seed::ExclusiveOther => {
+                        d.caching_write(0x40, other);
+                    }
+                }
+                let (r0, i0, g0) = (d.recalls(), d.invalidations(), d.downgrades());
+                let a = match op {
+                    0 => d.caching_read(0x40, who),
+                    1 => d.caching_write(0x40, who),
+                    2 => d.noncaching_read(0x40, who),
+                    _ => d.noncaching_write(0x40, who),
+                };
+                let dr = d.recalls() - r0;
+                let di = d.invalidations() - i0;
+                let dg = d.downgrades() - g0;
+                let ctx = format!("seed={seed:?} op={op} action={a:?}");
+
+                // Buckets are mutually exclusive per transition.
+                assert!(
+                    (dr > 0) as u32 + (di > 0) as u32 + (dg > 0) as u32 <= 1,
+                    "counters overlap: {ctx} dr={dr} di={di} dg={dg}"
+                );
+                // Each bucket matches the action's shape exactly.
+                let is_write = op == 1 || op == 3;
+                let recall_inv = a.recall_from.is_some() && is_write;
+                let recall_down = a.recall_from.is_some() && !is_write;
+                assert_eq!(dr, recall_inv as u64, "recalls: {ctx}");
+                assert_eq!(dg, recall_down as u64, "downgrades: {ctx}");
+                if recall_inv {
+                    assert_eq!(a.invalidate, vec![a.recall_from.unwrap()], "{ctx}");
+                    assert_eq!(di, 0, "owner invalidate must not double-count: {ctx}");
+                } else {
+                    assert_eq!(di, a.invalidate.len() as u64, "invalidations: {ctx}");
+                }
+            }
+        }
     }
 }

@@ -31,6 +31,13 @@ impl MeshConfig {
     pub fn nodes(&self) -> usize {
         self.width * self.height
     }
+
+    /// A `width`×`height` mesh with the default router/link timing — the
+    /// scale-out topologies (4×4, 8×8) differ from the paper's 2×2 only in
+    /// geometry.
+    pub fn grid(width: usize, height: usize) -> Self {
+        Self { width, height, ..Self::default() }
+    }
 }
 
 /// The mesh: XY routing over contended, serialized links.

@@ -33,7 +33,11 @@ pub struct MemHierConfig {
     pub dram: DramConfig,
     /// Extra path latency from an L2 bank to the memory controller, cycles.
     pub dram_path_latency: Cycle,
-    /// Mesh node hosting the core + VPU.
+    /// Number of core+VPU tiles sharing the hierarchy. Tile 0 sits at
+    /// `core_node`; further tiles are spread around the mesh (see
+    /// `MemHierarchy::tile_node`). 1 = the paper's single-tile machine.
+    pub tiles: usize,
+    /// Mesh node hosting tile 0's core + VPU.
     pub core_node: usize,
     /// Latency of a home-node recall of a dirty L1 line (VPU reads data the
     /// core recently wrote), cycles on top of the L2 visit.
@@ -60,6 +64,7 @@ impl Default for MemHierConfig {
             mesh: MeshConfig::default(),
             dram: DramConfig { service_latency: 30, line_bytes: 64, ..DramConfig::default() },
             dram_path_latency: 4,
+            tiles: 1,
             core_node: 0,
             recall_latency: 10,
             l1_prefetch_depth: 0,
@@ -233,6 +238,7 @@ fn mem_canonical(mem: &MemHierConfig, s: &mut String) {
         mesh,
         dram,
         dram_path_latency,
+        tiles,
         core_node,
         recall_latency,
         l1_prefetch_depth,
@@ -254,8 +260,8 @@ fn mem_canonical(mem: &MemHierConfig, s: &mut String) {
     let _ = write!(
         s,
         "dram={service_latency}/{line_bytes}/{row_bits}/{dram_banks}/{row_miss_penalty} \
-         dram.path={dram_path_latency} core_node={core_node} recall={recall_latency} \
-         l1.pf={l1_prefetch_depth} "
+         dram.path={dram_path_latency} tiles={tiles} core_node={core_node} \
+         recall={recall_latency} l1.pf={l1_prefetch_depth} "
     );
 }
 

@@ -21,8 +21,10 @@ use sdv_engine::{chrome_trace_json, Cycle, FaultKind, Probe, SimError, Stats, Tr
 /// functional state only, so they always run to completion; the latched
 /// error then tells the caller the cycle numbers are meaningless.
 pub struct SdvTiming {
-    scalar: ScalarCore,
-    vpu: VpuTiming,
+    /// One core+VPU pair per tile, indexed by tile id. Tile 0 is the paper's
+    /// machine; the single-tile configuration is bit-identical to the old
+    /// hard-wired core+VPU pair by construction.
+    tiles: Vec<Tile>,
     hier: MemHierarchy,
     watchdog: WatchdogConfig,
     /// First failure observed; once set, `issue` short-circuits.
@@ -34,6 +36,14 @@ pub struct SdvTiming {
     /// `perf_baseline --breakdown` to time the functional half of a run in
     /// isolation; cycle counts of a bypassed run are meaningless.
     bypass: bool,
+}
+
+/// One tile: a scalar core and its decoupled VPU. Tiles share the banked
+/// L2/MESI directory and DRAM through the mesh; everything above that line
+/// is private per tile.
+struct Tile {
+    scalar: ScalarCore,
+    vpu: VpuTiming,
 }
 
 /// An armed wall-clock deadline. `Instant::now()` costs a vDSO call, far too
@@ -52,28 +62,34 @@ const WALL_STRIDE: u32 = 1 << 14;
 
 impl SdvTiming {
     /// Build from configuration, arming the watchdog and any fault plan.
+    /// `cfg.mem.tiles` core+VPU pairs are instantiated around the shared
+    /// hierarchy; an injected `WedgeCredit` fault arms on tile 0's VPU.
     pub fn new(cfg: TimingConfig) -> Self {
-        let mut vpu = VpuTiming::new(cfg.vpu);
+        let mut tiles: Vec<Tile> = (0..cfg.mem.tiles)
+            .map(|t| Tile {
+                scalar: ScalarCore::new_for_tile(cfg.scalar, t),
+                vpu: VpuTiming::new_for_tile(cfg.vpu, t),
+            })
+            .collect();
         let mut hier = MemHierarchy::new(cfg.mem);
         if cfg.fault.is_active() {
             match cfg.fault.kind {
-                FaultKind::WedgeCredit => vpu.arm_wedge_credit(cfg.fault.arm(1)),
+                FaultKind::WedgeCredit => tiles[0].vpu.arm_wedge_credit(cfg.fault.arm(1)),
                 _ => hier.arm_fault(cfg.fault),
             }
         }
         if cfg.probe.any() {
-            vpu.set_probe(Probe::new(cfg.probe));
+            for tile in &mut tiles {
+                tile.vpu.set_probe(Probe::new(cfg.probe));
+            }
             hier.set_probe(Probe::new(cfg.probe));
         }
-        Self {
-            scalar: ScalarCore::new(cfg.scalar),
-            vpu,
-            hier,
-            watchdog: cfg.watchdog,
-            fault: None,
-            wall: None,
-            bypass: false,
-        }
+        Self { tiles, hier, watchdog: cfg.watchdog, fault: None, wall: None, bypass: false }
+    }
+
+    /// Number of tiles in this machine.
+    pub fn tiles(&self) -> usize {
+        self.tiles.len()
     }
 
     /// Arm a wall-clock deadline for this run: if the op stream is still
@@ -112,10 +128,18 @@ impl SdvTiming {
         self.hier.set_bandwidth_fraction(num, den);
     }
 
-    /// Consume one trace operation. Once a failure is latched this is a
-    /// no-op: the kernel's remaining ops are accepted and discarded so the
+    /// Consume one trace operation on tile 0 — the single-tile machine's
+    /// whole interface. Once a failure is latched this is a no-op: the
+    /// kernel's remaining ops are accepted and discarded so the
     /// (functionally driven) program runs to completion cheaply.
     pub fn issue(&mut self, op: &Op) {
+        self.issue_on(0, op);
+    }
+
+    /// Consume one trace operation on a specific tile. The per-tile scalar
+    /// clock advances; shared hierarchy state (bank reservations, directory,
+    /// DRAM admission) is visible to every other tile immediately.
+    pub fn issue_on(&mut self, tile: usize, op: &Op) {
         if self.fault.is_some() || self.bypass {
             return;
         }
@@ -132,21 +156,31 @@ impl SdvTiming {
                 }
             }
         }
-        let before = self.scalar.now();
+        let before = self.tiles[tile].scalar.now();
         match op {
-            Op::IntOps(n) => self.scalar.int_ops(*n),
-            Op::FpOps(n) => self.scalar.fp_ops(*n),
-            Op::Load { addr, .. } => self.scalar.load(&mut self.hier, *addr),
-            Op::Store { addr, .. } => self.scalar.store(&mut self.hier, *addr),
-            Op::Branch { taken } => self.scalar.branch(*taken),
+            Op::IntOps(n) => self.tiles[tile].scalar.int_ops(*n),
+            Op::FpOps(n) => self.tiles[tile].scalar.fp_ops(*n),
+            Op::Load { addr, .. } => {
+                let t = &mut self.tiles[tile];
+                t.scalar.load(&mut self.hier, *addr);
+            }
+            Op::Store { addr, .. } => {
+                let t = &mut self.tiles[tile];
+                t.scalar.store(&mut self.hier, *addr);
+            }
+            Op::Branch { taken } => self.tiles[tile].scalar.branch(*taken),
             Op::Vector(vop) => {
                 // Vector instructions consume a scalar issue slot, then run
                 // decoupled. `vsetvl` stays on the scalar side entirely.
-                self.scalar.int_ops(1);
+                self.tiles[tile].scalar.int_ops(1);
                 if vop.class == VClass::SetVl {
                     return;
                 }
-                let d = self.vpu.dispatch(vop, self.scalar.now(), &mut self.hier);
+                let d = {
+                    let t = &mut self.tiles[tile];
+                    let now = t.scalar.now();
+                    t.vpu.dispatch(vop, now, &mut self.hier)
+                };
                 // Check the dispatch itself before advancing the scalar
                 // core: a wedged resource shows up as this op's acceptance
                 // or completion jumping an impossible distance past issue,
@@ -157,39 +191,43 @@ impl SdvTiming {
                     self.latch_deadlock(before);
                     return;
                 }
-                self.scalar.wait_for_vpu_queue(d.accepted_at);
+                let t = &mut self.tiles[tile];
+                t.scalar.wait_for_vpu_queue(d.accepted_at);
                 if vop.produces_scalar {
                     // The scalar core consumes the result immediately: a
                     // hard scalar<->vector synchronization.
-                    self.scalar.wait_for_vpu_sync(d.completion + self.vpu.scalar_read_latency());
+                    let sync = d.completion + t.vpu.scalar_read_latency();
+                    t.scalar.wait_for_vpu_sync(sync);
                 }
             }
             Op::Sync => {
-                let done = self.vpu.all_done();
-                self.scalar.wait_for_vpu_sync(done);
+                let t = &mut self.tiles[tile];
+                let done = t.vpu.all_done();
+                t.scalar.wait_for_vpu_sync(done);
             }
         }
-        self.watchdog_post(before);
+        self.watchdog_post(tile, before);
     }
 
     /// Post-op watchdog checks: a forward-progress jump on the scalar clock
     /// (a wedged bank eventually stalls the scalar core this way) and the
     /// cycle budget. Free when the watchdog is off.
-    fn watchdog_post(&mut self, before: Cycle) {
+    fn watchdog_post(&mut self, tile: usize, before: Cycle) {
         if !self.watchdog.armed() || self.fault.is_some() {
             return;
         }
+        let now = self.tiles[tile].scalar.now();
         let window = self.watchdog.progress_window;
-        if window != 0 && self.scalar.now().saturating_sub(before) > window {
+        if window != 0 && now.saturating_sub(before) > window {
             self.latch_deadlock(before);
             return;
         }
         let budget = self.watchdog.cycle_budget;
-        if budget != 0 && self.scalar.now() > budget {
+        if budget != 0 && now > budget {
             let diagnostic = self.diagnostic();
             self.fault = Some(Box::new(SimError::CycleBudgetExceeded {
                 budget,
-                cycle: self.scalar.now(),
+                cycle: now,
                 diagnostic,
             }));
         }
@@ -209,8 +247,17 @@ impl SdvTiming {
     /// state, per-bank reservations, directory summary, in-flight fills,
     /// DRAM horizon and mesh link credits.
     pub fn diagnostic(&self) -> String {
-        let now = self.scalar.now();
-        format!("{}\n{}", self.vpu.diagnostic(), self.hier.diagnostic(now))
+        let now = self.now();
+        let mut parts: Vec<String> = Vec::with_capacity(self.tiles.len() + 1);
+        for (i, t) in self.tiles.iter().enumerate() {
+            if self.tiles.len() == 1 {
+                parts.push(t.vpu.diagnostic());
+            } else {
+                parts.push(format!("tile{i} {}", t.vpu.diagnostic()));
+            }
+        }
+        parts.push(self.hier.diagnostic(now));
+        parts.join("\n")
     }
 
     /// Finish the program: drain everything and return the final cycle count
@@ -219,13 +266,33 @@ impl SdvTiming {
     /// sentinel) — use [`SdvTiming::try_finish`] to observe the failure.
     pub fn finish(&mut self) -> Cycle {
         if self.fault.is_none() {
-            let before = self.scalar.now();
-            let done = self.vpu.all_done();
-            self.scalar.wait_for_vpu_sync(done);
-            self.scalar.drain();
-            self.watchdog_post(before);
+            for i in 0..self.tiles.len() {
+                let before = self.tiles[i].scalar.now();
+                let t = &mut self.tiles[i];
+                let done = t.vpu.all_done();
+                t.scalar.wait_for_vpu_sync(done);
+                t.scalar.drain();
+                self.watchdog_post(i, before);
+            }
         }
-        self.scalar.now()
+        self.now()
+    }
+
+    /// Cross-tile barrier: every tile drains its VPU and store buffer, then
+    /// all tile clocks align to the slowest tile. Returns the barrier cycle.
+    /// The tiled kernels' synchronization primitive; a single-tile machine
+    /// that never calls this is untouched by its existence.
+    pub fn barrier(&mut self) -> Cycle {
+        for t in &mut self.tiles {
+            let done = t.vpu.all_done();
+            t.scalar.wait_for_vpu_sync(done);
+            t.scalar.drain();
+        }
+        let at = self.now();
+        for t in &mut self.tiles {
+            t.scalar.advance_to(at);
+        }
+        at
     }
 
     /// Finish the program, surfacing any latched watchdog failure and then
@@ -242,20 +309,42 @@ impl SdvTiming {
 
     /// End-of-run invariant audits (read-only; never changes timing state).
     pub fn audit(&self, now: Cycle) -> Result<(), SimError> {
-        self.vpu.audit(now)?;
+        for t in &self.tiles {
+            t.vpu.audit(now)?;
+        }
         self.hier.audit_coherence(now)
     }
 
-    /// Current scalar-core cycle (advances as ops are issued).
+    /// Current machine cycle: the furthest-advanced tile's scalar clock
+    /// (identical to the scalar-core clock on a single-tile machine).
     pub fn now(&self) -> Cycle {
-        self.scalar.now()
+        self.tiles.iter().map(|t| t.scalar.now()).max().unwrap_or(0)
     }
 
-    /// Merged statistics from every component.
+    /// One tile's scalar-core cycle — the replay scheduler's ordering key.
+    pub fn now_of(&self, tile: usize) -> Cycle {
+        self.tiles[tile].scalar.now()
+    }
+
+    /// Merged statistics from every component. A single-tile machine emits
+    /// exactly the historical key set; with more tiles each counter appears
+    /// both under a `tileN.` prefix and in an unprefixed cross-tile sum.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.absorb(&self.scalar.stats());
-        s.absorb(&self.vpu.stats());
+        if self.tiles.len() == 1 {
+            s.absorb(&self.tiles[0].scalar.stats());
+            s.absorb(&self.tiles[0].vpu.stats());
+        } else {
+            for (i, t) in self.tiles.iter().enumerate() {
+                let mut ts = Stats::new();
+                ts.absorb(&t.scalar.stats());
+                ts.absorb(&t.vpu.stats());
+                for (k, v) in ts.iter() {
+                    s.add(&format!("tile{i}.{k}"), v);
+                }
+                s.absorb(&ts);
+            }
+        }
         s.absorb(&self.hier.stats());
         s
     }
@@ -263,7 +352,10 @@ impl SdvTiming {
     /// Timeline events from every probed component (empty unless the
     /// config's probe enables tracing).
     pub fn trace_events(&self) -> Vec<TraceEvent> {
-        let mut ev = self.vpu.trace_events().to_vec();
+        let mut ev = Vec::new();
+        for t in &self.tiles {
+            ev.extend_from_slice(t.vpu.trace_events());
+        }
         ev.extend_from_slice(self.hier.trace_events());
         ev
     }

@@ -7,23 +7,35 @@
 //! resources (mesh links, bank occupancy, DRAM admission) serialized through
 //! stateful reservations, so concurrent traffic produces real contention.
 //!
-//! Requestors:
-//! * the core's L1D (caching) — requestor id 0,
-//! * the VPU (non-caching at L1, allocating in L2, like Vitruvius which
-//!   bypasses the L1 and is kept coherent by the home node) — id 1.
+//! Requestors: tile `t` contributes two, its L1D (caching, id `2t`) and its
+//! VPU (non-caching at L1, allocating in L2, like Vitruvius which bypasses
+//! the L1 and is kept coherent by the home node — id `2t+1`). The paper's
+//! single-tile machine is tile 0 with ids 0 and 1.
 
 use crate::config::MemHierConfig;
 use sdv_engine::{
     ArmedFault, Cycle, FastMap, FaultKind, FaultPlan, MonotoneRing, Probe, SimError, Stats,
     TraceEvent, WEDGE,
 };
-use sdv_memsys::{AccessKind, AddressMap, Cache, Directory, DramChannel};
+use sdv_memsys::{AccessKind, AddressMap, Cache, Directory, DramChannel, Requestor, SharerMask};
 use sdv_noc::Mesh;
 
-/// Coherence requestor id of the core's L1D.
+/// Coherence requestor id of tile 0's L1D.
 pub const REQ_L1: u8 = 0;
-/// Coherence requestor id of the VPU.
+/// Coherence requestor id of tile 0's VPU.
 pub const REQ_VPU: u8 = 1;
+
+/// Coherence requestor id of tile `t`'s L1D.
+#[inline]
+pub fn req_l1_of(tile: usize) -> Requestor {
+    (2 * tile) as Requestor
+}
+
+/// Coherence requestor id of tile `t`'s VPU.
+#[inline]
+pub fn req_vpu_of(tile: usize) -> Requestor {
+    (2 * tile + 1) as Requestor
+}
 
 struct Bank {
     cache: Cache,
@@ -49,27 +61,29 @@ fn prune_inflight(map: &mut FastMap<u64, Cycle>, low: Cycle) -> usize {
 pub struct MemHierarchy {
     cfg: MemHierConfig,
     amap: AddressMap,
-    l1: Cache,
+    /// One private L1D per tile.
+    l1: Vec<Cache>,
     banks: Vec<Bank>,
     mesh: Mesh,
     dram: DramChannel,
-    /// In-flight L1 fills: line -> ready time (merges same-line misses).
-    l1_inflight: FastMap<u64, Cycle>,
-    /// In-flight L2 fills: line -> ready-at-bank time.
+    /// Per-tile in-flight L1 fills: line -> ready time (merges same-line
+    /// misses within a tile; cross-tile sharing goes through the directory).
+    l1_inflight: Vec<FastMap<u64, Cycle>>,
+    /// In-flight L2 fills: line -> ready-at-bank time (shared across tiles).
     l2_inflight: FastMap<u64, Cycle>,
-    /// Monotone floor of `now` across core-side accesses. Each requestor
-    /// issues with nondecreasing `now` (the scalar core at its cycle, the
-    /// VPU at its issue clock), so entries whose ready time is at or below
-    /// the floor can never influence a future lookup — the lookup logic
-    /// already treats `ready <= now` as absent. That lets the in-flight maps
-    /// be swept (host-time only; see `prune_inflight`) instead of growing by
-    /// one dead entry per miss for the life of the run.
-    core_now: Cycle,
-    /// Monotone floor of `now` across VPU-side accesses.
-    vpu_now: Cycle,
-    /// Sweep `l1_inflight` when it reaches this size (doubles if a sweep
-    /// fails to reclaim, so sweeping stays amortized O(1) per insert).
-    l1_prune_at: usize,
+    /// Per-tile monotone floor of `now` across core-side accesses. Each
+    /// requestor issues with nondecreasing `now` (the scalar core at its
+    /// cycle, the VPU at its issue clock), so entries whose ready time is at
+    /// or below the floor can never influence a future lookup — the lookup
+    /// logic already treats `ready <= now` as absent. That lets the
+    /// in-flight maps be swept (host-time only; see `prune_inflight`)
+    /// instead of growing by one dead entry per miss for the life of the run.
+    core_now: Vec<Cycle>,
+    /// Per-tile monotone floor of `now` across VPU-side accesses.
+    vpu_now: Vec<Cycle>,
+    /// Sweep each tile's `l1_inflight` when it reaches this size (doubles if
+    /// a sweep fails to reclaim, so sweeping stays amortized O(1) per insert).
+    l1_prune_at: Vec<usize>,
     /// Sweep `l2_inflight` when it reaches this size.
     l2_prune_at: usize,
     /// Armed fault-injection state for the hierarchy's fault kinds
@@ -116,23 +130,29 @@ impl MemHierarchy {
             cfg.mesh.nodes(),
             "one L2HN bank per mesh node (paper: 4 banks on a 2x2 mesh)"
         );
+        assert!(cfg.tiles >= 1, "at least one tile");
+        // Every tile's two requestor ids must fit the directory's sharer
+        // mask; the harness rejects bad tile counts with a structured error
+        // before construction (see `sdv_memsys::requestor_id`).
+        sdv_memsys::requestor_id(2 * cfg.tiles - 1)
+            .expect("tile count exceeds directory requestor capacity");
         let amap = AddressMap::new(cfg.l1.line_bytes, cfg.num_banks as u64);
         let banks = (0..cfg.num_banks)
             .map(|_| Bank { cache: Cache::new(cfg.l2_bank), dir: Directory::new(), next_free: 0 })
             .collect();
         Self {
-            cfg,
             amap,
-            l1: Cache::new(cfg.l1),
+            l1: (0..cfg.tiles).map(|_| Cache::new(cfg.l1)).collect(),
             banks,
             mesh: Mesh::new(cfg.mesh),
             dram: DramChannel::new(cfg.dram),
-            l1_inflight: FastMap::default(),
+            l1_inflight: vec![FastMap::default(); cfg.tiles],
             l2_inflight: FastMap::default(),
-            core_now: 0,
-            vpu_now: 0,
-            l1_prune_at: INFLIGHT_PRUNE_AT,
+            core_now: vec![0; cfg.tiles],
+            vpu_now: vec![0; cfg.tiles],
+            l1_prune_at: vec![INFLIGHT_PRUNE_AT; cfg.tiles],
             l2_prune_at: INFLIGHT_PRUNE_AT,
+            cfg,
             fault: None,
             probe: Probe::off(),
             l1_fill_times: MonotoneRing::with_capacity(16),
@@ -194,6 +214,19 @@ impl MemHierarchy {
 
     fn bank_node(&self, bank: usize) -> usize {
         bank // bank b lives at mesh node b
+    }
+
+    /// Mesh node hosting tile `t`'s core + VPU. Tile 0 sits at `core_node`
+    /// (so single-tile placement is unchanged); further tiles are spread
+    /// evenly around the mesh in tile order.
+    pub fn tile_node(&self, tile: usize) -> usize {
+        let nodes = self.cfg.mesh.nodes();
+        (self.cfg.core_node + tile * nodes / self.cfg.tiles) % nodes
+    }
+
+    /// Number of tiles sharing the hierarchy.
+    pub fn tiles(&self) -> usize {
+        self.cfg.tiles
     }
 
     /// Claim the bank pipeline: requests serialize at `l2_bank_occupancy`.
@@ -268,19 +301,70 @@ impl MemHierarchy {
             }
         }
         if self.l2_inflight.len() >= self.l2_prune_at {
-            // The L2 map serves both requestors: only entries dead to *both*
+            // The L2 map serves every requestor: only entries dead to *all*
             // clocks can go.
-            self.l2_prune_at =
-                prune_inflight(&mut self.l2_inflight, self.core_now.min(self.vpu_now));
+            let low = self
+                .core_now
+                .iter()
+                .chain(self.vpu_now.iter())
+                .copied()
+                .min()
+                .unwrap_or(0);
+            self.l2_prune_at = prune_inflight(&mut self.l2_inflight, low);
         }
         self.l2_inflight.insert(line, done);
         done
     }
 
-    /// A scalar-core access (through L1). Returns the data-ready cycle.
+    /// Recall/invalidate foreign L1 copies named by a directory action.
+    /// Returns the bank time advanced by the recall latency if any copy had
+    /// to be touched. Only L1s ever hold lines (the VPUs are non-caching),
+    /// so every named requestor maps to a tile's L1 via `id / 2`.
+    fn apply_foreign_copies(
+        &mut self,
+        bank: usize,
+        line: u64,
+        recall_from: Option<Requestor>,
+        invalidate: &[Requestor],
+        kill_owner_copy: bool,
+        mut t_bank: Cycle,
+    ) -> Cycle {
+        if let Some(owner) = recall_from {
+            debug_assert_eq!(owner % 2, 0, "only caching L1s can own lines");
+            self.ctr.coherence_recall += 1;
+            // Home node recalls the (possibly dirty) owner copy.
+            t_bank += self.cfg.recall_latency;
+            let owner_tile = owner as usize / 2;
+            if kill_owner_copy || invalidate.contains(&owner) {
+                self.l1[owner_tile].invalidate(line);
+            } else {
+                self.l1[owner_tile].clean(line);
+            }
+            // Recalled data merges into the L2 copy.
+            self.banks[bank].cache.fill(line, true);
+        } else if !invalidate.is_empty() {
+            self.ctr.coherence_invalidate += invalidate.len() as u64;
+            // Invalidations broadcast in parallel: one latency charge.
+            t_bank += self.cfg.recall_latency;
+            for &r in invalidate {
+                debug_assert_eq!(r % 2, 0, "only caching L1s can share lines");
+                self.l1[r as usize / 2].invalidate(line);
+            }
+        }
+        t_bank
+    }
+
+    /// A scalar-core access from tile 0 (through its L1). Returns the
+    /// data-ready cycle.
     pub fn core_access(&mut self, addr: u64, is_write: bool, now: Cycle) -> Cycle {
-        debug_assert!(now >= self.core_now, "core accesses must be issued in cycle order");
-        self.core_now = now;
+        self.core_access_tile(0, addr, is_write, now)
+    }
+
+    /// A scalar-core access from `tile` (through its L1). Returns the
+    /// data-ready cycle.
+    pub fn core_access_tile(&mut self, tile: usize, addr: u64, is_write: bool, now: Cycle) -> Cycle {
+        debug_assert!(now >= self.core_now[tile], "core accesses must be issued in cycle order");
+        self.core_now[tile] = now;
         let line = self.amap.line_of(addr);
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
         if is_write {
@@ -289,54 +373,63 @@ impl MemHierarchy {
             self.ctr.l1_load += 1;
         }
         let t_l1 = now + self.cfg.l1_hit_latency;
-        if self.l1.access(line, kind) {
+        if self.l1[tile].access(line, kind) {
             // Stream prefetch keeps running ahead even once demand accesses
             // start hitting prefetched lines.
             if !is_write {
                 for d in 1..=self.cfg.l1_prefetch_depth as u64 {
-                    self.prefetch_into_l1(line + d * self.line_bytes(), now);
+                    self.prefetch_into_l1(tile, line + d * self.line_bytes(), now);
                 }
             }
             // Tags are installed at request time; if the fill data is still
             // in flight this "hit" completes with it. The emptiness guard
             // skips the hash probe when nothing is in flight (host-time only).
-            if !self.l1_inflight.is_empty() {
-                if let Some(&ready) = self.l1_inflight.get(&line) {
+            if !self.l1_inflight[tile].is_empty() {
+                if let Some(&ready) = self.l1_inflight[tile].get(&line) {
                     if ready > now {
                         return ready.max(t_l1);
                     }
-                    self.l1_inflight.remove(&line);
+                    self.l1_inflight[tile].remove(&line);
                 }
             }
             return t_l1;
         }
         // L1 miss. Merge with an in-flight fill of the same line.
-        if let Some(&ready) = self.l1_inflight.get(&line) {
+        if let Some(&ready) = self.l1_inflight[tile].get(&line) {
             if ready > now {
                 self.ctr.l1_merged_miss += 1;
                 if is_write {
                     // The merged store dirties the line once it arrives.
-                    self.l1.fill(line, true);
+                    self.l1[tile].fill(line, true);
                 }
                 return ready.max(t_l1);
             }
-            self.l1_inflight.remove(&line);
+            self.l1_inflight[tile].remove(&line);
         }
         self.ctr.l1_miss += 1;
         let bank = self.amap.bank_of(line);
         let node = self.bank_node(bank);
+        let home = self.tile_node(tile);
         // Request message to the home node.
-        let t_req = self.mesh.send(self.cfg.core_node, node, 8, t_l1);
+        let t_req = self.mesh.send(home, node, 8, t_l1);
         let t_bank = self.claim_bank(bank, t_req);
+        let req = req_l1_of(tile);
         let action = if is_write {
-            self.banks[bank].dir.caching_write(line, REQ_L1)
+            self.banks[bank].dir.caching_write(line, req)
         } else {
-            self.banks[bank].dir.caching_read(line, REQ_L1)
+            self.banks[bank].dir.caching_read(line, req)
         };
-        // Single-core system: the only other requestor (VPU) never holds
-        // lines, so no recall can be needed here.
-        debug_assert!(action.recall_from.is_none());
-        debug_assert!(action.invalidate.is_empty());
+        // With one tile there is no other caching requestor, so these
+        // branches are never taken (single-tile timing is unchanged); with
+        // several, foreign L1 copies are recalled or invalidated here.
+        let t_bank = self.apply_foreign_copies(
+            bank,
+            line,
+            action.recall_from,
+            &action.invalidate,
+            is_write,
+            t_bank,
+        );
         let hit = self.banks[bank].cache.access(line, AccessKind::Read);
         let t_data = if hit {
             self.ctr.l2_hit += 1;
@@ -346,15 +439,15 @@ impl MemHierarchy {
             self.l2_fill(bank, line, t_miss)
         };
         // Response with the line.
-        let t_resp = self.mesh.send(node, self.cfg.core_node, self.line_bytes(), t_data);
+        let t_resp = self.mesh.send(node, home, self.line_bytes(), t_data);
         // Install in L1; dirty victims write back to their own bank.
-        if let Some(victim) = self.l1.fill(line, is_write) {
+        if let Some(victim) = self.l1[tile].fill(line, is_write) {
             let vbank = self.amap.bank_of(victim.addr);
-            self.banks[vbank].dir.evicted(victim.addr, REQ_L1);
+            self.banks[vbank].dir.evicted(victim.addr, req);
             if victim.dirty {
                 self.ctr.l1_writeback += 1;
                 let vnode = self.bank_node(vbank);
-                let t_wb = self.mesh.send(self.cfg.core_node, vnode, self.line_bytes(), t_resp);
+                let t_wb = self.mesh.send(home, vnode, self.line_bytes(), t_resp);
                 let t_wb = self.claim_bank(vbank, t_wb);
                 // The writeback allocates/updates in L2 (it was there under
                 // inclusive assumptions; fill() refreshes it either way).
@@ -373,29 +466,42 @@ impl MemHierarchy {
             self.l1_fill_times.insert(t_resp);
             self.probe.sample("memsys.l1_mshr_occupancy", self.l1_fill_times.len() as u64);
         }
-        if self.l1_inflight.len() >= self.l1_prune_at {
-            self.l1_prune_at = prune_inflight(&mut self.l1_inflight, self.core_now);
+        if self.l1_inflight[tile].len() >= self.l1_prune_at[tile] {
+            self.l1_prune_at[tile] =
+                prune_inflight(&mut self.l1_inflight[tile], self.core_now[tile]);
         }
-        self.l1_inflight.insert(line, t_resp);
+        self.l1_inflight[tile].insert(line, t_resp);
         for d in 1..=self.cfg.l1_prefetch_depth as u64 {
-            self.prefetch_into_l1(line + d * self.line_bytes(), now);
+            self.prefetch_into_l1(tile, line + d * self.line_bytes(), now);
         }
         t_resp
     }
 
-    /// Background next-line prefetch into L1 (extension; see
-    /// `MemHierConfig::l1_next_line_prefetch`). Consumes bank/DRAM/mesh
+    /// Background next-line prefetch into `tile`'s L1 (extension; see
+    /// `MemHierConfig::l1_prefetch_depth`). Consumes bank/DRAM/mesh
     /// resources like a demand fetch but nobody waits on it directly.
-    fn prefetch_into_l1(&mut self, line: u64, now: Cycle) {
-        if self.l1.contains(line) || self.l1_inflight.get(&line).is_some_and(|&r| r > now) {
+    fn prefetch_into_l1(&mut self, tile: usize, line: u64, now: Cycle) {
+        if self.l1[tile].contains(line)
+            || self.l1_inflight[tile].get(&line).is_some_and(|&r| r > now)
+        {
             return;
         }
         self.ctr.l1_prefetch += 1;
         let bank = self.amap.bank_of(line);
         let node = self.bank_node(bank);
-        let t_req = self.mesh.send(self.cfg.core_node, node, 8, now + self.cfg.l1_hit_latency);
+        let home = self.tile_node(tile);
+        let t_req = self.mesh.send(home, node, 8, now + self.cfg.l1_hit_latency);
         let t_bank = self.claim_bank(bank, t_req);
-        self.banks[bank].dir.caching_read(line, REQ_L1);
+        let req = req_l1_of(tile);
+        let action = self.banks[bank].dir.caching_read(line, req);
+        let t_bank = self.apply_foreign_copies(
+            bank,
+            line,
+            action.recall_from,
+            &action.invalidate,
+            false,
+            t_bank,
+        );
         let hit = self.banks[bank].cache.access(line, AccessKind::Read);
         let t_data = if hit {
             self.ctr.l2_hit += 1;
@@ -403,10 +509,10 @@ impl MemHierarchy {
         } else {
             self.l2_fill(bank, line, t_bank + self.cfg.l2_hit_latency)
         };
-        let t_resp = self.mesh.send(node, self.cfg.core_node, self.line_bytes(), t_data);
-        if let Some(victim) = self.l1.fill(line, false) {
+        let t_resp = self.mesh.send(node, home, self.line_bytes(), t_data);
+        if let Some(victim) = self.l1[tile].fill(line, false) {
             let vbank = self.amap.bank_of(victim.addr);
-            self.banks[vbank].dir.evicted(victim.addr, REQ_L1);
+            self.banks[vbank].dir.evicted(victim.addr, req);
             if victim.dirty {
                 self.ctr.l1_writeback += 1;
                 let t_wb = self.claim_bank(vbank, t_resp);
@@ -418,18 +524,32 @@ impl MemHierarchy {
                 }
             }
         }
-        if self.l1_inflight.len() >= self.l1_prune_at {
-            self.l1_prune_at = prune_inflight(&mut self.l1_inflight, self.core_now);
+        if self.l1_inflight[tile].len() >= self.l1_prune_at[tile] {
+            self.l1_prune_at[tile] =
+                prune_inflight(&mut self.l1_inflight[tile], self.core_now[tile]);
         }
-        self.l1_inflight.insert(line, t_resp);
+        self.l1_inflight[tile].insert(line, t_resp);
     }
 
-    /// A VPU line access (bypasses L1, kept coherent by the home node).
-    /// Returns the data-ready cycle (loads) or globally-ordered cycle
+    /// A VPU line access from tile 0 (bypasses L1, kept coherent by the home
+    /// node). Returns the data-ready cycle (loads) or globally-ordered cycle
     /// (stores).
     pub fn vpu_access(&mut self, line_addr: u64, is_write: bool, now: Cycle) -> Cycle {
-        debug_assert!(now >= self.vpu_now, "VPU accesses must be issued in cycle order");
-        self.vpu_now = now;
+        self.vpu_access_tile(0, line_addr, is_write, now)
+    }
+
+    /// A VPU line access from `tile` (bypasses L1, kept coherent by the home
+    /// node). Returns the data-ready cycle (loads) or globally-ordered cycle
+    /// (stores).
+    pub fn vpu_access_tile(
+        &mut self,
+        tile: usize,
+        line_addr: u64,
+        is_write: bool,
+        now: Cycle,
+    ) -> Cycle {
+        debug_assert!(now >= self.vpu_now[tile], "VPU accesses must be issued in cycle order");
+        self.vpu_now[tile] = now;
         let line = self.amap.line_of(line_addr);
         if is_write {
             self.ctr.vpu_store_line += 1;
@@ -438,30 +558,23 @@ impl MemHierarchy {
         }
         let bank = self.amap.bank_of(line);
         let node = self.bank_node(bank);
-        let t_req = self.mesh.send(self.cfg.core_node, node, if is_write { self.line_bytes() } else { 8 }, now);
-        let mut t_bank = self.claim_bank(bank, t_req);
+        let home = self.tile_node(tile);
+        let t_req = self.mesh.send(home, node, if is_write { self.line_bytes() } else { 8 }, now);
+        let t_bank = self.claim_bank(bank, t_req);
+        let req = req_vpu_of(tile);
         let action = if is_write {
-            self.banks[bank].dir.noncaching_write(line, REQ_VPU)
+            self.banks[bank].dir.noncaching_write(line, req)
         } else {
-            self.banks[bank].dir.noncaching_read(line, REQ_VPU)
+            self.banks[bank].dir.noncaching_read(line, req)
         };
-        if let Some(owner) = action.recall_from {
-            debug_assert_eq!(owner, REQ_L1);
-            self.ctr.coherence_recall += 1;
-            // Home node recalls the (possibly dirty) L1 copy.
-            t_bank += self.cfg.recall_latency;
-            if is_write || action.invalidate.contains(&REQ_L1) {
-                self.l1.invalidate(line);
-            } else {
-                self.l1.clean(line);
-            }
-            // Recalled data merges into the L2 copy.
-            self.banks[bank].cache.fill(line, true);
-        } else if action.invalidate.contains(&REQ_L1) {
-            self.ctr.coherence_invalidate += 1;
-            t_bank += self.cfg.recall_latency;
-            self.l1.invalidate(line);
-        }
+        let t_bank = self.apply_foreign_copies(
+            bank,
+            line,
+            action.recall_from,
+            &action.invalidate,
+            is_write,
+            t_bank,
+        );
         let hit = self.banks[bank].cache.access(
             line,
             if is_write { AccessKind::Write } else { AccessKind::Read },
@@ -487,9 +600,9 @@ impl MemHierarchy {
         };
         if is_write {
             // Store ack: small message; data already travelled with the request.
-            self.mesh.send(node, self.cfg.core_node, 8, t_data)
+            self.mesh.send(node, home, 8, t_data)
         } else {
-            let t_resp = self.mesh.send(node, self.cfg.core_node, self.line_bytes(), t_data);
+            let t_resp = self.mesh.send(node, home, self.line_bytes(), t_data);
             if let Some(f) = self.fault.as_mut() {
                 if f.kind == FaultKind::DropResponse && f.fire_once() {
                     // The response is lost in the fabric: the request was
@@ -524,12 +637,14 @@ impl MemHierarchy {
         s.set("dram.requests", self.dram.requests());
         s.set("dram.row_hits", self.dram.row_hits());
         s.set("dram.bytes", self.dram.bytes());
-        s.set("l1.hits_total", self.l1.hits());
-        s.set("l1.misses_total", self.l1.misses());
+        s.set("l1.hits_total", self.l1.iter().map(|c| c.hits()).sum::<u64>());
+        s.set("l1.misses_total", self.l1.iter().map(|c| c.misses()).sum::<u64>());
         for (i, b) in self.banks.iter().enumerate() {
             s.set(&format!("l2.bank{i}.hits"), b.cache.hits());
             s.set(&format!("l2.bank{i}.misses"), b.cache.misses());
             s.set(&format!("l2.bank{i}.recalls"), b.dir.recalls());
+            s.set(&format!("l2.bank{i}.invalidations"), b.dir.invalidations());
+            s.set(&format!("l2.bank{i}.downgrades"), b.dir.downgrades());
         }
         self.probe.export(&mut s);
         if let Some(h) = self.dram.queue_depth_histogram() {
@@ -552,12 +667,14 @@ impl MemHierarchy {
         for (i, b) in self.banks.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "bank{i}: next_free={}{}, dir lines={}, recalls={}, invalidations={}",
+                "bank{i}: next_free={}{}, dir lines={}, recalls={}, invalidations={}, \
+                 downgrades={}",
                 b.next_free,
                 if b.next_free >= WEDGE { " (WEDGED)" } else { "" },
                 b.dir.lines_tracked(),
                 b.dir.recalls(),
                 b.dir.invalidations(),
+                b.dir.downgrades(),
             );
         }
         let _ = writeln!(
@@ -576,11 +693,11 @@ impl MemHierarchy {
         s
     }
 
-    /// MESI coherence audit. Verifies the directory invariants this
-    /// single-core system must maintain: every tracked line is tracked by
-    /// the bank that homes its address, the non-caching VPU is never
-    /// registered as a holder, and every line the directories believe the
-    /// L1 holds is actually present in the L1.
+    /// MESI coherence audit. Verifies the directory invariants the machine
+    /// must maintain: every tracked line is tracked by the bank that homes
+    /// its address, no non-caching VPU is ever registered as a holder, and
+    /// every line the directories believe some tile's L1 holds is actually
+    /// present in that L1.
     pub fn audit_coherence(&self, now: Cycle) -> Result<(), SimError> {
         for (i, b) in self.banks.iter().enumerate() {
             let mut bad: Option<String> = None;
@@ -593,14 +710,27 @@ impl MemHierarchy {
                     bad = Some(format!(
                         "line {line:#x} tracked by bank {i} but homed at bank {home}"
                     ));
-                } else if holders & (1 << REQ_VPU) != 0 {
-                    bad = Some(format!(
-                        "non-caching VPU registered as holder of line {line:#x} at bank {i}"
-                    ));
-                } else if holders & (1 << REQ_L1) != 0 && !self.l1.contains(line) {
-                    bad = Some(format!(
-                        "bank {i} believes the L1 holds line {line:#x} but the L1 does not"
-                    ));
+                    return;
+                }
+                let mut m: SharerMask = holders;
+                while m != 0 {
+                    let r = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if r % 2 == 1 {
+                        bad = Some(format!(
+                            "non-caching VPU (requestor {r}) registered as holder of line \
+                             {line:#x} at bank {i}"
+                        ));
+                        return;
+                    }
+                    let tile = r / 2;
+                    if tile >= self.l1.len() || !self.l1[tile].contains(line) {
+                        bad = Some(format!(
+                            "bank {i} believes tile {tile}'s L1 holds line {line:#x} \
+                             but the L1 does not"
+                        ));
+                        return;
+                    }
                 }
             });
             if let Some(what) = bad {

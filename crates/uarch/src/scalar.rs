@@ -49,6 +49,9 @@ struct ScalarCounters {
 /// The scalar core.
 pub struct ScalarCore {
     cfg: ScalarConfig,
+    /// Which tile this core belongs to (selects its L1 and mesh node in the
+    /// shared hierarchy; 0 in the single-tile machine).
+    tile: usize,
     cycle: Cycle,
     slot: u32,
     op_idx: u64,
@@ -81,12 +84,18 @@ pub struct ScalarCore {
 }
 
 impl ScalarCore {
-    /// A core at cycle 0.
+    /// A core at cycle 0 (tile 0).
     pub fn new(cfg: ScalarConfig) -> Self {
+        Self::new_for_tile(cfg, 0)
+    }
+
+    /// A core at cycle 0, accessing the shared hierarchy as `tile`.
+    pub fn new_for_tile(cfg: ScalarConfig, tile: usize) -> Self {
         assert!(cfg.issue_width > 0, "issue width must be positive");
         assert!(cfg.max_outstanding_loads > 0, "need at least one MSHR");
         Self {
             cfg,
+            tile,
             cycle: 0,
             slot: 0,
             op_idx: 0,
@@ -270,7 +279,7 @@ impl ScalarCore {
             self.retire_completed();
             self.drain_primaries();
         }
-        let completion = hier.core_access(addr, false, self.cycle);
+        let completion = hier.core_access_tile(self.tile, addr, false, self.cycle);
         self.pending.push_back(PendingLoad { completion, op_idx: self.op_idx });
         if self.inflight_lines.len() >= self.inflight_prune_at {
             let cycle = self.cycle;
@@ -293,7 +302,7 @@ impl ScalarCore {
             self.ctr.store_buffer_stall_cycles += d;
             self.retire_completed();
         }
-        let completion = hier.core_access(addr, true, self.cycle);
+        let completion = hier.core_access_tile(self.tile, addr, true, self.cycle);
         self.stores.push_back(completion);
         self.issue_slots(1);
         self.ctr.stores += 1;

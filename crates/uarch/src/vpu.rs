@@ -32,6 +32,9 @@ pub struct Dispatched {
 /// The vector unit.
 pub struct VpuTiming {
     cfg: VpuConfig,
+    /// Which tile this VPU belongs to (selects its mesh node and coherence
+    /// requestor id in the shared hierarchy; 0 in the single-tile machine).
+    tile: usize,
     /// Completion times of instructions still in the decoupled queue window.
     /// Bounded by `queue_depth`, so the ring is pre-sized and never grows.
     queue: Ring<Cycle>,
@@ -83,13 +86,19 @@ struct VpuCounters {
 }
 
 impl VpuTiming {
-    /// A VPU at cycle 0.
+    /// A VPU at cycle 0 (tile 0).
     pub fn new(cfg: VpuConfig) -> Self {
+        Self::new_for_tile(cfg, 0)
+    }
+
+    /// A VPU at cycle 0, accessing the shared hierarchy as `tile`.
+    pub fn new_for_tile(cfg: VpuConfig, tile: usize) -> Self {
         assert!(cfg.lanes > 0, "need at least one lane");
         assert!(cfg.queue_depth > 0, "decoupling queue needs depth");
         assert!(cfg.vmem_outstanding > 0, "memory unit needs outstanding slots");
         Self {
             cfg,
+            tile,
             queue: Ring::with_capacity(cfg.queue_depth),
             exec_free: 0,
             vmem_free: 0,
@@ -296,7 +305,7 @@ impl VpuTiming {
                     }
                 }
             }
-            let done = hier.vpu_access(line, !mem.is_load, t);
+            let done = hier.vpu_access_tile(self.tile, line, !mem.is_load, t);
             // Injected wedge: the credit for this line is never returned —
             // the entry sits in the window at `WEDGE` forever. Data still
             // arrives (`done` is unchanged); only the credit counter wedges.

@@ -117,7 +117,10 @@ done
 rm -f "$cache_cold" "$cache_warm"
 
 echo "== cache fsck smoke (corrupt entry quarantined; rerun re-simulates) =="
-victim="$(find "$cache_dir" -maxdepth 1 -name '*.entry' | head -1)"
+# -print -quit, not `| head -1`: head closing the pipe early sends find
+# SIGPIPE, which pipefail turns into exit 141 once the cache holds enough
+# entries for find to keep writing.
+victim="$(find "$cache_dir" -maxdepth 1 -name '*.entry' -print -quit)"
 python3 - "$victim" <<'PYEOF'
 import sys
 path = sys.argv[1]
@@ -139,7 +142,7 @@ echo "fsck quarantined the corrupt entry; rerun healed the cache"
 
 echo "== cache gc smoke (LRU eviction empties an over-budget cache) =="
 ./target/release/sweepd gc --cache-dir "$cache_dir" --max-bytes 1
-if find "$cache_dir" -name '*.entry' | grep -q .; then
+if [ -n "$(find "$cache_dir" -name '*.entry' -print -quit)" ]; then
     echo "gc --max-bytes 1 left entries behind" >&2
     exit 1
 fi
@@ -242,6 +245,80 @@ grep -q "address already in use" <<<"$dup_out" || { echo "unhelpful bind error: 
 wait "$serve_job"
 rm -f "$retry_log"
 echo "client retry + bind-conflict exit codes ok"
+
+echo "== tile scale-out gate (fig_scale determinism + counter sums + warm cache) =="
+scale_cache="$(mktemp -d /tmp/sdv_scale_cache.XXXXXX)"
+scale_a="$(mktemp /tmp/fig_scale_a.XXXXXX.csv)"
+scale_b="$(mktemp /tmp/fig_scale_b.XXXXXX.csv)"
+# --check enforces the exact-sum invariants (per-bank directory counters vs
+# aggregates, per-tile stalls vs unprefixed sums) on every topology.
+./target/release/fig_scale --small --check --tiles 1,4,16 --vls 8,256 \
+    --cache-dir "$scale_cache" --csv "$scale_a" >/dev/null
+# Warm rerun at a different thread count: multi-tile sweeps must replay
+# from the cache byte-identically — topology is part of every cache key.
+./target/release/fig_scale --small --check --tiles 1,4,16 --vls 8,256 \
+    --cache-dir "$scale_cache" --threads 1 --csv "$scale_b" >/dev/null
+diff -u "$scale_a" "$scale_b"
+rm -rf "$scale_cache" "$scale_a" "$scale_b"
+echo "fig_scale topologies deterministic; warm rerun byte-identical"
+
+echo "== 1-tile fig_scale equivalence (tiles=1 rows match the classic fig3 cells) =="
+# The tiles=1 column must be the classic single-tile machine bit-for-bit:
+# fig_scale's vl=256/+0-latency cycles must equal the golden fig3 rows.
+one_csv="$(mktemp /tmp/fig_scale_one.XXXXXX.csv)"
+./target/release/fig_scale --small --tiles 1 --vls 256 --csv "$one_csv" >/dev/null
+python3 - "$one_csv" results/golden/fig3_small.csv <<'PYEOF'
+import csv, sys
+scale = {
+    (r["kernel"], r["impl"]): int(r["value"])
+    for r in csv.DictReader(open(sys.argv[1]))
+    if r["kind"] == "cycles"
+}
+golden = {
+    (r["kernel"], r["impl"]): int(r["cycles"])
+    for r in csv.DictReader(open(sys.argv[2]))
+    if int(r["extra_latency"]) == 0
+}
+checked = 0
+for key, cycles in scale.items():
+    assert key in golden, f"{key} missing from golden fig3"
+    assert cycles == golden[key], f"{key}: fig_scale {cycles} != golden {golden[key]}"
+    checked += 1
+assert checked == 3, f"expected 3 overlapping cells, checked {checked}"
+print(f"tiles=1 matches golden fig3 on {checked} cells")
+PYEOF
+rm -f "$one_csv"
+
+echo "== multi-tile sweepd smoke (4-tile server, topology-matched submit) =="
+tiled_log="$(mktemp /tmp/sweepd_tiled.XXXXXX.log)"
+./target/release/sweepd serve --port 0 --small --threads 2 --tiles 4 2>"$tiled_log" &
+tiled_pid=$!
+tiled_addr=""
+for _ in $(seq 1 50); do
+    tiled_addr="$(sed -n 's/.*serving workload .* on \([0-9.:]*\) .*/\1/p' "$tiled_log")"
+    [ -n "$tiled_addr" ] && break
+    sleep 0.1
+done
+[ -n "$tiled_addr" ] || { echo "tiled sweepd did not come up:" >&2; cat "$tiled_log" >&2; exit 1; }
+# A topology-matched submit streams real multi-tile results...
+tiled_out="$(./target/release/sweepd submit --addr "$tiled_addr" --small --tiles 4 \
+    --cells "SPMV,vl=256,0,64;BFS,vl=256,0,64" 2>/dev/null)"
+[ "$(wc -l <<<"$tiled_out")" -eq 2 ] || { echo "tiled submit returned: $tiled_out" >&2; exit 1; }
+# ...and a topology-mismatched client (tiles=1 identity) must be rejected,
+# not served wrong-topology numbers.
+set +e
+mismatch_out="$(./target/release/sweepd submit --addr "$tiled_addr" --small \
+    --cells "SPMV,vl=256,0,64" 2>&1 >/dev/null)"
+mismatch_rc=$?
+set -e
+if [ "$mismatch_rc" -eq 0 ]; then
+    echo "topology-mismatched submit was wrongly accepted" >&2
+    exit 1
+fi
+./target/release/sweepd shutdown --addr "$tiled_addr" >/dev/null
+wait "$tiled_pid"
+rm -f "$tiled_log"
+echo "4-tile server served matched clients and rejected mismatched identity"
 
 echo "== chaos soak (20 seeded service-fault runs, bit-identical to baseline) =="
 # Every service fault kind armed per seed (dropped connections, delayed
